@@ -1,0 +1,22 @@
+(* Regenerates Table 1 of the paper: the iteration-count histogram of the
+   lDivMod software divider over random inputs.
+
+     ldivmod_table [--samples N] [--seed S]
+
+   The paper used 10^8 samples; the default here is 10^7 (the shape is
+   stable from ~10^6). *)
+
+open Cmdliner
+
+let run samples seed =
+  Wcet_experiments.Harness.table_t1 ~samples Format.std_formatter ();
+  ignore seed
+
+let samples_arg =
+  Arg.(value & opt int 10_000_000 & info [ "samples" ] ~doc:"Number of random input pairs")
+
+let seed_arg = Arg.(value & opt int 20110318 & info [ "seed" ] ~doc:"PRNG seed")
+
+let () =
+  let info = Cmd.info "ldivmod_table" ~doc:"Reproduce Table 1 (lDivMod iteration counts)" in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ samples_arg $ seed_arg)))

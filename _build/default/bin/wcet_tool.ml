@@ -1,0 +1,238 @@
+(* The command-line front end of the analyzer suite:
+
+     wcet_tool analyze  prog.mc [--annot a.ann] [--profile default|uncached|no-hw-div] [--soft-div] [--verbose]
+     wcet_tool simulate prog.mc [--poke sym=value]... [--profile ...]
+     wcet_tool misra    prog.mc
+     wcet_tool disasm   prog.mc
+
+   Programs are MiniC translation units; annotations use the textual syntax
+   of Wcet_annot.Annot. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let profile_conv =
+  Arg.enum
+    [
+      ("default", Pred32_hw.Hw_config.default);
+      ("uncached", Pred32_hw.Hw_config.uncached);
+      ("no-hw-div", Pred32_hw.Hw_config.no_hw_div);
+    ]
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.mc" ~doc:"MiniC source file")
+
+let profile_arg =
+  Arg.(value & opt profile_conv Pred32_hw.Hw_config.default & info [ "profile" ] ~doc:"Hardware profile")
+
+let soft_div_arg =
+  Arg.(value & flag & info [ "soft-div" ] ~doc:"Lower division to the software lDivMod routine")
+
+(* MiniC sources compile; .s files go straight to the assembler. *)
+let compile path ~soft_div =
+  if Filename.check_suffix path ".s" then
+    Pred32_asm.Assembler.link (Pred32_asm.Asm_parser.parse (read_file path))
+  else
+    let options = { Minic.Codegen.default_options with Minic.Codegen.soft_div } in
+    Minic.Compile.compile ~options (read_file path)
+
+let handle_errors f =
+  try f () with
+  | Pred32_asm.Asm_parser.Error (msg, line) ->
+    Format.eprintf "assembly error at line %d: %s@." line msg;
+    exit 1
+  | Pred32_asm.Assembler.Error msg ->
+    Format.eprintf "link error: %s@." msg;
+    exit 1
+  | Minic.Compile.Error msg ->
+    Format.eprintf "compile error: %s@." msg;
+    exit 1
+  | Wcet_core.Analyzer.Analysis_error msg ->
+    Format.eprintf "analysis error: %s@." msg;
+    exit 2
+  | Wcet_cfg.Supergraph.Build_error msg ->
+    Format.eprintf "decode error: %s@." msg;
+    exit 2
+  | Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    exit 1
+
+let analyze_cmd =
+  let annot_arg =
+    Arg.(value & opt (some file) None & info [ "annot" ] ~doc:"Annotation file")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
+  let run source annot_file profile soft_div verbose =
+    handle_errors (fun () ->
+        let program = compile source ~soft_div in
+        let annot =
+          match annot_file with
+          | None -> Wcet_annot.Annot.empty
+          | Some path -> (
+            match Wcet_annot.Annot.parse (read_file path) with
+            | Ok a -> a
+            | Error msg ->
+              Format.eprintf "annotation error: %s@." msg;
+              exit 1)
+        in
+        let report = Wcet_core.Analyzer.analyze ~hw:profile ~annot program in
+        if verbose then Format.printf "%a@." Wcet_core.Analyzer.pp_report report
+        else Format.printf "WCET bound: %d cycles@." report.Wcet_core.Analyzer.wcet)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Compute a WCET bound for a MiniC program")
+    Term.(const run $ source_arg $ annot_arg $ profile_arg $ soft_div_arg $ verbose_arg)
+
+let poke_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      let sym = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      (try Ok (sym, int_of_string v) with Failure _ -> Error (`Msg "bad poke value"))
+    | None -> Error (`Msg "expected sym=value")
+  in
+  let print ppf (sym, v) = Format.fprintf ppf "%s=%d" sym v in
+  Arg.conv (parse, print)
+
+let simulate_cmd =
+  let pokes_arg =
+    Arg.(value & opt_all poke_conv [] & info [ "poke" ] ~doc:"Set a global before running")
+  in
+  let run source profile soft_div pokes =
+    handle_errors (fun () ->
+        let program = compile source ~soft_div in
+        let sim = Pred32_sim.Simulator.create profile program in
+        List.iter (fun (sym, v) -> Pred32_sim.Simulator.poke_symbol sim sym 0 v) pokes;
+        Format.printf "%a@." Pred32_sim.Simulator.pp_outcome (Pred32_sim.Simulator.run sim))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run a MiniC program in the cycle-level simulator")
+    Term.(const run $ source_arg $ profile_arg $ soft_div_arg $ pokes_arg)
+
+let misra_cmd =
+  let run source =
+    handle_errors (fun () ->
+        let tast = Minic.Compile.frontend_with_runtime (read_file source) in
+        let violations =
+          Misra.Checker.check tast
+          |> List.filter (fun (v : Misra.Checker.violation) ->
+                 not
+                   (String.length v.Misra.Checker.func > 1
+                   && String.sub v.Misra.Checker.func 0 2 = "__"))
+        in
+        if violations = [] then Format.printf "no MISRA-C violations found@."
+        else begin
+          List.iter (fun v -> Format.printf "%a@." Misra.Checker.pp_violation v) violations;
+          Format.printf "%d violation(s)@." (List.length violations);
+          exit 3
+        end)
+  in
+  Cmd.v (Cmd.info "misra" ~doc:"Check a MiniC program against the studied MISRA-C rules")
+    Term.(const run $ source_arg)
+
+let disasm_cmd =
+  let run source soft_div =
+    handle_errors (fun () ->
+        let program = compile source ~soft_div in
+        List.iter
+          (fun f ->
+            Format.printf "%a@.@."
+              (fun ppf () -> Pred32_asm.Program.pp_disassembly program ppf f)
+              ())
+          program.Pred32_asm.Program.functions)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble the compiled program")
+    Term.(const run $ source_arg $ soft_div_arg)
+
+let cfg_cmd =
+  let run source soft_div =
+    handle_errors (fun () ->
+        let program = compile source ~soft_div in
+        let graph = Wcet_value.Resolve_iter.build program in
+        let loops = Wcet_cfg.Loops.analyze graph in
+        Wcet_cfg.Dot.emit ~loops Format.std_formatter graph)
+  in
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Dump the reconstructed control-flow supergraph as Graphviz dot")
+    Term.(const run $ source_arg $ soft_div_arg)
+
+(* aiT-style workflow aid: when the analysis fails for lack of knowledge,
+   print annotation templates for everything that is missing. *)
+let suggest_cmd =
+  let run source profile soft_div =
+    handle_errors (fun () ->
+        let program = compile source ~soft_div in
+        match Wcet_core.Analyzer.analyze ~hw:profile program with
+        | report ->
+          Format.printf "analysis succeeds without annotations (bound %d cycles);@."
+            report.Wcet_core.Analyzer.wcet;
+          List.iter
+            (fun (li, _) ->
+              let loops = report.Wcet_core.Analyzer.loops in
+              let graph = report.Wcet_core.Analyzer.graph in
+              let header =
+                graph.Wcet_cfg.Supergraph.nodes.(loops.Wcet_cfg.Loops.loops.(li).Wcet_cfg.Loops.header)
+              in
+              ignore header;
+              ())
+            report.Wcet_core.Analyzer.effective_bounds
+        | exception Wcet_core.Analyzer.Analysis_error _ -> (
+          (* Re-run just the front phases to localize the missing knowledge. *)
+          match Wcet_value.Resolve_iter.build program with
+          | exception Wcet_cfg.Supergraph.Build_error msg ->
+            Format.printf "# decoding failed: %s@." msg;
+            Format.printf
+              "# supply one of:@.#   calltargets at 0x<site> = f, g@.#   recursion <func>                depth <n>@.#   setjmp auto@."
+          | graph ->
+            let loops = Wcet_cfg.Loops.analyze graph in
+            let value = Wcet_value.Analysis.run graph loops in
+            let bounds = Wcet_value.Loop_bounds.analyze value loops in
+            Format.printf "# annotation template (fill in the bounds):@.";
+            Array.iteri
+              (fun li verdict ->
+                match verdict with
+                | Wcet_value.Loop_bounds.Bounded _ -> ()
+                | Wcet_value.Loop_bounds.Unbounded reason ->
+                  let l = loops.Wcet_cfg.Loops.loops.(li) in
+                  let hn = graph.Wcet_cfg.Supergraph.nodes.(l.Wcet_cfg.Loops.header) in
+                  if Wcet_value.Analysis.reachable value l.Wcet_cfg.Loops.header then
+                    Format.printf "loop at 0x%x bound <N>   # in %s: %s@."
+                      hn.Wcet_cfg.Supergraph.block.Wcet_cfg.Func_cfg.entry
+                      hn.Wcet_cfg.Supergraph.func reason)
+              bounds.Wcet_value.Loop_bounds.per_loop;
+            List.iter
+              (fun scc ->
+                Format.printf
+                  "# irreducible region (%d blocks): add maxcount facts, e.g.:@."
+                  (List.length scc);
+                List.iter
+                  (fun nid ->
+                    let n = graph.Wcet_cfg.Supergraph.nodes.(nid) in
+                    Format.printf "maxcount at 0x%x <= <N>@."
+                      n.Wcet_cfg.Supergraph.block.Wcet_cfg.Func_cfg.entry)
+                  scc)
+              loops.Wcet_cfg.Loops.irreducible))
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:"Print annotation templates for whatever knowledge the analysis is missing")
+    Term.(const run $ source_arg $ profile_arg $ soft_div_arg)
+
+let () =
+  let info =
+    Cmd.info "wcet_tool" ~doc:"Static WCET analysis for PRED32 MiniC programs"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "A reproduction of the analyzer studied in 'Software Structure and WCET \
+             Predictability' (PPES 2011): MiniC compiler, cycle-level simulator, and a \
+             static WCET analyzer with value, cache, pipeline and IPET path analyses.";
+        ]
+  in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; simulate_cmd; misra_cmd; disasm_cmd; suggest_cmd; cfg_cmd ]))

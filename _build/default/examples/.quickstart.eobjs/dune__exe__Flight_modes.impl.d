@@ -1,0 +1,1 @@
+examples/flight_modes.ml: Format List Minic Pred32_hw Pred32_sim Wcet_annot Wcet_core

@@ -1,0 +1,1 @@
+examples/flight_modes.mli:

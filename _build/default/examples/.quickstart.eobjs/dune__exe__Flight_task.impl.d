@@ -1,0 +1,1 @@
+examples/flight_task.ml: Format List Minic Pred32_hw Pred32_sim Printf String Wcet_annot Wcet_core

@@ -1,0 +1,1 @@
+examples/guideline_audit.ml: Format List Minic Misra String Wcet_corpus

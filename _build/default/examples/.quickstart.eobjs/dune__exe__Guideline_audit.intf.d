@@ -1,0 +1,1 @@
+examples/guideline_audit.mli:

@@ -1,0 +1,1 @@
+examples/message_buffer.ml: Format Option Wcet_corpus Wcet_experiments

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Minic Pred32_asm Pred32_hw Pred32_sim String Wcet_core

@@ -1,0 +1,1 @@
+examples/software_arithmetic.ml: Format List Option Softarith Wcet_corpus Wcet_experiments

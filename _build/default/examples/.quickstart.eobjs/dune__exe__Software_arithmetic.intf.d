@@ -1,0 +1,1 @@
+examples/software_arithmetic.mli:

@@ -1,0 +1,129 @@
+(* The paper's motivating system in one example: a flight-control task with
+   operating modes (ground/air), a cyclic message handler with exclusive
+   read/write phases, a bounded error-recovery path, and device polling
+   through an undocumented pointer. Analyzed four ways:
+
+     1. no annotations at all            -> fails (unbounded loops)
+     2. just enough to get a bound       -> very pessimistic
+     3. + full design-level documentation -> tight
+     4. per operating mode                -> tight and mode-specific
+
+     dune exec examples/flight_task.exe *)
+
+let source =
+  {|
+int mode;              /* 0 = ground, 1 = air */
+int cycle;
+int msg_len;           /* design spec: at most 12 words */
+int errs;
+int dev_base;          /* device register block, passed in at boot */
+scratch int dev[16];
+int rx[12];
+int tx[12];
+int out;
+
+int poll_device(int *base) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 8; i = i + 1) { s = s + base[i]; }
+  return s;
+}
+
+int read_msg() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < msg_len; i = i + 1) { s = s + rx[i]; }
+  return s;
+}
+
+int write_msg(int seed) {
+  int i;
+  for (i = 0; i < msg_len; i = i + 1) { tx[i] = seed + i; }
+  return msg_len;
+}
+
+void recover(int code) {
+  int i;
+  for (i = 0; i < 90; i = i + 1) { out = out + code + i; }
+}
+
+int air_control() {
+  int i;
+  int s;
+  s = poll_device((int*)dev_base);
+  for (i = 0; i < 120; i = i + 1) { s = s + i * 2; }
+  return s;
+}
+
+int ground_control() {
+  return poll_device((int*)dev_base) >> 2;
+}
+
+int main() {
+  int r;
+  int i;
+  r = 0;
+  if ((cycle & 1) == 0) { r = r + read_msg(); }
+  if ((cycle & 1) == 1) { r = r + write_msg(cycle); }
+  for (i = 0; i < 4; i = i + 1) {
+    if ((errs >> i) & 1) { recover(i); }
+  }
+  if (mode == 1) { out = air_control(); } else { out = ground_control(); }
+  return r + out;
+}
+|}
+
+let annot text =
+  match Wcet_annot.Annot.parse text with
+  | Ok a -> a
+  | Error msg -> failwith msg
+
+let minimal = annot "assume msg_len in [ 0 12 ]"
+
+let documented =
+  annot
+    "assume msg_len in [ 0 12 ]\n\
+     exclusive read_msg, write_msg\n\
+     maxcount recover <= 1\n\
+     memory poll_device = scratch"
+
+let () =
+  let program = Minic.Compile.compile source in
+  let try_analysis label a =
+    match Wcet_core.Analyzer.analyze ~annot:a program with
+    | report ->
+      Format.printf "  %-42s %7d cycles (best case >= %d)@." label
+        report.Wcet_core.Analyzer.wcet report.Wcet_core.Analyzer.bcet
+    | exception Wcet_core.Analyzer.Analysis_error msg ->
+      Format.printf "  %-42s FAILS: %s@." label
+        (String.map (fun c -> if c = '\n' then ' ' else c) msg)
+  in
+  Format.printf "flight-control task, one WCET analysis per documentation level:@.";
+  try_analysis "1. no annotations:" Wcet_annot.Annot.empty;
+  try_analysis "2. buffer-size assume only:" minimal;
+  try_analysis "3. + exclusivity, error, region facts:" documented;
+  List.iter
+    (fun (name, extra) ->
+      try_analysis
+        (Printf.sprintf "4. documented, %s mode:" name)
+        (Wcet_annot.Annot.merge documented (annot extra)))
+    [ ("ground", "assume mode = 0"); ("air", "assume mode = 1") ];
+  (* cross-check against simulation in the documented scenario *)
+  let observe ~mode ~cycle ~errs =
+    let sim = Pred32_sim.Simulator.create Pred32_hw.Hw_config.default program in
+    Pred32_sim.Simulator.poke_symbol sim "mode" 0 mode;
+    Pred32_sim.Simulator.poke_symbol sim "cycle" 0 cycle;
+    Pred32_sim.Simulator.poke_symbol sim "errs" 0 errs;
+    Pred32_sim.Simulator.poke_symbol sim "msg_len" 0 12;
+    Pred32_sim.Simulator.poke_symbol sim "dev_base" 0 0x20000000;
+    Pred32_sim.Simulator.halted_cycles (Pred32_sim.Simulator.run sim)
+  in
+  Format.printf "@.observed: ground/read %d, ground/write+err %d, air/read %d cycles@."
+    (observe ~mode:0 ~cycle:0 ~errs:0)
+    (observe ~mode:0 ~cycle:1 ~errs:4)
+    (observe ~mode:1 ~cycle:0 ~errs:0);
+  Format.printf
+    "@.Each layer of design-level documentation (Section 4.3 of the paper) buys a tighter \
+     bound; the mode split finishes the job.@."

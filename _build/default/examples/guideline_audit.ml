@@ -1,0 +1,35 @@
+(* Guideline audit: run the MISRA-C checker over the whole corpus and show
+   how the checker's findings line up with WCET analyzability (the paper's
+   Section 4.2 in one screen).
+
+     dune exec examples/guideline_audit.exe *)
+
+module Corpus = Wcet_corpus.Corpus
+module Checker = Misra.Checker
+
+let audit label (s : Corpus.scenario) =
+  let tast = Minic.Compile.frontend_with_runtime ~options:s.Corpus.options s.Corpus.source in
+  let violations =
+    Checker.check tast
+    |> List.filter (fun (v : Checker.violation) ->
+           not (String.length v.Checker.func > 1 && String.sub v.Checker.func 0 2 = "__"))
+  in
+  Format.printf "%-24s: " label;
+  if violations = [] then Format.printf "clean@."
+  else begin
+    Format.printf "@.";
+    List.iter (fun v -> Format.printf "    %a@." Checker.pp_violation v) violations
+  end
+
+let () =
+  Format.printf "== MISRA-C audit of the guideline-study corpus ==@.@.";
+  List.iter
+    (fun (e : Corpus.entry) ->
+      audit (e.Corpus.id ^ " conforming") e.Corpus.conforming;
+      audit (e.Corpus.id ^ " violating") e.Corpus.violating)
+    Corpus.rule_entries;
+  Format.printf "@.rule-by-rule WCET impact (the paper's analysis):@.";
+  List.iter
+    (fun rule ->
+      Format.printf "  %-5s %s@." (Checker.rule_name rule) (Checker.wcet_impact rule))
+    Checker.all_rules

@@ -1,0 +1,1 @@
+lib/annot/annot.ml: Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/annot/annot.mli: Format

@@ -1,0 +1,155 @@
+type place = At_addr of int | In_function of string
+
+type flow_fact = Max_count of place * int | Exclusive of place list
+
+type t = {
+  assumes : (string * int * int) list;
+  loop_bounds : (place * int) list;
+  recursion_depths : (string * int) list;
+  call_targets : (int * string list) list;
+  setjmp_auto : bool;
+  memory_regions : (string * string list) list;
+  flow_facts : flow_fact list;
+}
+
+let empty =
+  {
+    assumes = [];
+    loop_bounds = [];
+    recursion_depths = [];
+    call_targets = [];
+    setjmp_auto = false;
+    memory_regions = [];
+    flow_facts = [];
+  }
+
+let merge a b =
+  {
+    assumes = a.assumes @ b.assumes;
+    loop_bounds = a.loop_bounds @ b.loop_bounds;
+    recursion_depths = a.recursion_depths @ b.recursion_depths;
+    call_targets = a.call_targets @ b.call_targets;
+    setjmp_auto = a.setjmp_auto || b.setjmp_auto;
+    memory_regions = a.memory_regions @ b.memory_regions;
+    flow_facts = a.flow_facts @ b.flow_facts;
+  }
+
+(* Tiny line-oriented parser; words are whitespace-separated, commas
+   separate list items. *)
+let tokens_of_line line =
+  line
+  |> String.map (fun c -> if c = ',' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad integer %S" s)
+
+let ( let* ) r f = Result.bind r f
+
+let parse_place = function
+  | "at" :: addr :: rest ->
+    let* a = parse_int addr in
+    Ok (At_addr a, rest)
+  | "in" :: name :: rest | name :: rest -> Ok (In_function name, rest)
+  | [] -> Error "missing place"
+
+let parse_line acc line_num line =
+  let fail msg = Error (Printf.sprintf "line %d: %s" line_num msg) in
+  match tokens_of_line line with
+  | [] -> Ok acc
+  | "assume" :: sym :: "in" :: "[" :: lo :: hi :: "]" :: [] ->
+    let* lo = parse_int lo in
+    let* hi = parse_int hi in
+    Ok { acc with assumes = (sym, lo, hi) :: acc.assumes }
+  | [ "assume"; sym; "in"; range ] -> (
+    (* accept the compact form [lo hi] already split by commas: "…in [0 100]"
+       arrives as ["[0"; "100]"]; handle "assume x in [lo,hi]" generically *)
+    match String.split_on_char ';' range with
+    | _ -> fail (Printf.sprintf "cannot parse range %S (write: assume %s in [ lo hi ])" range sym))
+  | [ "assume"; sym; "="; v ] ->
+    let* v = parse_int v in
+    Ok { acc with assumes = (sym, v, v) :: acc.assumes }
+  | "assume" :: sym :: "in" :: rest -> (
+    (* tolerate bracket glued to numbers: [0 100] -> ["[0"; "100]"] *)
+    let clean s = String.concat "" (String.split_on_char '[' s |> List.concat_map (String.split_on_char ']')) in
+    match List.map clean rest |> List.filter (fun s -> s <> "") with
+    | [ lo; hi ] ->
+      let* lo = parse_int lo in
+      let* hi = parse_int hi in
+      Ok { acc with assumes = (sym, lo, hi) :: acc.assumes }
+    | _ -> fail "expected: assume <sym> in [lo, hi]")
+  | [ "loop"; "in"; func; "bound"; n ] ->
+    let* n = parse_int n in
+    Ok { acc with loop_bounds = (In_function func, n) :: acc.loop_bounds }
+  | [ "loop"; "at"; addr; "bound"; n ] ->
+    let* a = parse_int addr in
+    let* n = parse_int n in
+    Ok { acc with loop_bounds = (At_addr a, n) :: acc.loop_bounds }
+  | [ "recursion"; func; "depth"; n ] ->
+    let* n = parse_int n in
+    Ok { acc with recursion_depths = (func, n) :: acc.recursion_depths }
+  | "calltargets" :: "at" :: addr :: "=" :: targets ->
+    let* a = parse_int addr in
+    if targets = [] then fail "empty call target list"
+    else Ok { acc with call_targets = (a, targets) :: acc.call_targets }
+  | [ "setjmp"; "auto" ] -> Ok { acc with setjmp_auto = true }
+  | "memory" :: func :: "=" :: regions ->
+    if regions = [] then fail "empty region list"
+    else Ok { acc with memory_regions = (func, regions) :: acc.memory_regions }
+  | "maxcount" :: rest -> (
+    let* place, rest = parse_place rest in
+    match rest with
+    | [ "<="; n ] ->
+      let* n = parse_int n in
+      Ok { acc with flow_facts = Max_count (place, n) :: acc.flow_facts }
+    | _ -> fail "expected: maxcount <place> <= n")
+  | "exclusive" :: places ->
+    if List.length places < 2 then fail "exclusive needs at least two places"
+    else
+      Ok
+        {
+          acc with
+          flow_facts = Exclusive (List.map (fun p -> In_function p) places) :: acc.flow_facts;
+        }
+  | tok :: _ -> fail (Printf.sprintf "unknown annotation %S" tok)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc i = function
+    | [] -> Ok acc
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || String.length line > 0 && line.[0] = '#' then go acc (i + 1) rest
+      else (
+        match parse_line acc i line with
+        | Ok acc -> go acc (i + 1) rest
+        | Error _ as e -> e)
+  in
+  go empty 1 lines
+
+let pp_place ppf = function
+  | At_addr a -> Format.fprintf ppf "at 0x%x" a
+  | In_function f -> Format.fprintf ppf "in %s" f
+
+let pp ppf t =
+  List.iter (fun (s, lo, hi) -> Format.fprintf ppf "assume %s in [%d, %d]@," s lo hi) t.assumes;
+  List.iter (fun (p, n) -> Format.fprintf ppf "loop %a bound %d@," pp_place p n) t.loop_bounds;
+  List.iter (fun (f, d) -> Format.fprintf ppf "recursion %s depth %d@," f d) t.recursion_depths;
+  List.iter
+    (fun (a, ts) -> Format.fprintf ppf "calltargets at 0x%x = %s@," a (String.concat ", " ts))
+    t.call_targets;
+  if t.setjmp_auto then Format.fprintf ppf "setjmp auto@,";
+  List.iter
+    (fun (f, rs) -> Format.fprintf ppf "memory %s = %s@," f (String.concat ", " rs))
+    t.memory_regions;
+  List.iter
+    (fun fact ->
+      match fact with
+      | Max_count (p, n) -> Format.fprintf ppf "maxcount %a <= %d@," pp_place p n
+      | Exclusive ps ->
+        Format.fprintf ppf "exclusive %s@,"
+          (String.concat ", " (List.map (Format.asprintf "%a" pp_place) ps)))
+    t.flow_facts

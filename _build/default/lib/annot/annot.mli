@@ -1,0 +1,57 @@
+(** The annotation language: design-level information supplied to the
+    analyzer (Section 4.3 of the paper).
+
+    Annotations are trusted facts. Each kind maps to one of the paper's
+    remedies:
+
+    - [assume]: input value ranges (data-dependent algorithms; also encodes
+      operating-mode selection, e.g. [assume mode = 1]);
+    - [loop ... bound]: manual loop bounds for loops the automatic analysis
+      cannot bound (float-controlled, irreducible, software arithmetic);
+    - [recursion ... depth]: maximum recursion depth (rule 16.2);
+    - [calltargets]: function-pointer target sets (tier-one challenge 1);
+    - [setjmp auto]: resolve longjmp targets to the program's setjmp
+      continuations (rule 20.7);
+    - [memory]: per-function candidate memory regions for unresolved
+      accesses (imprecise memory accesses);
+    - [maxcount] / [exclusive]: flow facts (error-handling bounds, mutually
+      exclusive paths such as the read/write message buffers).
+
+    Text syntax, one annotation per line ([#] comments):
+    {v
+    assume n in [0, 100]
+    assume mode = 1
+    loop in __udivmod32 bound 205
+    loop at 0x1234 bound 16
+    recursion fact depth 10
+    calltargets at 0x40 = handler_a, handler_b
+    setjmp auto
+    memory driver_poll = io
+    maxcount handle_error <= 3
+    maxcount at 0x1f0 <= 1
+    exclusive read_msg, write_msg
+    v} *)
+
+type place = At_addr of int | In_function of string
+
+type flow_fact = Max_count of place * int | Exclusive of place list
+
+type t = {
+  assumes : (string * int * int) list;  (** symbol, lo, hi *)
+  loop_bounds : (place * int) list;
+  recursion_depths : (string * int) list;
+  call_targets : (int * string list) list;  (** site address, function names *)
+  setjmp_auto : bool;
+  memory_regions : (string * string list) list;  (** function, region names *)
+  flow_facts : flow_fact list;
+}
+
+val empty : t
+
+(** [merge a b] concatenates fact lists; [b] wins on [setjmp_auto]. *)
+val merge : t -> t -> t
+
+(** [parse text] parses the textual syntax. *)
+val parse : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

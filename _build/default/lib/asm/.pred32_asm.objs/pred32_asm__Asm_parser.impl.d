@@ -1,0 +1,1 @@
+lib/asm/asm_parser.ml: Ast Format List Pred32_isa String

@@ -1,0 +1,1 @@
+lib/asm/asm_parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Ast Format Hashtbl List Pred32_isa Pred32_memory Program

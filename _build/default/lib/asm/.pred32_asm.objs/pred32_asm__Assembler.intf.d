@@ -1,0 +1,1 @@
+lib/asm/assembler.mli: Ast Pred32_memory Program

@@ -1,0 +1,1 @@
+lib/asm/ast.mli: Format Pred32_isa

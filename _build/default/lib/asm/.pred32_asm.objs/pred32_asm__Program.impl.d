@@ -1,0 +1,1 @@
+lib/asm/program.ml: Format List Pred32_isa Pred32_memory

@@ -1,0 +1,1 @@
+lib/asm/program.mli: Format Pred32_isa Pred32_memory

@@ -1,0 +1,192 @@
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+
+exception Error of string * int
+
+let error line fmt = Format.kasprintf (fun s -> raise (Error (s, line))) fmt
+
+let parse_reg line s =
+  match s with
+  | "fp" -> Reg.fp
+  | "sp" -> Reg.sp
+  | "lr" -> Reg.lr
+  | _ ->
+    if String.length s >= 2 && s.[0] = 'r' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n when n >= 0 && n <= 15 -> Reg.of_int n
+      | Some _ | None -> error line "bad register %S" s
+    else error line "bad register %S" s
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> error line "bad integer %S" s
+
+(* "off(base)" -> (off, base) *)
+let parse_mem line s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+    let off = parse_int line (String.sub s 0 i) in
+    let base = parse_reg line (String.sub s (i + 1) (String.length s - i - 2)) in
+    (off, base)
+  | Some _ | None -> error line "bad memory operand %S (expected off(base))" s
+
+let alu_ops =
+  [
+    ("add", Insn.Add); ("sub", Insn.Sub); ("mul", Insn.Mul); ("divu", Insn.Divu);
+    ("remu", Insn.Remu); ("and", Insn.And); ("or", Insn.Or); ("xor", Insn.Xor);
+    ("shl", Insn.Shl); ("shr", Insn.Shr); ("sra", Insn.Sra); ("slt", Insn.Slt);
+    ("sltu", Insn.Sltu);
+  ]
+
+let branch_ops =
+  [
+    ("beq", Insn.Beq); ("bne", Insn.Bne); ("blt", Insn.Blt); ("bge", Insn.Bge);
+    ("bltu", Insn.Bltu); ("bgeu", Insn.Bgeu);
+  ]
+
+(* Strip a comment (';' or '#') and split into mnemonic + comma-separated
+   operands. *)
+let tokenize_line raw =
+  let stripped =
+    match (String.index_opt raw ';', String.index_opt raw '#') with
+    | Some i, Some j -> String.sub raw 0 (min i j)
+    | Some i, None | None, Some i -> String.sub raw 0 i
+    | None, None -> raw
+  in
+  let stripped = String.trim stripped in
+  if stripped = "" then None
+  else
+    match String.index_opt stripped ' ' with
+    | None -> Some (stripped, [])
+    | Some i ->
+      let mnemonic = String.sub stripped 0 i in
+      let rest = String.sub stripped i (String.length stripped - i) in
+      let operands =
+        rest |> String.split_on_char ',' |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      Some (mnemonic, operands)
+
+let parse_item line mnemonic operands =
+  let reg = parse_reg line and int_ = parse_int line in
+  let one_reg () =
+    match operands with
+    | [ a ] -> reg a
+    | _ -> error line "%s expects one register operand" mnemonic
+  in
+  let three_regs () =
+    match operands with
+    | [ a; b; c ] -> (reg a, reg b, reg c)
+    | _ -> error line "%s expects rd, rs1, rs2" mnemonic
+  in
+  match (mnemonic, operands) with
+  | "nop", [] -> Ast.Raw Insn.Nop
+  | "halt", [] -> Ast.Raw Insn.Halt
+  | "ret", [] -> Ast.Raw (Insn.Jump_reg Reg.lr)
+  | "jr", _ -> Ast.Raw (Insn.Jump_reg (one_reg ()))
+  | "callr", _ -> Ast.Raw (Insn.Call_reg (one_reg ()))
+  | "j", [ target ] -> Ast.J target
+  | "call", [ target ] -> Ast.Call_sym target
+  | "li", [ rd; imm ] -> Ast.Li (reg rd, int_ imm)
+  | "la", [ rd; sym ] -> Ast.La (reg rd, sym)
+  | "lui", [ rd; imm ] -> Ast.Raw (Insn.Lui (reg rd, int_ imm))
+  | "lw", [ rd; mem ] ->
+    let off, base = parse_mem line mem in
+    Ast.Raw (Insn.Load (reg rd, base, off))
+  | "sw", [ rs; mem ] ->
+    let off, base = parse_mem line mem in
+    Ast.Raw (Insn.Store (reg rs, base, off))
+  | "cmovnz", _ ->
+    let rd, rs1, rs2 = three_regs () in
+    Ast.Raw (Insn.Cmovnz (rd, rs1, rs2))
+  | _, _ -> (
+    match List.assoc_opt mnemonic branch_ops with
+    | Some cond -> (
+      match operands with
+      | [ a; b; target ] -> Ast.Bc (cond, reg a, reg b, target)
+      | _ -> error line "%s expects rs1, rs2, label" mnemonic)
+    | None -> (
+      match List.assoc_opt mnemonic alu_ops with
+      | Some op -> (
+        let rd, rs1, rs2 = three_regs () in
+        ignore (rd, rs1, rs2);
+        match operands with
+        | [ a; b; c ] -> Ast.Raw (Insn.Alu (op, reg a, reg b, reg c))
+        | _ -> error line "%s expects rd, rs1, rs2" mnemonic)
+      | None ->
+        (* immediate form: mnemonic ending in 'i' *)
+        let n = String.length mnemonic in
+        if n > 1 && mnemonic.[n - 1] = 'i' then
+          let base = String.sub mnemonic 0 (n - 1) in
+          match List.assoc_opt base alu_ops with
+          | Some op -> (
+            match operands with
+            | [ a; b; imm ] -> Ast.Raw (Insn.Alui (op, reg a, reg b, int_ imm))
+            | _ -> error line "%s expects rd, rs1, imm" mnemonic)
+          | None -> error line "unknown mnemonic %S" mnemonic
+        else error line "unknown mnemonic %S" mnemonic))
+
+let parse_datum line mnemonic operands =
+  match (mnemonic, operands) with
+  | ".word", [ v ] -> Ast.Word (parse_int line v)
+  | ".zeros", [ n ] -> Ast.Zeros (parse_int line n)
+  | ".addr", [ sym ] -> Ast.Addr_of sym
+  | _, _ -> error line "expected .word, .zeros or .addr"
+
+let placement_of line = function
+  | None | Some "ram" -> Ast.In_ram
+  | Some "scratch" -> Ast.In_scratch
+  | Some "rom" -> Ast.In_rom
+  | Some other -> error line "unknown placement %S" other
+
+type section = No_section | In_func of string * Ast.item list | In_data of string * Ast.placement * Ast.datum list
+
+let parse source =
+  let chunks = ref [] in
+  let flush = function
+    | No_section -> ()
+    | In_func (name, items) -> chunks := Ast.Func (name, List.rev items) :: !chunks
+    | In_data (name, placement, data) -> chunks := Ast.Data (name, placement, List.rev data) :: !chunks
+  in
+  let section = ref No_section in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      match tokenize_line raw with
+      | None -> ()
+      | Some (mnemonic, operands) -> (
+        (* directives separate their operands by spaces, not commas *)
+        let words =
+          List.concat_map (String.split_on_char ' ') operands
+          |> List.filter (fun s -> s <> "")
+        in
+        match mnemonic with
+        | ".func" -> (
+          match words with
+          | [ name ] ->
+            flush !section;
+            section := In_func (name, [])
+          | _ -> error line ".func expects a name")
+        | ".data" -> (
+          match words with
+          | [ name ] | [ name; _ ] ->
+            flush !section;
+            let placement =
+              placement_of line (match words with [ _; p ] -> Some p | _ -> None)
+            in
+            section := In_data (name, placement, [])
+          | _ -> error line ".data expects a name and optional placement")
+        | _ -> (
+          match !section with
+          | No_section -> error line "code or data before any .func/.data directive"
+          | In_func (name, items) ->
+            let n = String.length mnemonic in
+            if n > 1 && mnemonic.[n - 1] = ':' && operands = [] then
+              section := In_func (name, Ast.Label (String.sub mnemonic 0 (n - 1)) :: items)
+            else section := In_func (name, parse_item line mnemonic operands :: items)
+          | In_data (name, placement, data) ->
+            section := In_data (name, placement, parse_datum line mnemonic operands :: data))))
+    (String.split_on_char '\n' source);
+  flush !section;
+  List.rev !chunks

@@ -1,0 +1,191 @@
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+module Word = Pred32_isa.Word
+module Image = Pred32_memory.Image
+module Memory_map = Pred32_memory.Memory_map
+module Region = Pred32_memory.Region
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let fits_imm16_signed n = n >= -32768 && n <= 32767
+
+(* A constant fits the one-word [addi rd, r0, imm] form iff its signed
+   32-bit interpretation fits the 16-bit immediate. *)
+let li_size n = if fits_imm16_signed (Word.to_signed (Word.of_signed n)) then 1 else 2
+
+let item_size_words = function
+  | Ast.Label _ | Ast.Comment _ -> 0
+  | Ast.Raw _ | Ast.Bc _ | Ast.J _ | Ast.Call_sym _ -> 1
+  | Ast.Li (_, n) -> li_size n
+  | Ast.La _ -> 2
+
+let datum_size_words = function
+  | Ast.Word _ | Ast.Addr_of _ -> 1
+  | Ast.Zeros n ->
+    if n < 0 then error "negative .zeros size";
+    n
+
+(* The startup stub: li sp, top (2 words); mov fp, sp; call entry; halt. *)
+let crt0_size_words = 5
+
+let expand_li rd n =
+  let w = Word.of_signed n in
+  if fits_imm16_signed (Word.to_signed w) then [ Insn.Alui (Insn.Add, rd, Reg.zero, Word.to_signed w) ]
+  else
+    let hi = w lsr 16 and lo = w land 0xFFFF in
+    [ Insn.Lui (rd, hi); Insn.Alui (Insn.Or, rd, rd, lo) ]
+
+let expand_la rd addr =
+  let w = Word.of_signed addr in
+  let hi = w lsr 16 and lo = w land 0xFFFF in
+  [ Insn.Lui (rd, hi); Insn.Alui (Insn.Or, rd, rd, lo) ]
+
+let link ?(map = Memory_map.default) ?(entry = "main") unit_ =
+  let rom =
+    match Memory_map.find_by_name map "rom" with
+    | Some r -> r
+    | None -> error "memory map has no rom region"
+  in
+  let region_of_placement = function
+    | Ast.In_ram -> "ram"
+    | Ast.In_scratch -> "scratch"
+    | Ast.In_rom -> "rom"
+  in
+  (* Pass 1: layout. *)
+  let symbols : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let define name addr =
+    if Hashtbl.mem symbols name then error "duplicate symbol %s" name;
+    Hashtbl.add symbols name addr
+  in
+  let text_cursor = ref (rom.Region.base + (crt0_size_words * 4)) in
+  let functions = ref [] in
+  List.iter
+    (fun chunk ->
+      match chunk with
+      | Ast.Func (name, items) ->
+        let entry_addr = !text_cursor in
+        define name entry_addr;
+        List.iter
+          (fun item ->
+            (match item with
+            | Ast.Label l -> define l !text_cursor
+            | Ast.Raw _ | Ast.Li _ | Ast.La _ | Ast.Bc _ | Ast.J _ | Ast.Call_sym _
+            | Ast.Comment _ ->
+              ());
+            text_cursor := !text_cursor + (4 * item_size_words item))
+          items;
+        functions := { Program.name; entry = entry_addr; limit = !text_cursor } :: !functions
+      | Ast.Data _ -> ())
+    unit_;
+  let text_limit = !text_cursor in
+  if text_limit > Region.limit rom then error "text overflows rom (%d bytes)" (text_limit - rom.Region.base);
+  (* Read-only data continues in ROM after the text; RAM and scratch data
+     start at their region bases. *)
+  let cursors : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  Hashtbl.add cursors "rom" (ref text_limit);
+  List.iter
+    (fun name ->
+      match Memory_map.find_by_name map name with
+      | Some r -> Hashtbl.add cursors name (ref r.Region.base)
+      | None -> ())
+    [ "ram"; "scratch" ];
+  List.iter
+    (fun chunk ->
+      match chunk with
+      | Ast.Func _ -> ()
+      | Ast.Data (name, placement, data) ->
+        let region_name = region_of_placement placement in
+        let cursor =
+          match Hashtbl.find_opt cursors region_name with
+          | Some c -> c
+          | None -> error "no %s region for data %s" region_name name
+        in
+        define name !cursor;
+        let words = List.fold_left (fun acc d -> acc + datum_size_words d) 0 data in
+        cursor := !cursor + (4 * words);
+        (match Memory_map.find_by_name map region_name with
+        | Some r when !cursor > Region.limit r -> error "data overflows %s" region_name
+        | Some _ | None -> ()))
+    unit_;
+  let lookup name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a
+    | None -> error "undefined symbol %s" name
+  in
+  let entry_addr = lookup entry in
+  (* Pass 2: emit. *)
+  let image = Image.create map in
+  let emit_at = ref rom.Region.base in
+  let emit insn =
+    Image.load_words image ~base:!emit_at [| Word.of_int32 (Pred32_isa.Encode.encode insn) |];
+    emit_at := !emit_at + 4
+  in
+  let word_index addr =
+    if addr land 3 <> 0 then error "unaligned code target 0x%x" addr;
+    addr / 4
+  in
+  (* crt0 *)
+  List.iter emit (expand_li Reg.sp Memory_map.default_stack_top);
+  emit (Insn.Alu (Insn.Add, Reg.fp, Reg.sp, Reg.zero));
+  emit (Insn.Call (word_index entry_addr));
+  emit Insn.Halt;
+  assert (!emit_at = rom.Region.base + (crt0_size_words * 4));
+  List.iter
+    (fun chunk ->
+      match chunk with
+      | Ast.Func (_, items) ->
+        List.iter
+          (fun item ->
+            match item with
+            | Ast.Label _ | Ast.Comment _ -> ()
+            | Ast.Raw i -> emit i
+            | Ast.Li (rd, n) -> List.iter emit (expand_li rd n)
+            | Ast.La (rd, sym) -> List.iter emit (expand_la rd (lookup sym))
+            | Ast.Bc (c, r1, r2, target) ->
+              let target_word = word_index (lookup target) in
+              let off = target_word - (word_index !emit_at + 1) in
+              if not (fits_imm16_signed off) then error "branch to %s out of range" target;
+              emit (Insn.Branch (c, r1, r2, off))
+            | Ast.J target -> emit (Insn.Jump (word_index (lookup target)))
+            | Ast.Call_sym target -> emit (Insn.Call (word_index (lookup target))))
+          items
+      | Ast.Data _ -> ())
+    unit_;
+  (* Data pass: re-run layout cursors to write initializers. *)
+  let data_cursors : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  Hashtbl.add data_cursors "rom" (ref text_limit);
+  List.iter
+    (fun name ->
+      match Memory_map.find_by_name map name with
+      | Some r -> Hashtbl.add data_cursors name (ref r.Region.base)
+      | None -> ())
+    [ "ram"; "scratch" ];
+  List.iter
+    (fun chunk ->
+      match chunk with
+      | Ast.Func _ -> ()
+      | Ast.Data (_, placement, data) ->
+        let cursor = Hashtbl.find data_cursors (region_of_placement placement) in
+        List.iter
+          (fun d ->
+            match d with
+            | Ast.Word n ->
+              Image.load_words image ~base:!cursor [| Word.of_signed n |];
+              cursor := !cursor + 4
+            | Ast.Addr_of sym ->
+              Image.load_words image ~base:!cursor [| Word.of_signed (lookup sym) |];
+              cursor := !cursor + 4
+            | Ast.Zeros n -> cursor := !cursor + (4 * n))
+          data)
+    unit_;
+  {
+    Program.image;
+    map;
+    entry = rom.Region.base;
+    text_base = rom.Region.base;
+    text_limit;
+    functions = List.rev !functions;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
+  }

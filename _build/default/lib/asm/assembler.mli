@@ -1,0 +1,22 @@
+(** Two-pass assembler and linker.
+
+    Pass 1 lays out chunks (startup stub, then functions in ROM, read-only
+    data after the text, RAM and scratchpad data in their regions) and
+    collects the symbol table; pass 2 expands pseudo-instructions against
+    resolved symbols and encodes machine words into a fresh memory image.
+
+    The startup stub at the ROM base initializes [sp]/[fp] to the stack top,
+    calls the entry function and halts; a program's execution time is
+    measured from the stub to the [Halt]. *)
+
+exception Error of string
+
+(** [link ?map ?entry unit_] assembles and links. [entry] defaults to
+    ["main"]. Raises [Error] on duplicate or undefined symbols, immediate or
+    branch-displacement overflow, or region overflow. *)
+val link :
+  ?map:Pred32_memory.Memory_map.t -> ?entry:string -> Ast.unit_ -> Program.t
+
+(** Size in words an item occupies (exposed for the code generator's
+    size-estimation and for tests). *)
+val item_size_words : Ast.item -> int

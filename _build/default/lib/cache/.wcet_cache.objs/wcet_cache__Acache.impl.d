@@ -1,0 +1,1 @@
+lib/cache/acache.ml: Format Int Map Pred32_hw

@@ -1,0 +1,1 @@
+lib/cache/acache.mli: Format Pred32_hw

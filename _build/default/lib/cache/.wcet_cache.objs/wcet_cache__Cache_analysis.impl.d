@@ -1,0 +1,1 @@
+lib/cache/cache_analysis.ml: Acache Array Format Fun List Option Pred32_hw Pred32_isa Pred32_memory Wcet_cfg Wcet_util Wcet_value

@@ -1,0 +1,1 @@
+lib/cache/cache_analysis.mli: Format Pred32_hw Pred32_memory Wcet_value

@@ -1,0 +1,1 @@
+lib/cache/persistence.ml: Array Cache_analysis Fun Hashtbl List Option Pred32_hw Pred32_isa Pred32_memory Wcet_cfg Wcet_value

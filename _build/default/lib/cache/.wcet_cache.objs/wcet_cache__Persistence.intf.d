@@ -1,0 +1,1 @@
+lib/cache/persistence.mli: Cache_analysis Hashtbl Pred32_hw Wcet_cfg Wcet_value

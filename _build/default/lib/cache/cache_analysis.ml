@@ -1,0 +1,213 @@
+module Insn = Pred32_isa.Insn
+module Region = Pred32_memory.Region
+module Memory_map = Pred32_memory.Memory_map
+module Cache_config = Pred32_hw.Cache_config
+module Hw_config = Pred32_hw.Hw_config
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Analysis = Wcet_value.Analysis
+module Aval = Wcet_value.Aval
+
+type classification = Always_hit | Always_miss | Not_classified | Bypass
+
+type data_access = {
+  insn_index : int;
+  is_store : bool;
+  kind : classification;
+  regions : Region.t list;
+}
+
+type result = { fetch : classification array array; data : data_access list array }
+
+(* Abstract state: a pair of optional caches. *)
+module Cstate = struct
+  type t = { ic : Acache.t option; dc : Acache.t option }
+
+  let map2 f a b =
+    match (a, b) with
+    | Some x, Some y -> Some (f x y)
+    | None, None -> None
+    | Some _, None | None, Some _ -> assert false
+
+  let leq a b =
+    let le x y = match (x, y) with
+      | Some x, Some y -> Acache.leq x y
+      | None, None -> true
+      | Some _, None | None, Some _ -> assert false
+    in
+    le a.ic b.ic && le a.dc b.dc
+
+  let join a b = { ic = map2 Acache.join a.ic b.ic; dc = map2 Acache.join a.dc b.dc }
+  let widen = join
+end
+
+module FP = Wcet_util.Fixpoint.Make (Cstate)
+
+(* Candidate memory regions of a data access. *)
+let candidate_regions map av hint =
+  let all_data () =
+    match hint with
+    | Some regions -> regions
+    | None ->
+      List.filter (fun (r : Region.t) -> r.Region.kind <> Region.Rom) (Memory_map.regions map)
+  in
+  match Aval.range av with
+  | None -> all_data ()
+  | Some (lo, hi) ->
+    let overlapping =
+      List.filter
+        (fun (r : Region.t) -> r.Region.base <= hi && lo < Region.limit r)
+        (Memory_map.regions map)
+    in
+    (match overlapping with
+    | [] -> all_data ()
+    | regions -> (
+      match hint with
+      | Some hinted when List.length regions > 1 ->
+        (* the annotation narrows a multi-region candidate set *)
+        let inter = List.filter (fun r -> List.memq r hinted || List.mem r hinted) regions in
+        if inter = [] then hinted else inter
+      | _ -> regions))
+
+(* Lines an access may touch, or None when too imprecise to enumerate. *)
+let candidate_lines dcache_cfg av =
+  match Aval.range av with
+  | None -> None
+  | Some (lo, hi) ->
+    if hi - lo > 8 * dcache_cfg.Cache_config.line_bytes then None
+    else Some (Cache_config.lines_of_range dcache_cfg ~addr:lo ~size:(hi - lo + 1))
+
+type access_info = {
+  classification : classification;
+  regions : Region.t list;
+  update : Acache.t option -> Acache.t option;
+}
+
+(* Analyze one data access against the current data-cache state. *)
+let data_access_info (cfg : Hw_config.t) hint av ~is_store dc =
+  let regions = candidate_regions cfg.Hw_config.map av hint in
+  let all_uncacheable = List.for_all (fun (r : Region.t) -> not r.Region.cacheable) regions in
+  if is_store then
+    (* write-around: no cache effect *)
+    { classification = Bypass; regions; update = Fun.id }
+  else
+    match (dc, cfg.Hw_config.dcache) with
+    | None, _ | _, None -> { classification = Bypass; regions; update = Fun.id }
+    | Some dcache, Some dcache_cfg ->
+      if all_uncacheable then { classification = Bypass; regions; update = Fun.id }
+      else (
+        match candidate_lines dcache_cfg av with
+        | Some [ line ] ->
+          let classification =
+            if Acache.must_contains dcache line then Always_hit
+            else if Acache.may_excludes dcache line then Always_miss
+            else Not_classified
+          in
+          { classification; regions; update = Option.map (fun c -> Acache.access c line) }
+        | Some lines ->
+          (* one of a few lines: join of the possible outcomes *)
+          let update =
+            Option.map (fun c ->
+                match List.map (Acache.access c) lines with
+                | [] -> c
+                | first :: rest -> List.fold_left Acache.join first rest)
+          in
+          { classification = Not_classified; regions; update }
+        | None ->
+          (* imprecise access: the paper's cache-damage case *)
+          { classification = Not_classified; regions; update = Option.map Acache.access_unknown })
+
+let fetch_info (cfg : Hw_config.t) map addr ic =
+  match (ic, cfg.Hw_config.icache) with
+  | None, _ | _, None -> (Bypass, Fun.id)
+  | Some icache, Some icache_cfg -> (
+    match Memory_map.find map addr with
+    | Some r when r.Region.cacheable ->
+      let line = Cache_config.line_of_addr icache_cfg addr in
+      let classification =
+        if Acache.must_contains icache line then Always_hit
+        else if Acache.may_excludes icache line then Always_miss
+        else Not_classified
+      in
+      (classification, Option.map (fun c -> Acache.access c line))
+    | Some _ | None -> (Bypass, Fun.id))
+
+let run (cfg : Hw_config.t) (value : Analysis.result) ~region_hints =
+  let graph = value.Analysis.graph in
+  let nodes = graph.Supergraph.nodes in
+  let n = Array.length nodes in
+  let initial =
+    {
+      Cstate.ic = Option.map Acache.empty cfg.Hw_config.icache;
+      dc = Option.map Acache.empty cfg.Hw_config.dcache;
+    }
+  in
+  (* Per-node transfer, optionally recording classifications. *)
+  let transfer record i (st : Cstate.t) =
+    let node = nodes.(i) in
+    let hint = region_hints node.Supergraph.func in
+    let accesses = value.Analysis.accesses.(i) in
+    let st = ref st in
+    Array.iteri
+      (fun idx (addr, insn) ->
+        let fetch_class, ic_update = fetch_info cfg cfg.Hw_config.map addr !st.Cstate.ic in
+        (match record with
+        | Some (fetch_rec, _) -> fetch_rec.(idx) <- fetch_class
+        | None -> ());
+        st := { !st with Cstate.ic = ic_update !st.Cstate.ic };
+        match insn with
+        | Insn.Load _ | Insn.Store _ -> (
+          let is_store = Insn.writes_memory insn in
+          let access =
+            List.find_opt (fun (a : Analysis.access) -> a.Analysis.insn_index = idx) accesses
+          in
+          match access with
+          | None -> ()
+          | Some a ->
+            let info = data_access_info cfg hint a.Analysis.addr ~is_store !st.Cstate.dc in
+            (match record with
+            | Some (_, data_rec) ->
+              data_rec :=
+                { insn_index = idx; is_store; kind = info.classification; regions = info.regions }
+                :: !data_rec
+            | None -> ());
+            st := { !st with Cstate.dc = info.update !st.Cstate.dc })
+        | _ -> ())
+      node.Supergraph.block.Func_cfg.insns;
+    !st
+  in
+  let problem =
+    {
+      FP.num_nodes = n;
+      entries = [ (graph.Supergraph.entry, initial) ];
+      succs =
+        (fun i ->
+          if Analysis.reachable value i then
+            List.filter_map
+              (fun (_, t) -> if Analysis.reachable value t then Some t else None)
+              nodes.(i).Supergraph.succs
+          else []);
+      transfer = (fun i st -> transfer None i st);
+      widening_points = (fun _ -> false);
+      widening_delay = max_int;
+    }
+  in
+  let solution = FP.solve problem in
+  let fetch = Array.map (fun node -> Array.make (Array.length node.Supergraph.block.Func_cfg.insns) Not_classified) nodes in
+  let data = Array.make n [] in
+  Array.iteri
+    (fun i _ ->
+      match solution.FP.in_state i with
+      | None -> ()
+      | Some st ->
+        let data_rec = ref [] in
+        ignore (transfer (Some (fetch.(i), data_rec)) i st);
+        data.(i) <- List.rev !data_rec)
+    nodes;
+  { fetch; data }
+
+let pp_classification ppf = function
+  | Always_hit -> Format.pp_print_string ppf "AH"
+  | Always_miss -> Format.pp_print_string ppf "AM"
+  | Not_classified -> Format.pp_print_string ppf "NC"
+  | Bypass -> Format.pp_print_string ppf "BP"

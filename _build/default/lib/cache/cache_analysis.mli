@@ -1,0 +1,39 @@
+(** The cache analysis of Figure 1: classifies every instruction fetch and
+    every data access as always-hit, always-miss, or not-classified, using
+    must/may abstract LRU states propagated over the supergraph.
+
+    Data addresses come from the value analysis. An access whose address
+    interval cannot be narrowed damages the abstract data cache (all must
+    ages grow) and must be costed against the slowest candidate memory
+    region — unless a memory-region annotation (the paper's Section 4.3
+    remedy) narrows the candidates, e.g. to the uncached I/O region, in
+    which case the data cache is bypassed and unharmed. *)
+
+type classification =
+  | Always_hit
+  | Always_miss
+  | Not_classified
+  | Bypass  (** uncacheable access (or cache disabled) *)
+
+type data_access = {
+  insn_index : int;
+  is_store : bool;
+  kind : classification;
+  regions : Pred32_memory.Region.t list;  (** candidate target regions *)
+}
+
+type result = {
+  fetch : classification array array;  (** per node, per instruction *)
+  data : data_access list array;  (** per node *)
+}
+
+(** [run cfg value_result ~region_hints] — [region_hints] maps a function
+    name to the regions its unresolved accesses may touch (from
+    annotations). *)
+val run :
+  Pred32_hw.Hw_config.t ->
+  Wcet_value.Analysis.result ->
+  region_hints:(string -> Pred32_memory.Region.t list option) ->
+  result
+
+val pp_classification : Format.formatter -> classification -> unit

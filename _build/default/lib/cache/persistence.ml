@@ -1,0 +1,170 @@
+module Insn = Pred32_isa.Insn
+module Region = Pred32_memory.Region
+module Memory_map = Pred32_memory.Memory_map
+module Cache_config = Pred32_hw.Cache_config
+module Hw_config = Pred32_hw.Hw_config
+module Timing = Pred32_hw.Timing
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Loops = Wcet_cfg.Loops
+module Analysis = Wcet_value.Analysis
+module Aval = Wcet_value.Aval
+
+type t = {
+  persistent_fetch : (int * int, unit) Hashtbl.t;
+  persistent_data : (int * int, unit) Hashtbl.t;
+  entry_extra : int array;
+}
+
+let none ~num_nodes =
+  {
+    persistent_fetch = Hashtbl.create 1;
+    persistent_data = Hashtbl.create 1;
+    entry_extra = Array.make num_nodes 0;
+  }
+
+(* The single cacheable line of a load's address interval, if that precise. *)
+let data_line (cfg : Hw_config.t) dcache_cfg av =
+  match Aval.range av with
+  | None -> `Unknown
+  | Some (lo, hi) -> (
+    match Cache_config.lines_of_range dcache_cfg ~addr:lo ~size:(hi - lo + 1) with
+    | [ line ] -> (
+      match Memory_map.find cfg.Hw_config.map lo with
+      | Some r when r.Region.cacheable -> `Line line
+      | Some _ -> `Uncached
+      | None -> `Unknown)
+    | _ :: _ :: _ -> `Several
+    | [] -> `Uncached)
+
+let compute (cfg : Hw_config.t) (value : Analysis.result) (loops : Loops.info)
+    (cache : Cache_analysis.result) =
+  let graph = value.Analysis.graph in
+  let nodes = graph.Supergraph.nodes in
+  let n = Array.length nodes in
+  let result =
+    {
+      persistent_fetch = Hashtbl.create 64;
+      persistent_data = Hashtbl.create 64;
+      entry_extra = Array.make n 0;
+    }
+  in
+  (* Outermost loops first, so each line is charged in its widest persistent
+     scope. *)
+  let order =
+    List.sort
+      (fun a b -> compare loops.Loops.loops.(a).Loops.depth loops.Loops.loops.(b).Loops.depth)
+      (List.init (Array.length loops.Loops.loops) Fun.id)
+  in
+  List.iter
+    (fun li ->
+      let loop = loops.Loops.loops.(li) in
+      let body = List.filter (Analysis.reachable value) loop.Loops.body in
+      if body <> [] then begin
+        (* Gather every line touched inside the loop, per cache. *)
+        let fetch_lines : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+        let data_lines : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+        let data_imprecise = ref false in
+        let fetch_accesses = ref [] in
+        let data_accesses = ref [] in
+        List.iter
+          (fun nid ->
+            let node = nodes.(nid) in
+            (match cfg.Hw_config.icache with
+            | None -> ()
+            | Some icfg ->
+              Array.iteri
+                (fun idx (addr, _) ->
+                  match Memory_map.find cfg.Hw_config.map addr with
+                  | Some r when r.Region.cacheable ->
+                    let line = Cache_config.line_of_addr icfg addr in
+                    Hashtbl.replace fetch_lines line ();
+                    fetch_accesses := (nid, idx, addr, line) :: !fetch_accesses
+                  | Some _ | None -> ())
+                node.Supergraph.block.Func_cfg.insns);
+            match cfg.Hw_config.dcache with
+            | None -> ()
+            | Some dcfg ->
+              List.iter
+                (fun (a : Analysis.access) ->
+                  if not a.Analysis.is_store then
+                    match data_line cfg dcfg a.Analysis.addr with
+                    | `Line line ->
+                      Hashtbl.replace data_lines line ();
+                      data_accesses := (nid, a.Analysis.insn_index, a.Analysis.addr, line) :: !data_accesses
+                    | `Uncached -> ()
+                    | `Several | `Unknown -> data_imprecise := true)
+                value.Analysis.accesses.(nid))
+          body;
+        (* Per-set conflict counting. *)
+        let set_fits lines_tbl ccfg =
+          let per_set = Hashtbl.create 16 in
+          Hashtbl.iter
+            (fun line () ->
+              let s = Cache_config.set_of_line ccfg line in
+              Hashtbl.replace per_set s (1 + Option.value ~default:0 (Hashtbl.find_opt per_set s)))
+            lines_tbl;
+          fun line ->
+            let s = Cache_config.set_of_line ccfg line in
+            Option.value ~default:0 (Hashtbl.find_opt per_set s) <= ccfg.Cache_config.assoc
+        in
+        let charged_lines = Hashtbl.create 16 in
+        let extra = ref 0 in
+        (match cfg.Hw_config.icache with
+        | None -> ()
+        | Some icfg ->
+          let fits = set_fits fetch_lines icfg in
+          List.iter
+            (fun (nid, idx, addr, line) ->
+              if
+                fits line
+                && cache.Cache_analysis.fetch.(nid).(idx) = Cache_analysis.Not_classified
+                && not (Hashtbl.mem result.persistent_fetch (nid, idx))
+              then begin
+                Hashtbl.replace result.persistent_fetch (nid, idx) ();
+                if not (Hashtbl.mem charged_lines (`I line)) then begin
+                  Hashtbl.replace charged_lines (`I line) ();
+                  extra := !extra + Timing.icache_miss_cycles cfg ~addr
+                end
+              end)
+            !fetch_accesses);
+        (match cfg.Hw_config.dcache with
+        | None -> ()
+        | Some dcfg ->
+          if not !data_imprecise then begin
+            let fits = set_fits data_lines dcfg in
+            List.iter
+              (fun (nid, idx, av, line) ->
+                let classif =
+                  List.find_opt
+                    (fun (d : Cache_analysis.data_access) -> d.Cache_analysis.insn_index = idx)
+                    cache.Cache_analysis.data.(nid)
+                in
+                match classif with
+                | Some d
+                  when d.Cache_analysis.kind = Cache_analysis.Not_classified
+                       && fits line
+                       && not (Hashtbl.mem result.persistent_data (nid, idx)) ->
+                  Hashtbl.replace result.persistent_data (nid, idx) ();
+                  if not (Hashtbl.mem charged_lines (`D line)) then begin
+                    Hashtbl.replace charged_lines (`D line) ();
+                    let region =
+                      match Aval.range av with
+                      | Some (lo, _) -> Memory_map.find cfg.Hw_config.map lo
+                      | None -> None
+                    in
+                    match region with
+                    | Some r -> extra := !extra + Timing.dcache_miss_cycles cfg ~region:r
+                    | None -> ()
+                  end
+                | _ -> ())
+              !data_accesses
+          end);
+        if !extra > 0 then begin
+          (* One-time charges: once per loop entry, at every entry source. *)
+          let sources = List.sort_uniq compare (List.map fst loop.Loops.entry_edges) in
+          List.iter (fun src -> result.entry_extra.(src) <- result.entry_extra.(src) + !extra) sources
+        end
+      end)
+    order;
+  result

@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Array Format Func_cfg List Loops Supergraph

@@ -1,0 +1,1 @@
+lib/cfg/func_cfg.ml: Array Format Hashtbl List Pred32_asm Pred32_isa

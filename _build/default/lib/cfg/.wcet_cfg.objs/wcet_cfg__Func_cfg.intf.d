@@ -1,0 +1,1 @@
+lib/cfg/func_cfg.mli: Format Pred32_asm Pred32_isa

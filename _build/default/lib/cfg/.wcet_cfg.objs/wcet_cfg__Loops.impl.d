@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Format Func_cfg Hashtbl List Option Supergraph

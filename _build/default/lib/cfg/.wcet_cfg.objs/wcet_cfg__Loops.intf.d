@@ -1,0 +1,1 @@
+lib/cfg/loops.mli: Format Supergraph

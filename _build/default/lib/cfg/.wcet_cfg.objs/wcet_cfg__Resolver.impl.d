@@ -1,0 +1,1 @@
+lib/cfg/resolver.ml: Array Func_cfg List Pred32_asm Pred32_isa Pred32_memory

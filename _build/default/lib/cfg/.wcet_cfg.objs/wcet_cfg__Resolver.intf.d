@@ -1,0 +1,1 @@
+lib/cfg/resolver.mli: Func_cfg Pred32_asm Pred32_isa

@@ -1,0 +1,1 @@
+lib/cfg/supergraph.ml: Array Format Func_cfg Hashtbl List Option Pred32_asm Queue Resolver String

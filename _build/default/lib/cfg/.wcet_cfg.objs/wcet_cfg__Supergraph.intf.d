@@ -1,0 +1,1 @@
+lib/cfg/supergraph.mli: Format Func_cfg Pred32_asm Resolver

@@ -1,0 +1,41 @@
+let edge_attr = function
+  | Supergraph.Efall -> ""
+  | Supergraph.Etaken -> " [label=\"T\",color=darkgreen]"
+  | Supergraph.Enottaken -> " [label=\"F\",color=firebrick]"
+  | Supergraph.Ecall -> " [style=dashed,color=blue]"
+  | Supergraph.Ereturn -> " [style=dashed,color=purple]"
+  | Supergraph.Eindirect -> " [style=dotted,color=orange]"
+
+let emit ?loops ppf (g : Supergraph.t) =
+  let is_header n =
+    match loops with
+    | None -> false
+    | Some info ->
+      Array.exists (fun (l : Loops.loop) -> l.Loops.header = n) info.Loops.loops
+  in
+  let in_irreducible n =
+    match loops with
+    | None -> false
+    | Some info -> List.exists (List.mem n) info.Loops.irreducible
+  in
+  Format.fprintf ppf "digraph supergraph {@.";
+  Format.fprintf ppf "  node [shape=box,fontname=\"monospace\"];@.";
+  Array.iter
+    (fun (n : Supergraph.node) ->
+      let attrs =
+        (if is_header n.Supergraph.id then ",peripheries=2" else "")
+        ^ if in_irreducible n.Supergraph.id then ",style=filled,fillcolor=mistyrose" else ""
+      in
+      Format.fprintf ppf "  n%d [label=\"%s@@0x%x\\nctx %d, %d insns\"%s];@." n.Supergraph.id
+        n.Supergraph.func n.Supergraph.block.Func_cfg.entry n.Supergraph.ctx
+        (Array.length n.Supergraph.block.Func_cfg.insns)
+        attrs)
+    g.Supergraph.nodes;
+  Array.iter
+    (fun (n : Supergraph.node) ->
+      List.iter
+        (fun (kind, dst) ->
+          Format.fprintf ppf "  n%d -> n%d%s;@." n.Supergraph.id dst (edge_attr kind))
+        n.Supergraph.succs)
+    g.Supergraph.nodes;
+  Format.fprintf ppf "}@."

@@ -1,0 +1,6 @@
+(** Graphviz export of the supergraph, for inspecting reconstructed control
+    flow (contexts, loops, irreducible regions). *)
+
+(** [emit ?loops ppf graph] writes a [digraph]. With [loops], loop headers
+    are drawn double-circled and irreducible-region nodes shaded. *)
+val emit : ?loops:Loops.info -> Format.formatter -> Supergraph.t -> unit

@@ -1,0 +1,122 @@
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+module Program = Pred32_asm.Program
+module Memory_map = Pred32_memory.Memory_map
+module Region = Pred32_memory.Region
+module Image = Pred32_memory.Image
+
+type t = {
+  call_targets : site:int -> block:Func_cfg.block -> int list option;
+  jump_targets : site:int -> block:Func_cfg.block -> int list option;
+  recursion_depth : string -> int option;
+}
+
+(* Backward constant trace inside a block: find the most recent definition
+   of [reg] before address [before] and evaluate it if it is a constant
+   pattern ([lui]+[ori], [addi rd, r0, imm], or a load from a constant ROM
+   address). *)
+let trace_const_reg_with program (block : Func_cfg.block) ~before reg =
+  let insns = block.Func_cfg.insns in
+  let rec const_of i reg =
+    match find_def_before i reg with
+    | None -> None
+    | Some j -> (
+      let _, insn = insns.(j) in
+      match insn with
+      | Insn.Alui (Insn.Add, _, rs, imm) when Reg.equal rs Reg.zero ->
+        Some (imm land 0xFFFFFFFF)
+      | Insn.Alui (Insn.Or, _, rs, lo) when Reg.equal rs reg -> (
+        (* expect a lui of the same register just before *)
+        match const_of j reg with
+        | Some hi -> Some (hi lor lo)
+        | None -> None)
+      | Insn.Lui (_, imm) -> Some ((imm lsl 16) land 0xFFFFFFFF)
+      | Insn.Load (_, base, off) -> (
+        match program with
+        | None -> None
+        | Some p -> (
+          match const_of j base with
+          | Some base_addr -> (
+            let addr = (base_addr + off) land 0xFFFFFFFF in
+            match Memory_map.find p.Program.map addr with
+            | Some r when r.Region.kind = Region.Rom && addr land 3 = 0 ->
+              Some (Image.read_word p.Program.image addr)
+            | Some _ | None -> None)
+          | None -> None))
+      | _ -> None)
+  and find_def_before i reg =
+    let rec go j = if j < 0 then None else
+      let _, insn = insns.(j) in
+      if List.exists (Reg.equal reg) (Insn.defs insn) then Some j else go (j - 1)
+    in
+    go (i - 1)
+  in
+  let site_index =
+    let found = ref None in
+    Array.iteri (fun i (addr, _) -> if addr = before then found := Some i) insns;
+    !found
+  in
+  match site_index with
+  | None -> None
+  | Some i -> const_of (i + 1) reg
+
+let trace_const_reg block ~before reg = trace_const_reg_with None block ~before reg
+
+let is_function_entry program addr =
+  List.exists (fun (f : Program.func_info) -> f.Program.entry = addr) program.Program.functions
+
+let auto program =
+  {
+    call_targets =
+      (fun ~site ~block ->
+        match
+          trace_const_reg_with (Some program) block ~before:site
+            (match block.Func_cfg.term with
+            | Func_cfg.Term_call_indirect { reg; _ } -> reg
+            | _ -> Reg.zero)
+        with
+        | Some addr when is_function_entry program addr -> Some [ addr ]
+        | Some _ | None -> None);
+    jump_targets = (fun ~site:_ ~block:_ -> None);
+    recursion_depth = (fun _ -> None);
+  }
+
+let with_overrides ?(call_targets = []) ?(jump_targets = []) ?(recursion_depths = []) base =
+  {
+    call_targets =
+      (fun ~site ~block ->
+        match List.assoc_opt site call_targets with
+        | Some targets -> Some targets
+        | None -> base.call_targets ~site ~block);
+    jump_targets =
+      (fun ~site ~block ->
+        match List.assoc_opt site jump_targets with
+        | Some targets -> Some targets
+        | None -> base.jump_targets ~site ~block);
+    recursion_depth =
+      (fun name ->
+        match List.assoc_opt name recursion_depths with
+        | Some d -> Some d
+        | None -> base.recursion_depth name);
+  }
+
+(* The compiled __setjmp pattern is:
+     lui r10, hi ; ori r10, r10, lo ; sw r10, 8(_)
+   where hi:lo is the continuation address. *)
+let scan_setjmp_continuations program =
+  let result = ref [] in
+  List.iter
+    (fun f ->
+      let insns = Array.of_list (Program.disassemble program f) in
+      let n = Array.length insns in
+      for i = 0 to n - 3 do
+        match (snd insns.(i), snd insns.(i + 1), snd insns.(i + 2)) with
+        | Insn.Lui (r1, hi), Insn.Alui (Insn.Or, r2, r3, lo), Insn.Store (r4, _, 8)
+          when Reg.equal r1 r2 && Reg.equal r2 r3 && Reg.equal r3 r4 ->
+          let addr = ((hi lsl 16) lor lo) land 0xFFFFFFFF in
+          if addr >= f.Program.entry && addr < f.Program.limit then
+            result := addr :: !result
+        | _ -> ()
+      done)
+    program.Program.functions;
+  List.sort_uniq compare !result

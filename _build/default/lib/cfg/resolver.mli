@@ -1,0 +1,42 @@
+(** Resolution of indirect control flow (the function-pointer tier-one
+    challenge of the paper).
+
+    The automatic part covers what a binary-level value analysis gets for
+    free: function pointers materialized as constants ([lui]/[ori] pairs) and
+    loads from constant ROM addresses. Anything else must come from
+    annotations — exactly the paper's position that function pointers
+    "sometimes cannot be resolved automatically at all". *)
+
+type t = {
+  call_targets : site:int -> block:Func_cfg.block -> int list option;
+      (** possible callee entry addresses of an indirect call *)
+  jump_targets : site:int -> block:Func_cfg.block -> int list option;
+      (** possible targets of a non-return indirect jump *)
+  recursion_depth : string -> int option;
+      (** annotated maximum recursion depth of a function *)
+}
+
+(** Automatic resolver: constant back-tracing within the calling block;
+    no indirect-jump knowledge; no recursion bounds. *)
+val auto : Pred32_asm.Program.t -> t
+
+(** [with_overrides ~call_targets ~jump_targets ~recursion_depths auto]
+    layers explicit annotation tables over a base resolver. Sites are
+    instruction addresses. *)
+val with_overrides :
+  ?call_targets:(int * int list) list ->
+  ?jump_targets:(int * int list) list ->
+  ?recursion_depths:(string * int) list ->
+  t ->
+  t
+
+(** [trace_const_reg block ~before reg] walks backwards from the instruction
+    at address [before] looking for a constant definition of [reg] inside
+    the block. *)
+val trace_const_reg : Func_cfg.block -> before:int -> Pred32_isa.Reg.t -> int option
+
+(** [scan_setjmp_continuations program] finds the continuation addresses of
+    every compiled [__setjmp] (the code stores a constant continuation
+    address at offset 8 of the jmp_buf); these are the possible targets of
+    [__longjmp]'s indirect jump. *)
+val scan_setjmp_continuations : Pred32_asm.Program.t -> int list

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Array Int64 List Minic Pred32_asm Pred32_hw Pred32_isa Wcet_annot Wcet_cfg Wcet_util

@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Minic Pred32_asm Pred32_hw Wcet_annot

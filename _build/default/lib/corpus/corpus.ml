@@ -1,0 +1,415 @@
+module Codegen = Minic.Codegen
+module Hw_config = Pred32_hw.Hw_config
+module Program = Pred32_asm.Program
+module Annot = Wcet_annot.Annot
+module Pcg = Wcet_util.Pcg
+
+type scenario = {
+  source : string;
+  options : Codegen.options;
+  hw : Hw_config.t;
+  annotations : Program.t -> Annot.t;
+  inputs : (string * int * int) list list;
+}
+
+type entry = {
+  id : string;
+  title : string;
+  expectation : string;
+  conforming : scenario;
+  violating : scenario;
+}
+
+let no_annot (_ : Program.t) = Annot.empty
+
+let annot_text text (_ : Program.t) =
+  match Annot.parse text with
+  | Ok a -> a
+  | Error msg -> invalid_arg ("corpus annotation: " ^ msg)
+
+let scenario ?(options = Codegen.default_options) ?(hw = Hw_config.default)
+    ?(annotations = no_annot) ?(inputs = [ [] ]) source =
+  { source; options; hw; annotations; inputs }
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.2: MISRA rule pairs                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rule_13_4 =
+  {
+    id = "13.4";
+    title = "no floating-point loop control";
+    expectation =
+      "integer counter loops are bounded automatically; float-controlled loops (software \
+       arithmetic calls) are not";
+    conforming =
+      scenario
+        "int acc; int main() { int i; acc = 0; for (i = 0; i < 48; i = i + 1) { acc = acc + i * 3; } return acc; }";
+    violating =
+      scenario
+        ~annotations:
+          (annot_text "loop in main bound 48\nloop in __f_norm_pack bound 32")
+        "int acc; int main() { float f; acc = 0; for (f = 0.0; f < 48.0; f = f + 1.0) { acc = acc + 3; } return acc; }";
+  }
+
+let bit_inputs sym = [ [ (sym, 0, 0) ]; [ (sym, 0, 0x55555555) ]; [ (sym, 0, -1) ] ]
+
+let rule_13_6 =
+  {
+    id = "13.6";
+    title = "loop counters unmodified in the body";
+    expectation =
+      "constant-step counters give exact bounds; data-dependent counter bumps defeat the \
+       induction pattern";
+    conforming =
+      scenario ~inputs:(bit_inputs "data")
+        "int data; int acc; int main() { int i; int skip; acc = 0; skip = 0; for (i = 0; i < 64; i = i + 1) { if ((data >> (i & 31)) & 1) { skip = skip + 1; } else { acc = acc + i; } } return acc + skip; }";
+    violating =
+      scenario ~inputs:(bit_inputs "data")
+        ~annotations:(annot_text "loop in main bound 64")
+        "int data; int acc; int main() { int i; acc = 0; for (i = 0; i < 64; i = i + 1) { if ((data >> (i & 31)) & 1) { i = i * 2; } acc = acc + i; } return acc; }";
+  }
+
+let sign_inputs = [ [ ("x", 0, 5) ]; [ ("x", 0, -5) ]; [ ("x", 0, 0) ]; [ ("x", 0, 100000) ] ]
+
+let rule_14_1 =
+  {
+    id = "14.1";
+    title = "no unreachable code";
+    expectation =
+      "dead code the analysis cannot prove dead adds spurious heavy paths to the \
+       over-approximated control flow";
+    conforming =
+      scenario ~inputs:sign_inputs
+        "int x; int main() { int r; if (x > 0) { r = x; } else { r = 0 - x; } return r; }";
+    violating =
+      scenario ~inputs:sign_inputs
+        "int x; int acc; int main() { int r; int i; if (((x ^ x) & 15) != 0) { for (i = 0; i < 300; i = i + 1) { acc = acc + i; } } if (x > 0) { r = x; } else { r = 0 - x; } return r; acc = 0; }";
+  }
+
+(* The irreducible goto variant needs flow facts on the cycle's blocks; they
+   are synthesized from the built graph (block addresses are not stable
+   across edits, names are). *)
+let goto_cycle_annot (program : Program.t) =
+  let graph = Wcet_cfg.Supergraph.build program in
+  let loops = Wcet_cfg.Loops.analyze graph in
+  let facts =
+    List.concat_map
+      (fun scc ->
+        List.map
+          (fun nid ->
+            let node = graph.Wcet_cfg.Supergraph.nodes.(nid) in
+            Annot.Max_count
+              (Annot.At_addr node.Wcet_cfg.Supergraph.block.Wcet_cfg.Func_cfg.entry, 52))
+          scc)
+      loops.Wcet_cfg.Loops.irreducible
+  in
+  { Annot.empty with Annot.flow_facts = facts }
+
+let rule_14_4 =
+  {
+    id = "14.4";
+    title = "no goto";
+    expectation =
+      "goto into a loop builds an irreducible region: no automatic bound exists, manual flow \
+       facts are mandatory";
+    conforming =
+      scenario
+        ~inputs:[ [ ("flag", 0, 0) ]; [ ("flag", 0, 1) ] ]
+        "int flag; int acc; int main() { int i; acc = 0; for (i = 0; i < 50; i = i + 1) { if (flag) { acc = acc + 2; } acc = acc + 1; } return acc; }";
+    violating =
+      scenario
+        ~inputs:[ [ ("flag", 0, 0) ]; [ ("flag", 0, 1) ] ]
+        ~annotations:goto_cycle_annot
+        "int flag; int acc; int main() { int i; i = 0; acc = 0; if (flag) { goto inside; } top: acc = acc + 1; inside: acc = acc + 2; i = i + 1; if (i < 50) { goto top; } return acc; }";
+  }
+
+let rule_14_5 =
+  {
+    id = "14.5";
+    title = "no continue";
+    expectation =
+      "continue only adds back edges to the existing header: analyzability and precision are \
+       unchanged (style-only rule)";
+    conforming =
+      scenario ~inputs:(bit_inputs "data")
+        "int data; int acc; int main() { int i; acc = 0; for (i = 0; i < 40; i = i + 1) { if (((data >> (i & 31)) & 1) == 0) { acc = acc + i; } } return acc; }";
+    violating =
+      scenario ~inputs:(bit_inputs "data")
+        "int data; int acc; int main() { int i; acc = 0; for (i = 0; i < 40; i = i + 1) { if ((data >> (i & 31)) & 1) { continue; } acc = acc + i; } return acc; }";
+  }
+
+let arg_inputs =
+  [
+    [ ("n", 0, 4); ("a0", 0, 1); ("a1", 0, 2); ("a2", 0, 3); ("a3", 0, 4) ];
+    [ ("n", 0, 0); ("a0", 0, 9); ("a1", 0, 9); ("a2", 0, 9); ("a3", 0, 9) ];
+    [ ("n", 0, 2); ("a0", 0, 7); ("a1", 0, 8); ("a2", 0, 0); ("a3", 0, 0) ];
+  ]
+
+let rule_16_1 =
+  {
+    id = "16.1";
+    title = "no variadic functions";
+    expectation =
+      "the variadic argument loop is input-data dependent; a fixed-arity interface is \
+       analyzed automatically";
+    conforming =
+      scenario ~inputs:arg_inputs
+        "int n; int a0; int a1; int a2; int a3; int sum4(int w, int x, int y, int z) { return w + x + y + z; } int main() { return sum4(a0, a1, a2, a3); }";
+    violating =
+      scenario ~inputs:arg_inputs
+        ~annotations:(annot_text "assume n in [ 0 4 ]")
+        "int n; int a0; int a1; int a2; int a3; int sum(int count, ...) { int s; int i; s = 0; for (i = 0; i < count; i = i + 1) { s = s + __va_arg(i); } return s; } int main() { return sum(n, a0, a1, a2, a3); }";
+  }
+
+let rule_16_2 =
+  {
+    id = "16.2";
+    title = "no recursion";
+    expectation =
+      "recursion requires an explicit depth annotation before any analysis is possible; the \
+       iterative version is automatic";
+    conforming =
+      scenario
+        "int main() { int n; int r; int i; n = 12; r = 1; for (i = 2; i <= n; i = i + 1) { r = r * i; } return r; }";
+    violating =
+      scenario
+        ~annotations:(annot_text "recursion fact depth 13")
+        "int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); } int main() { return fact(12); }";
+  }
+
+let rule_20_4 =
+  {
+    id = "20.4";
+    title = "no dynamic heap allocation";
+    expectation =
+      "statically placed buffers have known addresses (cache-analyzable); heap blocks after \
+       an input-sized allocation do not";
+    conforming =
+      scenario
+        "int buf[16]; int out; int main() { int i; int *p; p = buf; for (i = 0; i < 16; i = i + 1) { p[i] = i * 2; } out = p[5]; return out; }";
+    violating =
+      scenario
+        ~inputs:[ [ ("n", 0, 4) ]; [ ("n", 0, 32) ]; [ ("n", 0, 64) ] ]
+        ~annotations:(annot_text "assume n in [ 4 64 ]")
+        "int n; int out; int main() { int i; int *p; int *q; p = malloc(n); q = malloc(64); for (i = 0; i < 16; i = i + 1) { q[i] = i * 2; } out = q[5]; return out; }";
+  }
+
+let setjmp_annot (program : Program.t) =
+  let continuations = Wcet_cfg.Resolver.scan_setjmp_continuations program in
+  {
+    Annot.empty with
+    Annot.setjmp_auto = true;
+    (* the longjmp retry cycle runs at most once per execution *)
+    loop_bounds = List.map (fun c -> (Annot.At_addr c, 1)) continuations;
+  }
+
+let code_inputs =
+  [
+    List.init 8 (fun i -> ("codes", i, i + 1));
+    List.init 8 (fun i -> ("codes", i, if i = 5 then -7 else i));
+    List.init 8 (fun i -> ("codes", i, if i = 0 then -1 else i));
+  ]
+
+let rule_20_7 =
+  {
+    id = "20.7";
+    title = "no setjmp/longjmp";
+    expectation =
+      "longjmp builds cross-function cycles the loop analysis cannot bound; structured error \
+       returns are automatic";
+    conforming =
+      scenario ~inputs:code_inputs
+        "int codes[8]; int out; int process(int c) { if (c < 0) { return 0 - 1; } out = out + c; return 0; } int main() { int i; int r; for (i = 0; i < 8; i = i + 1) { r = process(codes[i]); if (r < 0) { return 0 - 1; } } return out; }";
+    violating =
+      scenario ~inputs:code_inputs ~annotations:setjmp_annot
+        "int codes[8]; int out; int buf[3]; void process(int c) { if (c < 0) { __longjmp(buf, 1); } out = out + c; } int main() { int i; int r; r = __setjmp(buf); if (r != 0) { return 0 - 1; } for (i = 0; i < 8; i = i + 1) { process(codes[i]); } return out; }";
+  }
+
+let rule_entries =
+  [ rule_13_4; rule_13_6; rule_14_1; rule_14_4; rule_14_5; rule_16_1; rule_16_2; rule_20_4;
+    rule_20_7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.3: tier-two scenarios                                    *)
+(* ------------------------------------------------------------------ *)
+
+let modes_source =
+  "int mode; int sensor[8]; int out; \
+   int nav_update() { int i; int s; s = 0; for (i = 0; i < 8; i = i + 1) { s = s + sensor[i]; } return s; } \
+   int flight_control() { int i; int s; s = 0; for (i = 0; i < 150; i = i + 1) { s = s + i * 2; } return s + nav_update(); } \
+   int ground_control() { int s; s = nav_update(); return s >> 3; } \
+   int main() { if (mode == 1) { out = flight_control(); } else { out = ground_control(); } return out; }"
+
+let modes_entry =
+  {
+    id = "modes";
+    title = "operating modes (flight vs ground)";
+    expectation =
+      "a per-mode analysis (assume mode = 0) is far tighter than the mode-oblivious bound \
+       dominated by the expensive mode";
+    conforming =
+      scenario ~inputs:[ [ ("mode", 0, 0) ] ]
+        ~annotations:(annot_text "assume mode = 0")
+        modes_source;
+    violating =
+      scenario ~inputs:[ [ ("mode", 0, 0) ]; [ ("mode", 0, 1) ] ] modes_source;
+  }
+
+let message_source =
+  "int cycle; int len; int rx[16]; int tx[16]; int seed; \
+   int read_msg() { int i; int s; s = 0; for (i = 0; i < len; i = i + 1) { s = s + rx[i]; } return s; } \
+   int write_msg() { int i; for (i = 0; i < len; i = i + 1) { tx[i] = seed + i; } return len; } \
+   int main() { int r; r = 0; if ((cycle & 1) == 0) { r = r + read_msg(); } if ((cycle & 1) == 1) { r = r + write_msg(); } return r; }"
+
+let message_inputs =
+  [
+    [ ("cycle", 0, 0); ("len", 0, 16) ];
+    [ ("cycle", 0, 1); ("len", 0, 16) ];
+    [ ("cycle", 0, 2); ("len", 0, 3) ];
+  ]
+
+let message_entry =
+  {
+    id = "message";
+    title = "message buffer handler (data-dependent algorithm)";
+    expectation =
+      "documenting buffer sizes and read/write exclusivity (design knowledge) removes the \
+       impossible both-paths worst case";
+    conforming =
+      scenario ~inputs:message_inputs
+        ~annotations:(annot_text "assume len in [ 0 16 ]\nexclusive read_msg, write_msg")
+        message_source;
+    violating =
+      scenario ~inputs:message_inputs
+        ~annotations:(annot_text "assume len in [ 0 16 ]")
+        message_source;
+  }
+
+(* The device base address arrives in a register at run time (like a
+   driver receiving a port handle), so the value analysis cannot narrow the
+   accessed region at all; the scratch area starts at 0x20000000 and [regs]
+   is its first symbol. *)
+let memory_source =
+  "int base_addr; scratch int regs[16]; int out; \
+   int poll(int *base) { int i; int s; s = 0; for (i = 0; i < 12; i = i + 1) { s = s + base[i]; } return s; } \
+   int main() { out = poll((int*)base_addr); return out; }"
+
+let memory_inputs =
+  [ [ ("base_addr", 0, 0x20000000) ]; [ ("base_addr", 0, 0x20000010) ] ]
+
+let memory_entry =
+  {
+    id = "memory";
+    title = "imprecise memory accesses (per-function region documentation)";
+    expectation =
+      "without region knowledge every unresolved access is charged the slowest module \
+       (I/O) and damages the data cache; a memory annotation restores the fast bound";
+    conforming =
+      scenario ~inputs:memory_inputs
+        ~annotations:(annot_text "memory poll = scratch")
+        memory_source;
+    violating = scenario ~inputs:memory_inputs memory_source;
+  }
+
+let error_source =
+  "int errs; int out; \
+   void recover(int k) { int i; for (i = 0; i < 120; i = i + 1) { out = out + k + i; } } \
+   int main() { int i; int s; s = 0; for (i = 0; i < 12; i = i + 1) { if ((errs >> i) & 1) { recover(i); } s = s + i; } return s; }"
+
+let error_entry =
+  {
+    id = "errors";
+    title = "error handling (documented error scenarios)";
+    expectation =
+      "assuming every iteration can raise an error multiplies the recovery cost by the loop \
+       bound; documenting 'at most one error per run' removes it";
+    conforming =
+      scenario
+        ~inputs:[ [ ("errs", 0, 0) ]; [ ("errs", 0, 1 lsl 5) ]; [ ("errs", 0, 1 lsl 11) ] ]
+        ~annotations:(annot_text "maxcount recover <= 1")
+        error_source;
+    violating =
+      scenario
+        ~inputs:[ [ ("errs", 0, 0) ]; [ ("errs", 0, 0xFFF) ] ]
+        error_source;
+  }
+
+let arith_inputs =
+  let rng = Pcg.create ~seed:77L () in
+  List.init 4 (fun _ ->
+      List.concat
+        (List.init 8 (fun i ->
+             let x = Int64.to_int (Pcg.next_uint32 rng) in
+             let y = Int64.to_int (Pcg.next_uint32 rng) in
+             [ ("xs", i, x); ("ys", i, if y = 0 then 1 else y) ])))
+
+let arith_entry =
+  {
+    id = "arith";
+    title = "software arithmetic (lDivMod vs restoring divider)";
+    expectation =
+      "the average-case-optimized divider needs a manual iteration bound and its WCET bound \
+       is dominated by the rare worst case; the fixed-latency divider is automatic and tight";
+    conforming =
+      scenario ~hw:Hw_config.no_hw_div ~inputs:arith_inputs
+        "unsigned xs[8]; unsigned ys[8]; unsigned out; \
+         int main() { int i; unsigned q; out = 0; for (i = 0; i < 8; i = i + 1) { q = __udiv32_restoring(xs[i], ys[i]); out = out + q; } return (int)(out & 0xFFFF); }";
+    violating =
+      scenario ~hw:Hw_config.no_hw_div
+        ~options:{ Codegen.default_options with Codegen.soft_div = true }
+        ~inputs:arith_inputs
+        ~annotations:(annot_text "loop in __udivmod32 bound 40")
+        "unsigned xs[8]; unsigned ys[8]; unsigned out; \
+         int main() { int i; out = 0; for (i = 0; i < 8; i = i + 1) { out = out + xs[i] / ys[i]; } return (int)(out & 0xFFFF); }";
+  }
+
+(* Tier-one challenge 1: function pointers (user-defined event handlers
+   exchanged between a communication library and the application). The
+   annotation lists the possible targets of every indirect call site. *)
+let fptr_annot (program : Program.t) =
+  let sites =
+    List.concat_map
+      (fun f ->
+        Program.disassemble program f
+        |> List.filter_map (fun (addr, insn) ->
+               match insn with
+               | Pred32_isa.Insn.Call_reg _ -> Some addr
+               | _ -> None))
+      program.Program.functions
+  in
+  { Annot.empty with Annot.call_targets = List.map (fun s -> (s, [ "on_can"; "on_flexray" ])) sites }
+
+let handler_inputs =
+  [
+    (("sel", 0, 0) :: List.init 4 (fun i -> ("ev", i, i + 3)));
+    (("sel", 0, 1) :: List.init 4 (fun i -> ("ev", i, 2 * i)));
+  ]
+
+let handlers_entry =
+  {
+    id = "handlers";
+    title = "function pointers (event handlers, tier-one challenge)";
+    expectation =
+      "a constant handler resolves automatically through the value analysis; an input-selected \
+       handler needs a call-targets annotation to reconstruct the control flow at all";
+    conforming =
+      scenario
+        ~inputs:[ List.init 4 (fun i -> ("ev", i, i + 3)) ]
+        "int ev[4]; int out; \
+         int on_tick(int v) { return v + 1; } \
+         int main() { int i; int (*h)(int); h = on_tick; out = 0; for (i = 0; i < 4; i = i + 1) { out = out + h(ev[i]); } return out; }";
+    violating =
+      scenario ~inputs:handler_inputs ~annotations:fptr_annot
+        "int sel; int ev[4]; int out; int (*handler)(int); \
+         int on_can(int v) { int i; int s; s = v; for (i = 0; i < 6; i = i + 1) { s = s + i; } return s; } \
+         int on_flexray(int v) { return v * 2; } \
+         int main() { int i; if (sel) { handler = on_can; } else { handler = on_flexray; } out = 0; for (i = 0; i < 4; i = i + 1) { out = out + handler(ev[i]); } return out; }";
+  }
+
+let tier_two_entries =
+  [ modes_entry; message_entry; memory_entry; error_entry; arith_entry; handlers_entry ]
+
+let all = rule_entries @ tier_two_entries
+
+let find id = List.find_opt (fun e -> e.id = id) all

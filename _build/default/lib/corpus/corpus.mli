@@ -1,0 +1,40 @@
+(** The guideline-study workload corpus.
+
+    For every MISRA-C rule the paper analyzes (Section 4.2), one
+    {e conforming} and one {e violating} MiniC program computing comparable
+    work, plus the tier-two scenario programs of Section 4.3. Each scenario
+    carries the hardware profile and compiler options it needs, the
+    annotations that make it analyzable (when automatic analysis is
+    expected to fail — that failure being the measured phenomenon), and
+    input sets for measuring observed execution times. *)
+
+type scenario = {
+  source : string;
+  options : Minic.Codegen.options;
+  hw : Pred32_hw.Hw_config.t;
+  annotations : Pred32_asm.Program.t -> Wcet_annot.Annot.t;
+      (** annotations for the assisted analysis run (the automatic run
+          always uses the empty set) *)
+  inputs : (string * int * int) list list;
+      (** poke sets (symbol, word index, value) for observed-time runs *)
+}
+
+type entry = {
+  id : string;  (** e.g. "13.4" or "modes" *)
+  title : string;
+  expectation : string;  (** the paper's qualitative claim being tested *)
+  conforming : scenario;
+  violating : scenario;
+}
+
+(** The nine MISRA-rule pairs of Section 4.2 (E1 experiments). *)
+val rule_entries : entry list
+
+(** The tier-two scenarios of Section 4.3 (E2 experiments): operating
+    modes, message buffer, memory regions, error handling, software
+    arithmetic. In these, "conforming" is the annotated/documented system
+    and "violating" the undocumented one. *)
+val tier_two_entries : entry list
+
+val find : string -> entry option
+val all : entry list

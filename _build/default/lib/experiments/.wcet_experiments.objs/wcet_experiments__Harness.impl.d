@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Cache_config Format Hw_config List Minic Misra Pred32_hw Pred32_sim Printf Softarith String Sys Wcet_annot Wcet_cfg Wcet_core Wcet_corpus

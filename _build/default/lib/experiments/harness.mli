@@ -1,0 +1,58 @@
+(** Experiment harness: runs corpus scenarios through the analyzer and the
+    simulator and renders the tables reproduced by [bench/main.exe]
+    (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+    paper-vs-measured record). *)
+
+type verdict =
+  | Bound of int  (** analysis succeeded with this WCET bound (cycles) *)
+  | Fails of string  (** analysis failed; why (abbreviated) *)
+
+type run = {
+  entry_id : string;
+  variant : string;  (** "conforming" or "violating" *)
+  automatic : verdict;  (** with the empty annotation set *)
+  assisted : verdict;  (** with the scenario's annotations *)
+  uses_annotations : bool;
+  observed : int;  (** max simulated cycles over the scenario's input sets *)
+  misra_violations : int;  (** checker findings on the scenario source *)
+}
+
+(** [run_scenario ~id ~variant scenario] compiles, analyzes twice
+    (automatic / assisted), simulates all input sets and checks soundness
+    (raises [Failure] if any observed run exceeds a computed bound). *)
+val run_scenario : id:string -> variant:string -> Wcet_corpus.Corpus.scenario -> run
+
+val run_entry : Wcet_corpus.Corpus.entry -> run * run
+
+(** [ratio run] is assisted-bound / observed, when both exist. *)
+val ratio : run -> float option
+
+(** E1: the MISRA rule study table. *)
+val table_rules : Format.formatter -> unit -> unit
+
+(** E2: the tier-two (design-level information) table. *)
+val table_tier_two : Format.formatter -> unit -> unit
+
+(** T1: the lDivMod iteration histogram (Table 1 of the paper), printed
+    next to the paper's values. [samples] defaults to [10_000_000]; the
+    environment variable LDIVMOD_SAMPLES overrides it. *)
+val table_t1 : ?samples:int -> Format.formatter -> unit -> unit
+
+(** F1: the analysis-phase table (Figure 1 reproduced as the phase list
+    with measured runtimes on the quickstart program). *)
+val table_f1 : Format.formatter -> unit -> unit
+
+(** A1/A2: ablation tables for the design choices DESIGN.md calls out —
+    the single-path (if-conversion) transformation the paper's related work
+    critiques, and the cache-geometry sensitivity the COLA project studied.
+    [single_path_measurements] returns ((bound, observed) branchy,
+    (bound, observed) single-path) for the ablation workload. *)
+val table_ablations : Format.formatter -> unit -> unit
+
+val single_path_measurements : unit -> (int * int) * (int * int)
+
+(** All rows, for tests. *)
+val all_runs : unit -> run list
+
+(** The quickstart program used by F1 and the benchmarks. *)
+val quickstart_source : string

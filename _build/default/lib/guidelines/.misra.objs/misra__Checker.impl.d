@@ -1,0 +1,1 @@
+lib/guidelines/checker.ml: Format Hashtbl List Minic Option

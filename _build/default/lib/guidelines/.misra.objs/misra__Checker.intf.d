@@ -1,0 +1,1 @@
+lib/guidelines/checker.mli: Format Minic

@@ -1,0 +1,1 @@
+lib/hw/cache_config.ml: Format List

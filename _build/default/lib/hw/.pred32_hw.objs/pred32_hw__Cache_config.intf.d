@@ -1,0 +1,1 @@
+lib/hw/cache_config.mli: Format

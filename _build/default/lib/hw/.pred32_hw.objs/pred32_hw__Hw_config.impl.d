@@ -1,0 +1,1 @@
+lib/hw/hw_config.ml: Cache_config Format Pred32_memory

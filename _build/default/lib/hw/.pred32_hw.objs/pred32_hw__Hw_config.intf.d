@@ -1,0 +1,1 @@
+lib/hw/hw_config.mli: Cache_config Format Pred32_memory

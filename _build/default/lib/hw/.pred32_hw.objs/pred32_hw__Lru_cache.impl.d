@@ -1,0 +1,1 @@
+lib/hw/lru_cache.ml: Array Cache_config List

@@ -1,0 +1,1 @@
+lib/hw/lru_cache.mli: Cache_config

@@ -1,0 +1,1 @@
+lib/hw/timing.ml: Cache_config Hw_config List Pred32_isa Pred32_memory

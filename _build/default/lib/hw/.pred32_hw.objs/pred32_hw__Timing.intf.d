@@ -1,0 +1,1 @@
+lib/hw/timing.mli: Hw_config Pred32_isa Pred32_memory

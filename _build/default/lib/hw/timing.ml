@@ -1,0 +1,73 @@
+module Insn = Pred32_isa.Insn
+module Region = Pred32_memory.Region
+module Memory_map = Pred32_memory.Memory_map
+
+type access_outcome = Cached_hit | Cached_miss | Uncached
+
+let burst_fill latency words = latency + words - 1
+
+let icache_miss_cycles (cfg : Hw_config.t) ~addr =
+  let region_latency =
+    match Memory_map.find cfg.map addr with
+    | Some r -> r.Region.read_latency
+    | None -> Memory_map.worst_read_latency cfg.map
+  in
+  match cfg.icache with
+  | Some c -> burst_fill region_latency (Cache_config.words_per_line c)
+  | None -> region_latency
+
+let fetch_cycles (cfg : Hw_config.t) ~outcome ~addr =
+  match outcome with
+  | Cached_hit -> 1
+  | Cached_miss -> icache_miss_cycles cfg ~addr
+  | Uncached -> (
+    match Memory_map.find cfg.map addr with
+    | Some r -> r.Region.read_latency
+    | None -> Memory_map.worst_read_latency cfg.map)
+
+let base_cycles (cfg : Hw_config.t) insn =
+  match insn with
+  | Insn.Alu (op, _, _, _) | Insn.Alui (op, _, _, _) -> (
+    match op with
+    | Insn.Mul -> cfg.mul_latency
+    | Insn.Divu | Insn.Remu -> cfg.div_latency
+    | Insn.Add | Insn.Sub | Insn.And | Insn.Or | Insn.Xor | Insn.Shl | Insn.Shr | Insn.Sra
+    | Insn.Slt | Insn.Sltu ->
+      1)
+  | Insn.Lui _ | Insn.Cmovnz _ | Insn.Nop | Insn.Halt | Insn.Illegal _ -> 1
+  | Insn.Load _ | Insn.Store _ -> 1
+  | Insn.Branch _ -> 1
+  | Insn.Jump _ | Insn.Call _ | Insn.Jump_reg _ | Insn.Call_reg _ -> 1
+
+let dcache_miss_cycles (cfg : Hw_config.t) ~region =
+  match cfg.dcache with
+  | Some c -> burst_fill region.Region.read_latency (Cache_config.words_per_line c)
+  | None -> region.Region.read_latency
+
+let data_read_cycles (cfg : Hw_config.t) ~outcome ~region =
+  match outcome with
+  | Cached_hit -> 1
+  | Cached_miss -> dcache_miss_cycles cfg ~region
+  | Uncached -> region.Region.read_latency
+
+let data_write_cycles (_cfg : Hw_config.t) ~region = region.Region.write_latency
+
+let worst_data_read_cycles (cfg : Hw_config.t) regions =
+  let regions =
+    if regions = [] then
+      List.filter (fun (r : Region.t) -> r.kind <> Region.Rom) (Memory_map.regions cfg.map)
+    else regions
+  in
+  let cost (r : Region.t) =
+    if r.cacheable && cfg.dcache <> None then dcache_miss_cycles cfg ~region:r
+    else r.read_latency
+  in
+  List.fold_left (fun acc r -> max acc (cost r)) 1 regions
+
+let worst_data_write_cycles (cfg : Hw_config.t) regions =
+  let regions =
+    if regions = [] then
+      List.filter (fun (r : Region.t) -> r.kind <> Region.Rom) (Memory_map.regions cfg.map)
+    else regions
+  in
+  List.fold_left (fun acc (r : Region.t) -> max acc r.write_latency) 1 regions

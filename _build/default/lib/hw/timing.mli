@@ -1,0 +1,44 @@
+(** The PRED32 timing model.
+
+    Cycle cost of one instruction =
+    [fetch + base + data (+ taken penalty on taken control transfers)].
+    The simulator evaluates this with concrete cache states; the pipeline
+    analysis evaluates it with cache classifications, taking upper bounds.
+    Both go through the functions below. *)
+
+type access_outcome =
+  | Cached_hit
+  | Cached_miss
+  | Uncached  (** region is not cacheable, or the cache is disabled *)
+
+(** [fetch_cycles cfg ~outcome ~addr] is the fetch cost of the instruction at
+    [addr]. Misses pay the code region's latency plus a burst refill of the
+    whole line. Unmapped addresses count as the slowest fetch (analysis
+    conservatism; the simulator faults first). *)
+val fetch_cycles : Hw_config.t -> outcome:access_outcome -> addr:int -> int
+
+(** [base_cycles cfg insn] is the execute-stage cost excluding memory data
+    access and branch resolution. *)
+val base_cycles : Hw_config.t -> Pred32_isa.Insn.t -> int
+
+(** [data_read_cycles cfg ~outcome ~region] / [data_write_cycles] cost the
+    data access of a load/store targeting [region]. Stores are write-around
+    (never allocate, always pay the region's write latency), so
+    [data_write_cycles] ignores the cache. *)
+val data_read_cycles : Hw_config.t -> outcome:access_outcome -> region:Pred32_memory.Region.t -> int
+
+val data_write_cycles : Hw_config.t -> region:Pred32_memory.Region.t -> int
+
+(** Worst-case data-read cost over a set of candidate regions (used when the
+    value analysis cannot resolve an address: all data regions, or the
+    regions named by a memory annotation). The bound assumes the access
+    misses if any candidate region is cacheable and otherwise pays the worst
+    uncached latency. *)
+val worst_data_read_cycles : Hw_config.t -> Pred32_memory.Region.t list -> int
+
+val worst_data_write_cycles : Hw_config.t -> Pred32_memory.Region.t list -> int
+
+(** Cost of an I-cache miss at [addr] (the value [fetch_cycles] uses). *)
+val icache_miss_cycles : Hw_config.t -> addr:int -> int
+
+val dcache_miss_cycles : Hw_config.t -> region:Pred32_memory.Region.t -> int

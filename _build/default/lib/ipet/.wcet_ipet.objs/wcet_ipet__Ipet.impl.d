@@ -1,0 +1,1 @@
+lib/ipet/ipet.ml: Array Hashtbl List Option Wcet_cfg Wcet_lp Wcet_util Wcet_value

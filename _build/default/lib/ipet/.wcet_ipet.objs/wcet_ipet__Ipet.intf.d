@@ -1,0 +1,1 @@
+lib/ipet/ipet.mli: Wcet_cfg Wcet_value

@@ -1,0 +1,1 @@
+lib/ipet/structural.ml: Array Fun Hashtbl List Wcet_cfg Wcet_value

@@ -1,0 +1,1 @@
+lib/ipet/structural.mli: Wcet_cfg Wcet_value

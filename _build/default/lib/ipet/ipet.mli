@@ -1,0 +1,35 @@
+(** Path analysis (Figure 1's final phase) by implicit path enumeration.
+
+    Encodes the feasible supergraph as a flow network — one variable per
+    edge, conservation at every node, one unit of flow from the entry to the
+    halting nodes — and maximizes total time. Loop bounds become linear
+    constraints relating back-edge and entry-edge flow; annotation flow
+    facts (execution-count limits, mutual exclusions) are additional linear
+    constraints, which is how irreducible regions and error paths get
+    bounded when automatic loop analysis cannot help.
+
+    Linear chains are collapsed before the ILP is built, which keeps the
+    exact solver fast. *)
+
+type fact = {
+  fact_coeffs : (int * int) list;  (** (node id, coefficient) *)
+  fact_bound : int;  (** sum of coef * count(node) <= bound per run *)
+  fact_label : string;  (** for error messages *)
+}
+
+type spec = {
+  value : Wcet_value.Analysis.result;
+  times : int array;  (** per node id, upper bound cycles *)
+  loop_bounds : (int * int) list;  (** (loop index, back-edge bound) *)
+  facts : fact list;
+}
+
+type solution = {
+  wcet : int;
+  node_counts : int array;  (** worst-case path execution counts per node *)
+}
+
+(** [solve spec loops] returns [Error reason] when the flow is unbounded
+    (some cycle has no bound — the analysis-failure outcome the paper
+    associates with rules 14.4/16.2/20.7) or infeasible. *)
+val solve : spec -> Wcet_cfg.Loops.info -> (solution, string) result

@@ -1,0 +1,120 @@
+module Supergraph = Wcet_cfg.Supergraph
+module Loops = Wcet_cfg.Loops
+module Analysis = Wcet_value.Analysis
+
+(* Longest path from [start] within [allowed] nodes over [succs] edges,
+   summing node weights (start included). Returns the distance array
+   (min_int = unreachable) or None if a cycle is reachable. *)
+let longest_paths ~n ~succs ~weight ~allowed start =
+  let dist = Array.make n min_int in
+  let state = Array.make n `White in
+  let ok = ref true in
+  let rec visit v =
+    (* DFS topological order with cycle detection *)
+    match state.(v) with
+    | `Grey -> ok := false
+    | `Black | `White when not !ok -> ()
+    | `Black -> ()
+    | `White ->
+      state.(v) <- `Grey;
+      List.iter (fun s -> if allowed s then visit s) (succs v);
+      state.(v) <- `Black
+  in
+  visit start;
+  if not !ok then None
+  else begin
+    (* relax in reverse finishing order: recompute topologically *)
+    let order = ref [] in
+    let state2 = Array.make n false in
+    let rec topo v =
+      if not state2.(v) then begin
+        state2.(v) <- true;
+        List.iter (fun s -> if allowed s then topo s) (succs v);
+        order := v :: !order
+      end
+    in
+    topo start;
+    dist.(start) <- weight start;
+    List.iter
+      (fun v ->
+        if dist.(v) > min_int then
+          List.iter
+            (fun s ->
+              if allowed s && dist.(v) + weight s > dist.(s) then
+                dist.(s) <- dist.(v) + weight s)
+            (succs v))
+      !order;
+    Some dist
+  end
+
+let solve (value : Analysis.result) (loops : Loops.info) ~times ~loop_bounds =
+  let graph = value.Analysis.graph in
+  let n = Array.length graph.Supergraph.nodes in
+  if loops.Loops.irreducible <> [] then
+    Error "structural path analysis requires reducible control flow"
+  else begin
+    let weight = Array.copy times in
+    (* back edges removed as loops collapse *)
+    let removed : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let succs v =
+      Analysis.feasible_successors value v
+      |> List.filter_map (fun (_, t) -> if Hashtbl.mem removed (v, t) then None else Some t)
+    in
+    let exception Failed of string in
+    try
+      (* innermost first *)
+      let order =
+        List.sort
+          (fun a b ->
+            compare loops.Loops.loops.(b).Loops.depth loops.Loops.loops.(a).Loops.depth)
+          (List.init (Array.length loops.Loops.loops) Fun.id)
+      in
+      List.iter
+        (fun li ->
+          let loop = loops.Loops.loops.(li) in
+          let header = loop.Loops.header in
+          if Analysis.reachable value header then begin
+            let bound =
+              match List.assoc_opt li loop_bounds with
+              | Some b -> b
+              | None -> raise (Failed "a loop lacks a bound")
+            in
+            (* body DAG: body nodes, back edges to this header removed *)
+            List.iter (fun (u, h) -> Hashtbl.replace removed (u, h) ()) loop.Loops.back_edges;
+            let allowed v = List.mem v loop.Loops.body in
+            match
+              longest_paths ~n ~succs ~weight:(fun v -> weight.(v)) ~allowed header
+            with
+            | None -> raise (Failed "loop body is not acyclic after collapsing inner loops")
+            | Some dist ->
+              let max_over nodes =
+                List.fold_left
+                  (fun acc v -> if dist.(v) > acc then dist.(v) else acc)
+                  0 nodes
+              in
+              let p_back =
+                max_over (List.map fst loop.Loops.back_edges |> List.filter (fun v -> dist.(v) > min_int))
+              in
+              let p_exit =
+                max_over (List.map fst loop.Loops.exit_edges |> List.filter (fun v -> dist.(v) > min_int))
+              in
+              (* collapse: the header carries the whole loop's cost, the
+                 rest of the body becomes free *)
+              weight.(header) <- (bound * p_back) + max p_exit (weight.(header));
+              List.iter (fun v -> if v <> header then weight.(v) <- 0) loop.Loops.body
+          end)
+        order;
+      (* longest path over the residual DAG *)
+      match
+        longest_paths ~n ~succs ~weight:(fun v -> weight.(v)) ~allowed:(fun _ -> true)
+          graph.Supergraph.entry
+      with
+      | None -> Error "cycle remains after collapsing all loops"
+      | Some dist ->
+        let best = ref 0 in
+        for v = 0 to n - 1 do
+          if dist.(v) > !best && succs v = [] then best := dist.(v)
+        done;
+        Ok !best
+    with Failed msg -> Error msg
+  end

@@ -1,0 +1,18 @@
+(** Structural (tree-based) path analysis: the classic alternative to IPET.
+
+    Loops are collapsed innermost-first — a loop entered once contributes
+    at most [bound * (longest header-to-back-edge path) + (longest
+    header-to-exit path)] — and the residual DAG's longest path is the
+    bound. Faster than the ILP and a useful cross-check (on programs
+    without flow facts the two engines must agree, which the test suite
+    asserts), but it cannot use flow facts or handle irreducible regions:
+    exactly the trade-off that made IPET the standard in tools like aiT. *)
+
+(** [solve value loops ~times ~loop_bounds] returns the WCET bound, or
+    [Error reason] on irreducible control flow or a missing loop bound. *)
+val solve :
+  Wcet_value.Analysis.result ->
+  Wcet_cfg.Loops.info ->
+  times:int array ->
+  loop_bounds:(int * int) list ->
+  (int, string) result

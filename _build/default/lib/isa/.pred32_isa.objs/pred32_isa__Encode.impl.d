@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Insn Int32 Reg Word

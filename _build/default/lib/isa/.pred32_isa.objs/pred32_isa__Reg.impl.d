@@ -1,0 +1,1 @@
+lib/isa/reg.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/isa/word.ml: Format Int Int32

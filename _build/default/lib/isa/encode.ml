@@ -1,0 +1,154 @@
+exception Immediate_out_of_range of Insn.t
+
+let alu_code = function
+  | Insn.Add -> 0
+  | Insn.Sub -> 1
+  | Insn.Mul -> 2
+  | Insn.Divu -> 3
+  | Insn.Remu -> 4
+  | Insn.And -> 5
+  | Insn.Or -> 6
+  | Insn.Xor -> 7
+  | Insn.Shl -> 8
+  | Insn.Shr -> 9
+  | Insn.Sra -> 10
+  | Insn.Slt -> 11
+  | Insn.Sltu -> 12
+
+let alu_of_code = function
+  | 0 -> Insn.Add
+  | 1 -> Insn.Sub
+  | 2 -> Insn.Mul
+  | 3 -> Insn.Divu
+  | 4 -> Insn.Remu
+  | 5 -> Insn.And
+  | 6 -> Insn.Or
+  | 7 -> Insn.Xor
+  | 8 -> Insn.Shl
+  | 9 -> Insn.Shr
+  | 10 -> Insn.Sra
+  | 11 -> Insn.Slt
+  | 12 -> Insn.Sltu
+  | _ -> assert false
+
+let cond_code = function
+  | Insn.Beq -> 0
+  | Insn.Bne -> 1
+  | Insn.Blt -> 2
+  | Insn.Bge -> 3
+  | Insn.Bltu -> 4
+  | Insn.Bgeu -> 5
+
+let cond_of_code = function
+  | 0 -> Insn.Beq
+  | 1 -> Insn.Bne
+  | 2 -> Insn.Blt
+  | 3 -> Insn.Bge
+  | 4 -> Insn.Bltu
+  | 5 -> Insn.Bgeu
+  | _ -> assert false
+
+(* Opcode space: 1 nop, 2 halt, 4..16 ALU reg, 20..32 ALU imm, 33 lui,
+   34 lw, 35 sw, 36..41 branches, 42 j, 43 call, 44 jr, 45 callr,
+   46 cmovnz. Everything else is illegal. *)
+
+let op_nop = 1
+let op_halt = 2
+let op_alu_base = 4
+let op_alui_base = 20
+let op_lui = 33
+let op_load = 34
+let op_store = 35
+let op_branch_base = 36
+let op_jump = 42
+let op_call = 43
+let op_jump_reg = 44
+let op_call_reg = 45
+let op_cmovnz = 46
+
+let check_imm16_signed insn imm =
+  if imm < -32768 || imm > 32767 then raise (Immediate_out_of_range insn)
+
+let check_imm16_unsigned insn imm =
+  if imm < 0 || imm > 0xFFFF then raise (Immediate_out_of_range insn)
+
+let check_imm26 insn imm =
+  if imm < 0 || imm >= 1 lsl 26 then raise (Immediate_out_of_range insn)
+
+let make ~opcode ?(ra = 0) ?(rb = 0) ?(rc = 0) ?(imm16 = 0) () =
+  let w =
+    (opcode lsl 26) lor (ra lsl 22) lor (rb lsl 18) lor (rc lsl 14) lor (imm16 land 0xFFFF)
+  in
+  Int32.of_int w
+
+let encode insn =
+  let r = Reg.to_int in
+  match insn with
+  | Insn.Nop -> make ~opcode:op_nop ()
+  | Insn.Halt -> make ~opcode:op_halt ()
+  | Insn.Alu (op, rd, rs1, rs2) ->
+    make ~opcode:(op_alu_base + alu_code op) ~ra:(r rd) ~rb:(r rs1) ~rc:(r rs2) ()
+  | Insn.Alui (op, rd, rs1, imm) ->
+    (match op with
+    | Insn.And | Insn.Or | Insn.Xor -> check_imm16_unsigned insn imm
+    | Insn.Add | Insn.Sub | Insn.Mul | Insn.Divu | Insn.Remu | Insn.Shl | Insn.Shr
+    | Insn.Sra | Insn.Slt | Insn.Sltu ->
+      check_imm16_signed insn imm);
+    make ~opcode:(op_alui_base + alu_code op) ~ra:(r rd) ~rb:(r rs1) ~imm16:imm ()
+  | Insn.Lui (rd, imm) ->
+    check_imm16_unsigned insn imm;
+    make ~opcode:op_lui ~ra:(r rd) ~imm16:imm ()
+  | Insn.Load (rd, rs1, imm) ->
+    check_imm16_signed insn imm;
+    make ~opcode:op_load ~ra:(r rd) ~rb:(r rs1) ~imm16:imm ()
+  | Insn.Store (rs2, rs1, imm) ->
+    check_imm16_signed insn imm;
+    make ~opcode:op_store ~ra:(r rs2) ~rb:(r rs1) ~imm16:imm ()
+  | Insn.Branch (c, rs1, rs2, off) ->
+    check_imm16_signed insn off;
+    make ~opcode:(op_branch_base + cond_code c) ~ra:(r rs1) ~rb:(r rs2) ~imm16:off ()
+  | Insn.Jump w ->
+    check_imm26 insn w;
+    Int32.of_int ((op_jump lsl 26) lor w)
+  | Insn.Call w ->
+    check_imm26 insn w;
+    Int32.of_int ((op_call lsl 26) lor w)
+  | Insn.Jump_reg rs -> make ~opcode:op_jump_reg ~ra:(r rs) ()
+  | Insn.Call_reg rs -> make ~opcode:op_call_reg ~ra:(r rs) ()
+  | Insn.Cmovnz (rd, rs1, rs2) ->
+    make ~opcode:op_cmovnz ~ra:(r rd) ~rb:(r rs1) ~rc:(r rs2) ()
+  | Insn.Illegal _ -> invalid_arg "Encode.encode: Illegal"
+
+let decode w32 =
+  let w = Int32.to_int w32 land 0xFFFFFFFF in
+  let opcode = (w lsr 26) land 0x3F in
+  let ra = Reg.of_int ((w lsr 22) land 0xF) in
+  let rb = Reg.of_int ((w lsr 18) land 0xF) in
+  let rc = Reg.of_int ((w lsr 14) land 0xF) in
+  let imm16u = w land 0xFFFF in
+  let imm16s = Word.sext16 imm16u in
+  let imm26 = w land 0x3FFFFFF in
+  if opcode = op_nop then Insn.Nop
+  else if opcode = op_halt then Insn.Halt
+  else if opcode >= op_alu_base && opcode < op_alu_base + 13 then
+    Insn.Alu (alu_of_code (opcode - op_alu_base), ra, rb, rc)
+  else if opcode >= op_alui_base && opcode < op_alui_base + 13 then begin
+    (* Logical immediates are zero-extended (so [lui]+[ori] builds any
+       32-bit constant); the rest sign-extend. *)
+    match alu_of_code (opcode - op_alui_base) with
+    | (Insn.And | Insn.Or | Insn.Xor) as op -> Insn.Alui (op, ra, rb, imm16u)
+    | ( Insn.Add | Insn.Sub | Insn.Mul | Insn.Divu | Insn.Remu | Insn.Shl | Insn.Shr
+      | Insn.Sra | Insn.Slt | Insn.Sltu ) as op ->
+      Insn.Alui (op, ra, rb, imm16s)
+  end
+  else if opcode = op_lui then Insn.Lui (ra, imm16u)
+  else if opcode = op_load then Insn.Load (ra, rb, imm16s)
+  else if opcode = op_store then Insn.Store (ra, rb, imm16s)
+  else if opcode >= op_branch_base && opcode < op_branch_base + 6 then
+    Insn.Branch (cond_of_code (opcode - op_branch_base), ra, rb, imm16s)
+  else if opcode = op_jump then Insn.Jump imm26
+  else if opcode = op_call then Insn.Call imm26
+  else if opcode = op_jump_reg then Insn.Jump_reg ra
+  else if opcode = op_call_reg then Insn.Call_reg ra
+  else if opcode = op_cmovnz then Insn.Cmovnz (ra, rb, rc)
+  else Insn.Illegal w32

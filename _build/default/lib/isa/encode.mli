@@ -1,0 +1,16 @@
+(** Binary encoding of PRED32 instructions (one 32-bit word each).
+
+    The decoder is total: any word that is not a canonical encoding decodes
+    to [Insn.Illegal], which the CFG reconstruction treats as a decoding
+    failure at that address. *)
+
+exception Immediate_out_of_range of Insn.t
+
+(** [encode i] raises [Immediate_out_of_range] when an immediate does not
+    fit its field (signed 16-bit for ALU/load/store/branch, unsigned 16-bit
+    for [Lui], unsigned 26-bit word index for jumps and calls).
+    Raises [Invalid_argument] on [Insn.Illegal]. *)
+val encode : Insn.t -> int32
+
+(** [decode w] never raises. *)
+val decode : int32 -> Insn.t

@@ -1,0 +1,23 @@
+type t = int
+
+let mask w = w land 0xFFFFFFFF
+let of_int32 w = Int32.to_int w land 0xFFFFFFFF
+let to_int32 w = Int32.of_int w
+let to_signed w = if w land 0x80000000 <> 0 then w - 0x100000000 else w
+let of_signed v = v land 0xFFFFFFFF
+let sext16 imm = if imm land 0x8000 <> 0 then (imm land 0xFFFF) - 0x10000 else imm land 0xFFFF
+let add a b = mask (a + b)
+let sub a b = mask (a - b)
+let mul a b = mask (a * b)
+let divu a b = if b = 0 then 0xFFFFFFFF else a / b
+let remu a b = if b = 0 then a else a mod b
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let shl a b = mask (a lsl (b land 31))
+let shr a b = a lsr (b land 31)
+let sra a b = of_signed (to_signed a asr (b land 31))
+let slt a b = if to_signed a < to_signed b then 1 else 0
+let sltu a b = if a < b then 1 else 0
+let equal = Int.equal
+let pp ppf w = Format.fprintf ppf "0x%08x" w

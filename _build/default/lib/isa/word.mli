@@ -1,0 +1,51 @@
+(** 32-bit machine words, represented as OCaml [int] in canonical unsigned
+    form [0, 0xFFFFFFFF].
+
+    One definition of the target arithmetic shared by the simulator, the
+    constant-folding in the assembler and the value analysis, so all three
+    agree bit-for-bit. *)
+
+type t = int
+
+val mask : t -> t
+
+(** [of_int32 w] and [to_int32 w] convert without loss. *)
+val of_int32 : int32 -> t
+
+val to_int32 : t -> int32
+
+(** [to_signed w] is the two's-complement signed value in
+    [-2^31, 2^31 - 1]. *)
+val to_signed : t -> int
+
+(** [of_signed v] wraps any OCaml int to 32 bits. *)
+val of_signed : int -> t
+
+(** [sext16 imm] sign-extends a 16-bit immediate. *)
+val sext16 : int -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divu a b] and [remu a b] are unsigned; division by zero returns
+    [0xFFFFFFFF] / [a] (the PRED32 convention, no trap). *)
+val divu : t -> t -> t
+
+val remu : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+(** Shifts use the low 5 bits of the amount, as on real hardware. *)
+val shl : t -> t -> t
+
+val shr : t -> t -> t
+val sra : t -> t -> t
+
+val slt : t -> t -> t  (** signed less-than, 1 or 0 *)
+
+val sltu : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

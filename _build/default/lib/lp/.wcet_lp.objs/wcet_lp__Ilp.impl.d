@@ -1,0 +1,1 @@
+lib/lp/ilp.ml: Array Simplex Wcet_util

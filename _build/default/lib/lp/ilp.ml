@@ -1,0 +1,51 @@
+module Rat = Wcet_util.Rat
+
+type outcome = Optimal of Rat.t * Rat.t array | Unbounded | Infeasible
+
+let find_fractional assignment =
+  let result = ref None in
+  Array.iteri
+    (fun i (v : Rat.t) -> if !result = None && not (Rat.is_integer v) then result := Some (i, v))
+    assignment;
+  !result
+
+let solve ?(max_nodes = 200) (problem : Simplex.problem) =
+  let best : (Rat.t * Rat.t array) option ref = ref None in
+  let explored = ref 0 in
+  let better value =
+    match !best with
+    | None -> true
+    | Some (bv, _) -> Rat.compare value bv > 0
+  in
+  let rec branch problem =
+    incr explored;
+    if !explored > max_nodes then failwith "Ilp.solve: branch & bound node limit exceeded";
+    match Simplex.solve problem with
+    | Simplex.Infeasible -> `Ok
+    | Simplex.Unbounded -> `Unbounded
+    | Simplex.Optimal (value, assignment) ->
+      if not (better value) then `Ok (* bound: relaxation can't beat incumbent *)
+      else (
+        match find_fractional assignment with
+        | None ->
+          if better value then best := Some (value, assignment);
+          `Ok
+        | Some (var, v) -> (
+          let floor_v = Rat.of_int (Rat.floor v) in
+          let ceil_v = Rat.of_int (Rat.ceil v) in
+          let with_c c = { problem with Simplex.constraints = c :: problem.Simplex.constraints } in
+          let left =
+            branch (with_c { Simplex.coeffs = [ (var, Rat.one) ]; op = Simplex.Le; rhs = floor_v })
+          in
+          match left with
+          | `Unbounded -> `Unbounded
+          | `Ok ->
+            branch
+              (with_c { Simplex.coeffs = [ (var, Rat.one) ]; op = Simplex.Ge; rhs = ceil_v })))
+  in
+  match branch problem with
+  | `Unbounded -> Unbounded
+  | `Ok -> (
+    match !best with
+    | Some (v, a) -> Optimal (v, a)
+    | None -> Infeasible)

@@ -1,0 +1,15 @@
+(** Integer solutions by branch & bound over the exact LP relaxation.
+
+    IPET relaxations are network-flow-like and almost always integral at
+    the root; the branching exists for the occasional flow-fact constraint
+    that breaks integrality. *)
+
+type outcome =
+  | Optimal of Wcet_util.Rat.t * Wcet_util.Rat.t array
+  | Unbounded
+  | Infeasible
+
+(** [solve ?max_nodes problem] maximizes with all variables integer.
+    Raises [Failure] if the search exceeds [max_nodes] subproblems
+    (default 200). *)
+val solve : ?max_nodes:int -> Simplex.problem -> outcome

@@ -1,0 +1,1 @@
+lib/memory/image.ml: Array Bytes Hashtbl Int32 Memory_map Region

@@ -1,0 +1,1 @@
+lib/memory/image.mli: Memory_map Pred32_isa

@@ -1,0 +1,1 @@
+lib/memory/memory_map.ml: Format List Region

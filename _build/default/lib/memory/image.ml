@@ -1,0 +1,48 @@
+type t = { map : Memory_map.t; store : (string, Bytes.t) Hashtbl.t }
+
+exception Bus_error of int
+exception Write_to_rom of int
+
+let create map = { map; store = Hashtbl.create 7 }
+let memory_map t = t.map
+
+let backing t (r : Region.t) =
+  match Hashtbl.find_opt t.store r.name with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make r.size '\000' in
+    Hashtbl.add t.store r.name b;
+    b
+
+let locate t addr =
+  if addr land 3 <> 0 then raise (Bus_error addr);
+  match Memory_map.find t.map addr with
+  | None -> raise (Bus_error addr)
+  | Some r -> (r, addr - r.base)
+
+let read_word t addr =
+  let r, off = locate t addr in
+  let b = backing t r in
+  Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let write_raw t addr v =
+  let r, off = locate t addr in
+  let b = backing t r in
+  Bytes.set_int32_le b off (Int32.of_int v);
+  r
+
+let write_word t addr v =
+  if addr land 3 <> 0 then raise (Bus_error addr);
+  match Memory_map.find t.map addr with
+  | None -> raise (Bus_error addr)
+  | Some r ->
+    if not r.writable then raise (Write_to_rom addr);
+    ignore (write_raw t addr v)
+
+let load_words t ~base words =
+  Array.iteri (fun i w -> ignore (write_raw t (base + (4 * i)) w)) words
+
+let copy t =
+  let store = Hashtbl.create 7 in
+  Hashtbl.iter (fun k v -> Hashtbl.add store k (Bytes.copy v)) t.store;
+  { map = t.map; store }

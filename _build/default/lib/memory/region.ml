@@ -1,0 +1,32 @@
+type kind = Rom | Ram | Scratchpad | Io
+
+type t = {
+  name : string;
+  kind : kind;
+  base : int;
+  size : int;
+  read_latency : int;
+  write_latency : int;
+  cacheable : bool;
+  writable : bool;
+}
+
+let make ~name ~kind ~base ~size ~read_latency ~write_latency ~cacheable ~writable =
+  assert (base land 3 = 0 && size land 3 = 0 && size > 0);
+  assert (read_latency >= 1 && write_latency >= 1);
+  { name; kind; base; size; read_latency; write_latency; cacheable; writable }
+
+let contains r addr = addr >= r.base && addr < r.base + r.size
+let limit r = r.base + r.size
+
+let kind_name = function
+  | Rom -> "rom"
+  | Ram -> "ram"
+  | Scratchpad -> "scratchpad"
+  | Io -> "io"
+
+let pp ppf r =
+  Format.fprintf ppf "%s[%s 0x%08x..0x%08x rd=%d wr=%d%s%s]" r.name (kind_name r.kind) r.base
+    (limit r - 1) r.read_latency r.write_latency
+    (if r.cacheable then " cached" else "")
+    (if r.writable then "" else " ro")

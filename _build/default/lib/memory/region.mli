@@ -1,0 +1,38 @@
+(** A memory region: an address range with access timing and cacheability.
+
+    The paper's "imprecise memory accesses" challenge hinges on the target
+    having several memory modules with different timings (fast scratchpad,
+    main RAM, slow memory-mapped I/O): an access whose address the value
+    analysis cannot resolve must be charged the latency of the slowest module
+    it may touch. *)
+
+type kind = Rom | Ram | Scratchpad | Io
+
+type t = {
+  name : string;
+  kind : kind;
+  base : int;  (** byte address, word-aligned *)
+  size : int;  (** bytes, multiple of 4 *)
+  read_latency : int;  (** cycles for one uncached word read *)
+  write_latency : int;
+  cacheable : bool;
+  writable : bool;
+}
+
+val make :
+  name:string ->
+  kind:kind ->
+  base:int ->
+  size:int ->
+  read_latency:int ->
+  write_latency:int ->
+  cacheable:bool ->
+  writable:bool ->
+  t
+
+val contains : t -> int -> bool
+
+(** [limit r] is the first byte address after the region. *)
+val limit : t -> int
+
+val pp : Format.formatter -> t -> unit

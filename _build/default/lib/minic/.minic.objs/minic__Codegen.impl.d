@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Format List Pred32_asm Pred32_isa Pred32_memory Printf Tast

@@ -1,0 +1,1 @@
+lib/minic/codegen.mli: Pred32_asm Tast

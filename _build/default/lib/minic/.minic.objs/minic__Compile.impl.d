@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Codegen Format Lexer List Parser Pred32_asm Runtime String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/compile.mli: Codegen Pred32_asm Pred32_memory Tast

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Lexer List Printf Types

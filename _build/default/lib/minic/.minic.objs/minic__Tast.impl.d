@@ -1,0 +1,1 @@
+lib/minic/tast.ml: Ast List Option Types

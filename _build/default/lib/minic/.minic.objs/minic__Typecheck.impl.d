@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Format Hashtbl Int32 List Option Tast Types

@@ -1,0 +1,1 @@
+lib/minic/typecheck.mli: Ast Tast

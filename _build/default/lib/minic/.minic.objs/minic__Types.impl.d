@@ -1,0 +1,1 @@
+lib/minic/types.ml: Format List

@@ -1,0 +1,59 @@
+type loc = { line : int; col : int }
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land
+  | Lor
+
+type expr = { desc : desc; loc : loc }
+
+and desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Deref of expr
+  | Addr_of of expr
+  | Cast of Types.t * expr
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of Types.t * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo_while of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sgoto of string
+  | Slabel of string
+  | Sblock of stmt list
+
+type placement = Pram | Pscratch | Prom
+
+type global =
+  | Gvar of { placement : placement; ty : Types.t; name : string; init : int list option }
+  | Gfunc of func
+
+and func = {
+  fname : string;
+  params : (Types.t * string) list;
+  varargs : bool;
+  ret : Types.t;
+  body : stmt list;
+  floc : loc;
+}
+
+type program = global list
+
+let pp_loc ppf { line; col } = Format.fprintf ppf "%d:%d" line col

@@ -1,0 +1,72 @@
+(** Parse-level abstract syntax of MiniC.
+
+    The grammar intentionally covers every construct the paper's guideline
+    study needs: [for]/[while]/[do] loops, [goto] and labels (rule 14.4),
+    [continue] (14.5), varargs (16.1), recursion (16.2), [malloc] (20.4),
+    [__setjmp]/[__longjmp] (20.7), float-controlled loops (13.4/13.6),
+    function pointers, pointer casts for memory-mapped I/O, and placement
+    qualifiers ([scratch]/[rom]) for the memory-region experiments. *)
+
+type loc = { line : int; col : int }
+
+type unop =
+  | Neg  (** [-e] *)
+  | Lnot  (** [!e] *)
+  | Bnot  (** [~e] *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land  (** [&&], short-circuit *)
+  | Lor  (** [||], short-circuit *)
+
+type expr = { desc : desc; loc : loc }
+
+and desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr  (** lvalue = value *)
+  | Call of expr * expr list
+  | Index of expr * expr  (** [e1\[e2\]] *)
+  | Deref of expr
+  | Addr_of of expr
+  | Cast of Types.t * expr
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of Types.t * string * expr option  (** local declaration *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo_while of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sgoto of string
+  | Slabel of string
+  | Sblock of stmt list
+
+type placement = Pram | Pscratch | Prom
+
+type global =
+  | Gvar of { placement : placement; ty : Types.t; name : string; init : int list option }
+      (** globals are zero- or word-list-initialized *)
+  | Gfunc of func
+
+and func = {
+  fname : string;
+  params : (Types.t * string) list;
+  varargs : bool;
+  ret : Types.t;
+  body : stmt list;
+  floc : loc;
+}
+
+type program = global list
+
+val pp_loc : Format.formatter -> loc -> unit

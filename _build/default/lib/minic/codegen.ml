@@ -1,0 +1,562 @@
+module A = Pred32_asm.Ast
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+
+type options = { soft_div : bool; if_conversion : bool }
+
+let default_options = { soft_div = false; if_conversion = false }
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Expression temporaries are r2..r9; r10/r11 are codegen scratch. *)
+let max_depth = 7
+
+let treg depth =
+  if depth > max_depth then error "expression too deep (more than %d temporaries)" (max_depth + 1);
+  Reg.of_int (2 + depth)
+
+let scratch = Reg.of_int 10
+let scratch2 = Reg.of_int 11
+
+type env = {
+  mutable items : A.item list;  (* reversed *)
+  fname : string;
+  frame_words : int;
+  options : options;
+  mutable label_counter : int;
+  mutable loops : (string * string) list;  (* (break target, continue target) *)
+  ret_label : string;
+}
+
+let emit env item = env.items <- item :: env.items
+
+let fresh_label env hint =
+  let n = env.label_counter in
+  env.label_counter <- n + 1;
+  Printf.sprintf ".L%d$%s$%s" n hint env.fname
+
+(* goto labels are function-scoped in C; mangle them per function. *)
+let user_label env name = Printf.sprintf "%s$%s" env.fname name
+
+let mov env rd rs = emit env (A.Raw (Insn.Alu (Insn.Add, rd, rs, Reg.zero)))
+let addi env rd rs imm = emit env (A.Raw (Insn.Alui (Insn.Add, rd, rs, imm)))
+let slot_offset slot = 4 * slot
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n = 1 then k else go (k + 1) (n asr 1) in
+  go 0 n
+
+(* Calls: save live temporaries below [depth], shuffle the arguments already
+   evaluated at t(depth)..t(depth+nargs-1) into r2.., invoke, restore, and
+   leave the result in t(depth). [push_extras] words are pushed (by the
+   caller of this helper) between the save and the move, so the callee finds
+   them at its incoming sp. *)
+let emit_call_around env depth nargs ~invoke ~push_extras ~pop_extras =
+  if depth > 0 then begin
+    addi env Reg.sp Reg.sp (-4 * depth);
+    for i = 0 to depth - 1 do
+      emit env (A.Raw (Insn.Store (Reg.of_int (2 + i), Reg.sp, 4 * i)))
+    done
+  end;
+  push_extras ();
+  if depth > 0 then
+    for i = 0 to nargs - 1 do
+      mov env (Reg.of_int (2 + i)) (Reg.of_int (2 + depth + i))
+    done;
+  invoke ();
+  pop_extras ();
+  if depth > 0 then begin
+    for i = 0 to depth - 1 do
+      emit env (A.Raw (Insn.Load (Reg.of_int (2 + i), Reg.sp, 4 * i)))
+    done;
+    addi env Reg.sp Reg.sp (4 * depth)
+  end;
+  mov env (treg depth) Reg.rv
+
+let nothing () = ()
+
+let rec gen_expr env depth (e : Tast.texpr) =
+  let t = treg depth in
+  match e.Tast.desc with
+  | Tast.Tconst n -> emit env (A.Li (t, n))
+  | Tast.Tlocal slot -> emit env (A.Raw (Insn.Load (t, Reg.fp, slot_offset slot)))
+  | Tast.Tlocal_addr slot -> addi env t Reg.fp (slot_offset slot)
+  | Tast.Tglobal name ->
+    emit env (A.La (t, name));
+    emit env (A.Raw (Insn.Load (t, t, 0)))
+  | Tast.Tglobal_addr name | Tast.Tfun_addr name -> emit env (A.La (t, name))
+  | Tast.Tload addr ->
+    gen_expr env depth addr;
+    emit env (A.Raw (Insn.Load (t, t, 0)))
+  | Tast.Tassign_local (slot, v) ->
+    gen_expr env depth v;
+    emit env (A.Raw (Insn.Store (t, Reg.fp, slot_offset slot)))
+  | Tast.Tassign_global (name, v) ->
+    gen_expr env depth v;
+    emit env (A.La (scratch, name));
+    emit env (A.Raw (Insn.Store (t, scratch, 0)))
+  | Tast.Tstore (addr, v) ->
+    gen_expr env depth addr;
+    gen_expr env (depth + 1) v;
+    emit env (A.Raw (Insn.Store (treg (depth + 1), t, 0)));
+    mov env t (treg (depth + 1))
+  | Tast.Tneg a ->
+    gen_expr env depth a;
+    emit env (A.Raw (Insn.Alu (Insn.Sub, t, Reg.zero, t)))
+  | Tast.Tfneg a ->
+    (* Flip the IEEE sign bit. *)
+    gen_expr env depth a;
+    emit env (A.Li (scratch, 0x80000000));
+    emit env (A.Raw (Insn.Alu (Insn.Xor, t, t, scratch)))
+  | Tast.Tlnot a ->
+    gen_expr env depth a;
+    emit env (A.Raw (Insn.Alui (Insn.Sltu, t, t, 1)))
+  | Tast.Tbnot a ->
+    gen_expr env depth a;
+    emit env (A.Li (scratch, -1));
+    emit env (A.Raw (Insn.Alu (Insn.Xor, t, t, scratch)))
+  | Tast.Tland (a, b) -> gen_logical env depth ~is_and:true a b
+  | Tast.Tlor (a, b) -> gen_logical env depth ~is_and:false a b
+  | Tast.Tbinop (op, a, b) -> gen_binop env depth op a b
+  | Tast.Tcall (name, args, extras) -> gen_direct_call env depth name args extras
+  | Tast.Tcall_ptr (callee, args) ->
+    let n = List.length args in
+    List.iteri (fun i arg -> gen_expr env (depth + i) arg) args;
+    gen_expr env (depth + n) callee;
+    let callee_reg = treg (depth + n) in
+    emit_call_around env depth n
+      ~invoke:(fun () -> emit env (A.Raw (Insn.Call_reg callee_reg)))
+      ~push_extras:nothing ~pop_extras:nothing
+  | Tast.Tva_arg idx ->
+    gen_expr env depth idx;
+    emit env (A.Raw (Insn.Alui (Insn.Shl, t, t, 2)));
+    (* Variadic extras sit just above the saved fp/lr pair. *)
+    addi env scratch Reg.fp ((4 * env.frame_words) + 8);
+    emit env (A.Raw (Insn.Alu (Insn.Add, t, scratch, t)));
+    emit env (A.Raw (Insn.Load (t, t, 0)))
+  | Tast.Tmalloc bytes ->
+    gen_expr env depth bytes;
+    (* Round up to a whole number of words, then bump __heap_ptr. *)
+    addi env t t 3;
+    emit env (A.Raw (Insn.Alui (Insn.Shr, t, t, 2)));
+    emit env (A.Raw (Insn.Alui (Insn.Shl, t, t, 2)));
+    emit env (A.La (scratch, "__heap_ptr"));
+    emit env (A.Raw (Insn.Load (scratch2, scratch, 0)));
+    emit env (A.Raw (Insn.Alu (Insn.Add, t, scratch2, t)));
+    emit env (A.Raw (Insn.Store (t, scratch, 0)));
+    mov env t scratch2
+  | Tast.Tsetjmp buf ->
+    let cont = fresh_label env "setjmp" in
+    gen_expr env depth buf;
+    emit env (A.Raw (Insn.Store (Reg.sp, t, 0)));
+    emit env (A.Raw (Insn.Store (Reg.fp, t, 4)));
+    emit env (A.La (scratch, cont));
+    emit env (A.Raw (Insn.Store (scratch, t, 8)));
+    emit env (A.Li (Reg.rv, 0));
+    emit env (A.Label cont);
+    (* Direct fall-through arrives with rv = 0; a longjmp arrives with rv =
+       its value and sp/fp restored from the buffer. *)
+    mov env t Reg.rv
+  | Tast.Tlongjmp (buf, v) ->
+    gen_expr env depth buf;
+    gen_expr env (depth + 1) v;
+    mov env Reg.rv (treg (depth + 1));
+    emit env (A.Raw (Insn.Load (scratch, t, 8)));
+    emit env (A.Raw (Insn.Load (Reg.fp, t, 4)));
+    emit env (A.Raw (Insn.Load (Reg.sp, t, 0)));
+    emit env (A.Raw (Insn.Jump_reg scratch))
+  | Tast.Titof a -> gen_rt_call1 env depth "__f_from_int" a
+  | Tast.Tftoi a -> gen_rt_call1 env depth "__f_to_int" a
+  | Tast.Tcond (cond, a, b) ->
+    let l_else = fresh_label env "cond_else" in
+    let l_end = fresh_label env "cond_end" in
+    gen_cond_branch env depth cond ~target:l_else ~jump_if:false;
+    gen_expr env depth a;
+    emit env (A.J l_end);
+    emit env (A.Label l_else);
+    gen_expr env depth b;
+    emit env (A.Label l_end)
+
+and gen_rt_call1 env depth name a =
+  gen_expr env depth a;
+  emit_call_around env depth 1
+    ~invoke:(fun () -> emit env (A.Call_sym name))
+    ~push_extras:nothing ~pop_extras:nothing
+
+and gen_rt_call2 env depth name a b =
+  gen_expr env depth a;
+  gen_expr env (depth + 1) b;
+  emit_call_around env depth 2
+    ~invoke:(fun () -> emit env (A.Call_sym name))
+    ~push_extras:nothing ~pop_extras:nothing
+
+and gen_direct_call env depth name args extras =
+  let n = List.length args and m = List.length extras in
+  List.iteri (fun i arg -> gen_expr env (depth + i) arg) args;
+  List.iteri (fun j ex -> gen_expr env (depth + n + j) ex) extras;
+  let push_extras () =
+    if m > 0 then begin
+      addi env Reg.sp Reg.sp (-4 * m);
+      for j = 0 to m - 1 do
+        emit env (A.Raw (Insn.Store (treg (depth + n + j), Reg.sp, 4 * j)))
+      done
+    end
+  in
+  let pop_extras () = if m > 0 then addi env Reg.sp Reg.sp (4 * m) in
+  emit_call_around env depth n
+    ~invoke:(fun () -> emit env (A.Call_sym name))
+    ~push_extras ~pop_extras
+
+and gen_logical env depth ~is_and a b =
+  let t = treg depth in
+  let l_short = fresh_label env (if is_and then "and_false" else "or_true") in
+  let l_end = fresh_label env "logic_end" in
+  gen_cond_branch env depth a ~target:l_short ~jump_if:(not is_and);
+  gen_cond_branch env depth b ~target:l_short ~jump_if:(not is_and);
+  emit env (A.Li (t, if is_and then 1 else 0));
+  emit env (A.J l_end);
+  emit env (A.Label l_short);
+  emit env (A.Li (t, if is_and then 0 else 1));
+  emit env (A.Label l_end)
+
+and gen_binop env depth op a b =
+  let t = treg depth in
+  let t1 () = treg (depth + 1) in
+  let simple insn_op =
+    gen_expr env depth a;
+    gen_expr env (depth + 1) b;
+    emit env (A.Raw (Insn.Alu (insn_op, t, t, t1 ())))
+  in
+  match op with
+  | Tast.Oadd -> simple Insn.Add
+  | Tast.Osub -> simple Insn.Sub
+  | Tast.Omul -> (
+    match b.Tast.desc with
+    | Tast.Tconst n when is_pow2 n ->
+      gen_expr env depth a;
+      emit env (A.Raw (Insn.Alui (Insn.Shl, t, t, log2 n)))
+    | _ -> simple Insn.Mul)
+  | Tast.Odiv ->
+    if env.options.soft_div then gen_rt_call2 env depth "__udiv32" a b
+    else (
+      match b.Tast.desc with
+      | Tast.Tconst n when is_pow2 n ->
+        gen_expr env depth a;
+        emit env (A.Raw (Insn.Alui (Insn.Shr, t, t, log2 n)))
+      | _ -> simple Insn.Divu)
+  | Tast.Orem ->
+    if env.options.soft_div then gen_rt_call2 env depth "__urem32" a b else simple Insn.Remu
+  | Tast.Oband -> simple Insn.And
+  | Tast.Obor -> simple Insn.Or
+  | Tast.Obxor -> simple Insn.Xor
+  | Tast.Oshl -> (
+    match b.Tast.desc with
+    | Tast.Tconst n when n >= 0 && n < 32 ->
+      gen_expr env depth a;
+      emit env (A.Raw (Insn.Alui (Insn.Shl, t, t, n)))
+    | _ -> simple Insn.Shl)
+  | Tast.Oshr -> simple Insn.Shr
+  | Tast.Osar -> simple Insn.Sra
+  | Tast.Olt signed -> simple (if signed then Insn.Slt else Insn.Sltu)
+  | Tast.Ogt signed ->
+    gen_expr env depth a;
+    gen_expr env (depth + 1) b;
+    emit env (A.Raw (Insn.Alu ((if signed then Insn.Slt else Insn.Sltu), t, t1 (), t)))
+  | Tast.Ole signed ->
+    (* a <= b is !(b < a) *)
+    gen_expr env depth a;
+    gen_expr env (depth + 1) b;
+    emit env (A.Raw (Insn.Alu ((if signed then Insn.Slt else Insn.Sltu), t, t1 (), t)));
+    emit env (A.Raw (Insn.Alui (Insn.Xor, t, t, 1)))
+  | Tast.Oge signed ->
+    gen_expr env depth a;
+    gen_expr env (depth + 1) b;
+    emit env (A.Raw (Insn.Alu ((if signed then Insn.Slt else Insn.Sltu), t, t, t1 ())));
+    emit env (A.Raw (Insn.Alui (Insn.Xor, t, t, 1)))
+  | Tast.Oeq ->
+    simple Insn.Xor;
+    emit env (A.Raw (Insn.Alui (Insn.Sltu, t, t, 1)))
+  | Tast.One ->
+    simple Insn.Xor;
+    emit env (A.Raw (Insn.Alu (Insn.Sltu, t, Reg.zero, t)))
+  | Tast.Ofadd -> gen_rt_call2 env depth "__f_add" a b
+  | Tast.Ofsub -> gen_rt_call2 env depth "__f_sub" a b
+  | Tast.Ofmul -> gen_rt_call2 env depth "__f_mul" a b
+  | Tast.Ofdiv -> gen_rt_call2 env depth "__f_div" a b
+  | Tast.Oflt -> gen_rt_call2 env depth "__f_lt" a b
+  | Tast.Ofle -> gen_rt_call2 env depth "__f_le" a b
+  | Tast.Ofgt -> gen_rt_call2 env depth "__f_lt" b a
+  | Tast.Ofge -> gen_rt_call2 env depth "__f_le" b a
+  | Tast.Ofeq -> gen_rt_call2 env depth "__f_eq" a b
+  | Tast.Ofne ->
+    gen_rt_call2 env depth "__f_eq" a b;
+    emit env (A.Raw (Insn.Alui (Insn.Xor, t, t, 1)))
+
+(* Branch to [target] when the condition's truth equals [jump_if]; otherwise
+   fall through. Comparisons fuse into compare-and-branch instructions —
+   this is what lets the binary-level loop-bound analysis read the exit
+   condition straight off the branch. *)
+and gen_cond_branch env depth (e : Tast.texpr) ~target ~jump_if =
+  let t = treg depth in
+  match e.Tast.desc with
+  | Tast.Tconst n ->
+    if n <> 0 = jump_if then emit env (A.J target)
+  | Tast.Tlnot a -> gen_cond_branch env depth a ~target ~jump_if:(not jump_if)
+  | Tast.Tland (a, b) ->
+    if not jump_if then begin
+      gen_cond_branch env depth a ~target ~jump_if:false;
+      gen_cond_branch env depth b ~target ~jump_if:false
+    end
+    else begin
+      let l_skip = fresh_label env "and_skip" in
+      gen_cond_branch env depth a ~target:l_skip ~jump_if:false;
+      gen_cond_branch env depth b ~target ~jump_if:true;
+      emit env (A.Label l_skip)
+    end
+  | Tast.Tlor (a, b) ->
+    if jump_if then begin
+      gen_cond_branch env depth a ~target ~jump_if:true;
+      gen_cond_branch env depth b ~target ~jump_if:true
+    end
+    else begin
+      let l_skip = fresh_label env "or_skip" in
+      gen_cond_branch env depth a ~target:l_skip ~jump_if:true;
+      gen_cond_branch env depth b ~target ~jump_if:false;
+      emit env (A.Label l_skip)
+    end
+  | Tast.Tbinop ((Tast.Olt _ | Tast.Ole _ | Tast.Ogt _ | Tast.Oge _ | Tast.Oeq | Tast.One) as op, a, b)
+    ->
+    gen_expr env depth a;
+    gen_expr env (depth + 1) b;
+    let ta = t and tb = treg (depth + 1) in
+    let branch cond r1 r2 = emit env (A.Bc (cond, r1, r2, target)) in
+    (match (op, jump_if) with
+    | Tast.Olt true, true -> branch Insn.Blt ta tb
+    | Tast.Olt true, false -> branch Insn.Bge ta tb
+    | Tast.Olt false, true -> branch Insn.Bltu ta tb
+    | Tast.Olt false, false -> branch Insn.Bgeu ta tb
+    | Tast.Ole true, true -> branch Insn.Bge tb ta
+    | Tast.Ole true, false -> branch Insn.Blt tb ta
+    | Tast.Ole false, true -> branch Insn.Bgeu tb ta
+    | Tast.Ole false, false -> branch Insn.Bltu tb ta
+    | Tast.Ogt true, true -> branch Insn.Blt tb ta
+    | Tast.Ogt true, false -> branch Insn.Bge tb ta
+    | Tast.Ogt false, true -> branch Insn.Bltu tb ta
+    | Tast.Ogt false, false -> branch Insn.Bgeu tb ta
+    | Tast.Oge true, true -> branch Insn.Bge ta tb
+    | Tast.Oge true, false -> branch Insn.Blt ta tb
+    | Tast.Oge false, true -> branch Insn.Bgeu ta tb
+    | Tast.Oge false, false -> branch Insn.Bltu ta tb
+    | Tast.Oeq, true -> branch Insn.Beq ta tb
+    | Tast.Oeq, false -> branch Insn.Bne ta tb
+    | Tast.One, true -> branch Insn.Bne ta tb
+    | Tast.One, false -> branch Insn.Beq ta tb
+    | _ -> assert false)
+  | _ ->
+    gen_expr env depth e;
+    if jump_if then emit env (A.Bc (Insn.Bne, t, Reg.zero, target))
+    else emit env (A.Bc (Insn.Beq, t, Reg.zero, target))
+
+(* Pure, branch-free, always-safe-to-evaluate expressions: the candidates
+   for if-conversion. *)
+let rec pure_expr (e : Tast.texpr) =
+  match e.Tast.desc with
+  | Tast.Tconst _ | Tast.Tlocal _ | Tast.Tglobal _ | Tast.Tlocal_addr _ | Tast.Tglobal_addr _
+  | Tast.Tfun_addr _ ->
+    true
+  | Tast.Tneg a | Tast.Tbnot a | Tast.Tlnot a -> pure_expr a
+  | Tast.Tbinop (op, a, b) -> (
+    match op with
+    | Tast.Odiv | Tast.Orem | Tast.Ofadd | Tast.Ofsub | Tast.Ofmul | Tast.Ofdiv | Tast.Oflt
+    | Tast.Ofle | Tast.Ofgt | Tast.Ofge | Tast.Ofeq | Tast.Ofne ->
+      false (* may call runtime routines *)
+    | Tast.Oadd | Tast.Osub | Tast.Omul | Tast.Oband | Tast.Obor | Tast.Obxor | Tast.Oshl
+    | Tast.Oshr | Tast.Osar | Tast.Olt _ | Tast.Ole _ | Tast.Ogt _ | Tast.Oge _ | Tast.Oeq
+    | Tast.One ->
+      pure_expr a && pure_expr b)
+  | Tast.Tfneg _ | Tast.Tland _ | Tast.Tlor _ | Tast.Tload _ | Tast.Tassign_local _
+  | Tast.Tassign_global _ | Tast.Tstore _ | Tast.Tcall _ | Tast.Tcall_ptr _ | Tast.Tva_arg _
+  | Tast.Tmalloc _ | Tast.Tsetjmp _ | Tast.Tlongjmp _ | Tast.Titof _ | Tast.Tftoi _
+  | Tast.Tcond _ ->
+    false
+
+let rec gen_stmt env (s : Tast.tstmt) =
+  match s with
+  | Tast.Sexpr e -> gen_expr env 0 e
+  | Tast.Sif (cond, [ Tast.Sexpr { Tast.desc = Tast.Tassign_local (slot, value); _ } ], [])
+    when env.options.if_conversion && pure_expr cond && pure_expr value ->
+    (* single-path form: x := cond ? value : x, no branch *)
+    gen_expr env 0 cond;
+    gen_expr env 1 value;
+    emit env (A.Raw (Insn.Load (treg 2, Reg.fp, slot_offset slot)));
+    emit env (A.Raw (Insn.Cmovnz (treg 2, treg 0, treg 1)));
+    emit env (A.Raw (Insn.Store (treg 2, Reg.fp, slot_offset slot)))
+  | Tast.Sif (cond, then_, else_) ->
+    if else_ = [] then begin
+      let l_end = fresh_label env "if_end" in
+      gen_cond_branch env 0 cond ~target:l_end ~jump_if:false;
+      List.iter (gen_stmt env) then_;
+      emit env (A.Label l_end)
+    end
+    else begin
+      let l_else = fresh_label env "if_else" in
+      let l_end = fresh_label env "if_end" in
+      gen_cond_branch env 0 cond ~target:l_else ~jump_if:false;
+      List.iter (gen_stmt env) then_;
+      emit env (A.J l_end);
+      emit env (A.Label l_else);
+      List.iter (gen_stmt env) else_;
+      emit env (A.Label l_end)
+    end
+  | Tast.Swhile (cond, body) ->
+    let l_head = fresh_label env "while_head" in
+    let l_exit = fresh_label env "while_exit" in
+    emit env (A.Label l_head);
+    gen_cond_branch env 0 cond ~target:l_exit ~jump_if:false;
+    env.loops <- (l_exit, l_head) :: env.loops;
+    List.iter (gen_stmt env) body;
+    env.loops <- List.tl env.loops;
+    emit env (A.J l_head);
+    emit env (A.Label l_exit)
+  | Tast.Sdo_while (body, cond) ->
+    let l_head = fresh_label env "do_head" in
+    let l_cont = fresh_label env "do_cont" in
+    let l_exit = fresh_label env "do_exit" in
+    emit env (A.Label l_head);
+    env.loops <- (l_exit, l_cont) :: env.loops;
+    List.iter (gen_stmt env) body;
+    env.loops <- List.tl env.loops;
+    emit env (A.Label l_cont);
+    gen_cond_branch env 0 cond ~target:l_head ~jump_if:true;
+    emit env (A.Label l_exit)
+  | Tast.Sfor (init, cond, step, body) ->
+    let l_head = fresh_label env "for_head" in
+    let l_cont = fresh_label env "for_cont" in
+    let l_exit = fresh_label env "for_exit" in
+    List.iter (gen_stmt env) init;
+    emit env (A.Label l_head);
+    (match cond with
+    | Some c -> gen_cond_branch env 0 c ~target:l_exit ~jump_if:false
+    | None -> ());
+    env.loops <- (l_exit, l_cont) :: env.loops;
+    List.iter (gen_stmt env) body;
+    env.loops <- List.tl env.loops;
+    emit env (A.Label l_cont);
+    (match step with
+    | Some e -> gen_expr env 0 e
+    | None -> ());
+    emit env (A.J l_head);
+    emit env (A.Label l_exit)
+  | Tast.Sreturn None -> emit env (A.J env.ret_label)
+  | Tast.Sreturn (Some e) ->
+    gen_expr env 0 e;
+    mov env Reg.rv (treg 0);
+    emit env (A.J env.ret_label)
+  | Tast.Sbreak -> (
+    match env.loops with
+    | (l_break, _) :: _ -> emit env (A.J l_break)
+    | [] -> error "break outside a loop in %s" env.fname)
+  | Tast.Scontinue -> (
+    match env.loops with
+    | (_, l_cont) :: _ -> emit env (A.J l_cont)
+    | [] -> error "continue outside a loop in %s" env.fname)
+  | Tast.Sgoto label -> emit env (A.J (user_label env label))
+  | Tast.Slabel label -> emit env (A.Label (user_label env label))
+  | Tast.Sblock body -> List.iter (gen_stmt env) body
+
+let gen_func ~options (f : Tast.tfunc) : A.chunk =
+  let env =
+    {
+      items = [];
+      fname = f.Tast.name;
+      frame_words = f.Tast.frame_words;
+      options;
+      label_counter = 0;
+      loops = [];
+      ret_label = Printf.sprintf ".Lret$%s" f.Tast.name;
+    }
+  in
+  let frame_bytes = 4 * f.Tast.frame_words in
+  if frame_bytes + 8 > 32760 then error "frame of %s too large" f.Tast.name;
+  (* Prologue: carve the frame, save lr and the caller's fp, store register
+     arguments into their parameter slots. *)
+  addi env Reg.sp Reg.sp (-(frame_bytes + 8));
+  emit env (A.Raw (Insn.Store (Reg.lr, Reg.sp, frame_bytes + 4)));
+  emit env (A.Raw (Insn.Store (Reg.fp, Reg.sp, frame_bytes)));
+  mov env Reg.fp Reg.sp;
+  List.iteri
+    (fun i _ -> emit env (A.Raw (Insn.Store (Reg.of_int (2 + i), Reg.fp, 4 * i))))
+    f.Tast.params;
+  List.iter (gen_stmt env) f.Tast.body;
+  (* Epilogue. *)
+  emit env (A.Label env.ret_label);
+  mov env Reg.sp Reg.fp;
+  emit env (A.Raw (Insn.Load (Reg.lr, Reg.sp, frame_bytes + 4)));
+  emit env (A.Raw (Insn.Load (Reg.fp, Reg.sp, frame_bytes)));
+  addi env Reg.sp Reg.sp (frame_bytes + 8);
+  emit env (A.Raw (Insn.Jump_reg Reg.lr));
+  A.Func (f.Tast.name, List.rev env.items)
+
+let placement_of = function
+  | Ast.Pram -> A.In_ram
+  | Ast.Pscratch -> A.In_scratch
+  | Ast.Prom -> A.In_rom
+
+let gen_global (g : Tast.tglobal) : A.chunk =
+  let data =
+    match g.Tast.init with
+    | None -> [ A.Zeros g.Tast.size_words ]
+    | Some values ->
+      let words = List.map (fun v -> A.Word v) values in
+      let pad = g.Tast.size_words - List.length values in
+      if pad > 0 then words @ [ A.Zeros pad ] else words
+  in
+  A.Data (g.Tast.gname, placement_of g.Tast.placement, data)
+
+let uses_malloc p =
+  let found = ref false in
+  Tast.iter_program_exprs
+    (fun e -> match e.Tast.desc with Tast.Tmalloc _ -> found := true | _ -> ())
+    p;
+  !found
+
+let gen_program ~options (p : Tast.tprogram) : A.unit_ =
+  let funcs = List.map (gen_func ~options) p.Tast.funcs in
+  let globals = List.map gen_global p.Tast.globals in
+  let heap =
+    if uses_malloc p then
+      [ A.Data ("__heap_ptr", A.In_ram, [ A.Word Pred32_memory.Memory_map.default_heap_base ]) ]
+    else []
+  in
+  funcs @ globals @ heap
+
+let runtime_deps ~options (p : Tast.tprogram) =
+  let deps = ref [] in
+  let add name = if not (List.mem name !deps) then deps := name :: !deps in
+  Tast.iter_program_exprs
+    (fun e ->
+      match e.Tast.desc with
+      | Tast.Tbinop (op, _, _) -> (
+        match op with
+        | Tast.Odiv when options.soft_div -> add "__udiv32"
+        | Tast.Orem when options.soft_div -> add "__urem32"
+        | Tast.Ofadd -> add "__f_add"
+        | Tast.Ofsub -> add "__f_sub"
+        | Tast.Ofmul -> add "__f_mul"
+        | Tast.Ofdiv -> add "__f_div"
+        | Tast.Oflt | Tast.Ofgt -> add "__f_lt"
+        | Tast.Ofle | Tast.Ofge -> add "__f_le"
+        | Tast.Ofeq | Tast.Ofne -> add "__f_eq"
+        | Tast.Oadd | Tast.Osub | Tast.Omul | Tast.Odiv | Tast.Orem | Tast.Oband
+        | Tast.Obor | Tast.Obxor | Tast.Oshl | Tast.Oshr | Tast.Osar | Tast.Olt _
+        | Tast.Ole _ | Tast.Ogt _ | Tast.Oge _ | Tast.Oeq | Tast.One ->
+          ())
+      | Tast.Titof _ -> add "__f_from_int"
+      | Tast.Tftoi _ -> add "__f_to_int"
+      | _ -> ())
+    p;
+  !deps

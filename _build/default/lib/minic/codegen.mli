@@ -1,0 +1,39 @@
+(** PRED32 code generation from the typed IR.
+
+    Calling convention: up to four named arguments in r2..r5, return value
+    in r1, variadic extras pushed on the stack (lowest index at the lowest
+    address), lr holds the return address. Each function keeps a frame
+    pointer; parameters and locals live in frame slots, so their addresses
+    are statically known to the value analysis whenever the stack pointer
+    is (i.e. in the absence of recursion — exactly the paper's story).
+
+    Expressions evaluate Sethi-Ullman style into the register window
+    r2..r9; programs whose expressions exceed that window are rejected
+    ([Error]) rather than silently spilled. *)
+
+type options = {
+  soft_div : bool;
+      (** lower division/modulo to the software-arithmetic routines
+          (lDivMod) instead of the hardware divider *)
+  if_conversion : bool;
+      (** single-path transformation (Puschner/Kirner, discussed in the
+          paper's related work): compile [if (c) x = e;] with a pure [e]
+          into straight-line predicated code ([cmovnz]) instead of a
+          branch. Removes input-dependent control flow at the cost of
+          always executing (and fetching) the conditional work *)
+}
+
+val default_options : options
+
+exception Error of string
+
+(** [gen_program ~options tprogram] emits one assembly unit containing
+    every function and global of the program. Runtime routines the program
+    calls (soft-float, soft-division) must be part of [tprogram]; use
+    {!Compile} for automatic runtime inclusion. *)
+val gen_program : options:options -> Tast.tprogram -> Pred32_asm.Ast.unit_
+
+(** Direct-call targets the generated code requires for [options]
+    (e.g. "__udiv32" when [soft_div] and the program divides). Exposed so
+    {!Compile} can pull in runtime sources. *)
+val runtime_deps : options:options -> Tast.tprogram -> string list

@@ -1,0 +1,249 @@
+type token =
+  | INT of int
+  | FLOATLIT of float
+  | IDENT of string
+  | KW_INT | KW_UNSIGNED | KW_FLOAT | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_GOTO
+  | KW_SCRATCH | KW_ROM
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | LE | GT | GE | EQEQ | NE | ASSIGN
+  | SHL | SHR | AMPAMP | PIPEPIPE
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS | QUESTION
+  | EOF
+
+exception Error of string * Ast.loc
+
+let keywords =
+  [
+    ("int", KW_INT); ("unsigned", KW_UNSIGNED); ("float", KW_FLOAT); ("void", KW_VOID);
+    ("if", KW_IF); ("else", KW_ELSE); ("while", KW_WHILE); ("do", KW_DO); ("for", KW_FOR);
+    ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+    ("goto", KW_GOTO); ("scratch", KW_SCRATCH); ("rom", KW_ROM);
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let loc () = { Ast.line = !line; col = !col } in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let advance () =
+    (match src.[!pos] with
+    | '\n' ->
+      incr line;
+      col := 1
+    | _ -> incr col);
+    incr pos
+  in
+  let error msg = raise (Error (msg, loc ())) in
+  let tokens = ref [] in
+  let emit tok l = tokens := (tok, l) :: !tokens in
+  let rec skip_block_comment () =
+    match (peek 0, peek 1) with
+    | Some '*', Some '/' ->
+      advance ();
+      advance ()
+    | Some _, _ ->
+      advance ();
+      skip_block_comment ()
+    | None, _ -> error "unterminated comment"
+  in
+  while !pos < n do
+    let l = loc () in
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      skip_block_comment ()
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance ();
+        advance ();
+        while (match peek 0 with Some c -> is_hex c | None -> false) do
+          advance ()
+        done;
+        let text = String.sub src start (!pos - start) in
+        emit (INT (int_of_string text land 0xFFFFFFFF)) l
+      end
+      else begin
+        while (match peek 0 with Some c -> is_digit c | None -> false) do
+          advance ()
+        done;
+        if peek 0 = Some '.' then begin
+          advance ();
+          while (match peek 0 with Some c -> is_digit c | None -> false) do
+            advance ()
+          done;
+          let text = String.sub src start (!pos - start) in
+          if peek 0 = Some 'f' then advance ();
+          emit (FLOATLIT (float_of_string text)) l
+        end
+        else begin
+          let text = String.sub src start (!pos - start) in
+          match int_of_string_opt text with
+          | Some v -> emit (INT v) l
+          | None -> error ("bad integer literal " ^ text)
+        end
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while (match peek 0 with Some c -> is_ident c | None -> false) do
+        advance ()
+      done;
+      let text = String.sub src start (!pos - start) in
+      match List.assoc_opt text keywords with
+      | Some kw -> emit kw l
+      | None -> emit (IDENT text) l
+    end
+    else begin
+      let two tok =
+        advance ();
+        advance ();
+        emit tok l
+      in
+      let one tok =
+        advance ();
+        emit tok l
+      in
+      let three tok =
+        advance ();
+        advance ();
+        advance ();
+        emit tok l
+      in
+      match (c, peek 1) with
+      | '.', Some '.' when peek 2 = Some '.' ->
+        advance ();
+        advance ();
+        advance ();
+        emit ELLIPSIS l
+      | '<', Some '<' when peek 2 = Some '=' -> three SHLEQ
+      | '>', Some '>' when peek 2 = Some '=' -> three SHREQ
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
+      | '+', Some '+' -> two PLUSPLUS
+      | '-', Some '-' -> two MINUSMINUS
+      | '+', Some '=' -> two PLUSEQ
+      | '-', Some '=' -> two MINUSEQ
+      | '*', Some '=' -> two STAREQ
+      | '/', Some '=' -> two SLASHEQ
+      | '%', Some '=' -> two PERCENTEQ
+      | '&', Some '=' -> two AMPEQ
+      | '|', Some '=' -> two PIPEEQ
+      | '^', Some '=' -> two CARETEQ
+      | '?', _ -> one QUESTION
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NE
+      | '&', Some '&' -> two AMPAMP
+      | '|', Some '|' -> two PIPEPIPE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | ':', _ -> one COLON
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '!', _ -> one BANG
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '=', _ -> one ASSIGN
+      | _ -> error (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev ((EOF, loc ()) :: !tokens)
+
+let token_name = function
+  | INT _ -> "integer"
+  | FLOATLIT _ -> "float"
+  | IDENT s -> "identifier " ^ s
+  | KW_INT -> "int"
+  | KW_UNSIGNED -> "unsigned"
+  | KW_FLOAT -> "float"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_GOTO -> "goto"
+  | KW_SCRATCH -> "scratch"
+  | KW_ROM -> "rom"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | ELLIPSIS -> "..."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | ASSIGN -> "="
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | AMPAMP -> "&&"
+  | PIPEPIPE -> "||"
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PERCENTEQ -> "%="
+  | AMPEQ -> "&="
+  | PIPEEQ -> "|="
+  | CARETEQ -> "^="
+  | SHLEQ -> "<<="
+  | SHREQ -> ">>="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | QUESTION -> "?"
+  | EOF -> "end of input"

@@ -1,0 +1,28 @@
+(** Hand-written MiniC lexer. *)
+
+type token =
+  | INT of int
+  | FLOATLIT of float
+  | IDENT of string
+  | KW_INT | KW_UNSIGNED | KW_FLOAT | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_GOTO
+  | KW_SCRATCH | KW_ROM
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | LE | GT | GE | EQEQ | NE | ASSIGN
+  | SHL | SHR | AMPAMP | PIPEPIPE
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS | QUESTION
+  | EOF
+
+exception Error of string * Ast.loc
+
+(** [tokenize source] lexes the whole input. Raises [Error] on an
+    unrecognized character or malformed literal. *)
+val tokenize : string -> (token * Ast.loc) list
+
+val token_name : token -> string

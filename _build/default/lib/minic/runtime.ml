@@ -1,0 +1,249 @@
+let div_source =
+  {|
+/* Software 32-bit unsigned division (the runtime the compiler emits calls
+   to when the target has no hardware divider). */
+
+unsigned __ediv_rem;
+unsigned __udivmod_rem;
+unsigned __ldivmod_iters;
+unsigned __udiv_rest_rem;
+
+/* 32-by-16-bit restoring division, fixed 32 rounds: the software stand-in
+   for the EDIV instruction of the HCS12X. Quotient returned, remainder in
+   __ediv_rem. */
+unsigned __ediv(unsigned a, unsigned b) {
+  unsigned q;
+  unsigned r;
+  int i;
+  q = 0;
+  r = 0;
+  for (i = 0; i < 32; i = i + 1) {
+    r = (r << 1) | ((a >> 31) & 1);
+    a = a << 1;
+    q = q << 1;
+    if (r >= b) {
+      r = r - b;
+      q = q | 1;
+    }
+  }
+  __ediv_rem = r;
+  return q;
+}
+
+/* lDivMod: 32/32 division by successive approximation. For divisors that
+   fit 16 bits, two EDIV steps finish the job (0 iterations). Otherwise a
+   partial quotient is estimated from the divisor's top 16 bits and
+   corrected until the remainder drops below the divisor; the iteration
+   count is data-dependent (almost always 1). */
+unsigned __udivmod32(unsigned a, unsigned b) {
+  unsigned q;
+  unsigned r;
+  unsigned d;
+  unsigned t;
+  unsigned iters;
+  unsigned qh;
+  unsigned low;
+  if (b == 0) {
+    __udivmod_rem = a;
+    __ldivmod_iters = 0;
+    return 0xFFFFFFFF;
+  }
+  if (b < 0x10000) {
+    qh = __ediv(a >> 16, b);
+    low = (__ediv_rem << 16) | (a & 0xFFFF);
+    t = __ediv(low, b);
+    __udivmod_rem = __ediv_rem;
+    __ldivmod_iters = 0;
+    return (qh << 16) | t;
+  }
+  d = b >> 16;
+  q = 0;
+  r = a;
+  iters = 0;
+  do {
+    iters = iters + 1;
+    t = __ediv(r >> 16, d + 1);
+    if (t == 0 && r >= b) {
+      t = 1;
+    }
+    q = q + t;
+    r = r - t * b;
+  } while (r >= b);
+  __udivmod_rem = r;
+  __ldivmod_iters = iters;
+  return q;
+}
+
+unsigned __udiv32(unsigned a, unsigned b) {
+  return __udivmod32(a, b);
+}
+
+unsigned __urem32(unsigned a, unsigned b) {
+  unsigned q;
+  q = __udivmod32(a, b);
+  return __udivmod_rem;
+}
+
+/* The WCET-predictable baseline divider: restoring division, exactly 32
+   iterations for every input. Remainder in __udiv_rest_rem. */
+unsigned __udiv32_restoring(unsigned a, unsigned b) {
+  unsigned q;
+  unsigned r;
+  int i;
+  q = 0;
+  r = 0;
+  for (i = 0; i < 32; i = i + 1) {
+    r = (r << 1) | ((a >> 31) & 1);
+    a = a << 1;
+    q = q << 1;
+    if (r >= b) {
+      r = r - b;
+      q = q | 1;
+    }
+  }
+  __udiv_rest_rem = r;
+  return q;
+}
+|}
+
+let float_source =
+  {|
+/* Simplified software binary32: flush-to-zero, truncating rounding, no
+   NaN/infinity arithmetic. Exponents are biased by 127, mantissas carry the
+   implicit leading one while unpacked. */
+
+unsigned __f_norm_pack(unsigned s, int e, unsigned m) {
+  while (m >= 0x1000000) {
+    m = m >> 1;
+    e = e + 1;
+  }
+  while (m != 0 && m < 0x800000) {
+    m = m << 1;
+    e = e - 1;
+  }
+  if (m == 0 || e <= 0) {
+    return 0;
+  }
+  if (e >= 255) {
+    return (s << 31) | 0x7F800000;
+  }
+  return (s << 31) | ((unsigned)e << 23) | (m & 0x7FFFFF);
+}
+
+unsigned __f_add(unsigned a, unsigned b) {
+  unsigned sa; unsigned sb;
+  int ea; int eb;
+  unsigned ma; unsigned mb;
+  unsigned s; int e; unsigned m;
+  unsigned tmp;
+  int shift;
+  if ((a & 0x7F800000) == 0) { return b; }
+  if ((b & 0x7F800000) == 0) { return a; }
+  ea = (int)((a >> 23) & 0xFF);
+  eb = (int)((b >> 23) & 0xFF);
+  if (ea < eb || (ea == eb && (a & 0x7FFFFF) < (b & 0x7FFFFF))) {
+    tmp = a; a = b; b = tmp;
+    shift = ea; ea = eb; eb = shift;
+  }
+  sa = a >> 31;
+  sb = b >> 31;
+  ma = (a & 0x7FFFFF) | 0x800000;
+  mb = (b & 0x7FFFFF) | 0x800000;
+  shift = ea - eb;
+  if (shift > 24) { return a; }
+  mb = mb >> shift;
+  if (sa == sb) {
+    m = ma + mb;
+    s = sa;
+  } else {
+    if (ma == mb) { return 0; }
+    m = ma - mb;
+    s = sa;
+  }
+  return __f_norm_pack(s, ea, m);
+}
+
+unsigned __f_sub(unsigned a, unsigned b) {
+  return __f_add(a, b ^ 0x80000000);
+}
+
+unsigned __f_mul(unsigned a, unsigned b) {
+  unsigned s; int e; unsigned m;
+  if ((a & 0x7F800000) == 0 || (b & 0x7F800000) == 0) { return 0; }
+  s = (a >> 31) ^ (b >> 31);
+  e = (int)((a >> 23) & 0xFF) + (int)((b >> 23) & 0xFF) - 127;
+  /* 16x16 -> 32 bit product of the mantissa tops; ~16-bit precision. */
+  m = ((((a & 0x7FFFFF) | 0x800000) >> 8) * (((b & 0x7FFFFF) | 0x800000) >> 8)) >> 7;
+  return __f_norm_pack(s, e, m);
+}
+
+unsigned __f_div(unsigned a, unsigned b) {
+  unsigned s; int e; unsigned m;
+  if ((a & 0x7F800000) == 0) { return 0; }
+  if ((b & 0x7F800000) == 0) { return 0x7F800000; }
+  s = (a >> 31) ^ (b >> 31);
+  e = (int)((a >> 23) & 0xFF) - (int)((b >> 23) & 0xFF) + 127;
+  m = ((((a & 0x7FFFFF) | 0x800000) << 7) / (((b & 0x7FFFFF) | 0x800000) >> 8)) << 8;
+  return __f_norm_pack(s, e, m);
+}
+
+unsigned __f_lt(unsigned a, unsigned b) {
+  unsigned sa; unsigned sb;
+  if ((a & 0x7F800000) == 0) { a = 0; }
+  if ((b & 0x7F800000) == 0) { b = 0; }
+  if (a == b) { return 0; }
+  sa = a >> 31;
+  sb = b >> 31;
+  if (sa != sb) { return sa; }
+  if (sa == 0) { return a < b; }
+  return b < a;
+}
+
+unsigned __f_le(unsigned a, unsigned b) {
+  return __f_lt(b, a) ^ 1;
+}
+
+unsigned __f_eq(unsigned a, unsigned b) {
+  if ((a & 0x7F800000) == 0) { a = 0; }
+  if ((b & 0x7F800000) == 0) { b = 0; }
+  return a == b;
+}
+
+unsigned __f_from_int(int i) {
+  unsigned s; unsigned m;
+  if (i == 0) { return 0; }
+  if (i < 0) {
+    s = 1;
+    m = (unsigned)(-i);
+  } else {
+    s = 0;
+    m = (unsigned)i;
+  }
+  return __f_norm_pack(s, 150, m);
+}
+
+int __f_to_int(unsigned f) {
+  int e; unsigned m; int v;
+  if ((f & 0x7F800000) == 0) { return 0; }
+  e = (int)((f >> 23) & 0xFF);
+  m = (f & 0x7FFFFF) | 0x800000;
+  if (e < 127) { return 0; }
+  if (e > 157) { return 0; } /* out of range: saturate to 0 by convention */
+  if (e >= 150) {
+    v = (int)(m << (e - 150));
+  } else {
+    v = (int)(m >> (150 - e));
+  }
+  if ((f >> 31) != 0) { return -v; }
+  return v;
+}
+|}
+
+let div_functions =
+  [ "__ediv"; "__udivmod32"; "__udiv32"; "__urem32"; "__udiv32_restoring" ]
+
+let float_functions =
+  [
+    "__f_norm_pack"; "__f_add"; "__f_sub"; "__f_mul"; "__f_div"; "__f_lt"; "__f_le";
+    "__f_eq"; "__f_from_int"; "__f_to_int";
+  ]

@@ -1,0 +1,35 @@
+(** The MiniC runtime library: software arithmetic, written in MiniC itself
+    and linked on demand.
+
+    - Division cluster: [__udivmod32] is the lDivMod-style successive-
+      approximation divider studied in Section 4.4 of the paper (estimate a
+      partial quotient from the divisor's top 16 bits via the fixed-latency
+      EDIV primitive emulation, then correct; iteration count is
+      data-dependent, almost always 1, with a rare long tail).
+      [__udiv32_restoring] is the WCET-predictable baseline: a restoring
+      divider with exactly 32 iterations for every input.
+      [__ldivmod_iters] (global) exposes the iteration count of the last
+      [__udivmod32] call for the Table 1 experiment.
+    - Soft-float cluster: simplified binary32 with flush-to-zero and
+      truncating rounding (no NaN/infinity arithmetic), as typical for
+      size-optimized embedded arithmetic libraries. The normalization loops
+      are data-dependent — which is precisely why rule 13.4 (no float loop
+      conditions) matters for loop-bound analysis.
+
+    [Softarith] in lib/softarith provides bit-exact OCaml references for
+    all of these; property tests check the compiled MiniC against them. *)
+
+(** MiniC source of the division cluster ([__ediv], [__udivmod32],
+    [__udiv32], [__urem32], [__udiv32_restoring] and their result
+    globals). *)
+val div_source : string
+
+(** MiniC source of the soft-float cluster ([__f_add], [__f_sub], [__f_mul],
+    [__f_div], [__f_lt], [__f_le], [__f_eq], [__f_from_int],
+    [__f_to_int]). *)
+val float_source : string
+
+(** Function names defined by each cluster. *)
+val div_functions : string list
+
+val float_functions : string list

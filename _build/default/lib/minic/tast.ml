@@ -1,0 +1,162 @@
+(* Typed intermediate representation, produced by [Typecheck] and consumed
+   by [Codegen].
+
+   Variables are resolved to frame slots (word offsets into the function's
+   locals area; parameters occupy the first slots) or to global symbols.
+   Implicit conversions are explicit casts. Division carries its own node so
+   the code generator can choose between the hardware divider and the
+   software-arithmetic routine (the paper's Section 4.4 scenario). *)
+
+type op =
+  | Oadd | Osub | Omul
+  | Odiv | Orem  (* unsigned semantics; hardware or software per codegen *)
+  | Oband | Obor | Obxor
+  | Oshl
+  | Oshr  (* logical shift for unsigned *)
+  | Osar  (* arithmetic shift for int *)
+  | Olt of bool | Ole of bool | Ogt of bool | Oge of bool  (* bool = signed *)
+  | Oeq | One
+  | Ofadd | Ofsub | Ofmul | Ofdiv
+  | Oflt | Ofle | Ofgt | Ofge | Ofeq | Ofne
+
+type texpr = { ty : Types.t; desc : desc }
+
+and desc =
+  | Tconst of int  (* 32-bit word, including float bit patterns *)
+  | Tlocal of int  (* read scalar local slot *)
+  | Tglobal of string
+  | Tlocal_addr of int
+  | Tglobal_addr of string
+  | Tfun_addr of string
+  | Tload of texpr  (* load through computed address *)
+  | Tassign_local of int * texpr
+  | Tassign_global of string * texpr
+  | Tstore of texpr * texpr  (* address, value *)
+  | Tneg of texpr
+  | Tfneg of texpr
+  | Tlnot of texpr
+  | Tbnot of texpr
+  | Tbinop of op * texpr * texpr
+  | Tland of texpr * texpr  (* short-circuit *)
+  | Tlor of texpr * texpr
+  | Tcall of string * texpr list * texpr list  (* callee, named args, variadic extras *)
+  | Tcall_ptr of texpr * texpr list
+  | Tva_arg of texpr
+  | Tmalloc of texpr  (* byte count *)
+  | Tsetjmp of texpr  (* jmp_buf address *)
+  | Tlongjmp of texpr * texpr
+  | Titof of texpr  (* int -> float conversion *)
+  | Tftoi of texpr
+  | Tcond of texpr * texpr * texpr  (* ternary ?: *)
+
+type tstmt =
+  | Sexpr of texpr
+  | Sif of texpr * tstmt list * tstmt list
+  | Swhile of texpr * tstmt list
+  | Sdo_while of tstmt list * texpr
+  | Sfor of tstmt list * texpr option * texpr option * tstmt list
+      (* init statements, condition, step expression, body *)
+  | Sreturn of texpr option
+  | Sbreak
+  | Scontinue
+  | Sgoto of string
+  | Slabel of string
+  | Sblock of tstmt list
+
+type tfunc = {
+  name : string;
+  params : Types.t list;
+  varargs : bool;
+  ret : Types.t;
+  frame_words : int;  (* parameters + locals, in words *)
+  body : tstmt list;
+}
+
+type tglobal = {
+  gname : string;
+  gty : Types.t;
+  placement : Ast.placement;
+  init : int list option;
+  size_words : int;
+}
+
+type tprogram = { globals : tglobal list; funcs : tfunc list }
+
+(* Functions called directly anywhere in the program (used to pull in the
+   software-arithmetic runtime on demand). *)
+let rec expr_calls acc e =
+  match e.desc with
+  | Tconst _ | Tlocal _ | Tglobal _ | Tlocal_addr _ | Tglobal_addr _ | Tfun_addr _ -> acc
+  | Tload a | Tneg a | Tfneg a | Tlnot a | Tbnot a | Tva_arg a | Tmalloc a | Tsetjmp a
+  | Titof a | Tftoi a
+  | Tassign_local (_, a)
+  | Tassign_global (_, a) ->
+    expr_calls acc a
+  | Tstore (a, b) | Tbinop (_, a, b) | Tland (a, b) | Tlor (a, b) | Tlongjmp (a, b) ->
+    expr_calls (expr_calls acc a) b
+  | Tcond (a, b, c) -> expr_calls (expr_calls (expr_calls acc a) b) c
+  | Tcall (f, args, extras) ->
+    List.fold_left expr_calls (f :: acc) (args @ extras)
+  | Tcall_ptr (f, args) -> List.fold_left expr_calls acc (f :: args)
+
+let rec stmt_calls acc s =
+  match s with
+  | Sexpr e -> expr_calls acc e
+  | Sif (c, a, b) -> List.fold_left stmt_calls (List.fold_left stmt_calls (expr_calls acc c) a) b
+  | Swhile (c, body) -> List.fold_left stmt_calls (expr_calls acc c) body
+  | Sdo_while (body, c) -> expr_calls (List.fold_left stmt_calls acc body) c
+  | Sfor (init, c, step, body) ->
+    let acc = List.fold_left stmt_calls acc init in
+    let acc = Option.fold ~none:acc ~some:(expr_calls acc) c in
+    let acc = Option.fold ~none:acc ~some:(expr_calls acc) step in
+    List.fold_left stmt_calls acc body
+  | Sreturn (Some e) -> expr_calls acc e
+  | Sreturn None | Sbreak | Scontinue | Sgoto _ | Slabel _ -> acc
+  | Sblock body -> List.fold_left stmt_calls acc body
+
+let func_calls f = List.fold_left stmt_calls [] f.body
+
+(* Apply [f] to every expression node (pre-order) of the program. *)
+let rec iter_expr f e =
+  f e;
+  match e.desc with
+  | Tconst _ | Tlocal _ | Tglobal _ | Tlocal_addr _ | Tglobal_addr _ | Tfun_addr _ -> ()
+  | Tload a | Tneg a | Tfneg a | Tlnot a | Tbnot a | Tva_arg a | Tmalloc a | Tsetjmp a
+  | Titof a | Tftoi a
+  | Tassign_local (_, a)
+  | Tassign_global (_, a) ->
+    iter_expr f a
+  | Tstore (a, b) | Tbinop (_, a, b) | Tland (a, b) | Tlor (a, b) | Tlongjmp (a, b) ->
+    iter_expr f a;
+    iter_expr f b
+  | Tcond (a, b, c) ->
+    iter_expr f a;
+    iter_expr f b;
+    iter_expr f c
+  | Tcall (_, args, extras) -> List.iter (iter_expr f) (args @ extras)
+  | Tcall_ptr (g, args) -> List.iter (iter_expr f) (g :: args)
+
+let rec iter_stmt f s =
+  match s with
+  | Sexpr e -> iter_expr f e
+  | Sif (c, a, b) ->
+    iter_expr f c;
+    List.iter (iter_stmt f) a;
+    List.iter (iter_stmt f) b
+  | Swhile (c, body) ->
+    iter_expr f c;
+    List.iter (iter_stmt f) body
+  | Sdo_while (body, c) ->
+    List.iter (iter_stmt f) body;
+    iter_expr f c
+  | Sfor (init, c, step, body) ->
+    List.iter (iter_stmt f) init;
+    Option.iter (iter_expr f) c;
+    Option.iter (iter_expr f) step;
+    List.iter (iter_stmt f) body
+  | Sreturn (Some e) -> iter_expr f e
+  | Sreturn None | Sbreak | Scontinue | Sgoto _ | Slabel _ -> ()
+  | Sblock body -> List.iter (iter_stmt f) body
+
+let iter_program_exprs f p =
+  List.iter (fun fn -> List.iter (iter_stmt f) fn.body) p.funcs

@@ -1,0 +1,529 @@
+exception Error of string * Ast.loc
+
+let error loc fmt = Format.kasprintf (fun s -> raise (Error (s, loc))) fmt
+
+let float_bits f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+
+type genv = {
+  sigs : (string, Types.signature) Hashtbl.t;
+  globals : (string, Types.t) Hashtbl.t;
+}
+
+type fenv = {
+  genv : genv;
+  mutable scopes : (string * (Types.t * int)) list list;
+  mutable next_slot : int;
+  mutable frame_words : int;
+  mutable loop_depth : int;
+  mutable labels : string list;
+  mutable gotos : (string * Ast.loc) list;
+  ret : Types.t;
+  varargs : bool;
+}
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some v -> Some v
+      | None -> go rest)
+  in
+  go env.scopes
+
+let alloc_slot env ty =
+  let words = Types.size_words ty in
+  let slot = env.next_slot in
+  env.next_slot <- env.next_slot + words;
+  if env.next_slot > env.frame_words then env.frame_words <- env.next_slot;
+  slot
+
+let declare_local env loc name ty =
+  (match env.scopes with
+  | scope :: _ when List.mem_assoc name scope -> error loc "redeclaration of %s" name
+  | _ -> ());
+  let slot = alloc_slot env ty in
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, (ty, slot)) :: scope) :: rest
+  | [] -> assert false);
+  slot
+
+let mk ty desc = { Tast.ty; desc }
+
+let is_float_ty ty = Types.equal (Types.decay ty) Types.Tfloat
+
+(* Implicit conversion of [e] to [ty]. *)
+let coerce loc e ty =
+  let ety = Types.decay e.Tast.ty in
+  let ty = Types.decay ty in
+  match (ety, ty) with
+  | a, b when Types.equal a b -> e
+  | (Types.Tint | Types.Tunsigned), (Types.Tint | Types.Tunsigned) -> { e with ty }
+  | (Types.Tint | Types.Tunsigned), Types.Tfloat -> (
+    match e.Tast.desc with
+    | Tast.Tconst n ->
+      (* fold: signed value -> float bits *)
+      let v = if n land 0x80000000 <> 0 then n - 0x100000000 else n in
+      mk Types.Tfloat (Tast.Tconst (float_bits (float_of_int v)))
+    | _ -> mk Types.Tfloat (Tast.Titof e))
+  | Types.Tfloat, (Types.Tint | Types.Tunsigned) -> mk ty (Tast.Tftoi e)
+  | Types.Tptr _, (Types.Tptr _ | Types.Tint | Types.Tunsigned) -> { e with ty }
+  | (Types.Tint | Types.Tunsigned), Types.Tptr _ -> { e with ty }
+  | a, b -> error loc "cannot convert %a to %a" Types.pp a Types.pp b
+
+type lv =
+  | Lv_local of int * Types.t
+  | Lv_global of string * Types.t
+  | Lv_mem of Tast.texpr * Types.t  (* address expression, element type *)
+
+let scale_index loc idx elt =
+  let bytes = 4 * Types.size_words elt in
+  ignore loc;
+  if bytes = 4 then
+    mk Types.Tunsigned (Tast.Tbinop (Tast.Oshl, idx, mk Types.Tint (Tast.Tconst 2)))
+  else mk Types.Tunsigned (Tast.Tbinop (Tast.Omul, idx, mk Types.Tint (Tast.Tconst bytes)))
+
+let rec check_expr env (e : Ast.expr) : Tast.texpr =
+  let loc = e.Ast.loc in
+  match e.Ast.desc with
+  | Ast.Int_lit n -> mk Types.Tint (Tast.Tconst (n land 0xFFFFFFFF))
+  | Ast.Float_lit f -> mk Types.Tfloat (Tast.Tconst (float_bits f))
+  | Ast.Var name -> (
+    match lookup_local env name with
+    | Some (ty, slot) -> (
+      match ty with
+      | Types.Tarray (elt, _) -> mk (Types.Tptr elt) (Tast.Tlocal_addr slot)
+      | _ -> mk ty (Tast.Tlocal slot))
+    | None -> (
+      match Hashtbl.find_opt env.genv.globals name with
+      | Some (Types.Tarray (elt, _)) -> mk (Types.Tptr elt) (Tast.Tglobal_addr name)
+      | Some ty -> mk ty (Tast.Tglobal name)
+      | None -> (
+        match Hashtbl.find_opt env.genv.sigs name with
+        | Some sg -> mk (Types.Tptr (Types.Tfun sg)) (Tast.Tfun_addr name)
+        | None -> error loc "undefined identifier %s" name)))
+  | Ast.Unop (op, a) -> (
+    let ta = check_expr env a in
+    match op with
+    | Ast.Neg ->
+      if is_float_ty ta.Tast.ty then mk Types.Tfloat (Tast.Tfneg ta)
+      else mk Types.Tint (Tast.Tneg ta)
+    | Ast.Lnot -> mk Types.Tint (Tast.Tlnot ta)
+    | Ast.Bnot ->
+      if is_float_ty ta.Tast.ty then error loc "~ on float";
+      mk ta.Tast.ty (Tast.Tbnot ta))
+  | Ast.Binop (op, a, b) -> check_binop env loc op a b
+  | Ast.Assign (lhs, rhs) -> (
+    let lv = check_lvalue env lhs in
+    let trhs = check_expr env rhs in
+    match lv with
+    | Lv_local (slot, ty) -> mk ty (Tast.Tassign_local (slot, coerce loc trhs ty))
+    | Lv_global (name, ty) -> mk ty (Tast.Tassign_global (name, coerce loc trhs ty))
+    | Lv_mem (addr, ty) -> mk ty (Tast.Tstore (addr, coerce loc trhs ty)))
+  | Ast.Call (callee, args) -> check_call env loc callee args
+  | Ast.Index (base, idx) ->
+    let addr, elt = index_address env loc base idx in
+    mk elt (Tast.Tload addr)
+  | Ast.Deref a -> (
+    let ta = check_expr env a in
+    match Types.decay ta.Tast.ty with
+    | Types.Tptr (Types.Tfun _) -> ta (* *fp is fp *)
+    | Types.Tptr elt -> mk elt (Tast.Tload ta)
+    | ty -> error loc "cannot dereference %a" Types.pp ty)
+  | Ast.Addr_of a -> (
+    match a.Ast.desc with
+    | Ast.Var name -> (
+      match lookup_local env name with
+      | Some (ty, slot) -> mk (Types.Tptr (Types.decay ty)) (Tast.Tlocal_addr slot)
+      | None -> (
+        match Hashtbl.find_opt env.genv.globals name with
+        | Some ty -> mk (Types.Tptr (Types.decay ty)) (Tast.Tglobal_addr name)
+        | None -> (
+          match Hashtbl.find_opt env.genv.sigs name with
+          | Some sg -> mk (Types.Tptr (Types.Tfun sg)) (Tast.Tfun_addr name)
+          | None -> error loc "undefined identifier %s" name)))
+    | Ast.Index (base, idx) ->
+      let addr, elt = index_address env loc base idx in
+      { addr with Tast.ty = Types.Tptr elt }
+    | Ast.Deref inner -> check_expr env inner
+    | _ -> error loc "cannot take the address of this expression")
+  | Ast.Ternary (cond, a, b) ->
+    let tcond = check_expr env cond in
+    (match Types.decay tcond.Tast.ty with
+    | Types.Tvoid -> error loc "void value used as condition"
+    | _ -> ());
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    let ty = Types.decay ta.Tast.ty in
+    mk ty (Tast.Tcond (tcond, ta, coerce loc tb ty))
+  | Ast.Cast (ty, a) -> (
+    let ta = check_expr env a in
+    let src = Types.decay ta.Tast.ty and dst = Types.decay ty in
+    match (src, dst) with
+    | a, b when Types.equal a b -> ta
+    | Types.Tfloat, (Types.Tint | Types.Tunsigned) -> mk dst (Tast.Tftoi ta)
+    | (Types.Tint | Types.Tunsigned), Types.Tfloat -> (
+      match ta.Tast.desc with
+      | Tast.Tconst n ->
+        let v = if n land 0x80000000 <> 0 then n - 0x100000000 else n in
+        mk Types.Tfloat (Tast.Tconst (float_bits (float_of_int v)))
+      | _ -> mk Types.Tfloat (Tast.Titof ta))
+    | _, Types.Tfloat | Types.Tfloat, _ -> error loc "unsupported float cast"
+    | _ -> { ta with Tast.ty = dst })
+
+and index_address env loc base idx =
+  let tbase = check_expr env base in
+  let tidx = coerce loc (check_expr env idx) Types.Tunsigned in
+  match Types.decay tbase.Tast.ty with
+  | Types.Tptr elt when not (match elt with Types.Tfun _ -> true | _ -> false) ->
+    let offset = scale_index loc tidx elt in
+    (mk (Types.Tptr elt) (Tast.Tbinop (Tast.Oadd, tbase, offset)), elt)
+  | ty -> error loc "cannot index %a" Types.pp ty
+
+and check_lvalue env (e : Ast.expr) : lv =
+  let loc = e.Ast.loc in
+  match e.Ast.desc with
+  | Ast.Var name -> (
+    match lookup_local env name with
+    | Some (ty, slot) -> (
+      match ty with
+      | Types.Tarray _ -> error loc "cannot assign to array %s" name
+      | _ -> Lv_local (slot, ty))
+    | None -> (
+      match Hashtbl.find_opt env.genv.globals name with
+      | Some (Types.Tarray _) -> error loc "cannot assign to array %s" name
+      | Some ty -> Lv_global (name, ty)
+      | None -> error loc "undefined identifier %s" name))
+  | Ast.Deref a -> (
+    let ta = check_expr env a in
+    match Types.decay ta.Tast.ty with
+    | Types.Tptr (Types.Tfun _) -> error loc "cannot assign through a function pointer"
+    | Types.Tptr elt -> Lv_mem (ta, elt)
+    | ty -> error loc "cannot dereference %a" Types.pp ty)
+  | Ast.Index (base, idx) ->
+    let addr, elt = index_address env loc base idx in
+    Lv_mem (addr, elt)
+  | _ -> error loc "expression is not assignable"
+
+and check_binop env loc op a b =
+  let ta = check_expr env a and tb = check_expr env b in
+  let dta = Types.decay ta.Tast.ty and dtb = Types.decay tb.Tast.ty in
+  let both_arith = Types.is_arith dta && Types.is_arith dtb in
+  let any_float = is_float_ty dta || is_float_ty dtb in
+  let cmp_result = Types.Tint in
+  match op with
+  | Ast.Land -> mk Types.Tint (Tast.Tland (ta, tb))
+  | Ast.Lor -> mk Types.Tint (Tast.Tlor (ta, tb))
+  | Ast.Add | Ast.Sub -> (
+    match (dta, dtb) with
+    | Types.Tptr elt, (Types.Tint | Types.Tunsigned) ->
+      let offset = scale_index loc (coerce loc tb Types.Tunsigned) elt in
+      mk dta (Tast.Tbinop ((if op = Ast.Add then Tast.Oadd else Tast.Osub), ta, offset))
+    | (Types.Tint | Types.Tunsigned), Types.Tptr elt when op = Ast.Add ->
+      let offset = scale_index loc (coerce loc ta Types.Tunsigned) elt in
+      mk dtb (Tast.Tbinop (Tast.Oadd, tb, offset))
+    | _ when both_arith ->
+      if any_float then
+        mk Types.Tfloat
+          (Tast.Tbinop
+             ( (if op = Ast.Add then Tast.Ofadd else Tast.Ofsub),
+               coerce loc ta Types.Tfloat,
+               coerce loc tb Types.Tfloat ))
+      else
+        let ty = if Types.equal dta Types.Tunsigned || Types.equal dtb Types.Tunsigned then Types.Tunsigned else Types.Tint in
+        mk ty (Tast.Tbinop ((if op = Ast.Add then Tast.Oadd else Tast.Osub), ta, tb))
+    | _ -> error loc "invalid operands to %s" (if op = Ast.Add then "+" else "-"))
+  | Ast.Mul | Ast.Div | Ast.Mod ->
+    if not both_arith then error loc "invalid arithmetic operands";
+    if any_float then begin
+      if op = Ast.Mod then error loc "%% on float";
+      mk Types.Tfloat
+        (Tast.Tbinop
+           ( (if op = Ast.Mul then Tast.Ofmul else Tast.Ofdiv),
+             coerce loc ta Types.Tfloat,
+             coerce loc tb Types.Tfloat ))
+    end
+    else
+      let ty = if Types.equal dta Types.Tunsigned || Types.equal dtb Types.Tunsigned then Types.Tunsigned else Types.Tint in
+      let o = match op with Ast.Mul -> Tast.Omul | Ast.Div -> Tast.Odiv | _ -> Tast.Orem in
+      mk ty (Tast.Tbinop (o, ta, tb))
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+    if any_float then error loc "bitwise operator on float";
+    let o =
+      match op with
+      | Ast.Band -> Tast.Oband
+      | Ast.Bor -> Tast.Obor
+      | Ast.Bxor -> Tast.Obxor
+      | Ast.Shl -> Tast.Oshl
+      | _ -> if Types.equal dta Types.Tint then Tast.Osar else Tast.Oshr
+    in
+    (* Usual arithmetic conversions for the bitwise operators: unsigned
+       wins. Shifts take the (promoted) left operand's type — the right
+       operand never converts the result, which is why int >> stays
+       arithmetic whatever shifts it. *)
+    let ty =
+      match op with
+      | Ast.Shl | Ast.Shr -> dta
+      | _ ->
+        if Types.equal dta Types.Tunsigned || Types.equal dtb Types.Tunsigned then
+          Types.Tunsigned
+        else dta
+    in
+    mk ty (Tast.Tbinop (o, ta, tb))
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    if any_float then
+      let o =
+        match op with
+        | Ast.Lt -> Tast.Oflt
+        | Ast.Le -> Tast.Ofle
+        | Ast.Gt -> Tast.Ofgt
+        | _ -> Tast.Ofge
+      in
+      mk cmp_result (Tast.Tbinop (o, coerce loc ta Types.Tfloat, coerce loc tb Types.Tfloat))
+    else
+      let signed =
+        (not (Types.equal dta Types.Tunsigned))
+        && (not (Types.equal dtb Types.Tunsigned))
+        && not (match (dta, dtb) with Types.Tptr _, _ | _, Types.Tptr _ -> true | _ -> false)
+      in
+      let o =
+        match op with
+        | Ast.Lt -> Tast.Olt signed
+        | Ast.Le -> Tast.Ole signed
+        | Ast.Gt -> Tast.Ogt signed
+        | _ -> Tast.Oge signed
+      in
+      mk cmp_result (Tast.Tbinop (o, ta, tb))
+  | Ast.Eq | Ast.Ne ->
+    if any_float then
+      mk cmp_result
+        (Tast.Tbinop
+           ( (if op = Ast.Eq then Tast.Ofeq else Tast.Ofne),
+             coerce loc ta Types.Tfloat,
+             coerce loc tb Types.Tfloat ))
+    else mk cmp_result (Tast.Tbinop ((if op = Ast.Eq then Tast.Oeq else Tast.One), ta, tb))
+
+and check_call env loc callee args =
+  match callee.Ast.desc with
+  | Ast.Var "malloc" ->
+    (match args with
+    | [ a ] -> mk (Types.Tptr Types.Tint) (Tast.Tmalloc (coerce loc (check_expr env a) Types.Tunsigned))
+    | _ -> error loc "malloc takes one argument")
+  | Ast.Var "__setjmp" ->
+    (match args with
+    | [ a ] -> (
+      let ta = check_expr env a in
+      match Types.decay ta.Tast.ty with
+      | Types.Tptr _ -> mk Types.Tint (Tast.Tsetjmp ta)
+      | _ -> error loc "__setjmp takes a jmp_buf pointer")
+    | _ -> error loc "__setjmp takes one argument")
+  | Ast.Var "__longjmp" ->
+    (match args with
+    | [ a; b ] ->
+      let ta = check_expr env a and tb = check_expr env b in
+      mk Types.Tvoid (Tast.Tlongjmp (ta, coerce loc tb Types.Tint))
+    | _ -> error loc "__longjmp takes two arguments")
+  | Ast.Var "__va_arg" ->
+    if not env.varargs then error loc "__va_arg outside a varargs function";
+    (match args with
+    | [ a ] -> mk Types.Tint (Tast.Tva_arg (coerce loc (check_expr env a) Types.Tunsigned))
+    | _ -> error loc "__va_arg takes one argument")
+  | Ast.Var name when lookup_local env name = None && not (Hashtbl.mem env.genv.globals name)
+    -> (
+    match Hashtbl.find_opt env.genv.sigs name with
+    | Some sg -> direct_call env loc name sg args
+    | None -> error loc "undefined function %s" name)
+  | _ -> (
+    let tf = check_expr env callee in
+    match Types.decay tf.Tast.ty with
+    | Types.Tptr (Types.Tfun sg) ->
+      if sg.Types.varargs then error loc "varargs calls through pointers are unsupported";
+      if List.length args <> List.length sg.Types.params then
+        error loc "wrong number of arguments in indirect call";
+      let targs =
+        List.map2 (fun a ty -> coerce loc (check_expr env a) ty) args sg.Types.params
+      in
+      if List.length targs > 4 then error loc "more than 4 arguments";
+      mk sg.Types.ret (Tast.Tcall_ptr (tf, targs))
+    | ty -> error loc "called object has type %a" Types.pp ty)
+
+and direct_call env loc name (sg : Types.signature) args =
+  let nparams = List.length sg.Types.params in
+  if nparams > 4 then error loc "more than 4 named parameters in %s" name;
+  if List.length args < nparams then error loc "too few arguments to %s" name;
+  if (not sg.Types.varargs) && List.length args > nparams then
+    error loc "too many arguments to %s" name;
+  let rec split i = function
+    | [] -> ([], [])
+    | x :: rest ->
+      let named, extra = split (i + 1) rest in
+      if i < nparams then (x :: named, extra) else (named, x :: extra)
+  in
+  let named_args, extra_args = split 0 args in
+  let tnamed = List.map2 (fun a ty -> coerce loc (check_expr env a) ty) named_args sg.Types.params in
+  let textra =
+    List.map
+      (fun a ->
+        let ta = check_expr env a in
+        if is_float_ty ta.Tast.ty then error loc "float varargs are unsupported";
+        ta)
+      extra_args
+  in
+  mk sg.Types.ret (Tast.Tcall (name, tnamed, textra))
+
+let check_condition env (e : Ast.expr) =
+  let te = check_expr env e in
+  match Types.decay te.Tast.ty with
+  | Types.Tfloat ->
+    (* f as a condition means f != 0.0 *)
+    mk Types.Tint (Tast.Tbinop (Tast.Ofne, te, mk Types.Tfloat (Tast.Tconst 0)))
+  | Types.Tvoid -> error e.Ast.loc "void value used as condition"
+  | _ -> te
+
+let rec check_stmt env (s : Ast.stmt) : Tast.tstmt =
+  match s with
+  | Ast.Sexpr e -> Tast.Sexpr (check_expr env e)
+  | Ast.Sdecl (ty, name, init) -> (
+    let loc = match init with Some e -> e.Ast.loc | None -> { Ast.line = 0; col = 0 } in
+    (match ty with
+    | Types.Tvoid -> error loc "void variable %s" name
+    | _ -> ());
+    let slot = declare_local env loc name ty in
+    match init with
+    | None -> Tast.Sblock []
+    | Some e -> (
+      match ty with
+      | Types.Tarray _ -> error e.Ast.loc "array initializers are not supported for locals"
+      | _ ->
+        let te = coerce e.Ast.loc (check_expr env e) ty in
+        Tast.Sexpr (mk ty (Tast.Tassign_local (slot, te)))))
+  | Ast.Sif (cond, then_, else_) ->
+    let c = check_condition env cond in
+    Tast.Sif (c, check_block env then_, check_block env else_)
+  | Ast.Swhile (cond, body) ->
+    let c = check_condition env cond in
+    env.loop_depth <- env.loop_depth + 1;
+    let body = check_block env body in
+    env.loop_depth <- env.loop_depth - 1;
+    Tast.Swhile (c, body)
+  | Ast.Sdo_while (body, cond) ->
+    env.loop_depth <- env.loop_depth + 1;
+    let tbody = check_block env body in
+    env.loop_depth <- env.loop_depth - 1;
+    let c = check_condition env cond in
+    Tast.Sdo_while (tbody, c)
+  | Ast.Sfor (init, cond, step, body) ->
+    env.scopes <- [] :: env.scopes;
+    let tinit = match init with None -> [] | Some s -> [ check_stmt env s ] in
+    let tcond = Option.map (check_condition env) cond in
+    let tstep = Option.map (check_expr env) step in
+    env.loop_depth <- env.loop_depth + 1;
+    let tbody = check_block env body in
+    env.loop_depth <- env.loop_depth - 1;
+    env.scopes <- List.tl env.scopes;
+    Tast.Sfor (tinit, tcond, tstep, tbody)
+  | Ast.Sreturn None ->
+    if not (Types.equal env.ret Types.Tvoid) then
+      error { Ast.line = 0; col = 0 } "return without a value in a non-void function";
+    Tast.Sreturn None
+  | Ast.Sreturn (Some e) ->
+    if Types.equal env.ret Types.Tvoid then error e.Ast.loc "return with a value in a void function";
+    Tast.Sreturn (Some (coerce e.Ast.loc (check_expr env e) env.ret))
+  | Ast.Sbreak ->
+    if env.loop_depth = 0 then error { Ast.line = 0; col = 0 } "break outside a loop";
+    Tast.Sbreak
+  | Ast.Scontinue ->
+    if env.loop_depth = 0 then error { Ast.line = 0; col = 0 } "continue outside a loop";
+    Tast.Scontinue
+  | Ast.Sgoto label ->
+    env.gotos <- (label, { Ast.line = 0; col = 0 }) :: env.gotos;
+    Tast.Sgoto label
+  | Ast.Slabel label ->
+    if List.mem label env.labels then
+      error { Ast.line = 0; col = 0 } "duplicate label %s" label;
+    env.labels <- label :: env.labels;
+    Tast.Slabel label
+  | Ast.Sblock body -> Tast.Sblock (check_block env body)
+
+and check_block env body =
+  env.scopes <- [] :: env.scopes;
+  let result = List.map (check_stmt env) body in
+  env.scopes <- List.tl env.scopes;
+  result
+
+let check_func genv (f : Ast.func) : Tast.tfunc =
+  List.iter
+    (fun (ty, _) ->
+      match ty with
+      | Types.Tfloat -> error f.Ast.floc "float parameters are unsupported"
+      | _ -> ())
+    f.Ast.params;
+  let env =
+    {
+      genv;
+      scopes = [ [] ];
+      next_slot = 0;
+      frame_words = 0;
+      loop_depth = 0;
+      labels = [];
+      gotos = [];
+      ret = f.Ast.ret;
+      varargs = f.Ast.varargs;
+    }
+  in
+  (* Parameters occupy the first frame slots, in order. *)
+  List.iter (fun (ty, name) -> ignore (declare_local env f.Ast.floc name (Types.decay ty))) f.Ast.params;
+  let body = List.map (check_stmt env) f.Ast.body in
+  List.iter
+    (fun (label, loc) ->
+      if not (List.mem label env.labels) then error loc "goto to undefined label %s" label)
+    env.gotos;
+  {
+    Tast.name = f.Ast.fname;
+    params = List.map (fun (ty, _) -> Types.decay ty) f.Ast.params;
+    varargs = f.Ast.varargs;
+    ret = f.Ast.ret;
+    frame_words = env.frame_words;
+    body;
+  }
+
+let check (program : Ast.program) : Tast.tprogram =
+  let genv = { sigs = Hashtbl.create 16; globals = Hashtbl.create 16 } in
+  let reserved = [ "malloc"; "__setjmp"; "__longjmp"; "__va_arg" ] in
+  (* Pass 1: collect signatures and globals so definition order is free and
+     recursion (rule 16.2 study) typechecks. *)
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Gfunc f ->
+        if List.mem f.Ast.fname reserved then error f.Ast.floc "%s is reserved" f.Ast.fname;
+        if Hashtbl.mem genv.sigs f.Ast.fname then error f.Ast.floc "duplicate function %s" f.Ast.fname;
+        Hashtbl.add genv.sigs f.Ast.fname
+          {
+            Types.params = List.map (fun (ty, _) -> Types.decay ty) f.Ast.params;
+            varargs = f.Ast.varargs;
+            ret = f.Ast.ret;
+          }
+      | Ast.Gvar { name; ty; _ } ->
+        if Hashtbl.mem genv.globals name then
+          error { Ast.line = 0; col = 0 } "duplicate global %s" name;
+        Hashtbl.add genv.globals name ty)
+    program;
+  let globals =
+    List.filter_map
+      (fun g ->
+        match g with
+        | Ast.Gfunc _ -> None
+        | Ast.Gvar { placement; ty; name; init } ->
+          let size = Types.size_words ty in
+          (match init with
+          | Some values when List.length values > size ->
+            error { Ast.line = 0; col = 0 } "too many initializers for %s" name
+          | Some _ | None -> ());
+          Some { Tast.gname = name; gty = ty; placement; init; size_words = size })
+      program
+  in
+  let funcs =
+    List.filter_map (fun g -> match g with Ast.Gfunc f -> Some (check_func genv f) | Ast.Gvar _ -> None) program
+  in
+  { Tast.globals; funcs }

@@ -1,0 +1,13 @@
+(** Name resolution, type checking and elaboration into {!Tast}.
+
+    Builtins: malloc (byte count, returns a word pointer), __setjmp
+    (jmp_buf pointer, returns int), __longjmp (jmp_buf pointer and value,
+    returns nothing), __va_arg (index, returns the variadic argument).
+
+    MiniC division and modulo have unsigned semantics (like the small-target
+    C dialects the paper's software-arithmetic discussion concerns); signed
+    programs in the corpus only divide non-negative values. *)
+
+exception Error of string * Ast.loc
+
+val check : Ast.program -> Tast.tprogram

@@ -1,0 +1,1 @@
+lib/pipeline/block_timing.ml: Array Hashtbl List Option Pred32_hw Pred32_isa Pred32_memory Wcet_cache Wcet_cfg Wcet_value

@@ -1,0 +1,1 @@
+lib/pipeline/block_timing.mli: Pred32_hw Pred32_isa Pred32_memory Wcet_cache Wcet_value

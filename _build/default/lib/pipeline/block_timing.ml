@@ -1,0 +1,111 @@
+module Insn = Pred32_isa.Insn
+module Region = Pred32_memory.Region
+module Hw_config = Pred32_hw.Hw_config
+module Timing = Pred32_hw.Timing
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Analysis = Wcet_value.Analysis
+module CA = Wcet_cache.Cache_analysis
+
+type t = { wcet : int array; bcet : int array }
+
+let fetch_worst (cfg : Hw_config.t) ~addr = function
+  | CA.Always_hit -> Timing.fetch_cycles cfg ~outcome:Timing.Cached_hit ~addr
+  | CA.Always_miss | CA.Not_classified ->
+    Timing.fetch_cycles cfg ~outcome:Timing.Cached_miss ~addr
+  | CA.Bypass -> Timing.fetch_cycles cfg ~outcome:Timing.Uncached ~addr
+
+let fetch_best (cfg : Hw_config.t) ~addr = function
+  | CA.Always_hit | CA.Not_classified ->
+    Timing.fetch_cycles cfg ~outcome:Timing.Cached_hit ~addr
+  | CA.Always_miss -> Timing.fetch_cycles cfg ~outcome:Timing.Cached_miss ~addr
+  | CA.Bypass -> Timing.fetch_cycles cfg ~outcome:Timing.Uncached ~addr
+
+let data_worst (cfg : Hw_config.t) ~is_store kind regions =
+  if is_store then Timing.worst_data_write_cycles cfg regions
+  else
+    match kind with
+    | CA.Always_hit -> 1
+    | CA.Always_miss | CA.Not_classified -> Timing.worst_data_read_cycles cfg regions
+    | CA.Bypass ->
+      List.fold_left (fun acc (r : Region.t) -> max acc r.Region.read_latency) 1 regions
+
+let data_best (cfg : Hw_config.t) ~is_store kind regions =
+  ignore cfg;
+  if is_store then
+    List.fold_left (fun acc (r : Region.t) -> min acc r.Region.write_latency) max_int
+      (match regions with [] -> [] | rs -> rs)
+    |> fun v -> if v = max_int then 1 else v
+  else
+    match kind with
+    | CA.Always_hit | CA.Not_classified -> 1
+    | CA.Always_miss | CA.Bypass ->
+      let v =
+        List.fold_left (fun acc (r : Region.t) -> min acc r.Region.read_latency) max_int regions
+      in
+      if v = max_int then 1 else v
+
+let control_penalty (cfg : Hw_config.t) insn ~worst =
+  match Insn.control_flow insn with
+  | Insn.Branch_to _ -> if worst then cfg.Hw_config.branch_taken_penalty else 0
+  | Insn.Jump_to _ | Insn.Call_to _ | Insn.Indirect_jump | Insn.Indirect_call ->
+    cfg.Hw_config.branch_taken_penalty
+  | Insn.Fallthrough | Insn.Stop -> 0
+
+let insn_worst_cycles cfg ~fetch_class ~data ~addr insn =
+  let fetch = fetch_worst cfg ~addr fetch_class in
+  let base = Timing.base_cycles cfg insn in
+  let data_cost =
+    match data with
+    | None -> 0
+    | Some (kind, regions) -> data_worst cfg ~is_store:(Insn.writes_memory insn) kind regions
+  in
+  fetch + base + data_cost + control_penalty cfg insn ~worst:true
+
+let insn_best_cycles cfg ~fetch_class ~data ~addr insn =
+  let fetch = fetch_best cfg ~addr fetch_class in
+  let base = Timing.base_cycles cfg insn in
+  let data_cost =
+    match data with
+    | None -> 0
+    | Some (kind, regions) -> data_best cfg ~is_store:(Insn.writes_memory insn) kind regions
+  in
+  fetch + base + data_cost + control_penalty cfg insn ~worst:false
+
+let compute (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
+    ~(persistence : Wcet_cache.Persistence.t) =
+  let nodes = value.Analysis.graph.Supergraph.nodes in
+  let n = Array.length nodes in
+  let wcet = Array.make n 0 and bcet = Array.make n 0 in
+  Array.iteri
+    (fun i node ->
+      let insns = node.Supergraph.block.Func_cfg.insns in
+      let data_of idx =
+        List.find_opt (fun (d : CA.data_access) -> d.CA.insn_index = idx) cache.CA.data.(i)
+        |> Option.map (fun (d : CA.data_access) -> (d.CA.kind, d.CA.regions))
+      in
+      let w = ref persistence.Wcet_cache.Persistence.entry_extra.(i) and b = ref 0 in
+      Array.iteri
+        (fun idx (addr, insn) ->
+          (* Persistence downgrades a not-classified access to a hit; its
+             one-time miss charge sits in entry_extra of the loop entries. *)
+          let fetch_class =
+            if Hashtbl.mem persistence.Wcet_cache.Persistence.persistent_fetch (i, idx) then
+              CA.Always_hit
+            else cache.CA.fetch.(i).(idx)
+          in
+          let data =
+            match data_of idx with
+            | Some (kind, regions)
+              when kind = CA.Not_classified
+                   && Hashtbl.mem persistence.Wcet_cache.Persistence.persistent_data (i, idx) ->
+              Some (CA.Always_hit, regions)
+            | d -> d
+          in
+          w := !w + insn_worst_cycles cfg ~fetch_class ~data ~addr insn;
+          b := !b + insn_best_cycles cfg ~fetch_class:cache.CA.fetch.(i).(idx) ~data:(data_of idx) ~addr insn)
+        insns;
+      wcet.(i) <- !w;
+      bcet.(i) <- !b)
+    nodes;
+  { wcet; bcet }

@@ -1,0 +1,33 @@
+(** The pipeline analysis of Figure 1: per-basic-block execution-time
+    bounds.
+
+    Combines the shared {!Pred32_hw.Timing} cost model with the cache
+    classifications: always-hit fetches cost the hit latency, everything
+    else the worst case; unresolved data accesses are charged against the
+    slowest candidate region. Control-transfer penalties are included
+    pessimistically (a conditional branch is costed as taken).
+
+    The lower bound [bcet] takes the optimistic side everywhere; it is used
+    for reporting the block-level analysis gap, not for guarantees. *)
+
+type t = {
+  wcet : int array;  (** per supergraph node id *)
+  bcet : int array;
+}
+
+val compute :
+  Pred32_hw.Hw_config.t ->
+  Wcet_value.Analysis.result ->
+  Wcet_cache.Cache_analysis.result ->
+  persistence:Wcet_cache.Persistence.t ->
+  t
+
+(** [insn_worst_cycles cfg ~fetch_class ~data ~addr insn] — exposed for unit
+    tests: worst-case cycles of one instruction. *)
+val insn_worst_cycles :
+  Pred32_hw.Hw_config.t ->
+  fetch_class:Wcet_cache.Cache_analysis.classification ->
+  data:(Wcet_cache.Cache_analysis.classification * Pred32_memory.Region.t list) option ->
+  addr:int ->
+  Pred32_isa.Insn.t ->
+  int

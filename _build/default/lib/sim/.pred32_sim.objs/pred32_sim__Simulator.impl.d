@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Format Hashtbl Option Pred32_asm Pred32_hw Pred32_isa Pred32_memory Printf

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Format Pred32_asm Pred32_hw Pred32_isa

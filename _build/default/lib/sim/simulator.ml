@@ -1,0 +1,234 @@
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+module Word = Pred32_isa.Word
+module Encode = Pred32_isa.Encode
+module Image = Pred32_memory.Image
+module Memory_map = Pred32_memory.Memory_map
+module Region = Pred32_memory.Region
+module Hw_config = Pred32_hw.Hw_config
+module Cache_config = Pred32_hw.Cache_config
+module Lru_cache = Pred32_hw.Lru_cache
+module Timing = Pred32_hw.Timing
+module Program = Pred32_asm.Program
+
+type fault = Illegal_instruction of int | Bus_error of int | Write_to_rom of int
+
+type outcome =
+  | Halted of { cycles : int; steps : int; return_value : Word.t }
+  | Faulted of { fault : fault; cycles : int; steps : int }
+  | Out_of_fuel of { cycles : int; steps : int }
+
+type t = {
+  cfg : Hw_config.t;
+  program : Program.t;
+  mem : Image.t;
+  regs : int array;
+  icache : Lru_cache.t option;
+  dcache : Lru_cache.t option;
+  counts : (int, int) Hashtbl.t;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable steps : int;
+}
+
+let create cfg program =
+  {
+    cfg;
+    program;
+    mem = Image.copy program.Program.image;
+    regs = Array.make 16 0;
+    icache = Option.map Lru_cache.create cfg.Hw_config.icache;
+    dcache = Option.map Lru_cache.create cfg.Hw_config.dcache;
+    counts = Hashtbl.create 256;
+    pc = program.Program.entry;
+    cycles = 0;
+    steps = 0;
+  }
+
+let poke_word t addr v = Image.write_word t.mem addr v
+
+let poke_symbol t name index v =
+  let base = Program.symbol t.program name in
+  poke_word t (base + (4 * index)) v
+
+let peek_word t addr = Image.read_word t.mem addr
+
+let peek_symbol t name index =
+  let base = Program.symbol t.program name in
+  peek_word t (base + (4 * index))
+
+let exec_count t addr = Option.value ~default:0 (Hashtbl.find_opt t.counts addr)
+
+let get t r = if Reg.equal r Reg.zero then 0 else t.regs.(Reg.to_int r)
+
+let set t r v = if not (Reg.equal r Reg.zero) then t.regs.(Reg.to_int r) <- Word.mask v
+
+let alu_eval op a b =
+  match op with
+  | Insn.Add -> Word.add a b
+  | Insn.Sub -> Word.sub a b
+  | Insn.Mul -> Word.mul a b
+  | Insn.Divu -> Word.divu a b
+  | Insn.Remu -> Word.remu a b
+  | Insn.And -> Word.logand a b
+  | Insn.Or -> Word.logor a b
+  | Insn.Xor -> Word.logxor a b
+  | Insn.Shl -> Word.shl a b
+  | Insn.Shr -> Word.shr a b
+  | Insn.Sra -> Word.sra a b
+  | Insn.Slt -> Word.slt a b
+  | Insn.Sltu -> Word.sltu a b
+
+let cond_eval c a b =
+  match c with
+  | Insn.Beq -> Word.equal a b
+  | Insn.Bne -> not (Word.equal a b)
+  | Insn.Blt -> Word.to_signed a < Word.to_signed b
+  | Insn.Bge -> Word.to_signed a >= Word.to_signed b
+  | Insn.Bltu -> a < b
+  | Insn.Bgeu -> a >= b
+
+(* Cache access for an address in [region]: returns the Timing outcome. *)
+let cache_access cache (region : Region.t) addr =
+  match cache with
+  | Some c when region.Region.cacheable ->
+    let line = Cache_config.line_of_addr (Lru_cache.config c) addr in
+    if Lru_cache.access c line then Timing.Cached_hit else Timing.Cached_miss
+  | Some _ | None -> Timing.Uncached
+
+exception Fault of fault
+
+let region_of t addr =
+  match Memory_map.find t.cfg.Hw_config.map addr with
+  | Some r -> r
+  | None -> raise (Fault (Bus_error addr))
+
+let step t =
+  let pc = t.pc in
+  (* Fetch. *)
+  let fetch_region = region_of t pc in
+  let fetch_outcome = cache_access t.icache fetch_region pc in
+  t.cycles <- t.cycles + Timing.fetch_cycles t.cfg ~outcome:fetch_outcome ~addr:pc;
+  let word =
+    try Image.read_word t.mem pc with Image.Bus_error a -> raise (Fault (Bus_error a))
+  in
+  let insn = Encode.decode (Word.to_int32 word) in
+  Hashtbl.replace t.counts pc (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts pc));
+  t.cycles <- t.cycles + Timing.base_cycles t.cfg insn;
+  t.steps <- t.steps + 1;
+  let taken_penalty () = t.cycles <- t.cycles + t.cfg.Hw_config.branch_taken_penalty in
+  let next = pc + 4 in
+  match insn with
+  | Insn.Alu (op, rd, rs1, rs2) ->
+    set t rd (alu_eval op (get t rs1) (get t rs2));
+    t.pc <- next;
+    true
+  | Insn.Alui (op, rd, rs1, imm) ->
+    set t rd (alu_eval op (get t rs1) (Word.of_signed imm));
+    t.pc <- next;
+    true
+  | Insn.Lui (rd, imm) ->
+    set t rd (Word.shl (Word.of_signed imm) 16);
+    t.pc <- next;
+    true
+  | Insn.Load (rd, rs1, imm) ->
+    let addr = Word.add (get t rs1) (Word.of_signed imm) in
+    let region = region_of t addr in
+    let outcome = cache_access t.dcache region addr in
+    t.cycles <- t.cycles + Timing.data_read_cycles t.cfg ~outcome ~region;
+    let v =
+      try Image.read_word t.mem addr with Image.Bus_error a -> raise (Fault (Bus_error a))
+    in
+    set t rd v;
+    t.pc <- next;
+    true
+  | Insn.Store (rs2, rs1, imm) ->
+    let addr = Word.add (get t rs1) (Word.of_signed imm) in
+    let region = region_of t addr in
+    t.cycles <- t.cycles + Timing.data_write_cycles t.cfg ~region;
+    (try Image.write_word t.mem addr (get t rs2) with
+    | Image.Bus_error a -> raise (Fault (Bus_error a))
+    | Image.Write_to_rom a -> raise (Fault (Write_to_rom a)));
+    t.pc <- next;
+    true
+  | Insn.Branch (c, rs1, rs2, off) ->
+    if cond_eval c (get t rs1) (get t rs2) then begin
+      taken_penalty ();
+      t.pc <- next + (4 * off)
+    end
+    else t.pc <- next;
+    true
+  | Insn.Jump w ->
+    taken_penalty ();
+    t.pc <- 4 * w;
+    true
+  | Insn.Call w ->
+    taken_penalty ();
+    set t Reg.lr next;
+    t.pc <- 4 * w;
+    true
+  | Insn.Jump_reg rs ->
+    taken_penalty ();
+    t.pc <- get t rs;
+    true
+  | Insn.Call_reg rs ->
+    taken_penalty ();
+    let target = get t rs in
+    set t Reg.lr next;
+    t.pc <- target;
+    true
+  | Insn.Cmovnz (rd, rs1, rs2) ->
+    if get t rs1 <> 0 then set t rd (get t rs2);
+    t.pc <- next;
+    true
+  | Insn.Nop ->
+    t.pc <- next;
+    true
+  | Insn.Halt -> false
+  | Insn.Illegal _ -> raise (Fault (Illegal_instruction pc))
+
+let run ?(fuel = 20_000_000) t =
+  t.pc <- t.program.Program.entry;
+  t.cycles <- 0;
+  t.steps <- 0;
+  Hashtbl.reset t.counts;
+  let rec loop remaining =
+    if remaining = 0 then Out_of_fuel { cycles = t.cycles; steps = t.steps }
+    else
+      match step t with
+      | true -> loop (remaining - 1)
+      | false ->
+        Halted { cycles = t.cycles; steps = t.steps; return_value = get t Reg.rv }
+      | exception Fault fault -> Faulted { fault; cycles = t.cycles; steps = t.steps }
+  in
+  loop fuel
+
+let cycles_of = function
+  | Halted { cycles; _ } | Faulted { cycles; _ } | Out_of_fuel { cycles; _ } -> cycles
+
+let halted_cycles = function
+  | Halted { cycles; _ } -> cycles
+  | Faulted { fault; _ } ->
+    let detail =
+      match fault with
+      | Illegal_instruction pc -> Printf.sprintf "illegal instruction at 0x%x" pc
+      | Bus_error a -> Printf.sprintf "bus error at 0x%x" a
+      | Write_to_rom a -> Printf.sprintf "write to rom at 0x%x" a
+    in
+    invalid_arg ("Simulator.halted_cycles: faulted: " ^ detail)
+  | Out_of_fuel _ -> invalid_arg "Simulator.halted_cycles: out of fuel"
+
+let pp_outcome ppf = function
+  | Halted { cycles; steps; return_value } ->
+    Format.fprintf ppf "halted after %d cycles (%d insns), rv=%d" cycles steps
+      (Word.to_signed return_value)
+  | Faulted { fault; cycles; steps } ->
+    let detail =
+      match fault with
+      | Illegal_instruction pc -> Printf.sprintf "illegal instruction at 0x%x" pc
+      | Bus_error a -> Printf.sprintf "bus error at 0x%x" a
+      | Write_to_rom a -> Printf.sprintf "write to rom at 0x%x" a
+    in
+    Format.fprintf ppf "faulted (%s) after %d cycles (%d insns)" detail cycles steps
+  | Out_of_fuel { cycles; steps } ->
+    Format.fprintf ppf "out of fuel after %d cycles (%d insns)" cycles steps

@@ -1,0 +1,50 @@
+(** Cycle-level PRED32 simulator.
+
+    Executes a linked {!Pred32_asm.Program.t} under a {!Pred32_hw.Hw_config.t}
+    using exactly the timing model of {!Pred32_hw.Timing}, so simulated cycle
+    counts are directly comparable to (and must never exceed) the WCET bounds
+    computed by the static analyzer for the same configuration.
+
+    Each [create] deep-copies the program image: runs are independent, and
+    inputs are injected by poking memory before [run]. *)
+
+type t
+
+type fault =
+  | Illegal_instruction of int  (** pc *)
+  | Bus_error of int  (** offending address *)
+  | Write_to_rom of int
+
+type outcome =
+  | Halted of { cycles : int; steps : int; return_value : Pred32_isa.Word.t }
+  | Faulted of { fault : fault; cycles : int; steps : int }
+  | Out_of_fuel of { cycles : int; steps : int }
+
+val create : Pred32_hw.Hw_config.t -> Pred32_asm.Program.t -> t
+
+(** [poke_word t addr v] writes into the run's memory (before or between
+    runs); [poke_symbol t name index v] writes the [index]-th word of a data
+    symbol. *)
+val poke_word : t -> int -> Pred32_isa.Word.t -> unit
+
+val poke_symbol : t -> string -> int -> Pred32_isa.Word.t -> unit
+val peek_word : t -> int -> Pred32_isa.Word.t
+val peek_symbol : t -> string -> int -> Pred32_isa.Word.t
+
+(** [run ?fuel t] executes from the program entry until [Halt], a fault, or
+    [fuel] instructions (default 20 million). *)
+val run : ?fuel:int -> t -> outcome
+
+(** [exec_count t addr] is how many times the instruction at [addr] executed
+    during the last [run] (basic-block execution counts for comparing
+    against IPET solutions). *)
+val exec_count : t -> int -> int
+
+val cycles_of : outcome -> int
+
+(** [halted_cycles outcome] returns the cycle count of a [Halted] run and
+    raises [Invalid_argument] otherwise — the harness's "this input must run
+    to completion" assertion. *)
+val halted_cycles : outcome -> int
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/softarith/ldivmod.ml: Hashtbl Int64 List Option Wcet_util

@@ -1,0 +1,1 @@
+lib/softarith/ldivmod.mli:

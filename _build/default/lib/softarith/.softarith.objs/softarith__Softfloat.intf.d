@@ -1,0 +1,1 @@
+lib/softarith/softfloat.mli:

@@ -1,0 +1,94 @@
+type result = { quotient : int; remainder : int; iterations : int }
+
+let mask32 = 0xFFFFFFFF
+
+(* Mirrors __ediv in the MiniC runtime: 32-by-16-bit restoring division.
+   For the reference model the restoring loop is equivalent to exact
+   integer division, which we use directly. *)
+let ediv a b = if b = 0 then (mask32, a) else (a / b, a mod b)
+
+let udivmod a b =
+  let a = a land mask32 and b = b land mask32 in
+  if b = 0 then { quotient = mask32; remainder = a; iterations = 0 }
+  else if b < 0x10000 then begin
+    let qh, r1 = ediv (a lsr 16) b in
+    let low = (r1 lsl 16) lor (a land 0xFFFF) in
+    let ql, r = ediv low b in
+    { quotient = ((qh lsl 16) lor ql) land mask32; remainder = r; iterations = 0 }
+  end
+  else begin
+    (* Slow path: the first approximation pass always runs (like the
+       original routine), then correction passes until the remainder is
+       below the divisor. *)
+    let d = b lsr 16 in
+    let q = ref 0 and r = ref a and iterations = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      incr iterations;
+      let t, _ = ediv (!r lsr 16) (d + 1) in
+      let t = if t = 0 && !r >= b then 1 else t in
+      q := (!q + t) land mask32;
+      r := (!r - (t * b)) land mask32;
+      continue_ := !r >= b
+    done;
+    { quotient = !q; remainder = !r; iterations = !iterations }
+  end
+
+let iterations a b = (udivmod a b).iterations
+
+let udivmod_restoring a b =
+  let a = a land mask32 and b = b land mask32 in
+  let q = ref 0 and r = ref 0 and a = ref a in
+  for _ = 1 to 32 do
+    r := ((!r lsl 1) lor ((!a lsr 31) land 1)) land mask32;
+    a := (!a lsl 1) land mask32;
+    q := (!q lsl 1) land mask32;
+    if !r >= b then begin
+      r := !r - b;
+      q := !q lor 1
+    end
+  done;
+  { quotient = !q; remainder = !r; iterations = 32 }
+
+let histogram ~samples ~seed () =
+  let rng = Wcet_util.Pcg.create ~seed () in
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let witnesses : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  for _ = 1 to samples do
+    let a = Int64.to_int (Wcet_util.Pcg.next_uint32 rng) in
+    let b = Int64.to_int (Wcet_util.Pcg.next_uint32 rng) in
+    let n = iterations a b in
+    Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n));
+    if not (Hashtbl.mem witnesses n) then Hashtbl.add witnesses n (a, b)
+  done;
+  let hist =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] |> List.sort compare
+  in
+  let top =
+    hist |> List.rev
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map (fun (n, _) -> (n, Hashtbl.find witnesses n))
+  in
+  (hist, top)
+
+let bucketize hist =
+  let buckets =
+    [
+      ("0", 0, 0); ("1", 1, 1); ("2", 2, 2); ("3", 3, 3);
+      ("4 .. 9", 4, 9); ("10 .. 19", 10, 19); ("20 .. 39", 20, 39);
+      ("40 .. 59", 40, 59); ("60 .. 79", 60, 79); ("80 .. 99", 80, 99);
+      ("100 .. 135", 100, 135);
+    ]
+  in
+  let in_bucket lo hi = List.fold_left (fun acc (n, c) -> if n >= lo && n <= hi then acc + c else acc) 0 hist in
+  let bucket_rows =
+    List.filter_map
+      (fun (label, lo, hi) ->
+        let c = in_bucket lo hi in
+        if c > 0 || hi <= 3 then Some (label, c) else None)
+      buckets
+  in
+  let tail_rows =
+    List.filter_map (fun (n, c) -> if n > 135 then Some (string_of_int n, c) else None) hist
+  in
+  bucket_rows @ tail_rows

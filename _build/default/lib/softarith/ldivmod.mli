@@ -1,0 +1,43 @@
+(** Reference model of the lDivMod software divider (Section 4.4, Table 1).
+
+    Mirrors, bit for bit, the MiniC runtime routine [__udivmod32] in
+    {!Minic.Runtime}: 32-by-32-bit unsigned division by successive
+    approximation. Divisors below 2^16 finish in two fixed-latency EDIV
+    steps (0 iterations); larger divisors get a partial quotient estimated
+    from their top 16 bits, corrected until the remainder drops below the
+    divisor. The iteration count is strongly data-dependent — the paper's
+    example of software with good average but poor worst-case
+    predictability — and there is no simple way to compute it from the
+    inputs other than running the algorithm.
+
+    The property test suite checks this model against the simulated MiniC
+    routine on random inputs (quotient, remainder, and iteration count). *)
+
+type result = { quotient : int; remainder : int; iterations : int }
+
+(** [udivmod a b] for 32-bit unsigned [a], [b]. Division by zero returns
+    quotient [0xFFFFFFFF] and remainder [a] (the PRED32 convention). *)
+val udivmod : int -> int -> result
+
+(** [iterations a b] is just the loop-pass count. *)
+val iterations : int -> int -> int
+
+(** The restoring divider used as the WCET-predictable baseline: always 32
+    iterations. *)
+val udivmod_restoring : int -> int -> result
+
+(** [histogram ~samples ~seed ()] reproduces the Table 1 experiment:
+    iteration counts of [udivmod] over uniformly random input pairs.
+    Returns a sorted association list (iteration count, occurrences) plus
+    the maximal observed iteration inputs. *)
+val histogram :
+  samples:int ->
+  seed:int64 ->
+  unit ->
+  (int * int) list * (int * (int * int)) list
+(** The second component lists the top observed iteration counts with a
+    sample input pair for each. *)
+
+(** The paper's Table 1 bucket boundaries: 0, 1, 2, 3, 4-9, 10-19, 20-39,
+    40-59, 60-79, 80-99, 100-135, then exact rows for the tail. *)
+val bucketize : (int * int) list -> (string * int) list

@@ -1,0 +1,111 @@
+let mask32 = 0xFFFFFFFF
+
+(* Mirror of __f_norm_pack. *)
+let norm_pack s e m =
+  let e = ref e and m = ref m in
+  while !m >= 0x1000000 do
+    m := !m lsr 1;
+    incr e
+  done;
+  while !m <> 0 && !m < 0x800000 do
+    m := !m lsl 1;
+    decr e
+  done;
+  if !m = 0 || !e <= 0 then 0
+  else if !e >= 255 then (s lsl 31) lor 0x7F800000
+  else ((s lsl 31) lor (!e lsl 23) lor (!m land 0x7FFFFF)) land mask32
+
+let exp_bits x = (x lsr 23) land 0xFF
+
+let f_add a b =
+  let a = a land mask32 and b = b land mask32 in
+  if a land 0x7F800000 = 0 then b
+  else if b land 0x7F800000 = 0 then a
+  else begin
+    let ea = exp_bits a and eb = exp_bits b in
+    let a, b, ea, _eb, shift =
+      if ea < eb || (ea = eb && a land 0x7FFFFF < b land 0x7FFFFF) then (b, a, eb, ea, eb - ea)
+      else (a, b, ea, eb, ea - eb)
+    in
+    let sa = a lsr 31 and sb = b lsr 31 in
+    let ma = a land 0x7FFFFF lor 0x800000 in
+    let mb = b land 0x7FFFFF lor 0x800000 in
+    if shift > 24 then a
+    else begin
+      let mb = mb lsr shift in
+      if sa = sb then norm_pack sa ea (ma + mb)
+      else if ma = mb then 0
+      else norm_pack sa ea (ma - mb)
+    end
+  end
+
+let f_sub a b = f_add a (b lxor 0x80000000)
+
+let f_mul a b =
+  let a = a land mask32 and b = b land mask32 in
+  if a land 0x7F800000 = 0 || b land 0x7F800000 = 0 then 0
+  else begin
+    let s = (a lsr 31) lxor (b lsr 31) in
+    let e = exp_bits a + exp_bits b - 127 in
+    let m =
+      (((a land 0x7FFFFF lor 0x800000) lsr 8) * ((b land 0x7FFFFF lor 0x800000) lsr 8)) lsr 7
+    in
+    norm_pack s e m
+  end
+
+let f_div a b =
+  let a = a land mask32 and b = b land mask32 in
+  if a land 0x7F800000 = 0 then 0
+  else if b land 0x7F800000 = 0 then 0x7F800000
+  else begin
+    let s = (a lsr 31) lxor (b lsr 31) in
+    let e = exp_bits a - exp_bits b + 127 in
+    let m =
+      (((a land 0x7FFFFF lor 0x800000) lsl 7) / ((b land 0x7FFFFF lor 0x800000) lsr 8)) lsl 8
+    in
+    norm_pack s e m
+  end
+
+let flush x = if x land 0x7F800000 = 0 then 0 else x land mask32
+
+let f_lt a b =
+  let a = flush a and b = flush b in
+  if a = b then 0
+  else begin
+    let sa = a lsr 31 and sb = b lsr 31 in
+    if sa <> sb then sa
+    else if sa = 0 then if a < b then 1 else 0
+    else if b < a then 1
+    else 0
+  end
+
+let f_le a b = f_lt b a lxor 1
+
+let f_eq a b = if flush a = flush b then 1 else 0
+
+let f_from_int i =
+  if i = 0 then 0
+  else begin
+    let s = if i < 0 then 1 else 0 in
+    let m = if i < 0 then -i land mask32 else i land mask32 in
+    norm_pack s 150 m
+  end
+
+let f_to_int f =
+  let f = f land mask32 in
+  if f land 0x7F800000 = 0 then 0
+  else begin
+    let e = exp_bits f in
+    let m = f land 0x7FFFFF lor 0x800000 in
+    if e < 127 then 0
+    else if e > 157 then 0
+    else begin
+      let v = if e >= 150 then (m lsl (e - 150)) land mask32 else m lsr (150 - e) in
+      let v = v land mask32 in
+      let v = if v land 0x80000000 <> 0 then v - 0x100000000 else v in
+      if f lsr 31 <> 0 then -v else v
+    end
+  end
+
+let bits_of_float f = Int32.to_int (Int32.bits_of_float f) land mask32
+let float_of_bits b = Int32.float_of_bits (Int32.of_int b)

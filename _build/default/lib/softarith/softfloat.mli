@@ -1,0 +1,28 @@
+(** Reference model of the MiniC soft-float runtime: simplified binary32
+    with flush-to-zero and truncating rounding (no NaN/infinity
+    arithmetic).
+
+    Bit-for-bit the same algorithms as the routines in
+    {!Minic.Runtime.float_source}; property tests compare this model against
+    the simulated runtime, and against native OCaml floats within the
+    documented precision (the multiplier and divider keep ~16 mantissa
+    bits). *)
+
+val f_add : int -> int -> int
+val f_sub : int -> int -> int
+val f_mul : int -> int -> int
+val f_div : int -> int -> int
+
+val f_lt : int -> int -> int  (** 1 or 0 *)
+
+val f_le : int -> int -> int
+val f_eq : int -> int -> int
+val f_from_int : int -> int  (** signed 32-bit int to float bits *)
+
+val f_to_int : int -> int  (** truncation toward zero *)
+
+(** [bits_of_float f] / [float_of_bits b] — IEEE binary32 encode/decode for
+    building test vectors and judging accuracy. *)
+val bits_of_float : float -> int
+
+val float_of_bits : int -> float

@@ -1,0 +1,1 @@
+lib/util/pcg.ml: Int64

@@ -1,0 +1,1 @@
+lib/util/rat.ml: Format

@@ -1,0 +1,1 @@
+lib/util/rat.mli: Format

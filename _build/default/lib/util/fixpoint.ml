@@ -1,0 +1,78 @@
+module type Domain = sig
+  type t
+
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+module Make (D : Domain) = struct
+  type problem = {
+    num_nodes : int;
+    entries : (int * D.t) list;
+    succs : int -> int list;
+    transfer : int -> D.t -> D.t;
+    widening_points : int -> bool;
+    widening_delay : int;
+  }
+
+  type result = {
+    in_state : int -> D.t option;
+    out_state : int -> D.t option;
+    iterations : int;
+  }
+
+  let solve p =
+    let input : D.t option array = Array.make p.num_nodes None in
+    let output : D.t option array = Array.make p.num_nodes None in
+    let visits = Array.make p.num_nodes 0 in
+    let in_queue = Array.make p.num_nodes false in
+    let queue = Queue.create () in
+    let iterations = ref 0 in
+    let enqueue n =
+      if not in_queue.(n) then begin
+        in_queue.(n) <- true;
+        Queue.add n queue
+      end
+    in
+    let update_input n state =
+      match input.(n) with
+      | None ->
+        input.(n) <- Some state;
+        enqueue n
+      | Some old ->
+        if not (D.leq state old) then begin
+          let merged =
+            if p.widening_points n && visits.(n) >= p.widening_delay then D.widen old state
+            else D.join old state
+          in
+          input.(n) <- Some merged;
+          enqueue n
+        end
+    in
+    List.iter (fun (n, s) -> update_input n s) p.entries;
+    while not (Queue.is_empty queue) do
+      let n = Queue.take queue in
+      in_queue.(n) <- false;
+      incr iterations;
+      visits.(n) <- visits.(n) + 1;
+      match input.(n) with
+      | None -> ()
+      | Some s ->
+        let out = p.transfer n s in
+        let changed =
+          match output.(n) with
+          | None -> true
+          | Some old -> not (D.leq out old)
+        in
+        if changed then begin
+          output.(n) <- Some out;
+          List.iter (fun m -> update_input m out) (p.succs n)
+        end
+    done;
+    {
+      in_state = (fun n -> input.(n));
+      out_state = (fun n -> output.(n));
+      iterations = !iterations;
+    }
+end

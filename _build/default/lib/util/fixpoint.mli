@@ -1,0 +1,40 @@
+(** Generic worklist fixpoint solver for forward data-flow problems on an
+    explicit directed graph of integer-indexed nodes.
+
+    All abstract-interpretation passes (value analysis, cache analysis) are
+    instances of this solver. *)
+
+module type Domain = sig
+  type t
+
+  (** Partial-order test: [leq a b] iff [a] is at most [b]. *)
+  val leq : t -> t -> bool
+
+  (** Least upper bound. *)
+  val join : t -> t -> t
+
+  (** Widening, applied at designated widening points after
+      [widening_delay] visits. Implementations without infinite ascending
+      chains may return [join]. *)
+  val widen : t -> t -> t
+end
+
+module Make (D : Domain) : sig
+  type problem = {
+    num_nodes : int;
+    entries : (int * D.t) list;  (** entry nodes with their initial states *)
+    succs : int -> int list;
+    transfer : int -> D.t -> D.t;  (** out-state of a node from its in-state *)
+    widening_points : int -> bool;  (** typically loop headers *)
+    widening_delay : int;
+  }
+
+  type result = {
+    in_state : int -> D.t option;  (** [None] for unreachable nodes *)
+    out_state : int -> D.t option;
+    iterations : int;  (** total node visits, for diagnostics *)
+  }
+
+  (** [solve problem] runs the worklist algorithm to a post-fixpoint. *)
+  val solve : problem -> result
+end

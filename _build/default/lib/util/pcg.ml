@@ -1,0 +1,48 @@
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 6364136223846793005L
+
+let mask32 = 0xFFFFFFFFL
+
+let create ?(seq = 54L) ~seed () =
+  let inc = Int64.logor (Int64.shift_left seq 1) 1L in
+  let t = { state = 0L; inc } in
+  (* Standard PCG seeding: advance once, add seed, advance again. *)
+  t.state <- Int64.add (Int64.mul t.state multiplier) t.inc;
+  t.state <- Int64.add t.state seed;
+  t.state <- Int64.add (Int64.mul t.state multiplier) t.inc;
+  t
+
+let copy t = { state = t.state; inc = t.inc }
+
+let next_uint32 t =
+  let old = t.state in
+  t.state <- Int64.add (Int64.mul old multiplier) t.inc;
+  let xorshifted =
+    Int64.logand
+      (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27)
+      mask32
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  let rotated =
+    Int64.logor
+      (Int64.shift_right_logical xorshifted rot)
+      (Int64.shift_left xorshifted ((-rot) land 31))
+  in
+  Int64.logand rotated mask32
+
+let next_below t n =
+  assert (n > 0L && n <= 0x100000000L);
+  (* Rejection sampling over the last [threshold, 2^32) window. *)
+  let threshold = Int64.rem (Int64.sub 0x100000000L n) n in
+  let rec loop () =
+    let r = next_uint32 t in
+    if r >= threshold then Int64.rem r n else loop ()
+  in
+  loop ()
+
+let next_int t n =
+  assert (n > 0 && n <= 0xFFFFFFFF);
+  Int64.to_int (next_below t (Int64.of_int n))
+
+let next_bool t = Int64.logand (next_uint32 t) 1L = 1L

@@ -1,0 +1,29 @@
+(** PCG32 pseudo-random number generator (O'Neill 2014, XSH-RR variant).
+
+    Deterministic and seedable: the lDivMod experiment of Table 1 and all
+    randomized input-set generators use this generator so that every run of
+    the benchmarks reproduces the same numbers. *)
+
+type t
+
+(** [create ?seq ~seed ()] returns a fresh generator. [seq] selects the
+    stream (default 54). *)
+val create : ?seq:int64 -> seed:int64 -> unit -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [next_uint32 t] advances the state and returns a uniform 32-bit value
+    in [0, 2^32). *)
+val next_uint32 : t -> int64
+
+(** [next_below t n] is uniform in [0, n) for [0 < n <= 2^32], using
+    rejection sampling (unbiased). *)
+val next_below : t -> int64 -> int64
+
+(** [next_int t n] is uniform in [0, n) for small positive [n] given as a
+    native int. *)
+val next_int : t -> int -> int
+
+(** [next_bool t] is a uniform boolean. *)
+val next_bool : t -> bool

@@ -1,0 +1,1 @@
+lib/value/analysis.ml: Array Aval Hashtbl List Option Pred32_asm Pred32_isa Pred32_memory Queue State Wcet_cfg

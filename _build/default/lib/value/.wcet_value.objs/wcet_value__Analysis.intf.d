@@ -1,0 +1,1 @@
+lib/value/analysis.mli: Aval Pred32_isa State Wcet_cfg

@@ -1,0 +1,1 @@
+lib/value/aval.ml: Format Pred32_isa

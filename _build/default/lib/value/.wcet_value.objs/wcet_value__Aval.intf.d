@@ -1,0 +1,1 @@
+lib/value/aval.mli: Format Pred32_isa

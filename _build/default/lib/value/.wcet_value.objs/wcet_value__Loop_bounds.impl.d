@@ -1,0 +1,1 @@
+lib/value/loop_bounds.ml: Analysis Array Aval Either Format List Option Pred32_isa State Wcet_cfg

@@ -1,0 +1,1 @@
+lib/value/loop_bounds.mli: Analysis Format Wcet_cfg

@@ -1,0 +1,1 @@
+lib/value/resolve_iter.ml: Analysis Array Aval List Pred32_asm Wcet_cfg

@@ -1,0 +1,1 @@
+lib/value/resolve_iter.mli: Aval Pred32_asm Wcet_cfg

@@ -1,0 +1,1 @@
+lib/value/state.ml: Array Aval Format Int List Map Pred32_asm Pred32_isa Pred32_memory

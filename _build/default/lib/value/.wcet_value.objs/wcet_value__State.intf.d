@@ -1,0 +1,1 @@
+lib/value/state.mli: Aval Format Map Pred32_asm Pred32_isa

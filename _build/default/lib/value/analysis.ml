@@ -1,0 +1,277 @@
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+module Program = Pred32_asm.Program
+module Memory_map = Pred32_memory.Memory_map
+module Region = Pred32_memory.Region
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Loops = Wcet_cfg.Loops
+
+type access = { insn_index : int; insn_addr : int; is_store : bool; addr : Aval.t }
+
+type result = {
+  graph : Supergraph.t;
+  node_in : State.t option array;
+  node_out : State.t option array;
+  accesses : access list array;
+  iterations : int;
+}
+
+(* Ranges wider than this many bytes are not enumerated for weak updates;
+   the write becomes a full havoc (the paper's imprecise-access damage). *)
+let weak_update_limit_bytes = 4096
+
+let eval_alu op a b =
+  match op with
+  | Insn.Add -> Aval.add a b
+  | Insn.Sub -> Aval.sub a b
+  | Insn.Mul -> Aval.mul a b
+  | Insn.Divu -> Aval.divu a b
+  | Insn.Remu -> Aval.remu a b
+  | Insn.And -> Aval.logand a b
+  | Insn.Or -> Aval.logor a b
+  | Insn.Xor -> Aval.logxor a b
+  | Insn.Shl -> Aval.shl a b
+  | Insn.Shr -> Aval.shr a b
+  | Insn.Sra -> Aval.sra a b
+  | Insn.Slt -> Aval.slt a b
+  | Insn.Sltu -> Aval.sltu a b
+
+type ctx = {
+  program : Program.t;
+  linkage : (int, unit) Hashtbl.t;
+  mutable record : (int -> int -> bool -> Aval.t -> unit) option;
+}
+
+let is_linkage ctx a = Hashtbl.mem ctx.linkage a
+
+let trackable ctx addr =
+  match Memory_map.find ctx.program.Program.map addr with
+  | Some r -> (
+    match r.Region.kind with
+    | Region.Ram | Region.Scratchpad -> true
+    | Region.Rom | Region.Io -> false)
+  | None -> false
+
+let aligned_addrs lo hi =
+  let start = (lo + 3) land lnot 3 in
+  let rec go a acc = if a > hi then List.rev acc else go (a + 4) (a :: acc) in
+  go start []
+
+let transfer_insn ctx st index (addr, insn) =
+  let get r = State.get_reg st r in
+  let record is_store av =
+    match ctx.record with
+    | Some f -> f index addr is_store av
+    | None -> ()
+  in
+  match insn with
+  | Insn.Alu (op, rd, rs1, rs2) -> State.set_reg st rd (eval_alu op (get rs1) (get rs2))
+  | Insn.Alui (op, rd, rs1, imm) ->
+    State.set_reg st rd (eval_alu op (get rs1) (Aval.of_signed_const imm))
+  | Insn.Lui (rd, imm) -> State.set_reg st rd (Aval.const (imm lsl 16))
+  | Insn.Load (rd, rs1, imm) -> (
+    let av = Aval.add (get rs1) (Aval.of_signed_const imm) in
+    record false av;
+    match Aval.singleton av with
+    | Some a when a land 3 = 0 ->
+      let v = State.load ~program:ctx.program st a in
+      (* I/O reads are volatile: never carry a tracked value. *)
+      if trackable ctx a || Option.is_some (Aval.singleton v) then
+        State.set_reg_origin st rd v ~origin:a
+      else State.set_reg st rd v
+    | Some _ -> State.set_reg st rd Aval.top
+    | None -> (
+      match Aval.range av with
+      | Some (lo, hi) when hi - lo <= weak_update_limit_bytes ->
+        let v =
+          List.fold_left
+            (fun acc a -> Aval.join acc (State.load ~program:ctx.program st a))
+            Aval.bot (aligned_addrs lo hi)
+        in
+        State.set_reg st rd v
+      | Some _ | None -> State.set_reg st rd Aval.top))
+  | Insn.Store (rs2, rs1, imm) -> (
+    let av = Aval.add (get rs1) (Aval.of_signed_const imm) in
+    record true av;
+    let v = get rs2 in
+    (* Frame-linkage bookkeeping: prologue saves of lr/fp relative to sp. *)
+    (match (Aval.singleton av, ()) with
+    | Some a, () when (Reg.equal rs2 Reg.lr || Reg.equal rs2 Reg.fp) && Reg.equal rs1 Reg.sp ->
+      Hashtbl.replace ctx.linkage a ()
+    | _ -> ());
+    match Aval.singleton av with
+    | Some a when a land 3 = 0 ->
+      if trackable ctx a then State.store ~linkage:(is_linkage ctx) st a v else st
+    | Some _ -> st
+    | None -> (
+      match Aval.range av with
+      | Some (lo, hi) when hi - lo <= weak_update_limit_bytes ->
+        let addrs = List.filter (trackable ctx) (aligned_addrs lo hi) in
+        State.store_weak ~linkage:(is_linkage ctx) st addrs v
+      | Some _ | None -> State.havoc ~linkage:(is_linkage ctx) st))
+  | Insn.Branch _ | Insn.Jump _ | Insn.Jump_reg _ -> st
+  | Insn.Call _ | Insn.Call_reg _ -> State.set_reg st Reg.lr (Aval.const (addr + 4))
+  | Insn.Cmovnz (rd, rs1, rs2) -> (
+    let cond = get rs1 in
+    match Aval.range cond with
+    | Some (0, 0) -> st
+    | Some (lo, _) when lo > 0 -> State.set_reg st rd (get rs2)
+    | Some _ | None -> State.set_reg st rd (Aval.join (get rd) (get rs2)))
+  | Insn.Halt | Insn.Nop | Insn.Illegal _ -> st
+
+let transfer_block ctx st (node : Supergraph.node) =
+  let st = ref st in
+  Array.iteri (fun i insn -> st := transfer_insn ctx !st i insn) node.Supergraph.block.Func_cfg.insns;
+  !st
+
+(* Apply branch refinement on an outgoing edge; None = infeasible. *)
+let refine_edge ctx (node : Supergraph.node) kind st =
+  ignore ctx;
+  match (node.Supergraph.block.Func_cfg.term, kind) with
+  | Func_cfg.Term_branch { cond; rs1; rs2; _ }, (Supergraph.Etaken | Supergraph.Enottaken) ->
+    let holds = kind = Supergraph.Etaken in
+    let va = State.get_reg st rs1 and vb = State.get_reg st rs2 in
+    let va', vb' = Aval.refine_cond cond holds va vb in
+    if Aval.is_bot va' || Aval.is_bot vb' then None
+    else begin
+      (* Write the refinement back into registers and, via origins, into the
+         memory words they were loaded from. *)
+      let apply st r v =
+        if Reg.equal r Reg.zero then st
+        else begin
+          let origin = st.State.origins.(Reg.to_int r) in
+          let regs = Array.copy st.State.regs in
+          regs.(Reg.to_int r) <- v;
+          let st = { st with State.regs } in
+          match origin with
+          | Some a ->
+            let old =
+              match State.Addr_map.find_opt a st.State.mem with
+              | Some x -> x
+              | None -> Aval.top
+            in
+            let refined = Aval.meet old v in
+            if Aval.is_bot refined then st
+            else { st with State.mem = State.Addr_map.add a refined st.State.mem }
+          | None -> st
+        end
+      in
+      Some (apply (apply st rs1 va') rs2 vb')
+    end
+  | _, _ -> Some st
+
+let run ?(assumes = []) (graph : Supergraph.t) (loops : Loops.info) =
+  let n = Array.length graph.Supergraph.nodes in
+  let ctx = { program = graph.Supergraph.program; linkage = Hashtbl.create 64; record = None } in
+  let node_in : State.t option array = Array.make n None in
+  let node_out : State.t option array = Array.make n None in
+  let visits = Array.make n 0 in
+  let widening_point = Array.make n false in
+  Array.iter (fun (l : Loops.loop) -> widening_point.(l.Loops.header) <- true) loops.Loops.loops;
+  List.iter (List.iter (fun v -> widening_point.(v) <- true)) loops.Loops.irreducible;
+  let in_queue = Array.make n false in
+  let queue = Queue.create () in
+  let iterations = ref 0 in
+  let push i =
+    if not in_queue.(i) then begin
+      in_queue.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  let widening_delay = 2 in
+  let force_widen_after = 40 in
+  let update_in target st =
+    match node_in.(target) with
+    | None ->
+      node_in.(target) <- Some st;
+      push target
+    | Some old ->
+      if not (State.leq st old) then begin
+        let merged =
+          if
+            (widening_point.(target) && visits.(target) >= widening_delay)
+            || visits.(target) >= force_widen_after
+          then State.widen old st
+          else State.join old st
+        in
+        node_in.(target) <- Some merged;
+        push target
+      end
+  in
+  update_in graph.Supergraph.entry (State.entry_state ~assumes);
+  let budget = ref (200 * n * (1 + Array.length loops.Loops.loops)) in
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    in_queue.(i) <- false;
+    incr iterations;
+    decr budget;
+    if !budget < 0 then failwith "value analysis did not converge";
+    visits.(i) <- visits.(i) + 1;
+    match node_in.(i) with
+    | None -> ()
+    | Some st_in ->
+      let node = graph.Supergraph.nodes.(i) in
+      let st_out = transfer_block ctx st_in node in
+      let changed =
+        match node_out.(i) with
+        | None -> true
+        | Some old -> not (State.leq st_out old)
+      in
+      if changed then begin
+        node_out.(i) <- Some st_out;
+        List.iter
+          (fun (kind, target) ->
+            match refine_edge ctx node kind st_out with
+            | None -> ()
+            | Some st_edge -> update_in target st_edge)
+          node.Supergraph.succs
+      end
+  done;
+  (* Final pass: record data-access intervals from the fixpoint states. *)
+  let accesses = Array.make n [] in
+  Array.iteri
+    (fun i (node : Supergraph.node) ->
+      match node_in.(i) with
+      | None -> ()
+      | Some st ->
+        let acc = ref [] in
+        ctx.record <-
+          Some
+            (fun insn_index insn_addr is_store addr ->
+              acc := { insn_index; insn_addr; is_store; addr } :: !acc);
+        ignore (transfer_block ctx st node);
+        ctx.record <- None;
+        accesses.(i) <- List.rev !acc)
+    graph.Supergraph.nodes;
+  { graph; node_in; node_out; accesses; iterations = !iterations }
+
+let reachable r i = Option.is_some r.node_in.(i)
+
+(* Successor edges that survive branch refinement: an edge whose refined
+   state is empty (e.g. a mode excluded by an assume) is infeasible and must
+   not contribute paths to IPET. *)
+let feasible_successors r i =
+  if not (reachable r i) then []
+  else
+    let node = r.graph.Supergraph.nodes.(i) in
+    let ctx =
+      { program = r.graph.Supergraph.program; linkage = Hashtbl.create 1; record = None }
+    in
+    match r.node_out.(i) with
+    | None -> []
+    | Some st_out ->
+      List.filter
+        (fun (kind, target) ->
+          reachable r target && Option.is_some (refine_edge ctx node kind st_out))
+        node.Supergraph.succs
+
+let reg_at_exit r i reg =
+  match r.node_out.(i) with
+  | None -> Aval.bot
+  | Some st -> State.get_reg st reg
+
+let mem_at_entry r i addr =
+  match r.node_in.(i) with
+  | None -> Aval.bot
+  | Some st -> State.load ~program:r.graph.Supergraph.program st addr

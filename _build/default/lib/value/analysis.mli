@@ -1,0 +1,45 @@
+(** The loop/value analysis of Figure 1: a context-sensitive interval
+    analysis over the supergraph with branch refinement.
+
+    Produces per-node abstract states, per-instruction data-access address
+    intervals (consumed by the cache analysis), and reachability (unreached
+    nodes are the over-approximated dead code of MISRA rule 14.1's
+    discussion). *)
+
+type access = {
+  insn_index : int;
+  insn_addr : int;
+  is_store : bool;
+  addr : Aval.t;  (** address interval of the access *)
+}
+
+type result = {
+  graph : Wcet_cfg.Supergraph.t;
+  node_in : State.t option array;  (** [None] = unreachable *)
+  node_out : State.t option array;
+  accesses : access list array;  (** per node, in instruction order *)
+  iterations : int;
+}
+
+(** [run ?assumes graph loops] — [assumes] are trusted initial memory facts
+    (address, interval) from annotations (the paper's design-level
+    information). *)
+val run :
+  ?assumes:(int * Aval.t) list -> Wcet_cfg.Supergraph.t -> Wcet_cfg.Loops.info -> result
+
+(** [reachable result node] is false for nodes the analysis proved
+    unreachable (infeasible paths, excluded modes). *)
+val reachable : result -> int -> bool
+
+(** [feasible_successors result node] is the node's successor list with
+    refinement-infeasible branch edges removed. *)
+val feasible_successors :
+  result -> int -> (Wcet_cfg.Supergraph.edge_kind * int) list
+
+(** [reg_at_exit result node reg] is the register's interval in the node's
+    out-state ([Bot] if unreachable). *)
+val reg_at_exit : result -> int -> Pred32_isa.Reg.t -> Aval.t
+
+(** [mem_at_entry result node addr] is the tracked interval of a memory word
+    in the node's in-state. *)
+val mem_at_entry : result -> int -> int -> Aval.t

@@ -1,0 +1,58 @@
+(** The abstract value domain of the loop/value analysis: unsigned 32-bit
+    intervals.
+
+    Concretization of [I (lo, hi)] is the set of machine words [w] with
+    [lo <= w <= hi] (unsigned). Operations that may wrap return [Top] rather
+    than model wrapping — the corpus (like most control code) computes on
+    small magnitudes, and [Top] is always sound. Signed comparisons are
+    interpreted precisely only when both operands lie in the non-negative
+    signed range [0, 2^31); otherwise refinement is skipped. *)
+
+type t =
+  | Bot  (** unreachable / no value *)
+  | I of int * int  (** interval, [0 <= lo <= hi < 2^32] *)
+  | Top
+
+val top : t
+val bot : t
+val const : int -> t  (** of a machine word (wrapped to 32 bits) *)
+
+val of_signed_const : int -> t
+val interval : int -> int -> t
+val is_bot : t -> bool
+val singleton : t -> int option
+val range : t -> (int * int) option  (** [None] for [Top]/[Bot] *)
+
+val width : t -> int  (** number of concrete values; [max_int] for [Top] *)
+
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+
+(** {2 Transfer functions (all sound over-approximations)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val divu : t -> t -> t
+val remu : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val shl : t -> t -> t
+val shr : t -> t -> t
+val sra : t -> t -> t
+val slt : t -> t -> t
+val sltu : t -> t -> t
+
+(** {2 Branch refinement} *)
+
+(** [refine_cond cond holds a b] refines the operand intervals assuming the
+    branch condition does (or does not, per [holds]) hold. Returns the
+    refined [(a, b)]; either may become [Bot], meaning the edge is
+    infeasible. *)
+val refine_cond : Pred32_isa.Insn.branch_cond -> bool -> t -> t -> t * t
+
+val pp : Format.formatter -> t -> unit

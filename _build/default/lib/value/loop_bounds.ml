@@ -1,0 +1,380 @@
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+module Word = Pred32_isa.Word
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Loops = Wcet_cfg.Loops
+module Resolver = Wcet_cfg.Resolver
+
+type verdict = Bounded of int | Unbounded of string
+
+type t = { per_loop : verdict array }
+
+(* Relation between counter and limit under which the loop continues. *)
+type rel = CLt | CLe | CGt | CGe | CEq | CNe
+
+let negate_cond = function
+  | Insn.Beq -> Insn.Bne
+  | Insn.Bne -> Insn.Beq
+  | Insn.Blt -> Insn.Bge
+  | Insn.Bge -> Insn.Blt
+  | Insn.Bltu -> Insn.Bgeu
+  | Insn.Bgeu -> Insn.Bltu
+
+let rel_of_cond ~counter_is_rs1 cond =
+  let base =
+    match cond with
+    | Insn.Blt | Insn.Bltu -> CLt
+    | Insn.Bge | Insn.Bgeu -> CGe
+    | Insn.Beq -> CEq
+    | Insn.Bne -> CNe
+  in
+  if counter_is_rs1 then base
+  else
+    match base with
+    | CLt -> CGt
+    | CGe -> CLe
+    | CLe -> CGe
+    | CGt -> CLt
+    | CEq -> CEq
+    | CNe -> CNe
+
+let is_signed_cond = function
+  | Insn.Blt | Insn.Bge -> true
+  | Insn.Beq | Insn.Bne | Insn.Bltu | Insn.Bgeu -> false
+
+let ceil_div a b = (a + b - 1) / b
+
+let bound_cap = 1 lsl 31
+
+let compute_bound ~rel ~d ~init:(ilo, ihi) ~limit:(_llo, lhi) ~limit_lo:llo =
+  let cap n = if n < 0 then Some 0 else if n > bound_cap then None else Some n in
+  if d > 0 then
+    match rel with
+    | CLt -> if lhi <= ilo then Some 0 else cap (ceil_div (lhi - ilo) d)
+    | CLe -> if lhi < ilo then Some 0 else cap (((lhi - ilo) / d) + 1)
+    | CNe -> if d = 1 && llo = lhi && ihi <= llo then cap (lhi - ilo) else None
+    | CGt | CGe | CEq -> None
+  else if d < 0 then
+    match rel with
+    | CGt -> if ihi <= llo then Some 0 else cap (ceil_div (ihi - llo) (-d))
+    | CGe -> if ihi < llo then Some 0 else cap (((ihi - llo) / -d) + 1)
+    | CNe -> if d = -1 && llo = lhi && lhi <= ilo then cap (ihi - llo) else None
+    | CLt | CLe | CEq -> None
+  else None
+
+(* Trace the register stored at instruction [store_idx] back to
+   "load from [target_addr], plus a constant": the counter-update pattern.
+   Returns the accumulated constant step. *)
+let trace_delta (node : Supergraph.node) (accesses : Analysis.access list) ~store_idx ~reg
+    ~target_addr =
+  let insns = node.Supergraph.block.Func_cfg.insns in
+  let const_before idx r =
+    let before = fst insns.(idx) in
+    Resolver.trace_const_reg node.Supergraph.block ~before r
+  in
+  let find_def_before idx r =
+    let rec go j =
+      if j < 0 then None
+      else if List.exists (Reg.equal r) (Insn.defs (snd insns.(j))) then Some j
+      else go (j - 1)
+    in
+    go (idx - 1)
+  in
+  let access_at idx =
+    List.find_opt (fun (a : Analysis.access) -> a.Analysis.insn_index = idx) accesses
+  in
+  let rec go idx r delta fuel =
+    if fuel = 0 then None
+    else
+      match find_def_before idx r with
+      | None -> None
+      | Some j -> (
+        match snd insns.(j) with
+        | Insn.Alui (Insn.Add, _, rs, c) -> go j rs (delta + c) (fuel - 1)
+        | Insn.Alui (Insn.Sub, _, rs, c) -> go j rs (delta - c) (fuel - 1)
+        | Insn.Alu (Insn.Add, _, ra, rb) -> (
+          match const_before j rb with
+          | Some c -> go j ra (delta + Word.to_signed c) (fuel - 1)
+          | None -> (
+            match const_before j ra with
+            | Some c -> go j rb (delta + Word.to_signed c) (fuel - 1)
+            | None -> None))
+        | Insn.Alu (Insn.Sub, _, ra, rb) -> (
+          match const_before j rb with
+          | Some c -> go j ra (delta - Word.to_signed c) (fuel - 1)
+          | None -> None)
+        | Insn.Load (_, _, _) -> (
+          match access_at j with
+          | Some a when Aval.singleton a.Analysis.addr = Some target_addr -> Some delta
+          | Some _ | None -> None)
+        | _ -> None)
+  in
+  go store_idx reg 0 16
+
+(* All stores in the loop body that may touch [addr]; [None] if some store
+   cannot be shown to either hit exactly [addr] or miss it entirely. *)
+let stores_touching (result : Analysis.result) body addr =
+  let out = ref [] in
+  let precise = ref true in
+  List.iter
+    (fun nid ->
+      List.iter
+        (fun (a : Analysis.access) ->
+          if a.Analysis.is_store then
+            match Aval.range a.Analysis.addr with
+            | Some (lo, hi) ->
+              if lo <= addr && addr <= hi then
+                if lo = hi then out := (nid, a) :: !out else precise := false
+            | None -> precise := false (* Top address may alias anything *))
+        result.Analysis.accesses.(nid))
+    body;
+  if !precise then Some !out else None
+
+(* Register-resident counters (typical for hand-written assembly, where the
+   counter never spills to memory): every definition of the register inside
+   the loop body must be a constant-step self-update. *)
+let reg_defs_in_body (result : Analysis.result) body r =
+  let graph = result.Analysis.graph in
+  List.concat_map
+    (fun nid ->
+      let node = graph.Supergraph.nodes.(nid) in
+      let defs = ref [] in
+      Array.iteri
+        (fun idx (_, insn) ->
+          if List.exists (Reg.equal r) (Insn.defs insn) then defs := (node, idx, insn) :: !defs)
+        node.Supergraph.block.Func_cfg.insns;
+      List.rev !defs)
+    body
+
+let classify_register (result : Analysis.result) (loop : Loops.loop) r =
+  if Reg.equal r Reg.zero then `Invariant
+  else
+    match reg_defs_in_body result loop.Loops.body r with
+    | [] -> `Invariant
+    | defs ->
+      let deltas =
+        List.map
+          (fun ((node : Supergraph.node), idx, insn) ->
+            let const_before rr =
+              Resolver.trace_const_reg node.Supergraph.block
+                ~before:(fst node.Supergraph.block.Func_cfg.insns.(idx))
+                rr
+            in
+            match insn with
+            | Insn.Alui (Insn.Add, _, rs, c) when Reg.equal rs r -> Some c
+            | Insn.Alui (Insn.Sub, _, rs, c) when Reg.equal rs r -> Some (-c)
+            | Insn.Alu (Insn.Add, _, ra, rb) when Reg.equal ra r ->
+              Option.map Word.to_signed (const_before rb)
+            | Insn.Alu (Insn.Add, _, ra, rb) when Reg.equal rb r ->
+              Option.map Word.to_signed (const_before ra)
+            | Insn.Alu (Insn.Sub, _, ra, rb) when Reg.equal ra r ->
+              Option.map (fun c -> -Word.to_signed c) (const_before rb)
+            | _ -> None)
+          defs
+      in
+      if List.exists Option.is_none deltas then `Unknown
+      else `Reg_counter (List.map Option.get deltas)
+
+let reg_entry_interval (result : Analysis.result) (loop : Loops.loop) r =
+  List.fold_left
+    (fun acc (src, _) ->
+      match result.Analysis.node_out.(src) with
+      | None -> acc
+      | Some st -> Aval.join acc (State.get_reg st r))
+    Aval.bot loop.Loops.entry_edges
+
+let origin_of (result : Analysis.result) nid reg =
+  match result.Analysis.node_out.(nid) with
+  | None -> None
+  | Some st -> if Reg.equal reg Reg.zero then None else st.State.origins.(Reg.to_int reg)
+
+let interval_at_exit (result : Analysis.result) nid reg =
+  match result.Analysis.node_out.(nid) with
+  | None -> Aval.bot
+  | Some st -> State.get_reg st reg
+
+(* Counter interval on loop entry: join over the entry edges' source
+   out-states. *)
+let entry_interval (result : Analysis.result) (loop : Loops.loop) addr =
+  List.fold_left
+    (fun acc (src, _) ->
+      match result.Analysis.node_out.(src) with
+      | None -> acc
+      | Some st ->
+        Aval.join acc (State.load ~program:result.Analysis.graph.Supergraph.program st addr))
+    Aval.bot loop.Loops.entry_edges
+
+let as_range v =
+  match v with
+  | Aval.Bot -> None
+  | Aval.I (lo, hi) -> Some (lo, hi)
+  | Aval.Top -> Some (0, 0xFFFFFFFF)
+
+let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
+    (int, string) Either.t =
+  let graph = result.Analysis.graph in
+  let node = graph.Supergraph.nodes.(nid) in
+  match node.Supergraph.block.Func_cfg.term with
+  | Func_cfg.Term_branch { cond; rs1; rs2; _ } -> (
+    let in_body target = List.mem target loop.Loops.body in
+    let taken_in =
+      List.exists (fun (k, t) -> k = Supergraph.Etaken && in_body t) node.Supergraph.succs
+    in
+    let fall_in =
+      List.exists (fun (k, t) -> k = Supergraph.Enottaken && in_body t) node.Supergraph.succs
+    in
+    if taken_in = fall_in then Either.Right "exit branch has both sides in the loop"
+    else
+      let continue_cond = if taken_in then cond else negate_cond cond in
+      (* Identify counter and limit. *)
+      let o1 = origin_of result nid rs1 and o2 = origin_of result nid rs2 in
+      let classify origin =
+        match origin with
+        | None -> `Value
+        | Some a -> (
+          match stores_touching result loop.Loops.body a with
+          | None -> `Aliased
+          | Some [] -> `Value (* invariant memory cell *)
+          | Some stores -> `Counter (a, stores))
+      in
+      let c1 = classify o1 and c2 = classify o2 in
+      (* Shared tail: given the counter's step deltas and entry interval,
+         combine with the limit operand's fixpoint interval. The limit needs
+         no invariance check — its branch-point interval covers every
+         iteration. *)
+      let finish ~counter_is_rs1 ~deltas ~init_iv ~other_reg =
+        let limit_iv = interval_at_exit result nid other_reg in
+        let rel = rel_of_cond ~counter_is_rs1 continue_cond in
+        if limit_iv = Aval.Top then
+          Either.Right "iteration count depends on input data (no bound on the limit operand)"
+        else
+        let sign_ok =
+          (not (is_signed_cond cond))
+          || (match (as_range init_iv, as_range limit_iv) with
+             | Some (_, ih), Some (_, lh) -> ih < 0x80000000 && lh < 0x80000000
+             | _ -> false)
+        in
+        if not sign_ok then Either.Right "signed comparison on possibly-negative values"
+        else
+          let all_pos = List.for_all (fun d -> d > 0) deltas in
+          let all_neg = List.for_all (fun d -> d < 0) deltas in
+          if deltas = [] || not (all_pos || all_neg) then
+            Either.Right "counter steps in both directions (rule 13.6)"
+          else
+            (* Slowest progress gives the worst case. *)
+            let d =
+              if all_pos then List.fold_left min max_int deltas
+              else List.fold_left max min_int deltas
+            in
+            match (as_range init_iv, as_range limit_iv) with
+            | None, _ | _, None -> Either.Right "loop entry unreachable"
+            | Some init, Some ((llo, _) as limit) -> (
+              match compute_bound ~rel ~d ~init ~limit ~limit_lo:llo with
+              | Some n -> Either.Left n
+              | None ->
+                Either.Right "iteration count depends on input data (limit interval too wide)")
+      in
+      let pick counter_is_rs1 (addr, stores) other_reg =
+        (* Extract the constant step from every store to the counter slot. *)
+        let deltas =
+          List.map
+            (fun (snid, (a : Analysis.access)) ->
+              let snode = graph.Supergraph.nodes.(snid) in
+              let reg =
+                match snd snode.Supergraph.block.Func_cfg.insns.(a.Analysis.insn_index) with
+                | Insn.Store (rs2, _, _) -> Some rs2
+                | _ -> None
+              in
+              match reg with
+              | None -> None
+              | Some reg ->
+                trace_delta snode result.Analysis.accesses.(snid)
+                  ~store_idx:a.Analysis.insn_index ~reg ~target_addr:addr)
+            stores
+        in
+        if List.exists Option.is_none deltas then
+          Either.Right "counter update is not a constant step (rule 13.6)"
+        else
+          finish ~counter_is_rs1
+            ~deltas:(List.map Option.get deltas)
+            ~init_iv:(entry_interval result loop addr)
+            ~other_reg
+      in
+      match (c1, c2) with
+      | `Counter cs, (`Value | `Aliased) -> pick true cs rs2
+      | (`Value | `Aliased), `Counter cs -> pick false cs rs1
+      | `Counter _, `Counter _ -> Either.Right "both branch operands are modified in the loop"
+      | `Aliased, _ | _, `Aliased -> Either.Right "counter may be written through a pointer"
+      | `Value, `Value -> (
+        (* No memory counter: try register-resident counters. *)
+        match (classify_register result loop rs1, classify_register result loop rs2) with
+        | `Reg_counter ds, (`Invariant | `Unknown) ->
+          finish ~counter_is_rs1:true ~deltas:ds
+            ~init_iv:(reg_entry_interval result loop rs1)
+            ~other_reg:rs2
+        | (`Invariant | `Unknown), `Reg_counter ds ->
+          finish ~counter_is_rs1:false ~deltas:ds
+            ~init_iv:(reg_entry_interval result loop rs2)
+            ~other_reg:rs1
+        | `Reg_counter _, `Reg_counter _ ->
+          Either.Right "both branch operands are modified in the loop"
+        | (`Invariant | `Unknown), (`Invariant | `Unknown) ->
+          Either.Right "exit condition is not derived from a loop counter"))
+  | _ -> Either.Right "exit is not a conditional branch"
+
+let analyze (result : Analysis.result) (loops : Loops.info) =
+  let graph = result.Analysis.graph in
+  let per_loop =
+    Array.map
+      (fun (loop : Loops.loop) ->
+        (* Candidate exits: conditional branches in the body with one side
+           leaving the loop, dominating all back edges. *)
+        let candidates =
+          List.filter
+            (fun nid ->
+              match graph.Supergraph.nodes.(nid).Supergraph.block.Func_cfg.term with
+              | Func_cfg.Term_branch _ ->
+                let leaves =
+                  List.exists
+                    (fun (_, t) -> not (List.mem t loop.Loops.body))
+                    graph.Supergraph.nodes.(nid).Supergraph.succs
+                in
+                leaves
+                && List.for_all
+                     (fun (src, _) -> Loops.dominates loops nid src)
+                     loop.Loops.back_edges
+              | _ -> false)
+            loop.Loops.body
+        in
+        if candidates = [] then
+          Unbounded "no dominating exit branch (irreducible or multi-exit loop)"
+        else
+          let results = List.map (analyze_exit result loop) candidates in
+          let bounds = List.filter_map (function Either.Left n -> Some n | _ -> None) results in
+          match bounds with
+          | [] ->
+            let reason =
+              match results with
+              | Either.Right r :: _ -> r
+              | _ -> "no boundable exit"
+            in
+            Unbounded reason
+          | _ -> Bounded (List.fold_left min max_int bounds))
+      loops.Loops.loops
+  in
+  { per_loop }
+
+let pp graph loops ppf t =
+  Array.iteri
+    (fun i verdict ->
+      let l = loops.Loops.loops.(i) in
+      let hn = graph.Supergraph.nodes.(l.Loops.header) in
+      match verdict with
+      | Bounded n ->
+        Format.fprintf ppf "loop @ 0x%x in %s: bound %d@,"
+          hn.Supergraph.block.Func_cfg.entry hn.Supergraph.func n
+      | Unbounded reason ->
+        Format.fprintf ppf "loop @ 0x%x in %s: UNBOUNDED (%s)@,"
+          hn.Supergraph.block.Func_cfg.entry hn.Supergraph.func reason)
+    t.per_loop

@@ -1,0 +1,26 @@
+(** Automatic loop-bound detection on the binary (the data-flow based
+    approach of the paper's loop analysis phase).
+
+    For each natural loop, the analysis looks for an exit branch that
+    dominates the back edges, identifies the counter operand (a frame slot
+    or global the branch operand was loaded from), verifies every in-loop
+    store to it is a constant-step update, and combines the counter's entry
+    interval with the limit operand's interval into an iteration bound.
+
+    Loops escaping this pattern — float-controlled conditions compiled to
+    library calls (rule 13.4), counters with irregular updates (13.6),
+    input-dependent limits without assume-annotations, irreducible cycles
+    (14.4/20.7) — are reported [Unbounded] with a reason, matching the
+    paper's claim that they require manual annotation. *)
+
+type verdict =
+  | Bounded of int  (** max back-edge executions per loop entry *)
+  | Unbounded of string  (** human-readable reason *)
+
+type t = {
+  per_loop : verdict array;  (** indexed like [Loops.info.loops] *)
+}
+
+val analyze : Analysis.result -> Wcet_cfg.Loops.info -> t
+
+val pp : Wcet_cfg.Supergraph.t -> Wcet_cfg.Loops.info -> Format.formatter -> t -> unit

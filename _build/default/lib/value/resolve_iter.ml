@@ -1,0 +1,39 @@
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Loops = Wcet_cfg.Loops
+module Resolver = Wcet_cfg.Resolver
+module Program = Pred32_asm.Program
+
+let max_rounds = 4
+
+let build ?resolver ?(assumes = []) program =
+  let base = match resolver with Some r -> r | None -> Resolver.auto program in
+  let rec round resolver n =
+    let graph = Supergraph.build ~allow_unresolved:(n > 0) ~resolver program in
+    if graph.Supergraph.unresolved_calls = [] then graph
+    else begin
+      let loops = Loops.analyze graph in
+      let result = Analysis.run ~assumes graph loops in
+      let learned =
+        List.filter_map
+          (fun (nid, site) ->
+            let node = graph.Supergraph.nodes.(nid) in
+            match node.Supergraph.block.Func_cfg.term with
+            | Func_cfg.Term_call_indirect { reg; _ } -> (
+              match Aval.singleton (Analysis.reg_at_exit result nid reg) with
+              | Some addr
+                when List.exists
+                       (fun (f : Program.func_info) -> f.Program.entry = addr)
+                       program.Program.functions ->
+                Some (site, [ addr ])
+              | Some _ | None -> None)
+            | _ -> None)
+          graph.Supergraph.unresolved_calls
+      in
+      if learned = [] then
+        (* Nothing new: rebuild strictly so the error names the site. *)
+        Supergraph.build ~resolver program
+      else round (Resolver.with_overrides ~call_targets:learned resolver) (n - 1)
+    end
+  in
+  round base max_rounds

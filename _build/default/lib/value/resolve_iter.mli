@@ -1,0 +1,19 @@
+(** Iterative indirect-call resolution: the decode/value-analysis feedback
+    loop of real WCET analyzers (Figure 1's cycle between reconstruction and
+    value analysis).
+
+    Builds the supergraph allowing unresolved indirect calls, runs the value
+    analysis, reads each unresolved call's target register interval, and —
+    when it pins down a constant function entry — rebuilds with the learned
+    targets. Function pointers that stay statically unknown (truly
+    input-dependent handlers) still fail, as the paper says they must,
+    unless an annotation supplies the target set. *)
+
+(** [build ?resolver ?assumes program] returns a fully resolved supergraph.
+    Raises {!Wcet_cfg.Supergraph.Build_error} if some indirect call remains
+    unresolved after iteration. *)
+val build :
+  ?resolver:Wcet_cfg.Resolver.t ->
+  ?assumes:(int * Aval.t) list ->
+  Pred32_asm.Program.t ->
+  Wcet_cfg.Supergraph.t

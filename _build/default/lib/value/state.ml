@@ -1,0 +1,116 @@
+module Addr_map = Map.Make (Int)
+module Reg = Pred32_isa.Reg
+module Program = Pred32_asm.Program
+module Memory_map = Pred32_memory.Memory_map
+module Region = Pred32_memory.Region
+module Image = Pred32_memory.Image
+
+type t = { regs : Aval.t array; mem : Aval.t Addr_map.t; origins : int option array }
+
+let entry_state ~assumes =
+  {
+    regs = Array.make 16 Aval.top;
+    mem = List.fold_left (fun m (a, v) -> Addr_map.add a v m) Addr_map.empty assumes;
+    origins = Array.make 16 None;
+  }
+
+let get_reg t r = if Reg.equal r Reg.zero then Aval.const 0 else t.regs.(Reg.to_int r)
+
+let set_reg t r v =
+  if Reg.equal r Reg.zero then t
+  else begin
+    let regs = Array.copy t.regs and origins = Array.copy t.origins in
+    regs.(Reg.to_int r) <- v;
+    origins.(Reg.to_int r) <- None;
+    { t with regs; origins }
+  end
+
+let set_reg_origin t r v ~origin =
+  if Reg.equal r Reg.zero then t
+  else begin
+    let regs = Array.copy t.regs and origins = Array.copy t.origins in
+    regs.(Reg.to_int r) <- v;
+    origins.(Reg.to_int r) <- Some origin;
+    { t with regs; origins }
+  end
+
+let load ~program t addr =
+  match Addr_map.find_opt addr t.mem with
+  | Some v -> v
+  | None -> (
+    match Memory_map.find program.Program.map addr with
+    | Some r when r.Region.kind = Region.Rom && addr land 3 = 0 ->
+      Aval.const (Image.read_word program.Program.image addr)
+    | Some _ | None -> Aval.top)
+
+(* Drop origin records that alias the written addresses. *)
+let clear_origins t pred =
+  let origins = Array.map (fun o -> match o with Some a when pred a -> None | o -> o) t.origins in
+  { t with origins }
+
+let store ~linkage:_ t addr v =
+  let t = clear_origins t (fun a -> a = addr) in
+  { t with mem = Addr_map.add addr v t.mem }
+
+let store_weak ~linkage t addrs v =
+  let t = clear_origins t (fun a -> List.mem a addrs) in
+  let mem =
+    List.fold_left
+      (fun m a ->
+        if linkage a then m
+        else
+          let old = match Addr_map.find_opt a m with Some x -> x | None -> Aval.top in
+          (* absent means unknown: joining with Top stays Top, so only
+             refine existing entries pessimistically *)
+          Addr_map.add a (Aval.join old v) m)
+      t.mem addrs
+  in
+  { t with mem }
+
+let havoc ~linkage t =
+  let t = clear_origins t (fun a -> not (linkage a)) in
+  { t with mem = Addr_map.filter (fun a _ -> linkage a) t.mem }
+
+let leq a b =
+  let regs_ok = ref true in
+  Array.iteri (fun i va -> if not (Aval.leq va b.regs.(i)) then regs_ok := false) a.regs;
+  !regs_ok
+  && Addr_map.for_all
+       (fun addr vb ->
+         let va = match Addr_map.find_opt addr a.mem with Some v -> v | None -> Aval.top in
+         Aval.leq va vb)
+       b.mem
+
+let merge_with f a b =
+  let regs = Array.init 16 (fun i -> f a.regs.(i) b.regs.(i)) in
+  let mem =
+    Addr_map.merge
+      (fun _ va vb ->
+        match (va, vb) with
+        | Some va, Some vb ->
+          let v = f va vb in
+          if v = Aval.Top then None else Some v
+        | Some _, None | None, Some _ | None, None -> None)
+      a.mem b.mem
+  in
+  let origins =
+    Array.init 16 (fun i ->
+        match (a.origins.(i), b.origins.(i)) with
+        | Some x, Some y when x = y -> Some x
+        | _ -> None)
+  in
+  { regs; mem; origins }
+
+let join a b = merge_with Aval.join a b
+let widen a b = merge_with Aval.widen a b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>regs:";
+  Array.iteri
+    (fun i v ->
+      if not (Aval.equal v Aval.top) then
+        Format.fprintf ppf " %a=%a" Reg.pp (Reg.of_int i) Aval.pp v)
+    t.regs;
+  Format.fprintf ppf "@,mem:";
+  Addr_map.iter (fun a v -> Format.fprintf ppf " [0x%x]=%a" a Aval.pp v) t.mem;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/wcet/analyzer.ml: Array Format List Pred32_asm Pred32_hw Pred32_memory Printf String Unix Wcet_annot Wcet_cache Wcet_cfg Wcet_ipet Wcet_pipeline Wcet_value

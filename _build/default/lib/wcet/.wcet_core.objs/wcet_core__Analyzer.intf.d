@@ -1,0 +1,1 @@
+lib/wcet/analyzer.mli: Format Pred32_asm Pred32_hw Wcet_annot Wcet_cache Wcet_cfg Wcet_ipet Wcet_pipeline Wcet_value

@@ -1,0 +1,325 @@
+module Program = Pred32_asm.Program
+module Hw_config = Pred32_hw.Hw_config
+module Memory_map = Pred32_memory.Memory_map
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Loops = Wcet_cfg.Loops
+module Resolver = Wcet_cfg.Resolver
+module Aval = Wcet_value.Aval
+module Analysis = Wcet_value.Analysis
+module Loop_bounds = Wcet_value.Loop_bounds
+module Resolve_iter = Wcet_value.Resolve_iter
+module Cache_analysis = Wcet_cache.Cache_analysis
+module Block_timing = Wcet_pipeline.Block_timing
+module Ipet = Wcet_ipet.Ipet
+module Annot = Wcet_annot.Annot
+
+exception Analysis_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Analysis_error s)) fmt
+
+type phase = Decode | Loop_value | Cache | Pipeline | Path
+
+let phase_name = function
+  | Decode -> "decoding / CFG reconstruction"
+  | Loop_value -> "loop & value analysis"
+  | Cache -> "cache analysis"
+  | Pipeline -> "pipeline analysis"
+  | Path -> "path analysis (IPET)"
+
+type report = {
+  program : Program.t;
+  hw : Hw_config.t;
+  graph : Supergraph.t;
+  loops : Loops.info;
+  value : Analysis.result;
+  derived_bounds : Loop_bounds.t;
+  effective_bounds : (int * int) list;
+  unbounded_loops : (int * string) list;
+  cache : Cache_analysis.result;
+  timing : Block_timing.t;
+  solution : Ipet.solution;
+  wcet : int;
+  bcet : int;
+  phase_seconds : (phase * float) list;
+}
+
+let timed phases phase f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  phases := (phase, dt) :: !phases;
+  result
+
+(* Translate the annotation set into a resolver. *)
+let resolver_of_annot program (annot : Annot.t) =
+  let call_targets =
+    List.map
+      (fun (site, names) ->
+        let addrs =
+          List.map
+            (fun name ->
+              match Program.find_function program name with
+              | Some f -> f.Program.entry
+              | None -> error "calltargets annotation: unknown function %s" name)
+            names
+        in
+        (site, addrs))
+      annot.Annot.call_targets
+  in
+  let jump_targets =
+    if annot.Annot.setjmp_auto then begin
+      let continuations = Resolver.scan_setjmp_continuations program in
+      (* every indirect jump site may target any setjmp continuation *)
+      Some continuations
+    end
+    else None
+  in
+  let base = Resolver.auto program in
+  let base =
+    Resolver.with_overrides ~call_targets ~recursion_depths:annot.Annot.recursion_depths base
+  in
+  match jump_targets with
+  | None -> base
+  | Some continuations ->
+    {
+      base with
+      Resolver.jump_targets =
+        (fun ~site ~block ->
+          match base.Resolver.jump_targets ~site ~block with
+          | Some t -> Some t
+          | None -> if continuations = [] then None else Some continuations);
+    }
+
+let assumes_of_annot program (annot : Annot.t) =
+  let user =
+    List.map
+      (fun (sym, lo, hi) ->
+        match Program.symbol_opt program sym with
+        | Some addr -> (addr, Aval.interval lo hi)
+        | None -> error "assume annotation: unknown symbol %s" sym)
+      annot.Annot.assumes
+  in
+  (* Compiler-runtime invariant: the heap bump pointer starts at its linked
+     initial value. It is internal to the generated code - unlike user
+     globals, no test harness pokes it - so treating the initializer as
+     known is sound and keeps early heap blocks at known addresses. *)
+  let runtime =
+    match Program.symbol_opt program "__heap_ptr" with
+    | Some addr ->
+      [ (addr, Aval.const (Pred32_memory.Image.read_word program.Program.image addr)) ]
+    | None -> []
+  in
+  runtime @ user
+
+let region_hints_of_annot program (annot : Annot.t) func =
+  match List.assoc_opt func annot.Annot.memory_regions with
+  | None -> None
+  | Some names ->
+    Some
+      (List.map
+         (fun name ->
+           match Memory_map.find_by_name program.Program.map name with
+           | Some r -> r
+           | None -> error "memory annotation: unknown region %s" name)
+         names)
+
+(* Nodes matching a place: block entries at an address, or entry blocks of a
+   function (any context). *)
+let nodes_of_place (graph : Supergraph.t) program place =
+  match place with
+  | Annot.At_addr addr ->
+    Array.to_list graph.Supergraph.nodes
+    |> List.filter_map (fun (n : Supergraph.node) ->
+           if n.Supergraph.block.Func_cfg.entry = addr then Some n.Supergraph.id else None)
+  | Annot.In_function name -> (
+    match Program.find_function program name with
+    | None -> error "annotation refers to unknown function %s" name
+    | Some f ->
+      Array.to_list graph.Supergraph.nodes
+      |> List.filter_map (fun (n : Supergraph.node) ->
+             if n.Supergraph.block.Func_cfg.entry = f.Program.entry then Some n.Supergraph.id
+             else None))
+
+let loop_matches_place (graph : Supergraph.t) program (loops : Loops.info) li place =
+  let header = graph.Supergraph.nodes.(loops.Loops.loops.(li).Loops.header) in
+  match place with
+  | Annot.At_addr addr -> header.Supergraph.block.Func_cfg.entry = addr
+  | Annot.In_function name ->
+    ignore program;
+    header.Supergraph.func = name
+
+let facts_of_annot graph program (annot : Annot.t) =
+  List.map
+    (fun fact ->
+      match fact with
+      | Annot.Max_count (place, bound) ->
+        {
+          Ipet.fact_coeffs = List.map (fun n -> (n, 1)) (nodes_of_place graph program place);
+          fact_bound = bound;
+          fact_label =
+            (match place with
+            | Annot.At_addr a -> Printf.sprintf "maxcount at 0x%x" a
+            | Annot.In_function f -> Printf.sprintf "maxcount %s" f);
+        }
+      | Annot.Exclusive places ->
+        {
+          Ipet.fact_coeffs =
+            List.concat_map
+              (fun p -> List.map (fun n -> (n, 1)) (nodes_of_place graph program p))
+              places;
+          fact_bound = 1;
+          fact_label = "exclusive paths";
+        })
+    annot.Annot.flow_facts
+
+(* Best-case bound: the shortest feasible walk from entry to a halting
+   node, weighted by the optimistic per-block times. Weights are positive,
+   so Dijkstra's shortest walk is a sound lower bound even through cycles
+   (taking a cycle never shortens a walk). *)
+let best_case_bound (value : Analysis.result) (timing : Block_timing.t) =
+  let graph = value.Analysis.graph in
+  let n = Array.length graph.Supergraph.nodes in
+  let dist = Array.make n max_int in
+  let visited = Array.make n false in
+  let entry = graph.Supergraph.entry in
+  dist.(entry) <- timing.Block_timing.bcet.(entry);
+  let rec loop () =
+    (* linear-scan Dijkstra: graphs are small *)
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && dist.(v) < max_int && (!u < 0 || dist.(v) < dist.(!u)) then
+        u := v
+    done;
+    if !u >= 0 then begin
+      let u = !u in
+      visited.(u) <- true;
+      List.iter
+        (fun (_, v) ->
+          let w = dist.(u) + timing.Block_timing.bcet.(v) in
+          if w < dist.(v) then dist.(v) <- w)
+        (Analysis.feasible_successors value u);
+      loop ()
+    end
+  in
+  loop ();
+  let best = ref max_int in
+  for v = 0 to n - 1 do
+    if dist.(v) < !best && Analysis.feasible_successors value v = [] then best := dist.(v)
+  done;
+  if !best = max_int then 0 else !best
+
+let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty) program =
+  let phases = ref [] in
+  let resolver = resolver_of_annot program annot in
+  let assumes = assumes_of_annot program annot in
+  let graph =
+    timed phases Decode (fun () ->
+        try Resolve_iter.build ~resolver ~assumes program
+        with Supergraph.Build_error msg -> error "%s: %s" (phase_name Decode) msg)
+  in
+  let loops = Loops.analyze graph in
+  let value, derived_bounds =
+    timed phases Loop_value (fun () ->
+        let value = Analysis.run ~assumes graph loops in
+        (value, Loop_bounds.analyze value loops))
+  in
+  (* Overlay annotation loop bounds on the derived verdicts. *)
+  let effective_bounds = ref [] in
+  let unbounded_loops = ref [] in
+  Array.iteri
+    (fun li verdict ->
+      let annotated =
+        List.filter_map
+          (fun (place, bound) ->
+            if loop_matches_place graph program loops li place then Some bound else None)
+          annot.Annot.loop_bounds
+      in
+      let annotated = match annotated with [] -> None | bs -> Some (List.fold_left min max_int bs) in
+      match (verdict, annotated) with
+      | Loop_bounds.Bounded b, Some a -> effective_bounds := (li, min b a) :: !effective_bounds
+      | Loop_bounds.Bounded b, None -> effective_bounds := (li, b) :: !effective_bounds
+      | Loop_bounds.Unbounded _, Some a -> effective_bounds := (li, a) :: !effective_bounds
+      | Loop_bounds.Unbounded reason, None ->
+        (* Loops of unreachable code are irrelevant. *)
+        if Analysis.reachable value loops.Loops.loops.(li).Loops.header then
+          unbounded_loops := (li, reason) :: !unbounded_loops)
+    derived_bounds.Loop_bounds.per_loop;
+  let cache =
+    timed phases Cache (fun () ->
+        Cache_analysis.run hw value ~region_hints:(region_hints_of_annot program annot))
+  in
+  let persistence =
+    timed phases Cache (fun () -> Wcet_cache.Persistence.compute hw value loops cache)
+  in
+  let timing =
+    timed phases Pipeline (fun () -> Block_timing.compute hw value cache ~persistence)
+  in
+  let facts = facts_of_annot graph program annot in
+  let solution =
+    timed phases Path (fun () ->
+        match
+          Ipet.solve
+            {
+              Ipet.value;
+              times = timing.Block_timing.wcet;
+              loop_bounds = !effective_bounds;
+              facts;
+            }
+            loops
+        with
+        | Ok s -> s
+        | Error msg ->
+          let detail =
+            !unbounded_loops
+            |> List.map (fun (li, reason) ->
+                   let hn = graph.Supergraph.nodes.(loops.Loops.loops.(li).Loops.header) in
+                   Format.asprintf "  loop at 0x%x in %s: %s"
+                     hn.Supergraph.block.Func_cfg.entry hn.Supergraph.func reason)
+            |> String.concat "\n"
+          in
+          if detail = "" then error "%s: %s" (phase_name Path) msg
+          else error "%s: %s\nunbounded loops:\n%s" (phase_name Path) msg detail)
+  in
+  {
+    program;
+    hw;
+    graph;
+    loops;
+    value;
+    derived_bounds;
+    effective_bounds = !effective_bounds;
+    unbounded_loops = !unbounded_loops;
+    cache;
+    timing;
+    solution;
+    wcet = solution.Ipet.wcet;
+    bcet = best_case_bound value timing;
+    phase_seconds = List.rev !phases;
+  }
+
+let analyze_modes ?(hw = Hw_config.default) ~base ~modes program =
+  let oblivious = ("(all modes)", analyze ~hw ~annot:base program) in
+  let per_mode =
+    List.map
+      (fun (name, annot) -> (name, analyze ~hw ~annot:(Annot.merge base annot) program))
+      modes
+  in
+  oblivious :: per_mode
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>WCET bound: %d cycles (best-case bound: %d)@," r.wcet r.bcet;
+  Format.fprintf ppf "graph: %d nodes, %d contexts, %d loops@,"
+    (Array.length r.graph.Supergraph.nodes)
+    (Array.length r.graph.Supergraph.contexts)
+    (Array.length r.loops.Loops.loops);
+  List.iter
+    (fun (li, b) ->
+      let hn = r.graph.Supergraph.nodes.(r.loops.Loops.loops.(li).Loops.header) in
+      Format.fprintf ppf "loop at 0x%x in %s: bound %d@," hn.Supergraph.block.Func_cfg.entry
+        hn.Supergraph.func b)
+    r.effective_bounds;
+  List.iter
+    (fun (phase, dt) -> Format.fprintf ppf "%s: %.1f ms@," (phase_name phase) (dt *. 1000.))
+    r.phase_seconds;
+  Format.fprintf ppf "@]"

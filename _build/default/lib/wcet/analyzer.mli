@@ -1,0 +1,54 @@
+(** The static WCET analyzer: Figure 1 of the paper, end to end.
+
+    [analyze] drives the phases in order — decoding / CFG reconstruction
+    (with iterative indirect-call resolution), loop and value analysis,
+    cache analysis, pipeline (basic-block timing) analysis, and IPET path
+    analysis — and returns both the bound and every intermediate artifact
+    for inspection. The per-phase wall-clock times are recorded, which is
+    what the F1 experiment prints.
+
+    Annotations supply the design-level information of Section 4.3; the
+    analyzer trusts them. [Analysis_error] carries an explanation written in
+    the paper's terms (which loop needs a bound, which pointer needs
+    targets, and so on). *)
+
+exception Analysis_error of string
+
+type phase = Decode | Loop_value | Cache | Pipeline | Path
+
+type report = {
+  program : Pred32_asm.Program.t;
+  hw : Pred32_hw.Hw_config.t;
+  graph : Wcet_cfg.Supergraph.t;
+  loops : Wcet_cfg.Loops.info;
+  value : Wcet_value.Analysis.result;
+  derived_bounds : Wcet_value.Loop_bounds.t;
+  effective_bounds : (int * int) list;  (** (loop index, bound) after annotations *)
+  unbounded_loops : (int * string) list;  (** loops still unbounded, with reasons *)
+  cache : Wcet_cache.Cache_analysis.result;
+  timing : Wcet_pipeline.Block_timing.t;
+  solution : Wcet_ipet.Ipet.solution;
+  wcet : int;  (** cycles, from program entry to halt *)
+  bcet : int;  (** best-case lower bound (shortest feasible walk) *)
+  phase_seconds : (phase * float) list;
+}
+
+(** [analyze ?hw ?annot program] raises [Analysis_error] when a phase fails
+    (undecodable code, unresolvable indirect control flow, unannotated
+    recursion, or an unbounded path problem). *)
+val analyze :
+  ?hw:Pred32_hw.Hw_config.t -> ?annot:Wcet_annot.Annot.t -> Pred32_asm.Program.t -> report
+
+(** [analyze_modes ?hw ~base ~modes program] runs one analysis per operating
+    mode (merging each mode's annotations into [base]) plus the
+    mode-oblivious analysis, returning [(mode name, report)] pairs with
+    [None] keyed as ["(all modes)"] first. *)
+val analyze_modes :
+  ?hw:Pred32_hw.Hw_config.t ->
+  base:Wcet_annot.Annot.t ->
+  modes:(string * Wcet_annot.Annot.t) list ->
+  Pred32_asm.Program.t ->
+  (string * report) list
+
+val phase_name : phase -> string
+val pp_report : Format.formatter -> report -> unit

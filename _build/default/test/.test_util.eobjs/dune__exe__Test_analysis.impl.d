@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Astring List Minic Pred32_asm Wcet_cfg Wcet_value

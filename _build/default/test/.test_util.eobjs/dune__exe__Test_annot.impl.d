@@ -1,0 +1,1 @@
+test/test_annot.ml: Alcotest Format List Wcet_annot

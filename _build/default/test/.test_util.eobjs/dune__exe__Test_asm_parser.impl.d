@@ -1,0 +1,1 @@
+test/test_asm_parser.ml: Alcotest Pred32_asm Pred32_hw Pred32_isa Pred32_sim Wcet_core

@@ -1,0 +1,1 @@
+test/test_aval.ml: Alcotest Gen List Pred32_isa QCheck2 QCheck_alcotest Test Wcet_value

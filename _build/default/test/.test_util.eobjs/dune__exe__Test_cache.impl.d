@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Pred32_hw Wcet_cache Wcet_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Printf Wcet_corpus Wcet_experiments

@@ -1,0 +1,1 @@
+test/test_fuzz_compiler.ml: Alcotest Array Int64 List Minic Pred32_hw Pred32_isa Pred32_sim Printf Wcet_core Wcet_util

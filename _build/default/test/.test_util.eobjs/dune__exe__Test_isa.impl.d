@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Int32 List Pred32_isa QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List Wcet_lp Wcet_util

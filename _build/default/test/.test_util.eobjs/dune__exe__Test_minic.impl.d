@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Int64 List Minic Option Pred32_asm Pred32_hw Pred32_isa Pred32_sim Printf Wcet_core Wcet_util

@@ -1,0 +1,1 @@
+test/test_misra.ml: Alcotest List Minic Misra String Wcet_corpus

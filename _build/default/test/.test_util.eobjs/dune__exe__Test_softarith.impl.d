@@ -1,0 +1,1 @@
+test/test_softarith.ml: Alcotest Int64 List Minic Option Pred32_hw Pred32_isa Pred32_sim Printf Softarith Wcet_util

@@ -1,0 +1,1 @@
+test/test_state_memory.ml: Alcotest Minic Option Pred32_asm Pred32_isa Pred32_memory Wcet_value

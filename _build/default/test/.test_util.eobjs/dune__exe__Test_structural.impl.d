@@ -1,0 +1,1 @@
+test/test_structural.ml: Alcotest Array Astring Minic Printf Wcet_cfg Wcet_core Wcet_ipet Wcet_pipeline Wcet_value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Int64 List QCheck2 QCheck_alcotest Wcet_util

@@ -1,0 +1,1 @@
+test/test_wcet.ml: Alcotest Astring List Minic Pred32_hw Pred32_sim Printf Wcet_annot Wcet_core

@@ -1,0 +1,95 @@
+(* Annotation language tests: parser round trips and error cases. *)
+
+module Annot = Wcet_annot.Annot
+
+let parse_exn text =
+  match Annot.parse text with
+  | Ok a -> a
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_assume () =
+  let a = parse_exn "assume n in [ 0 100 ]" in
+  Alcotest.(check (list (triple string int int))) "range" [ ("n", 0, 100) ] a.Annot.assumes;
+  let a = parse_exn "assume mode = 3" in
+  Alcotest.(check (list (triple string int int))) "point" [ ("mode", 3, 3) ] a.Annot.assumes;
+  let a = parse_exn "assume n in [0, 100]" in
+  Alcotest.(check (list (triple string int int))) "glued brackets" [ ("n", 0, 100) ] a.Annot.assumes
+
+let test_loop_bounds () =
+  let a = parse_exn "loop in __udivmod32 bound 40\nloop at 0x1234 bound 7" in
+  Alcotest.(check int) "two bounds" 2 (List.length a.Annot.loop_bounds);
+  (match a.Annot.loop_bounds with
+  | [ (Annot.At_addr addr, 7); (Annot.In_function f, 40) ]
+  | [ (Annot.In_function f, 40); (Annot.At_addr addr, 7) ] ->
+    Alcotest.(check string) "func" "__udivmod32" f;
+    Alcotest.(check int) "addr" 0x1234 addr
+  | _ -> Alcotest.fail "unexpected bounds shape")
+
+let test_other_forms () =
+  let a =
+    parse_exn
+      "# a comment\n\
+       recursion fact depth 10\n\
+       calltargets at 0x40 = handler_a, handler_b\n\
+       setjmp auto\n\
+       memory driver = io, scratch\n\
+       maxcount handle_error <= 3\n\
+       maxcount at 0x1f0 <= 1\n\
+       exclusive read_msg, write_msg\n"
+  in
+  Alcotest.(check (list (pair string int))) "recursion" [ ("fact", 10) ] a.Annot.recursion_depths;
+  Alcotest.(check bool) "setjmp" true a.Annot.setjmp_auto;
+  Alcotest.(check int) "calltargets" 1 (List.length a.Annot.call_targets);
+  (match a.Annot.call_targets with
+  | [ (0x40, [ "handler_a"; "handler_b" ]) ] -> ()
+  | _ -> Alcotest.fail "calltargets shape");
+  Alcotest.(check int) "memory" 1 (List.length a.Annot.memory_regions);
+  Alcotest.(check int) "facts" 3 (List.length a.Annot.flow_facts)
+
+let test_errors () =
+  let expect_error text =
+    match Annot.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_error "loop in f bound many";
+  expect_error "exclusive onlyone";
+  expect_error "frobnicate x";
+  expect_error "maxcount f <= ";
+  expect_error "calltargets at 0x40 ="
+
+let test_merge () =
+  let a = parse_exn "assume n = 1" and b = parse_exn "setjmp auto\nassume m = 2" in
+  let m = Annot.merge a b in
+  Alcotest.(check int) "assumes merged" 2 (List.length m.Annot.assumes);
+  Alcotest.(check bool) "setjmp carried" true m.Annot.setjmp_auto
+
+let test_pp_roundtrip () =
+  let a =
+    parse_exn
+      "assume n in [ 0 9 ]\nloop in f bound 3\nrecursion g depth 2\nmaxcount h <= 1\nexclusive p, q"
+  in
+  let printed = Format.asprintf "@[<v>%a@]" Annot.pp a in
+  let b = parse_exn printed in
+  Alcotest.(check int) "assumes survive" (List.length a.Annot.assumes) (List.length b.Annot.assumes);
+  Alcotest.(check int) "bounds survive" (List.length a.Annot.loop_bounds)
+    (List.length b.Annot.loop_bounds);
+  Alcotest.(check int) "facts survive" (List.length a.Annot.flow_facts)
+    (List.length b.Annot.flow_facts)
+
+let () =
+  Alcotest.run "annot"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "assume" `Quick test_assume;
+          Alcotest.test_case "loop bounds" `Quick test_loop_bounds;
+          Alcotest.test_case "other forms" `Quick test_other_forms;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_pp_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+(* Textual assembler tests: parse, link, run; error reporting. *)
+
+module Asm_parser = Pred32_asm.Asm_parser
+module Assembler = Pred32_asm.Assembler
+module Sim = Pred32_sim.Simulator
+module Hw = Pred32_hw.Hw_config
+
+let run_rv text =
+  let unit_ = Asm_parser.parse text in
+  let program = Assembler.link unit_ in
+  match Sim.run (Sim.create Hw.default program) with
+  | Sim.Halted { return_value; _ } -> Pred32_isa.Word.to_signed return_value
+  | o -> Alcotest.failf "did not halt: %a" Sim.pp_outcome o
+
+let test_minimal () =
+  Alcotest.(check int) "li+mul" 42
+    (run_rv {|
+.func main
+  li r2, 21          ; load immediate
+  muli r1, r2, 2     # both comment styles work
+  ret
+|})
+
+let test_loop_and_labels () =
+  Alcotest.(check int) "sum 1..10" 55
+    (run_rv
+       {|
+.func main
+  li r1, 0
+  li r2, 0
+  li r3, 10
+loop:
+  addi r2, r2, 1
+  add r1, r1, r2
+  blt r2, r3, loop
+  ret
+|})
+
+let test_data_and_la () =
+  Alcotest.(check int) "load global" 7
+    (run_rv {|
+.func main
+  la r2, value
+  lw r1, 0(r2)
+  ret
+.data value ram
+  .word 7
+|})
+
+let test_fptr_table () =
+  Alcotest.(check int) "call through table" 5
+    (run_rv
+       {|
+.func five
+  li r1, 5
+  ret
+.func main
+  la r2, table
+  lw r2, 0(r2)
+  addi sp, sp, -4
+  sw lr, 0(sp)
+  callr r2
+  lw lr, 0(sp)
+  addi sp, sp, 4
+  ret
+.data table rom
+  .addr five
+|})
+
+let test_scratch_placement () =
+  Alcotest.(check int) "scratch data" 9
+    (run_rv {|
+.func main
+  la r2, fast
+  lw r1, 0(r2)
+  ret
+.data fast scratch
+  .word 9
+|})
+
+let test_errors () =
+  let expect_error text =
+    match Asm_parser.parse text with
+    | exception Asm_parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_error ".func main\n  frobnicate r1\n";
+  expect_error ".func main\n  li r99, 1\n";
+  expect_error ".func main\n  lw r1, nonsense\n";
+  expect_error "  li r1, 1\n";
+  (* code before .func *)
+  expect_error ".data d\n  .word x\n"
+
+let test_analyzable () =
+  (* hand-written assembly goes through the same analyzer *)
+  let unit_ =
+    Asm_parser.parse
+      {|
+.func main
+  li r1, 0
+  li r2, 0
+  li r3, 25
+head:
+  bge r2, r3, done
+  add r1, r1, r2
+  addi r2, r2, 1
+  j head
+done:
+  ret
+|}
+  in
+  let program = Assembler.link unit_ in
+  let report = Wcet_core.Analyzer.analyze program in
+  let observed = Sim.halted_cycles (Sim.run (Sim.create Hw.default program)) in
+  Alcotest.(check bool) "sound" true (observed <= report.Wcet_core.Analyzer.wcet)
+
+let () =
+  Alcotest.run "asm_parser"
+    [
+      ( "parse+run",
+        [
+          Alcotest.test_case "minimal" `Quick test_minimal;
+          Alcotest.test_case "loop and labels" `Quick test_loop_and_labels;
+          Alcotest.test_case "data and la" `Quick test_data_and_la;
+          Alcotest.test_case "function pointer table" `Quick test_fptr_table;
+          Alcotest.test_case "scratch placement" `Quick test_scratch_placement;
+        ] );
+      ("errors", [ Alcotest.test_case "rejected inputs" `Quick test_errors ]);
+      ("analysis", [ Alcotest.test_case "hand-written asm analyzes" `Quick test_analyzable ]);
+    ]

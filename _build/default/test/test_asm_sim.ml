@@ -1,0 +1,200 @@
+(* End-to-end tests for the assembler, linker and simulator: hand-written
+   assembly programs run to completion with the expected results and
+   deterministic cycle counts. *)
+
+module Ast = Pred32_asm.Ast
+module Assembler = Pred32_asm.Assembler
+module Program = Pred32_asm.Program
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+module Sim = Pred32_sim.Simulator
+module Hw_config = Pred32_hw.Hw_config
+
+let r = Reg.of_int
+
+(* main: rv := 21 * 2 *)
+let answer_unit : Ast.unit_ =
+  [
+    Ast.Func
+      ( "main",
+        [
+          Ast.Li (r 2, 21);
+          Ast.Raw (Insn.Alui (Insn.Mul, Reg.rv, r 2, 2));
+          Ast.Raw (Insn.Jump_reg Reg.lr);
+        ] );
+  ]
+
+(* main: rv := sum 1..n, n loaded from global "input". *)
+let sum_unit : Ast.unit_ =
+  [
+    Ast.Func
+      ( "main",
+        [
+          Ast.La (r 2, "input");
+          Ast.Raw (Insn.Load (r 2, r 2, 0));
+          (* n *)
+          Ast.Li (Reg.rv, 0);
+          Ast.Li (r 3, 0);
+          (* i *)
+          Ast.Label "loop";
+          Ast.Bc (Insn.Bge, r 3, r 2, "done");
+          Ast.Raw (Insn.Alui (Insn.Add, r 3, r 3, 1));
+          Ast.Raw (Insn.Alu (Insn.Add, Reg.rv, Reg.rv, r 3));
+          Ast.J "loop";
+          Ast.Label "done";
+          Ast.Raw (Insn.Jump_reg Reg.lr);
+        ] );
+    Ast.Data ("input", Ast.In_ram, [ Ast.Word 10 ]);
+  ]
+
+(* Calls through a function pointer table. *)
+let fptr_unit : Ast.unit_ =
+  [
+    Ast.Func ("f_one", [ Ast.Li (Reg.rv, 1); Ast.Raw (Insn.Jump_reg Reg.lr) ]);
+    Ast.Func ("f_two", [ Ast.Li (Reg.rv, 2); Ast.Raw (Insn.Jump_reg Reg.lr) ]);
+    Ast.Func
+      ( "main",
+        [
+          Ast.La (r 2, "table");
+          Ast.Raw (Insn.Load (r 2, r 2, 4));
+          (* table[1] = f_two *)
+          (* save lr across the indirect call *)
+          Ast.Raw (Insn.Alui (Insn.Add, Reg.sp, Reg.sp, -4));
+          Ast.Raw (Insn.Store (Reg.lr, Reg.sp, 0));
+          Ast.Raw (Insn.Call_reg (r 2));
+          Ast.Raw (Insn.Load (Reg.lr, Reg.sp, 0));
+          Ast.Raw (Insn.Alui (Insn.Add, Reg.sp, Reg.sp, 4));
+          Ast.Raw (Insn.Jump_reg Reg.lr);
+        ] );
+    Ast.Data ("table", Ast.In_ram, [ Ast.Addr_of "f_one"; Ast.Addr_of "f_two" ]);
+  ]
+
+let run_rv ?(cfg = Hw_config.default) unit_ =
+  let program = Assembler.link unit_ in
+  let sim = Sim.create cfg program in
+  match Sim.run sim with
+  | Sim.Halted { return_value; _ } -> return_value
+  | outcome -> Alcotest.failf "unexpected outcome: %a" Sim.pp_outcome outcome
+
+let test_answer () = Alcotest.(check int) "42" 42 (run_rv answer_unit)
+
+let test_sum_loop () = Alcotest.(check int) "sum 1..10" 55 (run_rv sum_unit)
+
+let test_sum_poked_input () =
+  let program = Assembler.link sum_unit in
+  let sim = Sim.create Hw_config.default program in
+  Sim.poke_symbol sim "input" 0 100;
+  match Sim.run sim with
+  | Sim.Halted { return_value; _ } -> Alcotest.(check int) "sum 1..100" 5050 return_value
+  | outcome -> Alcotest.failf "unexpected outcome: %a" Sim.pp_outcome outcome
+
+let test_function_pointer_call () = Alcotest.(check int) "table[1]" 2 (run_rv fptr_unit)
+
+let test_determinism () =
+  let program = Assembler.link sum_unit in
+  let cycles () =
+    let sim = Sim.create Hw_config.default program in
+    Sim.halted_cycles (Sim.run sim)
+  in
+  Alcotest.(check int) "same cycles" (cycles ()) (cycles ())
+
+let test_cycle_scaling () =
+  (* More iterations must cost more cycles. *)
+  let program = Assembler.link sum_unit in
+  let cycles n =
+    let sim = Sim.create Hw_config.default program in
+    Sim.poke_symbol sim "input" 0 n;
+    Sim.halted_cycles (Sim.run sim)
+  in
+  Alcotest.(check bool) "monotone" true (cycles 50 > cycles 5)
+
+let test_uncached_slower () =
+  let program = Assembler.link sum_unit in
+  let cycles cfg =
+    let sim = Sim.create cfg program in
+    Sim.poke_symbol sim "input" 0 50;
+    Sim.halted_cycles (Sim.run sim)
+  in
+  Alcotest.(check bool) "caches help" true
+    (cycles Hw_config.uncached > cycles Hw_config.default)
+
+let test_exec_counts () =
+  let program = Assembler.link sum_unit in
+  let sim = Sim.create Hw_config.default program in
+  Sim.poke_symbol sim "input" 0 10;
+  (match Sim.run sim with
+  | Sim.Halted _ -> ()
+  | o -> Alcotest.failf "unexpected: %a" Sim.pp_outcome o);
+  (* The add-accumulate instruction runs exactly 10 times. The loop body
+     starts after: la(2) + load(1) + li(1) + li(1) = 5 words past entry;
+     body add is at word 6. *)
+  let main = Option.get (Program.find_function program "main") in
+  let addr_of_word i = main.Program.entry + (4 * i) in
+  Alcotest.(check int) "loop add count" 10 (Sim.exec_count sim (addr_of_word 6))
+
+let test_fault_on_illegal () =
+  let unit_ : Ast.unit_ = [ Ast.Func ("main", [ Ast.Raw (Insn.Alui (Insn.Add, Reg.sp, Reg.sp, -8)) ]) ]
+  in
+  (* Falls off the end of main into zeroed ROM -> illegal instruction. *)
+  let program = Assembler.link unit_ in
+  let sim = Sim.create Hw_config.default program in
+  match Sim.run sim with
+  | Sim.Faulted { fault = Sim.Illegal_instruction _; _ } -> ()
+  | o -> Alcotest.failf "expected illegal-instruction fault, got %a" Sim.pp_outcome o
+
+let test_undefined_symbol () =
+  let unit_ : Ast.unit_ = [ Ast.Func ("main", [ Ast.J "nowhere" ]) ] in
+  match Assembler.link unit_ with
+  | exception Assembler.Error msg ->
+    Alcotest.(check bool) "mentions symbol" true
+      (Astring.String.is_infix ~affix:"nowhere" msg)
+  | _ -> Alcotest.fail "expected link error"
+
+let test_duplicate_symbol () =
+  let unit_ : Ast.unit_ =
+    [
+      Ast.Func ("main", [ Ast.Raw (Insn.Jump_reg Reg.lr) ]);
+      Ast.Func ("main", [ Ast.Raw (Insn.Jump_reg Reg.lr) ]);
+    ]
+  in
+  match Assembler.link unit_ with
+  | exception Assembler.Error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-symbol error"
+
+let test_disassemble_roundtrip () =
+  let program = Assembler.link sum_unit in
+  let main = Option.get (Program.find_function program "main") in
+  let insns = Program.disassemble program main in
+  Alcotest.(check bool) "nonempty" true (List.length insns > 5);
+  List.iter
+    (fun (_, i) ->
+      match i with
+      | Insn.Illegal _ -> Alcotest.fail "illegal in disassembly"
+      | _ -> ())
+    insns
+
+let () =
+  Alcotest.run "asm_sim"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "constant program" `Quick test_answer;
+          Alcotest.test_case "counting loop" `Quick test_sum_loop;
+          Alcotest.test_case "poked input" `Quick test_sum_poked_input;
+          Alcotest.test_case "function pointer call" `Quick test_function_pointer_call;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "cycle scaling" `Quick test_cycle_scaling;
+          Alcotest.test_case "uncached slower" `Quick test_uncached_slower;
+          Alcotest.test_case "exec counts" `Quick test_exec_counts;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "illegal instruction fault" `Quick test_fault_on_illegal;
+          Alcotest.test_case "undefined symbol" `Quick test_undefined_symbol;
+          Alcotest.test_case "duplicate symbol" `Quick test_duplicate_symbol;
+          Alcotest.test_case "disassembly" `Quick test_disassemble_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Property tests of the interval domain: soundness of every transfer
+   function against concrete 32-bit word arithmetic, lattice laws, and
+   refinement correctness. These are the properties that make every WCET
+   bound built on top of the domain trustworthy. *)
+
+module Aval = Wcet_value.Aval
+module Word = Pred32_isa.Word
+module Insn = Pred32_isa.Insn
+
+open QCheck2
+
+(* Generate an interval together with a concrete member. *)
+let gen_val_with_member =
+  let open Gen in
+  let word = oneof [ int_range 0 1000; int_range 0 0x7FFFFFFF;
+                     map (fun x -> 0xFFFFFFFF - x) (int_range 0 1000);
+                     return 0x80000000; return 0x7FFFFFFF ] in
+  let* kind = int_range 0 9 in
+  if kind = 0 then
+    let* w = word in
+    return (Aval.top, w)
+  else
+    let* a = word and* b = word in
+    let lo = min a b and hi = max a b in
+    let* w = int_range lo hi in
+    return (Aval.interval lo hi, w)
+
+let gen_pair = Gen.pair gen_val_with_member gen_val_with_member
+
+let member w v =
+  match v with
+  | Aval.Bot -> false
+  | Aval.Top -> true
+  | Aval.I (lo, hi) -> lo <= w && w <= hi
+
+(* abstract op vs concrete op on members *)
+let sound_binop name abstract concrete =
+  Test.make ~name ~count:2000 gen_pair (fun ((va, a), (vb, b)) ->
+      member (concrete a b) (abstract va vb))
+
+let soundness_tests =
+  [
+    sound_binop "add sound" Aval.add Word.add;
+    sound_binop "sub sound" Aval.sub Word.sub;
+    sound_binop "mul sound" Aval.mul Word.mul;
+    sound_binop "divu sound" Aval.divu Word.divu;
+    sound_binop "remu sound" Aval.remu Word.remu;
+    sound_binop "and sound" Aval.logand Word.logand;
+    sound_binop "or sound" Aval.logor Word.logor;
+    sound_binop "xor sound" Aval.logxor Word.logxor;
+    sound_binop "shl sound" Aval.shl Word.shl;
+    sound_binop "shr sound" Aval.shr Word.shr;
+    sound_binop "sra sound" Aval.sra Word.sra;
+    sound_binop "slt sound" Aval.slt Word.slt;
+    sound_binop "sltu sound" Aval.sltu Word.sltu;
+  ]
+
+let lattice_tests =
+  [
+    Test.make ~name:"join upper bound" ~count:2000 gen_pair (fun ((va, a), (vb, b)) ->
+        let j = Aval.join va vb in
+        member a j && member b j && Aval.leq va j && Aval.leq vb j);
+    Test.make ~name:"meet lower bound" ~count:2000 gen_pair (fun ((va, _), (vb, _)) ->
+        let m = Aval.meet va vb in
+        Aval.leq m va && Aval.leq m vb);
+    Test.make ~name:"widen covers join" ~count:2000 gen_pair (fun ((va, _), (vb, _)) ->
+        Aval.leq (Aval.join va vb) (Aval.widen va vb));
+    Test.make ~name:"widen reaches fixpoint fast" ~count:500 gen_pair
+      (fun ((va, _), (vb, _)) ->
+        (* iterated widening stabilizes within a few steps (thresholds) *)
+        let rec stabilize v k = if k = 0 then v else stabilize (Aval.widen v vb) (k - 1) in
+        let w4 = stabilize va 4 in
+        Aval.equal w4 (Aval.widen w4 vb) || Aval.leq (Aval.widen w4 vb) w4);
+    Test.make ~name:"leq reflexive" ~count:1000 gen_val_with_member (fun (v, _) ->
+        Aval.leq v v);
+  ]
+
+(* Branch refinement: if the condition concretely holds (or not), the
+   refined intervals still contain the concrete operands. *)
+let concrete_cond c a b =
+  match c with
+  | Insn.Beq -> a = b
+  | Insn.Bne -> a <> b
+  | Insn.Blt -> Word.to_signed a < Word.to_signed b
+  | Insn.Bge -> Word.to_signed a >= Word.to_signed b
+  | Insn.Bltu -> a < b
+  | Insn.Bgeu -> a >= b
+
+let gen_cond = Gen.oneofl [ Insn.Beq; Insn.Bne; Insn.Blt; Insn.Bge; Insn.Bltu; Insn.Bgeu ]
+
+let refinement_tests =
+  [
+    Test.make ~name:"refine_cond sound" ~count:5000
+      Gen.(triple gen_cond gen_pair bool)
+      (fun (cond, ((va, a), (vb, b)), _) ->
+        let holds = concrete_cond cond a b in
+        let va', vb' = Aval.refine_cond cond holds va vb in
+        (* the refined state must keep any concrete pair that satisfies the
+           assumed outcome *)
+        member a va' && member b vb');
+    Test.make ~name:"refine_cond shrinks" ~count:2000
+      Gen.(pair gen_cond gen_pair)
+      (fun (cond, ((va, _), (vb, _))) ->
+        let va', vb' = Aval.refine_cond cond true va vb in
+        (Aval.is_bot va' || Aval.leq va' va) && (Aval.is_bot vb' || Aval.leq vb' vb));
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "constants" `Quick (fun () ->
+        Alcotest.(check (option int)) "singleton" (Some 5) (Aval.singleton (Aval.const 5));
+        Alcotest.(check (option int)) "negative wraps" (Some 0xFFFFFFFF)
+          (Aval.singleton (Aval.of_signed_const (-1)));
+        Alcotest.(check bool) "empty interval is bot" true (Aval.is_bot (Aval.interval 5 4)));
+    Alcotest.test_case "wrap handling" `Quick (fun () ->
+        (* subtracting a frame offset encoded as a large constant *)
+        let sp = Aval.const 0x10100000 in
+        let v = Aval.add sp (Aval.of_signed_const (-16)) in
+        Alcotest.(check (option int)) "sp-16" (Some 0x100FFFF0) (Aval.singleton v);
+        (* straddling intervals give Top *)
+        let v2 = Aval.add (Aval.interval 0 10) (Aval.of_signed_const (-5)) in
+        Alcotest.(check bool) "straddle is top" true (v2 = Aval.top));
+    Alcotest.test_case "threshold widening" `Quick (fun () ->
+        match Aval.widen (Aval.interval 0 1) (Aval.interval 1 2) with
+        | Aval.I (0, hi) -> Alcotest.(check int) "stops at signed max" 0x7FFFFFFF hi
+        | v -> Alcotest.failf "unexpected %a" Aval.pp v);
+  ]
+
+let () =
+  Alcotest.run "aval"
+    [
+      ("soundness", List.map QCheck_alcotest.to_alcotest soundness_tests);
+      ("lattice", List.map QCheck_alcotest.to_alcotest lattice_tests);
+      ("refinement", List.map QCheck_alcotest.to_alcotest refinement_tests);
+      ("units", unit_tests);
+    ]

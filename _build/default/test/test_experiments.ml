@@ -1,0 +1,201 @@
+(* Integration tests of the reproduction itself: every corpus entry must
+   exhibit the behaviour the paper claims (DESIGN.md's expected-shape
+   table). This is the test that says "the study reproduces". *)
+
+module Corpus = Wcet_corpus.Corpus
+module Harness = Wcet_experiments.Harness
+
+let runs = lazy (Harness.all_runs ())
+
+let find id variant =
+  List.find
+    (fun (r : Harness.run) -> r.Harness.entry_id = id && r.Harness.variant = variant)
+    (Lazy.force runs)
+
+let bound_exn (r : Harness.run) =
+  match r.Harness.assisted with
+  | Harness.Bound b -> b
+  | Harness.Fails msg -> Alcotest.failf "%s/%s has no bound: %s" r.Harness.entry_id r.Harness.variant msg
+
+let is_automatic (r : Harness.run) =
+  match r.Harness.automatic with Harness.Bound _ -> true | Harness.Fails _ -> false
+
+(* Shared shape assertions *)
+
+let check_conforming_automatic id =
+  let r = find id "conforming" in
+  Alcotest.(check bool) (id ^ " conforming is fully automatic") true (is_automatic r)
+
+let check_violating_needs_annotation id =
+  let v = find id "violating" in
+  Alcotest.(check bool) (id ^ " violating fails automatically") false (is_automatic v);
+  (* ...but succeeds with its design-level annotations *)
+  ignore (bound_exn v)
+
+let check_ratio_below id variant limit =
+  let r = find id variant in
+  match Harness.ratio r with
+  | Some ratio ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %s ratio %.2f <= %.2f" id variant ratio limit)
+      true (ratio <= limit)
+  | None -> Alcotest.failf "%s %s has no ratio" id variant
+
+let check_ratio_above id variant limit =
+  let r = find id variant in
+  match Harness.ratio r with
+  | Some ratio ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %s ratio %.2f >= %.2f" id variant ratio limit)
+      true (ratio >= limit)
+  | None -> Alcotest.failf "%s %s has no ratio" id variant
+
+(* --- E1: per-rule expectations --- *)
+
+let test_13_4 () =
+  check_conforming_automatic "13.4";
+  check_violating_needs_annotation "13.4";
+  check_ratio_below "13.4" "conforming" 1.2;
+  (* float path: bound dominated by annotation worst cases *)
+  check_ratio_above "13.4" "violating" 2.0
+
+let test_13_6 () =
+  check_conforming_automatic "13.6";
+  (* still bounded (it is a for loop), but only with an annotation *)
+  check_violating_needs_annotation "13.6";
+  check_ratio_below "13.6" "conforming" 1.2
+
+let test_14_1 () =
+  check_conforming_automatic "14.1";
+  let v = find "14.1" "violating" in
+  (* both analyze automatically; the dead code blows the bound up *)
+  Alcotest.(check bool) "violating automatic" true (is_automatic v);
+  check_ratio_below "14.1" "conforming" 1.2;
+  check_ratio_above "14.1" "violating" 10.0
+
+let test_14_4 () =
+  check_conforming_automatic "14.4";
+  check_violating_needs_annotation "14.4"
+
+let test_14_5 () =
+  (* the paper's correction of Wenzel et al.: continue is style-only *)
+  check_conforming_automatic "14.5";
+  let v = find "14.5" "violating" in
+  Alcotest.(check bool) "continue variant automatic" true (is_automatic v);
+  check_ratio_below "14.5" "conforming" 1.2;
+  check_ratio_below "14.5" "violating" 1.2
+
+let test_16_1 () =
+  check_conforming_automatic "16.1";
+  check_violating_needs_annotation "16.1"
+
+let test_16_2 () =
+  check_conforming_automatic "16.2";
+  check_violating_needs_annotation "16.2";
+  (* with a depth annotation, recursion analyzes precisely (contexts) *)
+  check_ratio_below "16.2" "violating" 1.2
+
+let test_20_4 () =
+  check_conforming_automatic "20.4";
+  check_violating_needs_annotation "20.4"
+
+let test_20_7 () =
+  check_conforming_automatic "20.7";
+  check_violating_needs_annotation "20.7"
+
+(* --- E2: tier-two expectations --- *)
+
+let test_modes () =
+  let documented = bound_exn (find "modes" "conforming") in
+  let oblivious = bound_exn (find "modes" "violating") in
+  Alcotest.(check bool) "per-mode bound much tighter" true (documented * 3 < oblivious)
+
+let test_message () =
+  let documented = bound_exn (find "message" "conforming") in
+  let undocumented = bound_exn (find "message" "violating") in
+  Alcotest.(check bool) "exclusivity tightens" true (documented < undocumented);
+  check_ratio_below "message" "conforming" 1.4
+
+let test_memory () =
+  let documented = bound_exn (find "memory" "conforming") in
+  let undocumented = bound_exn (find "memory" "violating") in
+  Alcotest.(check bool) "region annotation tightens" true (documented < undocumented)
+
+let test_errors () =
+  let documented = bound_exn (find "errors" "conforming") in
+  let undocumented = bound_exn (find "errors" "violating") in
+  Alcotest.(check bool) "error-count fact tightens a lot" true (documented * 5 < undocumented)
+
+let test_arith () =
+  let restoring = find "arith" "conforming" in
+  let ldivmod = find "arith" "violating" in
+  Alcotest.(check bool) "restoring automatic" true (is_automatic restoring);
+  Alcotest.(check bool) "lDivMod needs annotation" false (is_automatic ldivmod);
+  check_ratio_below "arith" "conforming" 1.6;
+  (* the paper's big over-estimation: the bound assumes the rare worst case *)
+  check_ratio_above "arith" "violating" 10.0
+
+let test_handlers () =
+  check_conforming_automatic "handlers";
+  check_violating_needs_annotation "handlers";
+  (* with targets supplied, both handler paths are covered soundly *)
+  check_ratio_below "handlers" "violating" 2.0
+
+(* --- ablations --- *)
+
+let test_single_path_tradeoff () =
+  let (b_bound, b_obs), (s_bound, s_obs) = Harness.single_path_measurements () in
+  (* soundness on both compilations *)
+  Alcotest.(check bool) "branchy sound" true (b_obs <= b_bound);
+  Alcotest.(check bool) "single-path sound" true (s_obs <= s_bound);
+  (* predictability: the single-path gap is no larger than the branchy gap *)
+  Alcotest.(check bool) "single-path at least as predictable" true
+    (s_bound - s_obs <= b_bound - b_obs);
+  (* the paper's criticism: the worst case itself gets worse (or at best
+     equal) because the conditional work always executes *)
+  Alcotest.(check bool) "single-path worst case not better" true (s_obs >= b_obs)
+
+(* --- global invariants --- *)
+
+let test_all_sound () =
+  (* run_scenario raises on unsoundness; force every run *)
+  Alcotest.(check bool) "all runs computed" true (List.length (Lazy.force runs) = 30)
+
+let test_conforming_always_automatic () =
+  List.iter
+    (fun (e : Corpus.entry) -> check_conforming_automatic e.Corpus.id)
+    Corpus.rule_entries
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "e1-rules",
+        [
+          Alcotest.test_case "13.4 float loop control" `Quick test_13_4;
+          Alcotest.test_case "13.6 counter modification" `Quick test_13_6;
+          Alcotest.test_case "14.1 unreachable code" `Quick test_14_1;
+          Alcotest.test_case "14.4 goto" `Quick test_14_4;
+          Alcotest.test_case "14.5 continue (style only)" `Quick test_14_5;
+          Alcotest.test_case "16.1 varargs" `Quick test_16_1;
+          Alcotest.test_case "16.2 recursion" `Quick test_16_2;
+          Alcotest.test_case "20.4 malloc" `Quick test_20_4;
+          Alcotest.test_case "20.7 setjmp/longjmp" `Quick test_20_7;
+        ] );
+      ( "e2-tier-two",
+        [
+          Alcotest.test_case "operating modes" `Quick test_modes;
+          Alcotest.test_case "message buffer" `Quick test_message;
+          Alcotest.test_case "memory regions" `Quick test_memory;
+          Alcotest.test_case "error handling" `Quick test_errors;
+          Alcotest.test_case "software arithmetic" `Quick test_arith;
+          Alcotest.test_case "function pointers" `Quick test_handlers;
+        ] );
+      ( "ablations",
+        [ Alcotest.test_case "single-path trade-off" `Quick test_single_path_tradeoff ] );
+      ( "global",
+        [
+          Alcotest.test_case "soundness of every run" `Quick test_all_sound;
+          Alcotest.test_case "conforming variants automatic" `Quick
+            test_conforming_always_automatic;
+        ] );
+    ]

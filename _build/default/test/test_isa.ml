@@ -1,0 +1,171 @@
+(* Tests for the PRED32 ISA: word arithmetic and encode/decode round trips. *)
+
+module Word = Pred32_isa.Word
+module Insn = Pred32_isa.Insn
+module Reg = Pred32_isa.Reg
+module Encode = Pred32_isa.Encode
+
+let test_word_wrap () =
+  Alcotest.(check int) "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+  Alcotest.(check int) "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  Alcotest.(check int) "mul wraps" 0xFFFFFFFE (Word.mul 0xFFFFFFFF 2);
+  Alcotest.(check int) "to_signed -1" (-1) (Word.to_signed 0xFFFFFFFF);
+  Alcotest.(check int) "of_signed -1" 0xFFFFFFFF (Word.of_signed (-1))
+
+let test_word_div () =
+  Alcotest.(check int) "divu" 3 (Word.divu 10 3);
+  Alcotest.(check int) "remu" 1 (Word.remu 10 3);
+  Alcotest.(check int) "div by zero" 0xFFFFFFFF (Word.divu 5 0);
+  Alcotest.(check int) "rem by zero" 5 (Word.remu 5 0)
+
+let test_word_shift () =
+  Alcotest.(check int) "shl masks amount" (Word.shl 1 1) (Word.shl 1 33);
+  Alcotest.(check int) "sra sign" 0xFFFFFFFF (Word.sra 0x80000000 31);
+  Alcotest.(check int) "shr zero fill" 1 (Word.shr 0x80000000 31)
+
+let test_word_cmp () =
+  Alcotest.(check int) "slt signed" 1 (Word.slt 0xFFFFFFFF 0);
+  Alcotest.(check int) "sltu unsigned" 0 (Word.sltu 0xFFFFFFFF 0);
+  Alcotest.(check int) "sext16 neg" (-1) (Word.sext16 0xFFFF);
+  Alcotest.(check int) "sext16 pos" 0x7FFF (Word.sext16 0x7FFF)
+
+let insn_testable = Alcotest.testable Insn.pp Insn.equal
+
+let sample_insns =
+  let r = Reg.of_int in
+  [
+    Insn.Nop;
+    Insn.Halt;
+    Insn.Alu (Insn.Add, r 1, r 2, r 3);
+    Insn.Alu (Insn.Sltu, r 15, r 0, r 7);
+    Insn.Alui (Insn.Add, r 4, r 5, -32768);
+    Insn.Alui (Insn.Slt, r 4, r 5, 32767);
+    Insn.Alui (Insn.Or, r 4, r 4, 0xFFFF);
+    Insn.Alui (Insn.And, r 2, r 2, 0);
+    Insn.Lui (r 9, 0xABCD);
+    Insn.Load (r 1, Reg.sp, -4);
+    Insn.Store (r 1, Reg.fp, 124);
+    Insn.Branch (Insn.Bne, r 1, r 0, -100);
+    Insn.Jump 0x123456;
+    Insn.Call 1;
+    Insn.Jump_reg Reg.lr;
+    Insn.Call_reg (r 6);
+    Insn.Cmovnz (r 1, r 2, r 3);
+  ]
+
+let test_roundtrip_samples () =
+  List.iter
+    (fun i -> Alcotest.check insn_testable "roundtrip" i (Encode.decode (Encode.encode i)))
+    sample_insns
+
+let test_decode_total () =
+  (* Every word decodes to something; zero must be illegal. *)
+  (match Encode.decode 0l with
+  | Insn.Illegal _ -> ()
+  | i -> Alcotest.failf "word 0 decoded to %a" Insn.pp i);
+  match Encode.decode 0xFFFFFFFFl with
+  | Insn.Illegal _ -> ()
+  | _ -> ()
+
+let test_out_of_range () =
+  Alcotest.check_raises "imm too big"
+    (Encode.Immediate_out_of_range (Insn.Alui (Insn.Add, Reg.rv, Reg.rv, 40000)))
+    (fun () -> ignore (Encode.encode (Insn.Alui (Insn.Add, Reg.rv, Reg.rv, 40000))));
+  Alcotest.check_raises "negative logical imm"
+    (Encode.Immediate_out_of_range (Insn.Alui (Insn.Or, Reg.rv, Reg.rv, -1)))
+    (fun () -> ignore (Encode.encode (Insn.Alui (Insn.Or, Reg.rv, Reg.rv, -1))))
+
+let gen_insn =
+  let open QCheck2.Gen in
+  let reg = map Reg.of_int (int_range 0 15) in
+  let alu_op =
+    oneofl
+      [
+        Insn.Add; Insn.Sub; Insn.Mul; Insn.Divu; Insn.Remu; Insn.And; Insn.Or; Insn.Xor;
+        Insn.Shl; Insn.Shr; Insn.Sra; Insn.Slt; Insn.Sltu;
+      ]
+  in
+  let cond = oneofl [ Insn.Beq; Insn.Bne; Insn.Blt; Insn.Bge; Insn.Bltu; Insn.Bgeu ] in
+  let imm_signed = int_range (-32768) 32767 in
+  let imm_unsigned = int_range 0 0xFFFF in
+  oneof
+    [
+      return Insn.Nop;
+      return Insn.Halt;
+      map3 (fun op (a, b) c -> Insn.Alu (op, a, b, c)) alu_op (pair reg reg) reg;
+      map3
+        (fun op (a, b) simm ->
+          match op with
+          | Insn.And | Insn.Or | Insn.Xor -> Insn.Alui (op, a, b, abs simm)
+          | _ -> Insn.Alui (op, a, b, simm))
+        alu_op (pair reg reg) imm_signed;
+      map2 (fun r i -> Insn.Lui (r, i)) reg imm_unsigned;
+      map3 (fun a b i -> Insn.Load (a, b, i)) reg reg imm_signed;
+      map3 (fun a b i -> Insn.Store (a, b, i)) reg reg imm_signed;
+      map3 (fun c (a, b) off -> Insn.Branch (c, a, b, off)) cond (pair reg reg) imm_signed;
+      map (fun w -> Insn.Jump w) (int_range 0 ((1 lsl 26) - 1));
+      map (fun w -> Insn.Call w) (int_range 0 ((1 lsl 26) - 1));
+      map (fun r -> Insn.Jump_reg r) reg;
+      map (fun r -> Insn.Call_reg r) reg;
+      map3 (fun a b c -> Insn.Cmovnz (a, b, c)) reg reg reg;
+    ]
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"encode/decode roundtrip" ~count:2000 gen_insn (fun i ->
+           Insn.equal i (Encode.decode (Encode.encode i))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"decode total" ~count:2000
+         (QCheck2.Gen.map Int32.of_int QCheck2.Gen.int)
+         (fun w ->
+           match Encode.decode w with
+           | _ -> true));
+  ]
+
+let test_control_flow_classes () =
+  Alcotest.(check bool) "branch terminates block" true
+    (Insn.is_block_terminator (Insn.Branch (Insn.Beq, Reg.rv, Reg.zero, 3)));
+  Alcotest.(check bool) "alu does not" false
+    (Insn.is_block_terminator (Insn.Alu (Insn.Add, Reg.rv, Reg.rv, Reg.rv)));
+  (match Insn.control_flow (Insn.Call 17) with
+  | Insn.Call_to 17 -> ()
+  | _ -> Alcotest.fail "call class");
+  match Insn.control_flow (Insn.Call_reg Reg.rv) with
+  | Insn.Indirect_call -> ()
+  | _ -> Alcotest.fail "indirect call class"
+
+let test_defs_uses () =
+  let r = Reg.of_int in
+  Alcotest.(check (list string)) "defs of add" [ "r1" ]
+    (List.map Reg.name (Insn.defs (Insn.Alu (Insn.Add, r 1, r 2, r 3))));
+  Alcotest.(check (list string)) "r0 writes discarded" []
+    (List.map Reg.name (Insn.defs (Insn.Alu (Insn.Add, r 0, r 2, r 3))));
+  Alcotest.(check (list string)) "call defines lr" [ "lr" ]
+    (List.map Reg.name (Insn.defs (Insn.Call 0)));
+  Alcotest.(check (list string)) "store uses base+value" [ "fp"; "r1" ]
+    (List.map Reg.name (Insn.uses (Insn.Store (r 1, Reg.fp, 0))))
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "wrap" `Quick test_word_wrap;
+          Alcotest.test_case "div" `Quick test_word_div;
+          Alcotest.test_case "shift" `Quick test_word_shift;
+          Alcotest.test_case "compare/sext" `Quick test_word_cmp;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "roundtrip samples" `Quick test_roundtrip_samples;
+          Alcotest.test_case "decode total" `Quick test_decode_total;
+          Alcotest.test_case "immediate range" `Quick test_out_of_range;
+        ]
+        @ qcheck_tests );
+      ( "classify",
+        [
+          Alcotest.test_case "control flow" `Quick test_control_flow_classes;
+          Alcotest.test_case "defs/uses" `Quick test_defs_uses;
+        ] );
+    ]

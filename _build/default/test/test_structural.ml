@@ -1,0 +1,87 @@
+(* Cross-check of the two path-analysis engines: on programs without flow
+   facts, the structural (tree-based) bound must dominate the IPET bound
+   and, on the plain loop shapes our compiler emits, coincide with it. *)
+
+module Compile = Minic.Compile
+module Analyzer = Wcet_core.Analyzer
+module Structural = Wcet_ipet.Structural
+
+let both source =
+  let program = Compile.compile source in
+  let report = Analyzer.analyze program in
+  let structural =
+    Structural.solve report.Analyzer.value report.Analyzer.loops
+      ~times:report.Analyzer.timing.Wcet_pipeline.Block_timing.wcet
+      ~loop_bounds:report.Analyzer.effective_bounds
+  in
+  (report.Analyzer.wcet, structural)
+
+let check_agree name source =
+  match both source with
+  | ipet, Ok structural ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: structural %d >= ipet %d" name structural ipet)
+      true (structural >= ipet);
+    Alcotest.(check int) (name ^ ": engines agree") ipet structural
+  | _, Error msg -> Alcotest.failf "%s: structural failed: %s" name msg
+
+let check_dominates name source =
+  match both source with
+  | ipet, Ok structural ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: structural %d >= ipet %d" name structural ipet)
+      true (structural >= ipet)
+  | _, Error msg -> Alcotest.failf "%s: structural failed: %s" name msg
+
+let test_straight_line () = check_agree "straight" "int main() { int x; x = 3; return x * 9; }"
+
+let test_branch () =
+  check_agree "branch"
+    "int g; int main() { int x; if (g) { x = g * 3; } else { x = 1; } return x; }"
+
+let test_loop () =
+  check_agree "loop"
+    "int main() { int s; int i; s = 0; for (i = 0; i < 25; i = i + 1) { s = s + i; } return s; }"
+
+let test_nested () =
+  check_agree "nested"
+    "int main() { int s; int i; int j; s = 0; for (i = 0; i < 5; i = i + 1) { for (j = 0; j < 7; j = j + 1) { s = s + j; } } return s; }"
+
+let test_loop_with_branch () =
+  check_dominates "loop+branch"
+    "int g; int main() { int s; int i; s = 0; for (i = 0; i < 12; i = i + 1) { if (g) { s = s + i * 3; } else { s = s + 1; } } return s; }"
+
+let test_calls () =
+  check_agree "calls"
+    "int f(int x) { return x * 2; } int main() { int s; int i; s = 0; for (i = 0; i < 6; i = i + 1) { s = s + f(i); } return s; }"
+
+let test_irreducible_rejected () =
+  let source =
+    "int g; int main() { int i; i = 0; if (g) { goto mid; } top: i = i + 1; mid: i = i + 2; if (i < 20) { goto top; } return i; }"
+  in
+  let program = Compile.compile source in
+  let graph = Wcet_value.Resolve_iter.build program in
+  let loops = Wcet_cfg.Loops.analyze graph in
+  let value = Wcet_value.Analysis.run graph loops in
+  let times = Array.make (Array.length graph.Wcet_cfg.Supergraph.nodes) 1 in
+  match Structural.solve value loops ~times ~loop_bounds:[] with
+  | Error msg ->
+    Alcotest.(check bool) "mentions reducibility" true
+      (Astring.String.is_infix ~affix:"reducible" msg)
+  | Ok _ -> Alcotest.fail "expected irreducibility rejection"
+
+let () =
+  Alcotest.run "structural"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "straight line" `Quick test_straight_line;
+          Alcotest.test_case "branch" `Quick test_branch;
+          Alcotest.test_case "loop" `Quick test_loop;
+          Alcotest.test_case "nested loops" `Quick test_nested;
+          Alcotest.test_case "loop with branch" `Quick test_loop_with_branch;
+          Alcotest.test_case "calls" `Quick test_calls;
+        ] );
+      ( "limits",
+        [ Alcotest.test_case "irreducible rejected" `Quick test_irreducible_rejected ] );
+    ]

@@ -1,0 +1,176 @@
+(* Tests for wcet_util: PCG32 determinism, exact rationals, fixpoint solver. *)
+
+module Pcg = Wcet_util.Pcg
+module Rat = Wcet_util.Rat
+
+let test_pcg_deterministic () =
+  let a = Pcg.create ~seed:42L () and b = Pcg.create ~seed:42L () in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Pcg.next_uint32 a) (Pcg.next_uint32 b)
+  done
+
+let test_pcg_seed_sensitivity () =
+  let a = Pcg.create ~seed:1L () and b = Pcg.create ~seed:2L () in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Pcg.next_uint32 a) (Pcg.next_uint32 b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_pcg_range () =
+  let g = Pcg.create ~seed:7L () in
+  for _ = 1 to 10_000 do
+    let v = Pcg.next_uint32 g in
+    Alcotest.(check bool) "in range" true (v >= 0L && v < 0x100000000L)
+  done
+
+let test_pcg_below () =
+  let g = Pcg.create ~seed:7L () in
+  for _ = 1 to 10_000 do
+    let v = Pcg.next_below g 10L in
+    Alcotest.(check bool) "below 10" true (v >= 0L && v < 10L)
+  done
+
+let test_pcg_copy_independent () =
+  let a = Pcg.create ~seed:3L () in
+  let _ = Pcg.next_uint32 a in
+  let b = Pcg.copy a in
+  let va = Pcg.next_uint32 a and vb = Pcg.next_uint32 b in
+  Alcotest.(check int64) "copy continues identically" va vb
+
+(* Rationals *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  Alcotest.check rat "-6/-4 = 3/2" (Rat.make 3 2) (Rat.make (-6) (-4));
+  Alcotest.check rat "6/-4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  Alcotest.check rat "0/7 = 0" Rat.zero (Rat.make 0 7)
+
+let test_rat_arith () =
+  let half = Rat.make 1 2 and third = Rat.make 1 3 in
+  Alcotest.check rat "1/2+1/3" (Rat.make 5 6) (Rat.add half third);
+  Alcotest.check rat "1/2-1/3" (Rat.make 1 6) (Rat.sub half third);
+  Alcotest.check rat "1/2*1/3" (Rat.make 1 6) (Rat.mul half third);
+  Alcotest.check rat "1/2 / 1/3" (Rat.make 3 2) (Rat.div half third)
+
+let test_rat_compare () =
+  Alcotest.(check int) "1/2 < 2/3" (-1) (Rat.compare (Rat.make 1 2) (Rat.make 2 3));
+  Alcotest.(check int) "-1/2 < 1/3" (-1) (Rat.compare (Rat.make (-1) 2) (Rat.make 1 3));
+  Alcotest.(check bool) "eq" true (Rat.equal (Rat.make 2 4) (Rat.make 1 2))
+
+let test_rat_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  Alcotest.(check int) "floor 4" 4 (Rat.floor (Rat.of_int 4));
+  Alcotest.(check int) "ceil 4" 4 (Rat.ceil (Rat.of_int 4))
+
+let rat_qcheck =
+  let gen =
+    QCheck2.Gen.map2 (fun n d -> Rat.make n (if d = 0 then 1 else d))
+      (QCheck2.Gen.int_range (-1000) 1000)
+      (QCheck2.Gen.int_range (-50) 50)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"add commutative" ~count:500
+         (QCheck2.Gen.pair gen gen)
+         (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"mul distributes over add" ~count:500
+         (QCheck2.Gen.triple gen gen gen)
+         (fun (a, b, c) ->
+           Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"floor <= x <= ceil" ~count:500 gen (fun a ->
+           Rat.compare (Rat.of_int (Rat.floor a)) a <= 0
+           && Rat.compare a (Rat.of_int (Rat.ceil a)) <= 0));
+  ]
+
+(* Fixpoint on a tiny reachability domain: node -> set of reachable entries. *)
+
+module Bits = struct
+  type t = int
+
+  let leq a b = a land b = a
+  let join = ( lor )
+  let widen = ( lor )
+end
+
+module FP = Wcet_util.Fixpoint.Make (Bits)
+
+let test_fixpoint_reachability () =
+  (* Diamond with a back edge: 0 -> 1 -> 2 -> 3, 1 -> 3, 3 -> 1. *)
+  let succs = function
+    | 0 -> [ 1 ]
+    | 1 -> [ 2; 3 ]
+    | 2 -> [ 3 ]
+    | 3 -> [ 1 ]
+    | _ -> []
+  in
+  let result =
+    FP.solve
+      {
+        FP.num_nodes = 5;
+        entries = [ (0, 1) ];
+        succs;
+        transfer = (fun _ s -> s);
+        widening_points = (fun n -> n = 1);
+        widening_delay = 2;
+      }
+  in
+  List.iter
+    (fun n -> Alcotest.(check (option int)) "reachable" (Some 1) (result.FP.in_state n))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check (option int)) "node 4 unreachable" None (result.FP.in_state 4)
+
+let test_fixpoint_transfer () =
+  (* Transfer adds a bit per node; check propagation composes. *)
+  let succs = function
+    | 0 -> [ 1 ]
+    | 1 -> [ 2 ]
+    | _ -> []
+  in
+  let result =
+    FP.solve
+      {
+        FP.num_nodes = 3;
+        entries = [ (0, 1) ];
+        succs;
+        transfer = (fun n s -> s lor (1 lsl (n + 1)));
+        widening_points = (fun _ -> false);
+        widening_delay = 10;
+      }
+  in
+  Alcotest.(check (option int)) "out of 0" (Some 0b11) (result.FP.out_state 0);
+  Alcotest.(check (option int)) "in of 2" (Some 0b111) (result.FP.in_state 2);
+  Alcotest.(check (option int)) "out of 2" (Some 0b1111) (result.FP.out_state 2)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "pcg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_pcg_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_pcg_seed_sensitivity;
+          Alcotest.test_case "uint32 range" `Quick test_pcg_range;
+          Alcotest.test_case "next_below range" `Quick test_pcg_below;
+          Alcotest.test_case "copy independence" `Quick test_pcg_copy_independent;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "compare" `Quick test_rat_compare;
+          Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+        ]
+        @ rat_qcheck );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "reachability" `Quick test_fixpoint_reachability;
+          Alcotest.test_case "transfer composition" `Quick test_fixpoint_transfer;
+        ] );
+    ]
