@@ -9,9 +9,34 @@
    plus Bechamel micro-benchmarks of the analyzer itself (one Test.make per
    table) so the cost of regenerating each artifact is measured. Run with
    BENCH_FAST=1 to skip the micro-benchmarks; LDIVMOD_SAMPLES=100000000
-   reproduces the paper's full 10^8-sample Table 1. *)
+   reproduces the paper's full 10^8-sample Table 1; PAR_DOMAINS caps the
+   domain pool used for the histogram shards and the corpus fan-out.
+
+   T1 runs first at top level so the histogram shards own the whole pool;
+   the remaining tables are then fanned out across domains (each worker
+   runs its table's corpus entries serially — the pool refuses to nest).
+   Every run also writes machine-readable BENCH_results.json — table
+   wall-clock, histogram throughput, fixpoint transfer counts (RPO vs FIFO
+   worklist) — so the performance trajectory is trackable across PRs. *)
 
 module Harness = Wcet_experiments.Harness
+module Parallel = Wcet_util.Parallel
+module Clock = Wcet_util.Mono_clock
+module Analyzer = Wcet_core.Analyzer
+
+let timed f =
+  let t0 = Clock.now () in
+  let result = f () in
+  (result, Clock.now () -. t0)
+
+(* Render a table into a string so tables can be generated concurrently and
+   printed in order. *)
+let render table =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  table ppf ();
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
 
 let run_bechamel () =
   let open Bechamel in
@@ -46,18 +71,104 @@ let run_bechamel () =
     results;
   Format.printf "@."
 
+(* Transfer counts of the two worklist strategies on the quickstart program:
+   the observable win of the RPO priority worklist over chaotic FIFO. *)
+let fixpoint_comparison () =
+  let program = Minic.Compile.compile Harness.quickstart_source in
+  let counts strategy =
+    let r = Analyzer.analyze ~strategy program in
+    ( r.Analyzer.value.Wcet_value.Analysis.transfers,
+      r.Analyzer.cache.Wcet_cache.Cache_analysis.transfers )
+  in
+  (counts Wcet_util.Fixpoint.Rpo, counts Wcet_util.Fixpoint.Fifo)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~domains ~samples ~tables ~samples_per_sec
+    ~rpo:(rpo_value, rpo_cache) ~fifo:(fifo_value, fifo_cache) =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"domains\": %d,\n" domains;
+  p "  \"ldivmod_samples\": %d,\n" samples;
+  p "  \"histogram_samples_per_sec\": %.0f,\n" samples_per_sec;
+  p "  \"tables\": [\n";
+  List.iteri
+    (fun i (name, seconds) ->
+      p "    {\"name\": \"%s\", \"seconds\": %.6f}%s\n" (json_escape name) seconds
+        (if i = List.length tables - 1 then "" else ","))
+    tables;
+  p "  ],\n";
+  p "  \"fixpoint_transfers\": {\n";
+  p "    \"program\": \"quickstart\",\n";
+  p "    \"rpo\": {\"value\": %d, \"cache\": %d, \"total\": %d},\n" rpo_value rpo_cache
+    (rpo_value + rpo_cache);
+  p "    \"fifo\": {\"value\": %d, \"cache\": %d, \"total\": %d}\n" fifo_value fifo_cache
+    (fifo_value + fifo_cache);
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
 let () =
-  let ppf = Format.std_formatter in
-  Harness.table_t1 ppf ();
-  Format.pp_print_newline ppf ();
-  Harness.table_f1 ppf ();
-  Format.pp_print_newline ppf ();
-  Harness.table_rules ppf ();
-  Format.pp_print_newline ppf ();
-  Harness.table_tier_two ppf ();
-  Format.pp_print_newline ppf ();
-  Harness.table_ablations ppf ();
-  Format.pp_print_newline ppf ();
+  let domains = Parallel.default_domains () in
+  let samples =
+    match Sys.getenv_opt "LDIVMOD_SAMPLES" with
+    | Some s -> int_of_string s
+    | None -> 10_000_000
+  in
+  (* T1 first, alone at top level: the histogram shards get all domains. *)
+  let t1_out, t1_seconds = timed (fun () -> render (Harness.table_t1 ~samples)) in
+  print_string t1_out;
+  print_newline ();
+  (* The remaining tables fan out across the pool; each is rendered to its
+     own buffer and printed in the fixed order below. *)
+  let tables =
+    [|
+      ("F1", fun ppf () -> Harness.table_f1 ppf ());
+      ("E1", fun ppf () -> Harness.table_rules ppf ());
+      ("E2", fun ppf () -> Harness.table_tier_two ppf ());
+      ("A1/A2", fun ppf () -> Harness.table_ablations ppf ());
+    |]
+  in
+  let rendered =
+    Parallel.map (Array.length tables) (fun i ->
+        let name, table = tables.(i) in
+        let out, seconds = timed (fun () -> render table) in
+        (name, out, seconds))
+  in
+  Array.iter
+    (fun (_, out, _) ->
+      print_string out;
+      print_newline ())
+    rendered;
+  let (rpo, fifo) = fixpoint_comparison () in
+  let (rpo_value, rpo_cache) = rpo and (fifo_value, fifo_cache) = fifo in
+  Format.printf
+    "== fixpoint worklist (quickstart program) ==@.  rpo  transfers: value %d + cache %d = %d@.  \
+     fifo transfers: value %d + cache %d = %d@.@."
+    rpo_value rpo_cache (rpo_value + rpo_cache) fifo_value fifo_cache (fifo_value + fifo_cache);
+  let samples_per_sec = float_of_int samples /. t1_seconds in
+  let table_times =
+    ("T1", t1_seconds)
+    :: (Array.to_list rendered |> List.map (fun (name, _, seconds) -> (name, seconds)))
+  in
+  write_json ~path:"BENCH_results.json" ~domains ~samples ~tables:table_times ~samples_per_sec
+    ~rpo ~fifo;
+  Format.printf "== timings (%d domains) ==@." domains;
+  List.iter
+    (fun (name, seconds) -> Format.printf "  %-6s %8.3f s@." name seconds)
+    table_times;
+  Format.printf "  T1 throughput: %.2e samples/s@." samples_per_sec;
+  Format.printf "  (machine-readable copy in BENCH_results.json)@.@.";
   if Sys.getenv_opt "BENCH_FAST" = None then begin
     Format.printf "== micro-benchmarks (bechamel) ==@.";
     run_bechamel ()

@@ -1,22 +1,30 @@
 (* Regenerates Table 1 of the paper: the iteration-count histogram of the
    lDivMod software divider over random inputs.
 
-     ldivmod_table [--samples N] [--seed S]
+     ldivmod_table [--samples N] [--seed S] [--domains D]
 
    The paper used 10^8 samples; the default here is 10^7 (the shape is
-   stable from ~10^6). *)
+   stable from ~10^6). Samples are drawn in fixed shards with independent
+   PRNG streams and fanned out over a domain pool, so the table is
+   bit-identical for every --domains value (including 1). *)
 
 open Cmdliner
 
-let run samples seed =
-  Wcet_experiments.Harness.table_t1 ~samples Format.std_formatter ();
-  ignore seed
+let run samples seed domains =
+  Wcet_experiments.Harness.table_t1 ~samples ~seed:(Int64.of_int seed) ?domains
+    Format.std_formatter ()
 
 let samples_arg =
   Arg.(value & opt int 10_000_000 & info [ "samples" ] ~doc:"Number of random input pairs")
 
 let seed_arg = Arg.(value & opt int 20110318 & info [ "seed" ] ~doc:"PRNG seed")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~doc:"Domain-pool width (default: PAR_DOMAINS or the hardware count)")
+
 let () =
   let info = Cmd.info "ldivmod_table" ~doc:"Reproduce Table 1 (lDivMod iteration counts)" in
-  exit (Cmd.eval (Cmd.v info Term.(const run $ samples_arg $ seed_arg)))
+  exit (Cmd.eval (Cmd.v info Term.(const run $ samples_arg $ seed_arg $ domains_arg)))

@@ -17,7 +17,11 @@ type data_access = {
   regions : Region.t list;
 }
 
-type result = { fetch : classification array array; data : data_access list array }
+type result = {
+  fetch : classification array array;
+  data : data_access list array;
+  transfers : int;
+}
 
 (* Abstract state: a pair of optional caches. *)
 module Cstate = struct
@@ -132,7 +136,8 @@ let fetch_info (cfg : Hw_config.t) map addr ic =
       (classification, Option.map (fun c -> Acache.access c line))
     | Some _ | None -> (Bypass, Fun.id))
 
-let run (cfg : Hw_config.t) (value : Analysis.result) ~region_hints =
+let run ?(strategy = Wcet_util.Fixpoint.Rpo) (cfg : Hw_config.t) (value : Analysis.result)
+    ~region_hints =
   let graph = value.Analysis.graph in
   let nodes = graph.Supergraph.nodes in
   let n = Array.length nodes in
@@ -192,7 +197,7 @@ let run (cfg : Hw_config.t) (value : Analysis.result) ~region_hints =
       widening_delay = max_int;
     }
   in
-  let solution = FP.solve problem in
+  let solution = FP.solve ~strategy problem in
   let fetch = Array.map (fun node -> Array.make (Array.length node.Supergraph.block.Func_cfg.insns) Not_classified) nodes in
   let data = Array.make n [] in
   Array.iteri
@@ -204,7 +209,7 @@ let run (cfg : Hw_config.t) (value : Analysis.result) ~region_hints =
         ignore (transfer (Some (fetch.(i), data_rec)) i st);
         data.(i) <- List.rev !data_rec)
     nodes;
-  { fetch; data }
+  { fetch; data; transfers = solution.FP.transfers }
 
 let pp_classification ppf = function
   | Always_hit -> Format.pp_print_string ppf "AH"

@@ -25,12 +25,15 @@ type data_access = {
 type result = {
   fetch : classification array array;  (** per node, per instruction *)
   data : data_access list array;  (** per node *)
+  transfers : int;  (** fixpoint transfer count (worklist efficiency metric) *)
 }
 
-(** [run cfg value_result ~region_hints] — [region_hints] maps a function
-    name to the regions its unresolved accesses may touch (from
-    annotations). *)
+(** [run ?strategy cfg value_result ~region_hints] — [region_hints] maps a
+    function name to the regions its unresolved accesses may touch (from
+    annotations). [strategy] selects the shared fixpoint engine's worklist
+    order (default reverse-postorder priority). *)
 val run :
+  ?strategy:Wcet_util.Fixpoint.strategy ->
   Pred32_hw.Hw_config.t ->
   Wcet_value.Analysis.result ->
   region_hints:(string -> Pred32_memory.Region.t list option) ->

@@ -96,15 +96,18 @@ let table_header ppf () =
   Format.fprintf ppf
     "|----------|------------|------------------|------------|-------|----------|-------|-------|@,"
 
-let table_of entries ppf title =
+let table_of ?domains entries ppf title =
+  (* Corpus entries are independent: analyze them across the domain pool,
+     then render in corpus order (the pool preserves task order, so the
+     table is identical for every domain count). *)
+  let runs = Wcet_util.Parallel.map_list ?domains run_entry entries in
   Format.fprintf ppf "@[<v>== %s ==@,@," title;
   table_header ppf ();
   List.iter
-    (fun e ->
-      let c, v = run_entry e in
+    (fun (c, v) ->
       pp_row ppf c;
       pp_row ppf v)
-    entries;
+    runs;
   Format.fprintf ppf "@,";
   List.iter
     (fun (e : Corpus.entry) ->
@@ -112,11 +115,12 @@ let table_of entries ppf title =
     entries;
   Format.fprintf ppf "@]@."
 
-let table_rules ppf () =
-  table_of Corpus.rule_entries ppf "E1: MISRA-C rules vs WCET analyzability (Section 4.2)"
+let table_rules ?domains ppf () =
+  table_of ?domains Corpus.rule_entries ppf
+    "E1: MISRA-C rules vs WCET analyzability (Section 4.2)"
 
-let table_tier_two ppf () =
-  table_of Corpus.tier_two_entries ppf
+let table_tier_two ?domains ppf () =
+  table_of ?domains Corpus.tier_two_entries ppf
     "E2: design-level information vs WCET precision (Section 4.3)"
 
 (* Paper's Table 1 numbers (10^8 samples) for the side-by-side print. *)
@@ -127,7 +131,7 @@ let paper_table1 =
     ("80 .. 99", 11); ("100 .. 135", 7); ("156", 1); ("186", 1); ("204", 1);
   ]
 
-let table_t1 ?samples ppf () =
+let table_t1 ?samples ?(seed = 20110318L) ?domains ppf () =
   let samples =
     match samples with
     | Some s -> s
@@ -136,7 +140,7 @@ let table_t1 ?samples ppf () =
       | Some s -> int_of_string s
       | None -> 10_000_000)
   in
-  let hist, top = Ldivmod.histogram ~samples ~seed:20110318L () in
+  let hist, top = Ldivmod.histogram ?domains ~samples ~seed () in
   let rows = Ldivmod.bucketize hist in
   Format.fprintf ppf
     "@[<v>== T1: lDivMod iteration counts (Table 1; ours: %d samples, paper: 10^8) ==@,@," samples;
@@ -267,9 +271,7 @@ let table_ablations ppf () =
     cache_configs;
   Format.fprintf ppf "@]@."
 
-let all_runs () =
+let all_runs ?domains () =
   List.concat_map
-    (fun e ->
-      let c, v = run_entry e in
-      [ c; v ])
-    Corpus.all
+    (fun (c, v) -> [ c; v ])
+    (Wcet_util.Parallel.map_list ?domains run_entry Corpus.all)

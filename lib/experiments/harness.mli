@@ -27,16 +27,27 @@ val run_entry : Wcet_corpus.Corpus.entry -> run * run
 (** [ratio run] is assisted-bound / observed, when both exist. *)
 val ratio : run -> float option
 
-(** E1: the MISRA rule study table. *)
-val table_rules : Format.formatter -> unit -> unit
+(** E1: the MISRA rule study table. Corpus entries are analyzed across the
+    {!Wcet_util.Parallel} domain pool ([domains] defaults to the
+    [PAR_DOMAINS]/hardware default); rows are rendered in corpus order, so
+    the table is identical for every domain count. *)
+val table_rules : ?domains:int -> Format.formatter -> unit -> unit
 
-(** E2: the tier-two (design-level information) table. *)
-val table_tier_two : Format.formatter -> unit -> unit
+(** E2: the tier-two (design-level information) table; parallel like
+    {!table_rules}. *)
+val table_tier_two : ?domains:int -> Format.formatter -> unit -> unit
+
+(** [table_of ?domains entries ppf title] renders the E1/E2-style table for
+    an arbitrary entry subset (exposed for the parallel-determinism tests). *)
+val table_of :
+  ?domains:int -> Wcet_corpus.Corpus.entry list -> Format.formatter -> string -> unit
 
 (** T1: the lDivMod iteration histogram (Table 1 of the paper), printed
     next to the paper's values. [samples] defaults to [10_000_000]; the
-    environment variable LDIVMOD_SAMPLES overrides it. *)
-val table_t1 : ?samples:int -> Format.formatter -> unit -> unit
+    environment variable LDIVMOD_SAMPLES overrides it. [seed] defaults to
+    the paper date; [domains] is the histogram fan-out width (the result is
+    domain-count independent). *)
+val table_t1 : ?samples:int -> ?seed:int64 -> ?domains:int -> Format.formatter -> unit -> unit
 
 (** F1: the analysis-phase table (Figure 1 reproduced as the phase list
     with measured runtimes on the quickstart program). *)
@@ -51,8 +62,8 @@ val table_ablations : Format.formatter -> unit -> unit
 
 val single_path_measurements : unit -> (int * int) * (int * int)
 
-(** All rows, for tests. *)
-val all_runs : unit -> run list
+(** All rows, for tests; entries run across the domain pool. *)
+val all_runs : ?domains:int -> unit -> run list
 
 (** The quickstart program used by F1 and the benchmarks. *)
 val quickstart_source : string

@@ -34,7 +34,25 @@ let udivmod a b =
     { quotient = !q; remainder = !r; iterations = !iterations }
   end
 
-let iterations a b = (udivmod a b).iterations
+(* Allocation-free [iterations]: the histogram calls this once per sample,
+   and the [result] record (plus the refs inside [udivmod]) would otherwise
+   be the sampling loop's only remaining allocations. Property-tested
+   against [udivmod] in test_softarith. *)
+let iterations a b =
+  let b = b land mask32 in
+  if b < 0x10000 then 0
+  else begin
+    let a = a land mask32 in
+    let d1 = (b lsr 16) + 1 in
+    let rec go r n =
+      let t = (r lsr 16) / d1 in
+      let t = if t = 0 && r >= b then 1 else t in
+      let r = (r - (t * b)) land mask32 in
+      let n = n + 1 in
+      if r >= b then go r n else n
+    in
+    go a 0
+  end
 
 let udivmod_restoring a b =
   let a = a land mask32 and b = b land mask32 in
@@ -50,24 +68,65 @@ let udivmod_restoring a b =
   done;
   { quotient = !q; remainder = !r; iterations = 32 }
 
-let histogram ~samples ~seed () =
-  let rng = Wcet_util.Pcg.create ~seed () in
-  let counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let witnesses : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
-  for _ = 1 to samples do
-    let a = Int64.to_int (Wcet_util.Pcg.next_uint32 rng) in
-    let b = Int64.to_int (Wcet_util.Pcg.next_uint32 rng) in
-    let n = iterations a b in
-    Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n));
-    if not (Hashtbl.mem witnesses n) then Hashtbl.add witnesses n (a, b)
-  done;
-  let hist =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] |> List.sort compare
+(* The sample stream is split into a fixed number of shards, each drawing
+   from its own PCG stream (same seed, distinct stream-selector [seq] — the
+   generator's designed splitting mechanism). The shard layout depends only
+   on [samples], never on the domain count, and shards are merged in shard
+   order, so the result is bit-identical whether the shards run serially or
+   across any number of domains. Shard 0 uses the default stream, so small
+   runs (< 1024 samples, a single shard) reproduce the historical serial
+   histogram exactly. *)
+let shard_count samples = if samples < 1024 then 1 else 64
+
+let base_seq = 54L (* Pcg's default stream selector *)
+
+(* Iteration counts are tiny (the paper's maximum over 10^8 samples is 204;
+   the restoring divider is fixed at 32), so per-shard tallies are flat
+   arrays — the per-sample hashtable updates used to dominate the whole
+   experiment's runtime. *)
+let max_iter = 1024
+
+let histogram ?domains ~samples ~seed () =
+  let shards = shard_count samples in
+  let shard_samples s = (samples / shards) + if s < samples mod shards then 1 else 0 in
+  let run_shard s =
+    let rng = Wcet_util.Pcg.create ~seq:(Int64.add base_seq (Int64.of_int s)) ~seed () in
+    let counts = Array.make max_iter 0 in
+    let witnesses = Array.make max_iter (0, 0) in
+    for _ = 1 to shard_samples s do
+      let a = Wcet_util.Pcg.next_uint32_int rng in
+      let b = Wcet_util.Pcg.next_uint32_int rng in
+      let n = iterations a b in
+      if n >= max_iter then invalid_arg "Ldivmod.histogram: iteration count out of range";
+      counts.(n) <- counts.(n) + 1;
+      if counts.(n) = 1 then witnesses.(n) <- (a, b)
+    done;
+    (counts, witnesses)
   in
+  let parts = Wcet_util.Parallel.map ?domains shards run_shard in
+  let counts = Array.make max_iter 0 in
+  let witnesses = Array.make max_iter (0, 0) in
+  (* Merge in shard order: totals commute, and the first shard containing an
+     iteration count supplies its witness, so the result is independent of
+     the domain count. *)
+  Array.iter
+    (fun (shard_counts, shard_witnesses) ->
+      for n = 0 to max_iter - 1 do
+        if shard_counts.(n) > 0 then begin
+          if counts.(n) = 0 then witnesses.(n) <- shard_witnesses.(n);
+          counts.(n) <- counts.(n) + shard_counts.(n)
+        end
+      done)
+    parts;
+  let hist = ref [] in
+  for n = max_iter - 1 downto 0 do
+    if counts.(n) > 0 then hist := (n, counts.(n)) :: !hist
+  done;
+  let hist = !hist in
   let top =
     hist |> List.rev
     |> List.filteri (fun i _ -> i < 3)
-    |> List.map (fun (n, _) -> (n, Hashtbl.find witnesses n))
+    |> List.map (fun (n, _) -> (n, witnesses.(n)))
   in
   (hist, top)
 

@@ -26,11 +26,18 @@ val iterations : int -> int -> int
     iterations. *)
 val udivmod_restoring : int -> int -> result
 
-(** [histogram ~samples ~seed ()] reproduces the Table 1 experiment:
-    iteration counts of [udivmod] over uniformly random input pairs.
-    Returns a sorted association list (iteration count, occurrences) plus
-    the maximal observed iteration inputs. *)
+(** [histogram ?domains ~samples ~seed ()] reproduces the Table 1
+    experiment: iteration counts of [udivmod] over uniformly random input
+    pairs. Returns a sorted association list (iteration count, occurrences)
+    plus the maximal observed iteration inputs.
+
+    The sample stream is split into a fixed number of shards with
+    independent PCG streams and fanned out over a {!Wcet_util.Parallel}
+    domain pool ([domains] defaults to the [PAR_DOMAINS]/hardware default).
+    The shard layout and merge order depend only on [samples], so the
+    result is bit-identical for every domain count. *)
 val histogram :
+  ?domains:int ->
   samples:int ->
   seed:int64 ->
   unit ->

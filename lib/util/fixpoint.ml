@@ -1,3 +1,100 @@
+(* Generic dataflow fixpoint engine shared by the value and cache analyses.
+
+   The worklist is a priority queue keyed by reverse-postorder (RPO) index of
+   the node, computed once from the problem's entry nodes and successor
+   function. Picking the RPO-least pending node means a node is re-transferred
+   only after its (forward-graph) predecessors have stabilised in this sweep,
+   which empirically cuts the transfer count well below chaotic FIFO
+   iteration on loop nests. [Fifo] is kept for comparison benchmarks. *)
+
+type strategy = Fifo | Rpo
+
+let strategy_name = function Fifo -> "fifo" | Rpo -> "rpo"
+
+(* Reverse-postorder index for every node reachable from [entries] via
+   [succs]; unreachable nodes get [max_int] (they sort last if the solver
+   ever sees them). Iterative DFS: graphs can have ~10^5 nodes. *)
+let rpo_index ~num_nodes ~entries ~succs =
+  let index = Array.make num_nodes max_int in
+  let visited = Array.make num_nodes false in
+  let postorder = ref [] in
+  let visit root =
+    if not visited.(root) then begin
+      visited.(root) <- true;
+      (* Stack holds (node, remaining successors). *)
+      let stack = ref [ (root, ref (succs root)) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (n, rest) :: tl -> (
+          match !rest with
+          | [] ->
+            postorder := n :: !postorder;
+            stack := tl
+          | m :: ms ->
+            rest := ms;
+            if m >= 0 && m < num_nodes && not visited.(m) then begin
+              visited.(m) <- true;
+              stack := (m, ref (succs m)) :: !stack
+            end)
+      done
+    end
+  in
+  List.iter visit entries;
+  (* !postorder is already reversed postorder (last finished first). *)
+  List.iteri (fun i n -> index.(n) <- i) !postorder;
+  index
+
+(* Minimal binary min-heap over (priority, node) pairs. *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create capacity = { data = Array.make (max 1 capacity) (0, 0); size = 0 }
+  let is_empty h = h.size = 0
+
+  let push h prio node =
+    if h.size = Array.length h.data then begin
+      let grown = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 grown 0 h.size;
+      h.data <- grown
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.data.(!i) <- (prio, node);
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if fst h.data.(!i) < fst h.data.(parent) then begin
+        let tmp = h.data.(parent) in
+        h.data.(parent) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := parent
+      end
+      else continue_ := false
+    done
+
+  let pop h =
+    let (_, node) = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue_ := false
+    done;
+    node
+end
+
 module type Domain = sig
   type t
 
@@ -19,21 +116,51 @@ module Make (D : Domain) = struct
   type result = {
     in_state : int -> D.t option;
     out_state : int -> D.t option;
-    iterations : int;
+    transfers : int;  (** number of [transfer] applications until the fixpoint *)
   }
 
-  let solve p =
+  (* [propagate] maps a node and its out-state to per-edge contributions
+     (target, state); the default forwards the out-state to every successor.
+     Consumers use it for branch refinement, where an edge may transform the
+     state or kill it entirely (infeasible edge). [budget] bounds the number
+     of transfers; exceeding it raises [Failure msg]. [force_widen_after]
+     widens at *every* node visited more than that many times, as a
+     convergence backstop for domains with infinite ascending chains outside
+     the declared widening points. *)
+  let solve ?(strategy = Rpo) ?propagate ?(force_widen_after = max_int) ?budget p =
+    let propagate =
+      match propagate with
+      | Some f -> f
+      | None -> fun n out -> List.map (fun m -> (m, out)) (p.succs n)
+    in
+    let priority =
+      match strategy with
+      | Fifo -> [||]
+      | Rpo ->
+        rpo_index ~num_nodes:p.num_nodes ~entries:(List.map fst p.entries) ~succs:p.succs
+    in
     let input : D.t option array = Array.make p.num_nodes None in
     let output : D.t option array = Array.make p.num_nodes None in
     let visits = Array.make p.num_nodes 0 in
     let in_queue = Array.make p.num_nodes false in
-    let queue = Queue.create () in
-    let iterations = ref 0 in
+    let fifo = Queue.create () in
+    let heap = Heap.create (min p.num_nodes 1024) in
+    let transfers = ref 0 in
     let enqueue n =
       if not in_queue.(n) then begin
         in_queue.(n) <- true;
-        Queue.add n queue
+        match strategy with
+        | Fifo -> Queue.add n fifo
+        | Rpo -> Heap.push heap priority.(n) n
       end
+    in
+    let dequeue () =
+      let n = match strategy with Fifo -> Queue.take fifo | Rpo -> Heap.pop heap in
+      in_queue.(n) <- false;
+      n
+    in
+    let pending () =
+      match strategy with Fifo -> not (Queue.is_empty fifo) | Rpo -> not (Heap.is_empty heap)
     in
     let update_input n state =
       match input.(n) with
@@ -43,7 +170,10 @@ module Make (D : Domain) = struct
       | Some old ->
         if not (D.leq state old) then begin
           let merged =
-            if p.widening_points n && visits.(n) >= p.widening_delay then D.widen old state
+            if
+              (p.widening_points n && visits.(n) >= p.widening_delay)
+              || visits.(n) >= force_widen_after
+            then D.widen old state
             else D.join old state
           in
           input.(n) <- Some merged;
@@ -51,10 +181,12 @@ module Make (D : Domain) = struct
         end
     in
     List.iter (fun (n, s) -> update_input n s) p.entries;
-    while not (Queue.is_empty queue) do
-      let n = Queue.take queue in
-      in_queue.(n) <- false;
-      incr iterations;
+    while pending () do
+      let n = dequeue () in
+      incr transfers;
+      (match budget with
+      | Some b when !transfers > b -> failwith "fixpoint did not converge within budget"
+      | Some _ | None -> ());
       visits.(n) <- visits.(n) + 1;
       match input.(n) with
       | None -> ()
@@ -67,12 +199,12 @@ module Make (D : Domain) = struct
         in
         if changed then begin
           output.(n) <- Some out;
-          List.iter (fun m -> update_input m out) (p.succs n)
+          List.iter (fun (m, st) -> update_input m st) (propagate n out)
         end
     done;
     {
       in_state = (fun n -> input.(n));
       out_state = (fun n -> output.(n));
-      iterations = !iterations;
+      transfers = !transfers;
     }
 end

@@ -2,7 +2,22 @@
     explicit directed graph of integer-indexed nodes.
 
     All abstract-interpretation passes (value analysis, cache analysis) are
-    instances of this solver. *)
+    instances of this solver. The default worklist is a binary heap keyed by
+    the reverse-postorder index of each node (computed once from the
+    problem's entries and successor function), so a node is re-transferred
+    only after its forward-graph predecessors have settled in the current
+    sweep — far fewer transfers than chaotic FIFO iteration on loop nests. *)
+
+(** [Fifo] preserves the historical chaotic-iteration order and exists for
+    transfer-count comparisons; [Rpo] is the default. *)
+type strategy = Fifo | Rpo
+
+val strategy_name : strategy -> string
+
+(** [rpo_index ~num_nodes ~entries ~succs] is the reverse-postorder index of
+    every node reachable from [entries]; unreachable nodes get [max_int].
+    Exposed for tests and for consumers that want the traversal order. *)
+val rpo_index : num_nodes:int -> entries:int list -> succs:(int -> int list) -> int array
 
 module type Domain = sig
   type t
@@ -32,9 +47,27 @@ module Make (D : Domain) : sig
   type result = {
     in_state : int -> D.t option;  (** [None] for unreachable nodes *)
     out_state : int -> D.t option;
-    iterations : int;  (** total node visits, for diagnostics *)
+    transfers : int;  (** total transfer applications, for diagnostics *)
   }
 
-  (** [solve problem] runs the worklist algorithm to a post-fixpoint. *)
-  val solve : problem -> result
+  (** [solve ?strategy ?propagate ?force_widen_after ?budget problem] runs
+      the worklist algorithm to a post-fixpoint.
+
+      [propagate node out_state] lists the per-edge contributions
+      [(target, state)] of a node's out-state; the default forwards
+      [out_state] to every successor. Consumers use it for branch
+      refinement, where an edge can narrow the state or drop it entirely
+      (infeasible edge). The targets it returns must be a subset of
+      [succs node] — the priority order is computed from [succs].
+
+      [force_widen_after] widens at any node visited more than that many
+      times regardless of [widening_points], as a convergence backstop.
+      [budget] caps the transfer count; exceeding it raises [Failure]. *)
+  val solve :
+    ?strategy:strategy ->
+    ?propagate:(int -> D.t -> (int * D.t) list) ->
+    ?force_widen_after:int ->
+    ?budget:int ->
+    problem ->
+    result
 end

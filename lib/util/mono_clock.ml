@@ -1,0 +1,6 @@
+(* CLOCK_MONOTONIC wall time: immune to NTP/admin adjustments, so phase
+   durations computed as differences can never go negative. *)
+
+external now_ns : unit -> int64 = "wcet_mono_now_ns"
+
+let now () = Int64.to_float (now_ns ()) /. 1e9

@@ -1,0 +1,9 @@
+(** Monotonic wall clock (CLOCK_MONOTONIC): unaffected by NTP slew or
+    administrative clock changes, so elapsed times computed as differences
+    are always non-negative. *)
+
+(** Nanoseconds from an arbitrary fixed origin. *)
+val now_ns : unit -> int64
+
+(** Seconds from the same origin. *)
+val now : unit -> float

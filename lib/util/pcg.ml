@@ -1,43 +1,79 @@
-type t = { mutable state : int64; inc : int64 }
+(* PCG32 (XSH-RR). The 64-bit LCG state is held as two 32-bit native-int
+   halves so the hot path allocates nothing: OCaml boxes every [Int64], and
+   one box per draw was the dominant GC load of the 10^8-sample histogram —
+   bad serially, worse across domains (minor collections synchronize the
+   whole pool). The [int64] entry points below box exactly once per call,
+   at the API boundary. *)
 
-let multiplier = 6364136223846793005L
+type t = { mutable hi : int; mutable lo : int; inc_hi : int; inc_lo : int }
 
-let mask32 = 0xFFFFFFFFL
+let mask16 = 0xFFFF
+let mask32 = 0xFFFFFFFF
+
+(* 6364136223846793005 = 0x5851F42D4C957F2D, split in halves. *)
+let mult_hi = 0x5851F42D
+let mult_lo = 0x4C957F2D
+
+(* [a * b mod 2^32] for 32-bit [a], [b], without overflowing 63-bit ints. *)
+let mul32 a b =
+  (((a land mask16) * b) + (((a lsr 16) * (b land mask16)) lsl 16)) land mask32
+
+(* state <- state * mult + inc  (mod 2^64). *)
+let step t =
+  let s_lo = t.lo and s_hi = t.hi in
+  (* Full 64-bit product of the low halves, via 16-bit limbs. *)
+  let a0 = s_lo land mask16 and a1 = s_lo lsr 16 in
+  let b0 = mult_lo land mask16 and b1 = mult_lo lsr 16 in
+  let mid = (a1 * b0) + (a0 * b1) in
+  let low = (a0 * b0) + ((mid land mask16) lsl 16) in
+  let carry = (low lsr 32) + (mid lsr 16) + (a1 * b1) in
+  let hi32 = (carry + mul32 s_lo mult_hi + mul32 s_hi mult_lo) land mask32 in
+  let lo_sum = (low land mask32) + t.inc_lo in
+  t.lo <- lo_sum land mask32;
+  t.hi <- (hi32 + t.inc_hi + (lo_sum lsr 32)) land mask32
+
+let add_seed t seed_hi seed_lo =
+  let lo_sum = t.lo + seed_lo in
+  t.lo <- lo_sum land mask32;
+  t.hi <- (t.hi + seed_hi + (lo_sum lsr 32)) land mask32
+
+let split64 x = (Int64.to_int (Int64.shift_right_logical x 32), Int64.to_int (Int64.logand x 0xFFFFFFFFL))
 
 let create ?(seq = 54L) ~seed () =
   let inc = Int64.logor (Int64.shift_left seq 1) 1L in
-  let t = { state = 0L; inc } in
+  let inc_hi, inc_lo = split64 inc in
+  let t = { hi = 0; lo = 0; inc_hi; inc_lo } in
   (* Standard PCG seeding: advance once, add seed, advance again. *)
-  t.state <- Int64.add (Int64.mul t.state multiplier) t.inc;
-  t.state <- Int64.add t.state seed;
-  t.state <- Int64.add (Int64.mul t.state multiplier) t.inc;
+  step t;
+  let seed_hi, seed_lo = split64 seed in
+  add_seed t seed_hi seed_lo;
+  step t;
   t
 
-let copy t = { state = t.state; inc = t.inc }
+let copy t = { hi = t.hi; lo = t.lo; inc_hi = t.inc_hi; inc_lo = t.inc_lo }
 
-let next_uint32 t =
-  let old = t.state in
-  t.state <- Int64.add (Int64.mul old multiplier) t.inc;
-  let xorshifted =
-    Int64.logand
-      (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27)
-      mask32
-  in
-  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
-  let rotated =
-    Int64.logor
-      (Int64.shift_right_logical xorshifted rot)
-      (Int64.shift_left xorshifted ((-rot) land 31))
-  in
-  Int64.logand rotated mask32
+let next_uint32_int t =
+  let s_hi = t.hi and s_lo = t.lo in
+  step t;
+  (* XSH-RR output: (((old >> 18) ^ old) >> 27) rotated right by the top
+     five state bits. *)
+  let x_lo = (((s_hi land 0x3FFFF) lsl 14) lor (s_lo lsr 18)) land mask32 in
+  let x_hi = s_hi lsr 18 in
+  let y_lo = x_lo lxor s_lo and y_hi = x_hi lxor s_hi in
+  let xorshifted = ((y_hi lsl 5) lor (y_lo lsr 27)) land mask32 in
+  let rot = s_hi lsr 27 in
+  ((xorshifted lsr rot) lor (xorshifted lsl ((-rot) land 31))) land mask32
+
+let next_uint32 t = Int64.of_int (next_uint32_int t)
 
 let next_below t n =
   assert (n > 0L && n <= 0x100000000L);
+  let n = Int64.to_int n in
   (* Rejection sampling over the last [threshold, 2^32) window. *)
-  let threshold = Int64.rem (Int64.sub 0x100000000L n) n in
+  let threshold = (0x100000000 - n) mod n in
   let rec loop () =
-    let r = next_uint32 t in
-    if r >= threshold then Int64.rem r n else loop ()
+    let r = next_uint32_int t in
+    if r >= threshold then Int64.of_int (r mod n) else loop ()
   in
   loop ()
 
@@ -45,4 +81,4 @@ let next_int t n =
   assert (n > 0 && n <= 0xFFFFFFFF);
   Int64.to_int (next_below t (Int64.of_int n))
 
-let next_bool t = Int64.logand (next_uint32 t) 1L = 1L
+let next_bool t = next_uint32_int t land 1 = 1

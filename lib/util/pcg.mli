@@ -17,6 +17,12 @@ val copy : t -> t
     in [0, 2^32). *)
 val next_uint32 : t -> int64
 
+(** [next_uint32_int t] is [next_uint32] as a native int: the
+    allocation-free hot path for tight sampling loops (an [int64] result is
+    boxed on every call). Requires a 64-bit host, which the analyzer
+    already assumes throughout. *)
+val next_uint32_int : t -> int
+
 (** [next_below t n] is uniform in [0, n) for [0 < n <= 2^32], using
     rejection sampling (unbiased). *)
 val next_below : t -> int64 -> int64

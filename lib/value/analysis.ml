@@ -14,7 +14,7 @@ type result = {
   node_in : State.t option array;
   node_out : State.t option array;
   accesses : access list array;
-  iterations : int;
+  transfers : int;
 }
 
 (* Ranges wider than this many bytes are not enumerated for weak updates;
@@ -161,73 +161,46 @@ let refine_edge ctx (node : Supergraph.node) kind st =
     end
   | _, _ -> Some st
 
-let run ?(assumes = []) (graph : Supergraph.t) (loops : Loops.info) =
+module FP = Wcet_util.Fixpoint.Make (struct
+  type t = State.t
+
+  let leq = State.leq
+  let join = State.join
+  let widen = State.widen
+end)
+
+let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) (graph : Supergraph.t)
+    (loops : Loops.info) =
   let n = Array.length graph.Supergraph.nodes in
   let ctx = { program = graph.Supergraph.program; linkage = Hashtbl.create 64; record = None } in
-  let node_in : State.t option array = Array.make n None in
-  let node_out : State.t option array = Array.make n None in
-  let visits = Array.make n 0 in
   let widening_point = Array.make n false in
   Array.iter (fun (l : Loops.loop) -> widening_point.(l.Loops.header) <- true) loops.Loops.loops;
   List.iter (List.iter (fun v -> widening_point.(v) <- true)) loops.Loops.irreducible;
-  let in_queue = Array.make n false in
-  let queue = Queue.create () in
-  let iterations = ref 0 in
-  let push i =
-    if not in_queue.(i) then begin
-      in_queue.(i) <- true;
-      Queue.add i queue
-    end
+  let solution =
+    try
+      FP.solve ~strategy
+        ~propagate:(fun i st_out ->
+          let node = graph.Supergraph.nodes.(i) in
+          List.filter_map
+            (fun (kind, target) ->
+              match refine_edge ctx node kind st_out with
+              | None -> None
+              | Some st_edge -> Some (target, st_edge))
+            node.Supergraph.succs)
+        ~force_widen_after:40
+        ~budget:(200 * n * (1 + Array.length loops.Loops.loops))
+        {
+          FP.num_nodes = n;
+          entries = [ (graph.Supergraph.entry, State.entry_state ~assumes) ];
+          succs = (fun i -> List.map snd graph.Supergraph.nodes.(i).Supergraph.succs);
+          transfer = (fun i st -> transfer_block ctx st graph.Supergraph.nodes.(i));
+          widening_points = (fun i -> widening_point.(i));
+          widening_delay = 2;
+        }
+    with Failure _ -> failwith "value analysis did not converge"
   in
-  let widening_delay = 2 in
-  let force_widen_after = 40 in
-  let update_in target st =
-    match node_in.(target) with
-    | None ->
-      node_in.(target) <- Some st;
-      push target
-    | Some old ->
-      if not (State.leq st old) then begin
-        let merged =
-          if
-            (widening_point.(target) && visits.(target) >= widening_delay)
-            || visits.(target) >= force_widen_after
-          then State.widen old st
-          else State.join old st
-        in
-        node_in.(target) <- Some merged;
-        push target
-      end
-  in
-  update_in graph.Supergraph.entry (State.entry_state ~assumes);
-  let budget = ref (200 * n * (1 + Array.length loops.Loops.loops)) in
-  while not (Queue.is_empty queue) do
-    let i = Queue.take queue in
-    in_queue.(i) <- false;
-    incr iterations;
-    decr budget;
-    if !budget < 0 then failwith "value analysis did not converge";
-    visits.(i) <- visits.(i) + 1;
-    match node_in.(i) with
-    | None -> ()
-    | Some st_in ->
-      let node = graph.Supergraph.nodes.(i) in
-      let st_out = transfer_block ctx st_in node in
-      let changed =
-        match node_out.(i) with
-        | None -> true
-        | Some old -> not (State.leq st_out old)
-      in
-      if changed then begin
-        node_out.(i) <- Some st_out;
-        List.iter
-          (fun (kind, target) ->
-            match refine_edge ctx node kind st_out with
-            | None -> ()
-            | Some st_edge -> update_in target st_edge)
-          node.Supergraph.succs
-      end
-  done;
+  let node_in = Array.init n solution.FP.in_state in
+  let node_out = Array.init n solution.FP.out_state in
   (* Final pass: record data-access intervals from the fixpoint states. *)
   let accesses = Array.make n [] in
   Array.iteri
@@ -244,7 +217,7 @@ let run ?(assumes = []) (graph : Supergraph.t) (loops : Loops.info) =
         ctx.record <- None;
         accesses.(i) <- List.rev !acc)
     graph.Supergraph.nodes;
-  { graph; node_in; node_out; accesses; iterations = !iterations }
+  { graph; node_in; node_out; accesses; transfers = solution.FP.transfers }
 
 let reachable r i = Option.is_some r.node_in.(i)
 

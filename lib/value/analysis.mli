@@ -18,14 +18,20 @@ type result = {
   node_in : State.t option array;  (** [None] = unreachable *)
   node_out : State.t option array;
   accesses : access list array;  (** per node, in instruction order *)
-  iterations : int;
+  transfers : int;  (** fixpoint transfer count (worklist efficiency metric) *)
 }
 
-(** [run ?assumes graph loops] — [assumes] are trusted initial memory facts
-    (address, interval) from annotations (the paper's design-level
-    information). *)
+(** [run ?strategy ?assumes graph loops] — [assumes] are trusted initial
+    memory facts (address, interval) from annotations (the paper's
+    design-level information). [strategy] selects the worklist order of the
+    shared fixpoint engine (default reverse-postorder priority; [Fifo] only
+    for transfer-count comparisons — the fixpoint itself is identical). *)
 val run :
-  ?assumes:(int * Aval.t) list -> Wcet_cfg.Supergraph.t -> Wcet_cfg.Loops.info -> result
+  ?strategy:Wcet_util.Fixpoint.strategy ->
+  ?assumes:(int * Aval.t) list ->
+  Wcet_cfg.Supergraph.t ->
+  Wcet_cfg.Loops.info ->
+  result
 
 (** [reachable result node] is false for nodes the analysis proved
     unreachable (infeasible paths, excluded modes). *)

@@ -45,9 +45,9 @@ type report = {
 }
 
 let timed phases phase f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Wcet_util.Mono_clock.now () in
   let result = f () in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Wcet_util.Mono_clock.now () -. t0 in
   phases := (phase, dt) :: !phases;
   result
 
@@ -209,7 +209,8 @@ let best_case_bound (value : Analysis.result) (timing : Block_timing.t) =
   done;
   if !best = max_int then 0 else !best
 
-let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty) program =
+let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
+    ?(strategy = Wcet_util.Fixpoint.Rpo) program =
   let phases = ref [] in
   let resolver = resolver_of_annot program annot in
   let assumes = assumes_of_annot program annot in
@@ -221,7 +222,7 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty) program =
   let loops = Loops.analyze graph in
   let value, derived_bounds =
     timed phases Loop_value (fun () ->
-        let value = Analysis.run ~assumes graph loops in
+        let value = Analysis.run ~strategy ~assumes graph loops in
         (value, Loop_bounds.analyze value loops))
   in
   (* Overlay annotation loop bounds on the derived verdicts. *)
@@ -247,7 +248,7 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty) program =
     derived_bounds.Loop_bounds.per_loop;
   let cache =
     timed phases Cache (fun () ->
-        Cache_analysis.run hw value ~region_hints:(region_hints_of_annot program annot))
+        Cache_analysis.run ~strategy hw value ~region_hints:(region_hints_of_annot program annot))
   in
   let persistence =
     timed phases Cache (fun () -> Wcet_cache.Persistence.compute hw value loops cache)

@@ -44,6 +44,32 @@ let test_udivmod_edge_cases () =
   Alcotest.(check int) "q by zero" 0xFFFFFFFF r.Ldivmod.quotient;
   Alcotest.(check int) "r by zero" 42 r.Ldivmod.remainder
 
+let test_iterations_agrees_with_udivmod () =
+  (* [iterations] is a separate allocation-free implementation of the
+     correction-pass count; it must agree with [udivmod] everywhere. *)
+  let rng = Pcg.create ~seed:31L () in
+  for _ = 1 to 20_000 do
+    let a = Pcg.next_uint32_int rng in
+    let b = Pcg.next_uint32_int rng in
+    Alcotest.(check int)
+      (Printf.sprintf "iterations 0x%x / 0x%x" a b)
+      (Ldivmod.udivmod a b).Ldivmod.iterations (Ldivmod.iterations a b)
+  done;
+  (* Stress the slow path: divisors just above 2^16 give the long tails. *)
+  for _ = 1 to 20_000 do
+    let a = Pcg.next_uint32_int rng in
+    let b = 0x10000 + Pcg.next_int rng 0x20000 in
+    Alcotest.(check int)
+      (Printf.sprintf "iterations 0x%x / 0x%x" a b)
+      (Ldivmod.udivmod a b).Ldivmod.iterations (Ldivmod.iterations a b)
+  done;
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "iterations 0x%x / 0x%x" a b)
+        (Ldivmod.udivmod a b).Ldivmod.iterations (Ldivmod.iterations a b))
+    [ (42, 0); (0, 1); (0xFFFFFFFF, 0x10000); (0xFFFFFFFF, 0x10001); (0xFFFFFFFF, 0xFFFF) ]
+
 let test_iterations_shape () =
   (* The Table 1 phenomenon on a modest sample: almost all inputs take 1
      iteration, small divisors take 0, a tail exists. *)
@@ -239,6 +265,8 @@ let () =
           Alcotest.test_case "exact division" `Quick test_udivmod_exact;
           Alcotest.test_case "edge cases" `Quick test_udivmod_edge_cases;
           Alcotest.test_case "iteration shape (Table 1)" `Quick test_iterations_shape;
+          Alcotest.test_case "iterations agrees with udivmod" `Quick
+            test_iterations_agrees_with_udivmod;
           Alcotest.test_case "fast path iff small divisor" `Quick
             test_iterations_zero_iff_small_divisor;
           Alcotest.test_case "restoring baseline" `Quick test_restoring_fixed_iterations;

@@ -1,4 +1,5 @@
-(* Tests for wcet_util: PCG32 determinism, exact rationals, fixpoint solver. *)
+(* Tests for wcet_util: PCG32 determinism, exact rationals. The fixpoint
+   engine and the domain pool are covered by test_fixpoint.ml. *)
 
 module Pcg = Wcet_util.Pcg
 module Rat = Wcet_util.Rat
@@ -90,65 +91,6 @@ let rat_qcheck =
            && Rat.compare a (Rat.of_int (Rat.ceil a)) <= 0));
   ]
 
-(* Fixpoint on a tiny reachability domain: node -> set of reachable entries. *)
-
-module Bits = struct
-  type t = int
-
-  let leq a b = a land b = a
-  let join = ( lor )
-  let widen = ( lor )
-end
-
-module FP = Wcet_util.Fixpoint.Make (Bits)
-
-let test_fixpoint_reachability () =
-  (* Diamond with a back edge: 0 -> 1 -> 2 -> 3, 1 -> 3, 3 -> 1. *)
-  let succs = function
-    | 0 -> [ 1 ]
-    | 1 -> [ 2; 3 ]
-    | 2 -> [ 3 ]
-    | 3 -> [ 1 ]
-    | _ -> []
-  in
-  let result =
-    FP.solve
-      {
-        FP.num_nodes = 5;
-        entries = [ (0, 1) ];
-        succs;
-        transfer = (fun _ s -> s);
-        widening_points = (fun n -> n = 1);
-        widening_delay = 2;
-      }
-  in
-  List.iter
-    (fun n -> Alcotest.(check (option int)) "reachable" (Some 1) (result.FP.in_state n))
-    [ 0; 1; 2; 3 ];
-  Alcotest.(check (option int)) "node 4 unreachable" None (result.FP.in_state 4)
-
-let test_fixpoint_transfer () =
-  (* Transfer adds a bit per node; check propagation composes. *)
-  let succs = function
-    | 0 -> [ 1 ]
-    | 1 -> [ 2 ]
-    | _ -> []
-  in
-  let result =
-    FP.solve
-      {
-        FP.num_nodes = 3;
-        entries = [ (0, 1) ];
-        succs;
-        transfer = (fun n s -> s lor (1 lsl (n + 1)));
-        widening_points = (fun _ -> false);
-        widening_delay = 10;
-      }
-  in
-  Alcotest.(check (option int)) "out of 0" (Some 0b11) (result.FP.out_state 0);
-  Alcotest.(check (option int)) "in of 2" (Some 0b111) (result.FP.in_state 2);
-  Alcotest.(check (option int)) "out of 2" (Some 0b1111) (result.FP.out_state 2)
-
 let () =
   Alcotest.run "util"
     [
@@ -168,9 +110,4 @@ let () =
           Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
         ]
         @ rat_qcheck );
-      ( "fixpoint",
-        [
-          Alcotest.test_case "reachability" `Quick test_fixpoint_reachability;
-          Alcotest.test_case "transfer composition" `Quick test_fixpoint_transfer;
-        ] );
     ]
