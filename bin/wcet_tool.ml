@@ -1,21 +1,60 @@
 (* The command-line front end of the analyzer suite:
 
-     wcet_tool analyze  prog.mc [--annot a.ann] [--profile default|uncached|no-hw-div] [--soft-div] [--verbose]
+     wcet_tool analyze  prog.mc [--annot a.ann] [--profile default|uncached|no-hw-div]
+                        [--soft-div] [--verbose] [--format text|json]
      wcet_tool simulate prog.mc [--poke sym=value]... [--profile ...]
      wcet_tool misra    prog.mc
      wcet_tool disasm   prog.mc
+     wcet_tool suggest  prog.mc
+     wcet_tool check    [--seed N] [--random N] [--faults N] [--format text|json]
+     wcet_tool codes
 
    Programs are MiniC translation units; annotations use the textual syntax
-   of Wcet_annot.Annot. *)
+   of Wcet_annot.Annot.
+
+   Exit codes (stable, documented in README.md):
+     0   success (complete bound / simulation ran / no violations)
+     1   usage or input problem (unreadable file, parse/type error, bad poke)
+     2   analysis failed (fatal diagnostics; no bound)
+     3   MISRA violations found
+     4   partial WCET: a bound was computed but is conditional on analysis holes
+     5   check failed (soundness violation or fault-injection crash)
+     70  internal error (uncaught exception - a bug, please report)
+
+   Every failure path prints structured diagnostics (severity[code] phase:
+   message), never a backtrace. *)
 
 open Cmdliner
+module Diag = Wcet_diag.Diag
+module Json = Wcet_diag.Json
+module Analyzer = Wcet_core.Analyzer
+module Faultinject = Wcet_experiments.Faultinject
+module Check = Wcet_experiments.Check
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_diag d = Format.eprintf "@[<v>%a@]@." Diag.pp d
+
+let fail_with d =
+  print_diag d;
+  exit (Diag.exit_for d)
+
+(* One shared classification of expected failures (Faultinject.classify_exn,
+   the same mapping the fault-injection campaign holds the toolchain to);
+   anything unclassified is an internal error: code E0901, exit 70. *)
+let handle_errors f =
+  try f () with
+  | e -> (
+    match Faultinject.classify_exn e with
+    | Some d -> fail_with d
+    | None ->
+      fail_with
+        (Diag.makef Diag.Error Diag.Internal ~code:"E0901" "uncaught exception: %s"
+           (Printexc.to_string e)))
 
 let profile_conv =
   Arg.enum
@@ -24,6 +63,14 @@ let profile_conv =
       ("uncached", Pred32_hw.Hw_config.uncached);
       ("no-hw-div", Pred32_hw.Hw_config.no_hw_div);
     ]
+
+type format = Text | Json_format
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json_format) ]) Text
+    & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json)")
 
 let source_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.mc" ~doc:"MiniC source file")
@@ -42,51 +89,51 @@ let compile path ~soft_div =
     let options = { Minic.Codegen.default_options with Minic.Codegen.soft_div } in
     Minic.Compile.compile ~options (read_file path)
 
-let handle_errors f =
-  try f () with
-  | Pred32_asm.Asm_parser.Error (msg, line) ->
-    Format.eprintf "assembly error at line %d: %s@." line msg;
-    exit 1
-  | Pred32_asm.Assembler.Error msg ->
-    Format.eprintf "link error: %s@." msg;
-    exit 1
-  | Minic.Compile.Error msg ->
-    Format.eprintf "compile error: %s@." msg;
-    exit 1
-  | Wcet_core.Analyzer.Analysis_error msg ->
-    Format.eprintf "analysis error: %s@." msg;
-    exit 2
-  | Wcet_cfg.Supergraph.Build_error msg ->
-    Format.eprintf "decode error: %s@." msg;
-    exit 2
-  | Sys_error msg ->
-    Format.eprintf "%s@." msg;
-    exit 1
+let load_annot = function
+  | None -> Wcet_annot.Annot.empty
+  | Some path -> (
+    match Wcet_annot.Annot.parse (read_file path) with
+    | Ok a -> a
+    | Error msg -> fail_with (Diag.make Diag.Error Diag.Annot ~code:"E0404" msg))
 
 let analyze_cmd =
   let annot_arg =
     Arg.(value & opt (some file) None & info [ "annot" ] ~doc:"Annotation file")
   in
   let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
-  let run source annot_file profile soft_div verbose =
+  let run source annot_file profile soft_div verbose format =
     handle_errors (fun () ->
         let program = compile source ~soft_div in
-        let annot =
-          match annot_file with
-          | None -> Wcet_annot.Annot.empty
-          | Some path -> (
-            match Wcet_annot.Annot.parse (read_file path) with
-            | Ok a -> a
-            | Error msg ->
-              Format.eprintf "annotation error: %s@." msg;
-              exit 1)
-        in
-        let report = Wcet_core.Analyzer.analyze ~hw:profile ~annot program in
-        if verbose then Format.printf "%a@." Wcet_core.Analyzer.pp_report report
-        else Format.printf "WCET bound: %d cycles@." report.Wcet_core.Analyzer.wcet)
+        let annot = load_annot annot_file in
+        match Analyzer.analyze ~hw:profile ~annot program with
+        | report -> (
+          (match format with
+          | Json_format -> print_endline (Json.to_string (Analyzer.report_to_json report))
+          | Text ->
+            if verbose then Format.printf "%a@." Analyzer.pp_report report
+            else begin
+              (match report.Analyzer.verdict with
+              | Analyzer.Complete ->
+                Format.printf "WCET bound: %d cycles@." report.Analyzer.wcet
+              | Analyzer.Partial ->
+                Format.printf
+                  "WCET bound: %d cycles — PARTIAL: conditional on %d analysis hole(s)@."
+                  report.Analyzer.wcet
+                  (List.length report.Analyzer.holes));
+              if report.Analyzer.diagnostics <> [] then
+                Format.eprintf "@[<v>%a@]@." Diag.pp_list report.Analyzer.diagnostics
+            end);
+          match report.Analyzer.verdict with
+          | Analyzer.Complete -> ()
+          | Analyzer.Partial -> exit Diag.Exit.partial)
+        | exception Analyzer.Analysis_failed ds ->
+          (match format with
+          | Json_format -> print_endline (Json.to_string (Analyzer.failure_to_json ds))
+          | Text -> Format.eprintf "@[<v>%a@]@." Diag.pp_list ds);
+          exit Diag.Exit.analysis)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Compute a WCET bound for a MiniC program")
-    Term.(const run $ source_arg $ annot_arg $ profile_arg $ soft_div_arg $ verbose_arg)
+    Term.(const run $ source_arg $ annot_arg $ profile_arg $ soft_div_arg $ verbose_arg $ format_arg)
 
 let poke_conv =
   let parse s =
@@ -108,7 +155,18 @@ let simulate_cmd =
     handle_errors (fun () ->
         let program = compile source ~soft_div in
         let sim = Pred32_sim.Simulator.create profile program in
-        List.iter (fun (sym, v) -> Pred32_sim.Simulator.poke_symbol sim sym 0 v) pokes;
+        List.iter
+          (fun (sym, v) ->
+            if Pred32_asm.Program.symbol_opt program sym = None then
+              fail_with
+                (Diag.makef Diag.Error Diag.Simulation ~code:"E0604"
+                   "--poke names unknown symbol %s" sym);
+            try Pred32_sim.Simulator.poke_symbol sim sym 0 v
+            with Not_found ->
+              fail_with
+                (Diag.makef Diag.Error Diag.Simulation ~code:"E0604"
+                   "--poke names unknown data symbol %s" sym))
+          pokes;
         Format.printf "%a@." Pred32_sim.Simulator.pp_outcome (Pred32_sim.Simulator.run sim))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run a MiniC program in the cycle-level simulator")
@@ -129,7 +187,7 @@ let misra_cmd =
         else begin
           List.iter (fun v -> Format.printf "%a@." Misra.Checker.pp_violation v) violations;
           Format.printf "%d violation(s)@." (List.length violations);
-          exit 3
+          exit Diag.Exit.misra
         end)
   in
   Cmd.v (Cmd.info "misra" ~doc:"Check a MiniC program against the studied MISRA-C rules")
@@ -153,7 +211,7 @@ let cfg_cmd =
   let run source soft_div =
     handle_errors (fun () ->
         let program = compile source ~soft_div in
-        let graph = Wcet_value.Resolve_iter.build program in
+        let graph = Wcet_value.Resolve_iter.build_graceful program in
         let loops = Wcet_cfg.Loops.analyze graph in
         Wcet_cfg.Dot.emit ~loops Format.std_formatter graph)
   in
@@ -161,67 +219,99 @@ let cfg_cmd =
     (Cmd.info "cfg" ~doc:"Dump the reconstructed control-flow supergraph as Graphviz dot")
     Term.(const run $ source_arg $ soft_div_arg)
 
-(* aiT-style workflow aid: when the analysis fails for lack of knowledge,
-   print annotation templates for everything that is missing. *)
+(* aiT-style workflow aid: the graceful analyzer already localizes every
+   piece of missing knowledge as a diagnostic with an annotation-template
+   hint; suggest just prints those hints. *)
 let suggest_cmd =
   let run source profile soft_div =
     handle_errors (fun () ->
         let program = compile source ~soft_div in
-        match Wcet_core.Analyzer.analyze ~hw:profile program with
-        | report ->
-          Format.printf "analysis succeeds without annotations (bound %d cycles);@."
-            report.Wcet_core.Analyzer.wcet;
-          List.iter
-            (fun (li, _) ->
-              let loops = report.Wcet_core.Analyzer.loops in
-              let graph = report.Wcet_core.Analyzer.graph in
-              let header =
-                graph.Wcet_cfg.Supergraph.nodes.(loops.Wcet_cfg.Loops.loops.(li).Wcet_cfg.Loops.header)
-              in
-              ignore header;
-              ())
-            report.Wcet_core.Analyzer.effective_bounds
-        | exception Wcet_core.Analyzer.Analysis_error _ -> (
-          (* Re-run just the front phases to localize the missing knowledge. *)
-          match Wcet_value.Resolve_iter.build program with
-          | exception Wcet_cfg.Supergraph.Build_error msg ->
-            Format.printf "# decoding failed: %s@." msg;
+        match Analyzer.analyze ~hw:profile program with
+        | report -> (
+          match report.Analyzer.verdict with
+          | Analyzer.Complete ->
             Format.printf
-              "# supply one of:@.#   calltargets at 0x<site> = f, g@.#   recursion <func>                depth <n>@.#   setjmp auto@."
-          | graph ->
-            let loops = Wcet_cfg.Loops.analyze graph in
-            let value = Wcet_value.Analysis.run graph loops in
-            let bounds = Wcet_value.Loop_bounds.analyze value loops in
-            Format.printf "# annotation template (fill in the bounds):@.";
-            Array.iteri
-              (fun li verdict ->
-                match verdict with
-                | Wcet_value.Loop_bounds.Bounded _ -> ()
-                | Wcet_value.Loop_bounds.Unbounded reason ->
-                  let l = loops.Wcet_cfg.Loops.loops.(li) in
-                  let hn = graph.Wcet_cfg.Supergraph.nodes.(l.Wcet_cfg.Loops.header) in
-                  if Wcet_value.Analysis.reachable value l.Wcet_cfg.Loops.header then
-                    Format.printf "loop at 0x%x bound <N>   # in %s: %s@."
-                      hn.Wcet_cfg.Supergraph.block.Wcet_cfg.Func_cfg.entry
-                      hn.Wcet_cfg.Supergraph.func reason)
-              bounds.Wcet_value.Loop_bounds.per_loop;
+              "analysis succeeds without annotations (bound %d cycles); nothing to suggest@."
+              report.Analyzer.wcet
+          | Analyzer.Partial ->
+            Format.printf
+              "# partial analysis (bound %d cycles is conditional); annotation templates:@."
+              report.Analyzer.wcet;
             List.iter
-              (fun scc ->
-                Format.printf
-                  "# irreducible region (%d blocks): add maxcount facts, e.g.:@."
-                  (List.length scc);
-                List.iter
-                  (fun nid ->
-                    let n = graph.Wcet_cfg.Supergraph.nodes.(nid) in
-                    Format.printf "maxcount at 0x%x <= <N>@."
-                      n.Wcet_cfg.Supergraph.block.Wcet_cfg.Func_cfg.entry)
-                  scc)
-              loops.Wcet_cfg.Loops.irreducible))
+              (fun d ->
+                match d.Diag.hint with
+                | Some hint -> Format.printf "%s   # [%s] %s@." hint d.Diag.code d.Diag.message
+                | None -> ())
+              report.Analyzer.diagnostics)
+        | exception Analyzer.Analysis_failed ds ->
+          Format.printf "# analysis failed; diagnostics and templates:@.";
+          List.iter
+            (fun d ->
+              Format.printf "# [%s] %s@." d.Diag.code d.Diag.message;
+              match d.Diag.hint with
+              | Some hint -> Format.printf "%s@." hint
+              | None -> ())
+            ds)
   in
   Cmd.v
     (Cmd.info "suggest"
        ~doc:"Print annotation templates for whatever knowledge the analysis is missing")
     Term.(const run $ source_arg $ profile_arg $ soft_div_arg)
+
+let check_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 20110318L & info [ "seed" ] ~doc:"PCG32 seed (deterministic)")
+  in
+  let random_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "random" ] ~doc:"Random input sets per corpus scenario (soundness check)")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 240
+      & info [ "faults" ] ~doc:"Fault-injection trial count (0 disables the campaign)")
+  in
+  let run seed random faults format =
+    handle_errors (fun () ->
+        let stats = Check.run ~seed ~random_per_scenario:random () in
+        let campaign =
+          let minic = faults / 2 in
+          let annots = faults / 4 in
+          let asm = faults / 8 in
+          let binary = faults - minic - annots - asm in
+          Faultinject.run ~seed ~minic ~annots ~asm ~binary ~memmap:(faults > 0) ()
+        in
+        let passed = Check.ok stats && Faultinject.ok campaign in
+        (match format with
+        | Json_format ->
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("soundness", Check.to_json stats);
+                    ("faults", Faultinject.to_json campaign);
+                    ("ok", Json.Bool passed);
+                  ]))
+        | Text ->
+          Format.printf "%a@." Check.pp_stats stats;
+          Format.printf "%a@." Faultinject.pp_campaign campaign);
+        if not passed then exit Diag.Exit.check_failed)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Cross-validate analyzer soundness over the corpus (simulated cycles vs bounds) and \
+          run the fault-injection robustness campaign")
+    Term.(const run $ seed_arg $ random_arg $ faults_arg $ format_arg)
+
+let codes_cmd =
+  let run () =
+    List.iter (fun (code, descr) -> Format.printf "%s  %s@." code descr) Diag.all_codes
+  in
+  Cmd.v
+    (Cmd.info "codes" ~doc:"List every stable diagnostic code the tool can emit")
+    Term.(const run $ const ())
 
 let () =
   let info =
@@ -233,6 +323,16 @@ let () =
             "A reproduction of the analyzer studied in 'Software Structure and WCET \
              Predictability' (PPES 2011): MiniC compiler, cycle-level simulator, and a \
              static WCET analyzer with value, cache, pipeline and IPET path analyses.";
+          `S "EXIT STATUS";
+          `P "0: success; 1: usage or input problem; 2: analysis failed; 3: MISRA \
+              violations; 4: partial WCET (bound conditional on analysis holes); 5: check \
+              failed; 70: internal error.";
         ]
   in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; simulate_cmd; misra_cmd; disasm_cmd; suggest_cmd; cfg_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd; simulate_cmd; misra_cmd; disasm_cmd; suggest_cmd; cfg_cmd; check_cmd;
+            codes_cmd;
+          ]))

@@ -93,12 +93,23 @@ let () =
   let program = Minic.Compile.compile source in
   let try_analysis label a =
     match Wcet_core.Analyzer.analyze ~annot:a program with
-    | report ->
-      Format.printf "  %-42s %7d cycles (best case >= %d)@." label
-        report.Wcet_core.Analyzer.wcet report.Wcet_core.Analyzer.bcet
-    | exception Wcet_core.Analyzer.Analysis_error msg ->
+    | report -> (
+      match report.Wcet_core.Analyzer.verdict with
+      | Wcet_core.Analyzer.Complete ->
+        Format.printf "  %-42s %7d cycles (best case >= %d)@." label
+          report.Wcet_core.Analyzer.wcet report.Wcet_core.Analyzer.bcet
+      | Wcet_core.Analyzer.Partial ->
+        Format.printf "  %-42s %7d cycles — PARTIAL, %d hole(s)@." label
+          report.Wcet_core.Analyzer.wcet
+          (List.length report.Wcet_core.Analyzer.holes))
+    | exception Wcet_core.Analyzer.Analysis_failed ds ->
+      let first =
+        match ds with
+        | d :: _ -> Printf.sprintf "[%s] %s" d.Wcet_diag.Diag.code d.Wcet_diag.Diag.message
+        | [] -> "?"
+      in
       Format.printf "  %-42s FAILS: %s@." label
-        (String.map (fun c -> if c = '\n' then ' ' else c) msg)
+        (String.map (fun c -> if c = '\n' then ' ' else c) first)
   in
   Format.printf "flight-control task, one WCET analysis per documentation level:@.";
   try_analysis "1. no annotations:" Wcet_annot.Annot.empty;

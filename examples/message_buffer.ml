@@ -14,7 +14,12 @@ let () =
     | Wcet_experiments.Harness.Bound b ->
       Format.printf "  %-40s bound %6d cycles (observed max %d)@." label b
         r.Wcet_experiments.Harness.observed
-    | Wcet_experiments.Harness.Fails msg -> Format.printf "  %-40s FAILS: %s@." label msg
+    | Wcet_experiments.Harness.Partial (b, _) ->
+      Format.printf "  %-40s partial bound %6d cycles (observed max %d)@." label b
+        r.Wcet_experiments.Harness.observed
+    | Wcet_experiments.Harness.Fails ds ->
+      Format.printf "  %-40s FAILS: %s@." label
+        (match ds with d :: _ -> d.Wcet_diag.Diag.message | [] -> "?")
   in
   Format.printf "message-handler WCET:@.";
   show undocumented "buffer size only (assume len <= 16):";

@@ -28,11 +28,13 @@ let () =
     let bound =
       match r.Wcet_experiments.Harness.assisted with
       | Wcet_experiments.Harness.Bound b -> string_of_int b
+      | Wcet_experiments.Harness.Partial (b, _) -> Printf.sprintf "partial %d" b
       | Wcet_experiments.Harness.Fails _ -> "needs-annotation"
     in
     let auto =
       match r.Wcet_experiments.Harness.automatic with
       | Wcet_experiments.Harness.Bound _ -> "automatic"
+      | Wcet_experiments.Harness.Partial _ -> "automatic but partial"
       | Wcet_experiments.Harness.Fails _ -> "needs a manual loop bound"
     in
     Format.printf "  %-28s bound %10s cycles, observed %6d (%s)@." label bound
@@ -45,7 +47,7 @@ let () =
     match r.Wcet_experiments.Harness.assisted with
     | Wcet_experiments.Harness.Bound b ->
       float_of_int b /. float_of_int (max 1 r.Wcet_experiments.Harness.observed)
-    | Wcet_experiments.Harness.Fails _ -> nan
+    | Wcet_experiments.Harness.Partial _ | Wcet_experiments.Harness.Fails _ -> nan
   in
   Format.printf
     "@.bound/observed: restoring %.2f vs lDivMod %.2f — the bound of the average-case-\

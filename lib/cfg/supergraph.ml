@@ -19,6 +19,7 @@ type t = {
   entry : int;
   program : Pred32_asm.Program.t;
   unresolved_calls : (int * int) list;  (* (node id, site address) *)
+  unresolved_jumps : int list;  (* site addresses (degrade mode only) *)
 }
 
 exception Build_error of string
@@ -38,7 +39,8 @@ let start_func (program : Program.t) =
   in
   { Program.name = "__start"; entry = program.Program.entry; limit }
 
-let build ?(allow_unresolved = false) ?resolver (program : Program.t) =
+let build ?(allow_unresolved = false) ?(degrade = false) ?resolver (program : Program.t) =
+  let allow_unresolved = allow_unresolved || degrade in
   let resolver = match resolver with Some r -> r | None -> Resolver.auto program in
   let all_funcs = start_func program :: program.Program.functions in
   let func_named name = List.find_opt (fun (f : Program.func_info) -> f.Program.name = name) all_funcs in
@@ -66,6 +68,7 @@ let build ?(allow_unresolved = false) ?resolver (program : Program.t) =
   in
   let extra_leaders : (string, int list ref) Hashtbl.t = Hashtbl.create 4 in
   let jump_target_table : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+  let unresolved_jumps : int list ref = ref [] in
   List.iter
     (fun f ->
       List.iter
@@ -74,8 +77,15 @@ let build ?(allow_unresolved = false) ?resolver (program : Program.t) =
           | Func_cfg.Term_jump_indirect { site; _ } -> (
             match resolver.Resolver.jump_targets ~site ~block:b with
             | None ->
-              build_error
-                "indirect jump at 0x%x cannot be resolved; add a jump-targets annotation" site
+              (* Degrade mode: the jump becomes a dead end (an analysis hole
+                 reported by the caller); otherwise a hard build error. *)
+              if degrade then begin
+                unresolved_jumps := site :: !unresolved_jumps;
+                Hashtbl.replace jump_target_table site []
+              end
+              else
+                build_error
+                  "indirect jump at 0x%x cannot be resolved; add a jump-targets annotation" site
             | Some targets ->
               Hashtbl.replace jump_target_table site targets;
               List.iter
@@ -214,13 +224,23 @@ let build ?(allow_unresolved = false) ?resolver (program : Program.t) =
         | Func_cfg.Term_return -> () (* wired by the caller *)
         | Func_cfg.Term_call { target; return_to } -> do_call n ~target ~return_to
         | Func_cfg.Term_call_indirect { site; return_to; _ } -> (
-          match resolver.Resolver.call_targets ~site ~block:b with
-          | None ->
-            if allow_unresolved then unresolved := (n.id, site) :: !unresolved
+          let unresolved_call () =
+            if allow_unresolved then begin
+              unresolved := (n.id, site) :: !unresolved;
+              (* Degrade mode: link past the hole so the rest of the caller
+                 is still analyzed; the callee's cost is explicitly excluded
+                 from the (partial) bound. *)
+              if degrade then add_edge Efall n (node_in ctx.cid return_to)
+            end
             else
               build_error
                 "indirect call at 0x%x cannot be resolved; add a call-targets annotation" site
-          | Some [] -> build_error "indirect call at 0x%x has an empty target set" site
+          in
+          match resolver.Resolver.call_targets ~site ~block:b with
+          | None -> unresolved_call ()
+          | Some [] ->
+            if degrade then unresolved_call ()
+            else build_error "indirect call at 0x%x has an empty target set" site
           | Some targets -> List.iter (fun target -> do_call n ~target ~return_to) targets)
         | Func_cfg.Term_jump_indirect { site; _ } ->
           let targets =
@@ -258,6 +278,7 @@ let build ?(allow_unresolved = false) ?resolver (program : Program.t) =
     entry;
     program;
     unresolved_calls = !unresolved;
+    unresolved_jumps = List.rev !unresolved_jumps;
   }
 
 let exits g =

@@ -41,19 +41,30 @@ type t = {
   entry : int;  (** node id *)
   program : Pred32_asm.Program.t;
   unresolved_calls : (int * int) list;
-      (** (node id, site) of indirect calls left without successors; only
-          non-empty when built with [allow_unresolved] *)
+      (** (node id, site) of indirect calls left unresolved; only non-empty
+          when built with [allow_unresolved] or [degrade] *)
+  unresolved_jumps : int list;
+      (** sites of indirect jumps left as dead ends; only non-empty when
+          built with [degrade] *)
 }
 
 exception Build_error of string
 
-(** [build ?allow_unresolved ?resolver program] expands from the startup
-    stub. Raises [Build_error] on unresolved indirect control flow (unless
-    [allow_unresolved], which records such calls in [unresolved_calls] and
-    leaves them without successors for a later value-analysis-driven
-    resolution round), unannotated recursion, or decode failures (wrapping
-    {!Func_cfg.Decode_error}). *)
-val build : ?allow_unresolved:bool -> ?resolver:Resolver.t -> Pred32_asm.Program.t -> t
+(** [build ?allow_unresolved ?degrade ?resolver program] expands from the
+    startup stub. Raises [Build_error] on unresolved indirect control flow
+    (unless [allow_unresolved], which records such calls in
+    [unresolved_calls] and leaves them without successors for a later
+    value-analysis-driven resolution round), unannotated recursion, or
+    decode failures (wrapping {!Func_cfg.Decode_error}).
+
+    [degrade] is the graceful-degradation mode: unresolved or empty-target
+    indirect calls are recorded in [unresolved_calls] {e and} linked
+    straight to their return site (an analysis hole — the caller's
+    remainder stays analyzable while the callee's cost is excluded), and
+    unresolved indirect jumps become successor-less dead ends recorded in
+    [unresolved_jumps] instead of build errors. *)
+val build :
+  ?allow_unresolved:bool -> ?degrade:bool -> ?resolver:Resolver.t -> Pred32_asm.Program.t -> t
 
 (** Halting nodes (no successors). *)
 val exits : t -> int list

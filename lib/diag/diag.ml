@@ -1,0 +1,157 @@
+type severity = Info | Warning | Error
+
+type phase =
+  | Frontend
+  | Annot
+  | Decode
+  | Loop_value
+  | Cache
+  | Pipeline
+  | Path
+  | Simulation
+  | Check
+  | Internal
+
+type loc = { addr : int option; func : string option; line : int option }
+
+type t = {
+  severity : severity;
+  phase : phase;
+  code : string;
+  loc : loc;
+  message : string;
+  hint : string option;
+}
+
+let no_loc = { addr = None; func = None; line = None }
+let at_addr ?func addr = { addr = Some addr; func; line = None }
+let in_func func = { addr = None; func = Some func; line = None }
+let at_line line = { addr = None; func = None; line = Some line }
+
+let make ?hint ?(loc = no_loc) severity phase ~code message =
+  { severity; phase; code; loc; message; hint }
+
+let makef ?hint ?loc severity phase ~code fmt =
+  Format.kasprintf (fun message -> make ?hint ?loc severity phase ~code message) fmt
+
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let phase_name = function
+  | Frontend -> "frontend"
+  | Annot -> "annotation"
+  | Decode -> "decode"
+  | Loop_value -> "loop/value"
+  | Cache -> "cache"
+  | Pipeline -> "pipeline"
+  | Path -> "path"
+  | Simulation -> "simulation"
+  | Check -> "check"
+  | Internal -> "internal"
+
+(* The stable code registry. Codes are part of the tool's external contract
+   (CI and scripts match on them); never renumber, only append. *)
+let all_codes =
+  [
+    ("E0101", "cannot read an input file");
+    ("E0102", "lexical error in a MiniC source");
+    ("E0103", "syntax error in a MiniC source");
+    ("E0104", "type error in a MiniC source");
+    ("E0105", "code generation failed");
+    ("E0106", "link failed (duplicate/undefined symbols, layout)");
+    ("E0107", "assembly parse error");
+    ("E0108", "compilation failed");
+    ("E0201", "decoding / CFG reconstruction failed");
+    ("E0202", "recursive call without a recursion-depth annotation");
+    ("E0203", "analysis iteration budget exceeded (did not converge)");
+    ("W0301", "unresolved indirect call: callee excluded from the bound");
+    ("W0302", "unbounded loop: iterations beyond the first excluded");
+    ("W0303", "irreducible region: bounded at one pass per block");
+    ("W0304", "unresolved indirect jump: successors excluded");
+    ("W0401", "annotation refers to an unknown function (ignored)");
+    ("W0402", "annotation refers to an unknown symbol (ignored)");
+    ("W0403", "annotation refers to an unknown memory region (ignored)");
+    ("E0404", "annotation file does not parse");
+    ("E0501", "path analysis infeasible: contradictory flow facts");
+    ("E0502", "path analysis unbounded");
+    ("E0601", "soundness violation: observed cycles exceed the bound");
+    ("W0602", "simulation did not run to completion");
+    ("E0603", "memory fault (unmapped/unaligned access or ROM write)");
+    ("E0604", "unknown symbol in a poke/peek");
+    ("E0701", "fault-injection campaign observed a crash");
+    ("E0901", "internal error (uncaught exception)");
+  ]
+
+let describe code = List.assoc_opt code all_codes
+
+module Exit = struct
+  let ok = 0
+  let usage = 1
+  let analysis = 2
+  let misra = 3
+  let partial = 4
+  let check_failed = 5
+  let internal = 70
+end
+
+let exit_for d =
+  match d.phase with
+  | Frontend | Annot -> Exit.usage
+  | Decode | Loop_value | Cache | Pipeline | Path -> Exit.analysis
+  | Simulation -> Exit.usage
+  | Check -> Exit.check_failed
+  | Internal -> Exit.internal
+
+let pp_loc ppf loc =
+  let parts =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (Printf.sprintf "at 0x%x") loc.addr;
+        Option.map (Printf.sprintf "in %s") loc.func;
+        Option.map (Printf.sprintf "line %d") loc.line;
+      ]
+  in
+  if parts <> [] then Format.fprintf ppf " (%s)" (String.concat " " parts)
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s%a" (severity_name d.severity) d.code (phase_name d.phase)
+    d.message pp_loc d.loc;
+  match d.hint with
+  | Some hint -> Format.fprintf ppf "@,  hint: %s" hint
+  | None -> ()
+
+let pp_list ppf ds =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp ppf d)
+    ds;
+  Format.fprintf ppf "@]"
+
+let to_json d =
+  let opt f = function Some x -> f x | None -> Json.Null in
+  Json.Obj
+    [
+      ("severity", Json.String (severity_name d.severity));
+      ("code", Json.String d.code);
+      ("phase", Json.String (phase_name d.phase));
+      ("addr", opt (fun a -> Json.Int a) d.loc.addr);
+      ("func", opt (fun f -> Json.String f) d.loc.func);
+      ("line", opt (fun l -> Json.Int l) d.loc.line);
+      ("message", Json.String d.message);
+      ("hint", opt (fun h -> Json.String h) d.hint);
+    ]
+
+type collector = { mutable rev_items : t list }
+
+let collector () = { rev_items = [] }
+let add c d = c.rev_items <- d :: c.rev_items
+let items c = List.rev c.rev_items
+
+let count sev c =
+  List.fold_left (fun n d -> if d.severity = sev then n + 1 else n) 0 c.rev_items
+
+let error_count = count Error
+let warning_count = count Warning
+let has_errors c = error_count c > 0

@@ -1,0 +1,107 @@
+(** Structured diagnostics: the graceful-degradation currency of the whole
+    analyzer stack.
+
+    Every failure or limitation anywhere in the pipeline — frontend parse
+    errors, undecodable instructions, unresolvable indirect calls, unbounded
+    loops, bogus annotations, soundness-check findings — is reported as one
+    of these records instead of a bare exception message. A diagnostic
+    carries a stable error code (the contract scripts and CI match on), the
+    analysis phase that produced it, an optional program location, and an
+    optional remediation hint (typically the annotation line that would fix
+    the problem — the aiT-style specification workflow).
+
+    Severities: [Error] means the affected result does not exist; [Warning]
+    means the analysis degraded around the problem (an analysis hole — the
+    WCET bound is partial/conditional); [Info] is advisory. *)
+
+type severity = Info | Warning | Error
+
+type phase =
+  | Frontend  (** reading, lexing, parsing, typing, codegen, linking *)
+  | Annot  (** annotation parsing and resolution *)
+  | Decode  (** decoding / CFG reconstruction *)
+  | Loop_value  (** loop & value analysis *)
+  | Cache
+  | Pipeline
+  | Path  (** IPET path analysis *)
+  | Simulation
+  | Check  (** the soundness cross-validation harness *)
+  | Internal
+
+type loc = {
+  addr : int option;  (** program byte address *)
+  func : string option;  (** enclosing function *)
+  line : int option;  (** source line (frontend diagnostics) *)
+}
+
+type t = {
+  severity : severity;
+  phase : phase;
+  code : string;  (** stable error code, e.g. ["W0301"] — see {!all_codes} *)
+  loc : loc;
+  message : string;
+  hint : string option;  (** e.g. the annotation that would fix it *)
+}
+
+val no_loc : loc
+val at_addr : ?func:string -> int -> loc
+val in_func : string -> loc
+val at_line : int -> loc
+
+val make : ?hint:string -> ?loc:loc -> severity -> phase -> code:string -> string -> t
+
+(** [makef ... fmt] is {!make} with a format string for the message. *)
+val makef :
+  ?hint:string ->
+  ?loc:loc ->
+  severity ->
+  phase ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_name : severity -> string
+val phase_name : phase -> string
+
+(** The registry of stable error codes with one-line descriptions. Tests pin
+    this list so codes never silently change meaning. *)
+val all_codes : (string * string) list
+
+val describe : string -> string option
+
+(** One-line human rendering:
+    [severity\[code\] phase: message (at 0x.. in f)] followed by an indented
+    hint line when present. *)
+val pp : Format.formatter -> t -> unit
+
+val pp_list : Format.formatter -> t list -> unit
+val to_json : t -> Json.t
+
+(** Process exit codes of the command-line tools (documented in README):
+    0 success; 1 input/usage error; 2 analysis failed (no bound);
+    3 guideline violations; 4 partial WCET (bound with analysis holes);
+    5 soundness-check failure; 70 internal error. *)
+module Exit : sig
+  val ok : int
+  val usage : int
+  val analysis : int
+  val misra : int
+  val partial : int
+  val check_failed : int
+  val internal : int
+end
+
+(** [exit_for d] maps a diagnostic to the exit code its family documents
+    (frontend/annotation input errors → 1, analysis errors → 2,
+    check findings → 5, internal → 70). *)
+val exit_for : t -> int
+
+(** An append-only diagnostic collector threaded through the analyzer. *)
+type collector
+
+val collector : unit -> collector
+val add : collector -> t -> unit
+val items : collector -> t list
+val has_errors : collector -> bool
+val error_count : collector -> int
+val warning_count : collector -> int

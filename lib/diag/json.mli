@@ -1,0 +1,19 @@
+(** A minimal JSON tree and printer for the machine-readable diagnostic and
+    report output ([wcet_tool --format=json]).
+
+    Deliberately tiny — the repo has no JSON dependency and only ever needs
+    to {e emit} JSON, never parse it. Strings are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering (no trailing newline). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

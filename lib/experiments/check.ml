@@ -1,0 +1,172 @@
+module Corpus = Wcet_corpus.Corpus
+module Compile = Minic.Compile
+module Sim = Pred32_sim.Simulator
+module Analyzer = Wcet_core.Analyzer
+module Annot = Wcet_annot.Annot
+module Diag = Wcet_diag.Diag
+module Pcg = Wcet_util.Pcg
+
+type stats = {
+  scenarios : int;
+  complete : int;
+  partial : int;
+  failed : int;
+  simulations : int;
+  violations : Diag.t list;
+  diagnostics : Diag.t list;
+}
+
+(* Random input sets that respect the scenario's contracts: cells covered
+   by an [assume] range (word 0 of the symbol) are sampled inside it;
+   every other poked cell is recombined from the values the declared input
+   sets actually use. Cells never poked stay at their linked initial
+   values. *)
+let random_input_sets rng ~count (annot : Annot.t) inputs =
+  let pool : ((string * int), int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun (sym, idx, v) ->
+         match Hashtbl.find_opt pool (sym, idx) with
+         | Some cell -> if not (List.mem v !cell) then cell := v :: !cell
+         | None -> Hashtbl.add pool (sym, idx) (ref [ v ])))
+    inputs;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) pool [] |> List.sort compare in
+  if keys = [] then []
+  else
+    List.init count (fun _ ->
+        List.map
+          (fun (sym, idx) ->
+            let v =
+              match
+                List.find_opt (fun (s, _, _) -> s = sym && idx = 0) annot.Annot.assumes
+              with
+              | Some (_, lo, hi) -> lo + Pcg.next_int rng (hi - lo + 1)
+              | None ->
+                let vs = !(Hashtbl.find pool (sym, idx)) in
+                List.nth vs (Pcg.next_int rng (List.length vs))
+            in
+            (sym, idx, v))
+          keys)
+
+let sim_fuel = 2_000_000
+
+let check_scenario rng ~random_per_scenario ~id ~variant (s : Corpus.scenario) acc =
+  let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
+  let annot = s.Corpus.annotations program in
+  match Analyzer.analyze ~hw:s.Corpus.hw ~annot program with
+  | exception Analyzer.Analysis_failed ds ->
+    let d =
+      Diag.make Diag.Error Diag.Check ~code:"E0701"
+        (Printf.sprintf "%s/%s: analysis failed during check (%s)" id variant
+           (match ds with d :: _ -> d.Diag.code | [] -> "?"))
+    in
+    { acc with scenarios = acc.scenarios + 1; failed = acc.failed + 1;
+      diagnostics = d :: acc.diagnostics }
+  | report -> (
+    match report.Analyzer.verdict with
+    | Analyzer.Partial ->
+      { acc with scenarios = acc.scenarios + 1; partial = acc.partial + 1 }
+    | Analyzer.Complete ->
+      let bound = report.Analyzer.wcet in
+      let input_sets =
+        s.Corpus.inputs
+        @ random_input_sets rng ~count:random_per_scenario annot s.Corpus.inputs
+      in
+      let acc = ref { acc with scenarios = acc.scenarios + 1; complete = acc.complete + 1 } in
+      List.iter
+        (fun pokes ->
+          let sim = Sim.create s.Corpus.hw program in
+          List.iter (fun (sym, idx, v) -> Sim.poke_symbol sim sym idx v) pokes;
+          match Sim.run ~fuel:sim_fuel sim with
+          | Sim.Halted { cycles; _ } ->
+            acc := { !acc with simulations = !acc.simulations + 1 };
+            if cycles > bound then begin
+              let d =
+                Diag.make Diag.Error Diag.Check ~code:"E0601"
+                  ~hint:
+                    (String.concat "; "
+                       (List.map (fun (s, i, v) -> Printf.sprintf "%s[%d]=%d" s i v) pokes))
+                  (Printf.sprintf
+                     "%s/%s: simulated run took %d cycles, exceeding the complete bound %d — \
+                      analyzer soundness bug"
+                     id variant cycles bound)
+              in
+              acc := { !acc with violations = d :: !acc.violations }
+            end
+          | Sim.Faulted { fault; _ } ->
+            let d =
+              Diag.make Diag.Warning Diag.Check ~code:"W0602"
+                (Format.asprintf "%s/%s: simulation faulted (%a) — comparison inconclusive" id
+                   variant
+                   (fun ppf -> function
+                     | Sim.Illegal_instruction pc ->
+                       Format.fprintf ppf "illegal instruction at 0x%x" pc
+                     | Sim.Bus_error a -> Format.fprintf ppf "bus error at 0x%x" a
+                     | Sim.Write_to_rom a -> Format.fprintf ppf "write to ROM at 0x%x" a)
+                   fault)
+            in
+            acc := { !acc with diagnostics = d :: !acc.diagnostics }
+          | Sim.Out_of_fuel _ ->
+            let d =
+              Diag.make Diag.Warning Diag.Check ~code:"W0602"
+                (Printf.sprintf "%s/%s: simulation exhausted %d-instruction fuel — comparison \
+                                 inconclusive"
+                   id variant sim_fuel)
+            in
+            acc := { !acc with diagnostics = d :: !acc.diagnostics })
+        input_sets;
+      !acc)
+
+let run ?(seed = 20110318L) ?(random_per_scenario = 8) () =
+  let rng = Pcg.create ~seed () in
+  let empty =
+    {
+      scenarios = 0;
+      complete = 0;
+      partial = 0;
+      failed = 0;
+      simulations = 0;
+      violations = [];
+      diagnostics = [];
+    }
+  in
+  let stats =
+    List.fold_left
+      (fun acc (e : Corpus.entry) ->
+        let acc =
+          check_scenario rng ~random_per_scenario ~id:e.Corpus.id ~variant:"conforming"
+            e.Corpus.conforming acc
+        in
+        check_scenario rng ~random_per_scenario ~id:e.Corpus.id ~variant:"violating"
+          e.Corpus.violating acc)
+      empty Corpus.all
+  in
+  {
+    stats with
+    violations = List.rev stats.violations;
+    diagnostics = List.rev stats.diagnostics;
+  }
+
+let ok s = s.violations = [] && s.failed = 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>soundness check: %d scenarios (%d complete, %d partial, %d failed), %d simulated \
+     runs, %d violation(s)@,"
+    s.scenarios s.complete s.partial s.failed s.simulations (List.length s.violations);
+  if s.violations <> [] then Format.fprintf ppf "%a@," Diag.pp_list s.violations;
+  if s.diagnostics <> [] then Format.fprintf ppf "%a@," Diag.pp_list s.diagnostics;
+  Format.fprintf ppf "verdict: %s@]" (if ok s then "OK" else "FAILED")
+
+let to_json s =
+  let open Wcet_diag.Json in
+  Obj
+    [
+      ("scenarios", Int s.scenarios);
+      ("complete", Int s.complete);
+      ("partial", Int s.partial);
+      ("failed", Int s.failed);
+      ("simulations", Int s.simulations);
+      ("violations", List (List.map Diag.to_json s.violations));
+      ("diagnostics", List (List.map Diag.to_json s.diagnostics));
+      ("ok", Bool (ok s));
+    ]

@@ -1,0 +1,38 @@
+(** Soundness cross-validation: simulated cycle counts must never exceed
+    complete analysis bounds ([wcet_tool check]).
+
+    Every corpus scenario is compiled, analyzed with its annotations, and —
+    when the analysis is {e complete} — simulated over its declared input
+    sets plus seeded random inputs. Random values respect the scenario's
+    trusted annotations: a symbol with an [assume lo..hi] range is sampled
+    inside that range, and other poked cells are recombined from the values
+    the scenario's declared input sets use (annotations are contracts;
+    inputs outside them prove nothing). Partial bounds are conditional on
+    their analysis holes, so they are counted but not cycle-checked.
+
+    Any simulated run exceeding its complete bound is an E0601 diagnostic —
+    an analyzer soundness bug, never a corpus problem. Runs that fault or
+    exhaust fuel under random inputs are recorded as W0602 (the comparison
+    is inconclusive, not violated). *)
+
+type stats = {
+  scenarios : int;  (** scenarios visited *)
+  complete : int;  (** analyses with a complete verdict (cycle-checked) *)
+  partial : int;  (** partial verdicts (counted, not cycle-checked) *)
+  failed : int;  (** analyses raising [Analysis_failed] *)
+  simulations : int;  (** simulated runs compared against a bound *)
+  violations : Wcet_diag.Diag.t list;  (** E0601 soundness violations *)
+  diagnostics : Wcet_diag.Diag.t list;  (** W0602 inconclusive runs *)
+}
+
+(** [run ?seed ?random_per_scenario ()] cross-validates the whole corpus.
+    [seed] (default the paper date) drives the PCG32 input generator;
+    [random_per_scenario] (default 8) is the number of random input sets
+    per scenario on top of the declared ones. *)
+val run : ?seed:int64 -> ?random_per_scenario:int -> unit -> stats
+
+(** Zero violations and zero failed analyses. *)
+val ok : stats -> bool
+
+val pp_stats : Format.formatter -> stats -> unit
+val to_json : stats -> Wcet_diag.Json.t

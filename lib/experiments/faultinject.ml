@@ -1,0 +1,348 @@
+module Compile = Minic.Compile
+module Sim = Pred32_sim.Simulator
+module Analyzer = Wcet_core.Analyzer
+module Annot = Wcet_annot.Annot
+module Diag = Wcet_diag.Diag
+module Pcg = Wcet_util.Pcg
+module Program = Pred32_asm.Program
+module Image = Pred32_memory.Image
+module Region = Pred32_memory.Region
+module Memory_map = Pred32_memory.Memory_map
+
+let classify_exn = function
+  | Sys_error msg -> Some (Diag.make Diag.Error Diag.Frontend ~code:"E0101" msg)
+  | Minic.Lexer.Error (msg, loc) ->
+    Some
+      (Diag.make Diag.Error Diag.Frontend ~code:"E0102" ~loc:(Diag.at_line loc.Minic.Ast.line)
+         msg)
+  | Minic.Parser.Error (msg, loc) ->
+    Some
+      (Diag.make Diag.Error Diag.Frontend ~code:"E0103" ~loc:(Diag.at_line loc.Minic.Ast.line)
+         msg)
+  | Minic.Typecheck.Error (msg, loc) ->
+    Some
+      (Diag.make Diag.Error Diag.Frontend ~code:"E0104" ~loc:(Diag.at_line loc.Minic.Ast.line)
+         msg)
+  | Minic.Codegen.Error msg -> Some (Diag.make Diag.Error Diag.Frontend ~code:"E0105" msg)
+  | Pred32_asm.Assembler.Error msg ->
+    Some (Diag.make Diag.Error Diag.Frontend ~code:"E0106" msg)
+  | Pred32_asm.Asm_parser.Error (msg, line) ->
+    Some (Diag.make Diag.Error Diag.Frontend ~code:"E0107" ~loc:(Diag.at_line line) msg)
+  | Minic.Compile.Error msg -> Some (Diag.make Diag.Error Diag.Frontend ~code:"E0108" msg)
+  | Wcet_cfg.Func_cfg.Decode_error msg ->
+    Some (Diag.make Diag.Error Diag.Decode ~code:"E0201" msg)
+  | Wcet_cfg.Supergraph.Build_error msg ->
+    let code =
+      (* recursion without an annotated depth has its own code; everything
+         else the supergraph rejects is a reconstruction failure *)
+      let contains affix =
+        let al = String.length affix and ml = String.length msg in
+        let rec go i = i + al <= ml && (String.sub msg i al = affix || go (i + 1)) in
+        go 0
+      in
+      if contains "recursi" then "E0202" else "E0201"
+    in
+    Some (Diag.make Diag.Error Diag.Decode ~code msg)
+  | Analyzer.Analysis_failed ds -> (
+    match List.find_opt (fun d -> d.Diag.severity = Diag.Error) ds with
+    | Some d -> Some d
+    | None -> (
+      match ds with
+      | d :: _ -> Some d
+      | [] -> Some (Diag.make Diag.Error Diag.Internal ~code:"E0901" "empty failure payload")))
+  | Image.Bus_error addr ->
+    Some
+      (Diag.makef Diag.Error Diag.Simulation ~code:"E0603" "bus error: unmapped or unaligned \
+                                                            access at 0x%x" addr)
+  | Image.Write_to_rom addr ->
+    Some (Diag.makef Diag.Error Diag.Simulation ~code:"E0603" "write to ROM at 0x%x" addr)
+  | _ -> None
+
+type outcome =
+  | Ran_complete
+  | Ran_partial
+  | Rejected of Diag.t
+  | Crashed of string
+
+type trial = { family : string; index : int; outcome : outcome }
+
+type campaign = {
+  trials : trial list;
+  complete : int;
+  partial : int;
+  rejected : int;
+  crashed : int;
+}
+
+let guard f =
+  match f () with
+  | outcome -> outcome
+  | exception e -> (
+    match classify_exn e with
+    | Some d -> Rejected d
+    | None -> Crashed (Printexc.to_string e))
+
+let sim_fuel = 200_000
+
+(* Analyze a linked mutant and briefly simulate it; the simulator returns
+   faults as values ([Faulted]), which is graceful by definition — only
+   escaped exceptions count as crashes. *)
+let drive_program ?(annot = Annot.empty) program =
+  let report = Analyzer.analyze ~annot program in
+  ignore (Sim.run ~fuel:sim_fuel (Sim.create Pred32_hw.Hw_config.default program));
+  match report.Analyzer.verdict with
+  | Analyzer.Complete -> Ran_complete
+  | Analyzer.Partial -> Ran_partial
+
+(* --- mutation operators ------------------------------------------------ *)
+
+let random_char rng = Char.chr (32 + Pcg.next_int rng 95)
+
+let mutate_text rng s =
+  let n = String.length s in
+  if n = 0 then String.make 1 (random_char rng)
+  else
+    match Pcg.next_int rng 5 with
+    | 0 -> String.sub s 0 (Pcg.next_int rng n) (* truncate *)
+    | 1 ->
+      let b = Bytes.of_string s in
+      Bytes.set b (Pcg.next_int rng n) (random_char rng);
+      Bytes.to_string b
+    | 2 ->
+      let i = Pcg.next_int rng (n + 1) in
+      String.sub s 0 i ^ String.make 1 (random_char rng) ^ String.sub s i (n - i)
+    | 3 ->
+      let i = Pcg.next_int rng n in
+      String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+    | _ ->
+      let b = Bytes.of_string s in
+      let i = Pcg.next_int rng n and j = Pcg.next_int rng n in
+      let ci = Bytes.get b i in
+      Bytes.set b i (Bytes.get b j);
+      Bytes.set b j ci;
+      Bytes.to_string b
+
+(* Stack a few mutations so mutants drift further from well-formed input. *)
+let mutate_text_n rng s =
+  let rec go s k = if k = 0 then s else go (mutate_text rng s) (k - 1) in
+  go s (1 + Pcg.next_int rng 3)
+
+(* --- seed inputs ------------------------------------------------------- *)
+
+let minic_seeds =
+  [
+    Harness.quickstart_source;
+    "int n; int main() { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } \
+     return s; }";
+    "int buf[8]; int main() { int i; for (i = 0; i < 8; i = i + 1) { buf[i] = i * i; } return \
+     buf[7]; }";
+  ]
+
+let asm_seed =
+  ".func main\n\
+  \  li r2, 5\n\
+  \  li r1, 0\n\
+   loop:\n\
+  \  add r1, r1, r2\n\
+  \  subi r2, r2, 1\n\
+  \  bne r2, r0, loop\n\
+  \  ret\n\
+   .data value ram\n\
+  \  .word 7\n"
+
+let annot_seed =
+  "# quickstart annotations\n\
+   assume sensor in [0, 200]\n\
+   loop in main bound 4\n\
+   maxcount filter <= 4\n"
+
+(* Well-formed but wrong: unknown names, contradictions, absurd values.
+   These must parse (or fail with E0404) and then degrade or fail with
+   structured analysis diagnostics — never crash. *)
+let adversarial_annots =
+  [
+    "calltargets at 0x40 = no_such_function";
+    "assume no_such_symbol in [0, 1]";
+    "memory main = no_such_region";
+    "maxcount no_such_function <= 3";
+    "loop in no_such_function bound 9";
+    "maxcount main <= 0\nmaxcount main <= 5";
+    "recursion main depth 1000000";
+    "loop in main bound 0";
+    "assume sensor in [200, 0]";
+    "setjmp auto\nsetjmp auto";
+  ]
+
+(* --- trial families ---------------------------------------------------- *)
+
+let minic_trial rng i =
+  let seed = List.nth minic_seeds (i mod List.length minic_seeds) in
+  let source = mutate_text_n rng seed in
+  guard (fun () -> drive_program (Compile.compile source))
+
+let asm_trial rng _i =
+  let text = mutate_text_n rng asm_seed in
+  guard (fun () ->
+      drive_program (Pred32_asm.Assembler.link (Pred32_asm.Asm_parser.parse text)))
+
+let annot_trial rng i =
+  let n_adv = List.length adversarial_annots in
+  let text =
+    if i < n_adv then List.nth adversarial_annots i else mutate_text_n rng annot_seed
+  in
+  guard (fun () ->
+      let program = Compile.compile Harness.quickstart_source in
+      match Annot.parse text with
+      | Error msg -> Rejected (Diag.make Diag.Error Diag.Annot ~code:"E0404" msg)
+      | Ok annot -> drive_program ~annot program)
+
+let binary_trial rng i =
+  guard (fun () ->
+      let program =
+        Compile.compile (List.nth minic_seeds (i mod List.length minic_seeds))
+      in
+      let image = Image.copy program.Program.image in
+      let text_words = (program.Program.text_limit - program.Program.text_base) / 4 in
+      if i mod 4 = 3 then begin
+        (* truncation: wipe the tail of the text segment *)
+        let keep = Pcg.next_int rng text_words in
+        Image.load_words image
+          ~base:(program.Program.text_base + (4 * keep))
+          (Array.make (text_words - keep) 0)
+      end
+      else
+        (* corrupt a few instruction words *)
+        for _ = 0 to Pcg.next_int rng 4 do
+          let w = Pcg.next_int rng text_words in
+          Image.load_words image
+            ~base:(program.Program.text_base + (4 * w))
+            [| Pcg.next_uint32_int rng |]
+        done;
+      drive_program { program with Program.image })
+
+let bad_maps () =
+  let r = Region.make in
+  [
+    ( "tiny-rom",
+      Memory_map.make
+        [
+          r ~name:"rom" ~kind:Region.Rom ~base:0 ~size:256 ~read_latency:2 ~write_latency:2
+            ~cacheable:true ~writable:false;
+          r ~name:"ram" ~kind:Region.Ram ~base:0x10000000 ~size:0x100000 ~read_latency:6
+            ~write_latency:6 ~cacheable:true ~writable:true;
+        ] );
+    ( "tiny-ram",
+      Memory_map.make
+        [
+          r ~name:"rom" ~kind:Region.Rom ~base:0 ~size:0x40000 ~read_latency:2
+            ~write_latency:2 ~cacheable:true ~writable:false;
+          r ~name:"ram" ~kind:Region.Ram ~base:0x10000000 ~size:64 ~read_latency:6
+            ~write_latency:6 ~cacheable:true ~writable:true;
+        ] );
+    ( "readonly-ram",
+      Memory_map.make
+        [
+          r ~name:"rom" ~kind:Region.Rom ~base:0 ~size:0x40000 ~read_latency:2
+            ~write_latency:2 ~cacheable:true ~writable:false;
+          r ~name:"ram" ~kind:Region.Ram ~base:0x10000000 ~size:0x100000 ~read_latency:6
+            ~write_latency:6 ~cacheable:true ~writable:false;
+        ] );
+    ( "glacial-io-only-ram",
+      Memory_map.make
+        [
+          r ~name:"rom" ~kind:Region.Rom ~base:0 ~size:0x40000 ~read_latency:2
+            ~write_latency:2 ~cacheable:true ~writable:false;
+          r ~name:"ram" ~kind:Region.Io ~base:0x10000000 ~size:0x100000 ~read_latency:500
+            ~write_latency:500 ~cacheable:false ~writable:true;
+        ] );
+  ]
+
+let memmap_trial (name, map) =
+  ignore name;
+  guard (fun () -> drive_program (Compile.compile ~map Harness.quickstart_source))
+
+(* --- campaign ---------------------------------------------------------- *)
+
+let run ?(seed = 20110318L) ?(minic = 120) ?(annots = 60) ?(asm = 30) ?(binary = 24)
+    ?(memmap = true) () =
+  let rng = Pcg.create ~seed () in
+  let trials = ref [] in
+  let emit family index outcome = trials := { family; index; outcome } :: !trials in
+  for i = 0 to minic - 1 do
+    emit "minic" i (minic_trial rng i)
+  done;
+  for i = 0 to annots - 1 do
+    emit "annot" i (annot_trial rng i)
+  done;
+  for i = 0 to asm - 1 do
+    emit "asm" i (asm_trial rng i)
+  done;
+  for i = 0 to binary - 1 do
+    emit "binary" i (binary_trial rng i)
+  done;
+  if memmap then
+    List.iteri (fun i m -> emit "memmap" i (memmap_trial m)) (bad_maps ());
+  let trials = List.rev !trials in
+  let count p = List.length (List.filter p trials) in
+  {
+    trials;
+    complete = count (fun t -> t.outcome = Ran_complete);
+    partial = count (fun t -> t.outcome = Ran_partial);
+    rejected = count (fun t -> match t.outcome with Rejected _ -> true | _ -> false);
+    crashed = count (fun t -> match t.outcome with Crashed _ -> true | _ -> false);
+  }
+
+let ok c = c.crashed = 0
+
+let rejection_histogram c =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      match t.outcome with
+      | Rejected d ->
+        Hashtbl.replace tbl d.Diag.code (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.Diag.code))
+      | _ -> ())
+    c.trials;
+  Hashtbl.fold (fun code n acc -> (code, n) :: acc) tbl [] |> List.sort compare
+
+let pp_campaign ppf c =
+  Format.fprintf ppf
+    "@[<v>fault injection: %d trials — %d complete, %d partial, %d rejected, %d crashed@,"
+    (List.length c.trials) c.complete c.partial c.rejected c.crashed;
+  List.iter
+    (fun (code, n) ->
+      Format.fprintf ppf "  %s (%s): %d@," code
+        (Option.value ~default:"?" (Diag.describe code))
+        n)
+    (rejection_histogram c);
+  List.iter
+    (fun t ->
+      match t.outcome with
+      | Crashed msg -> Format.fprintf ppf "CRASH %s/%d: %s@," t.family t.index msg
+      | _ -> ())
+    c.trials;
+  Format.fprintf ppf "verdict: %s@]" (if ok c then "OK" else "FAILED")
+
+let to_json c =
+  let open Wcet_diag.Json in
+  Obj
+    [
+      ("trials", Int (List.length c.trials));
+      ("complete", Int c.complete);
+      ("partial", Int c.partial);
+      ("rejected", Int c.rejected);
+      ("crashed", Int c.crashed);
+      ( "rejections",
+        Obj (List.map (fun (code, n) -> (code, Int n)) (rejection_histogram c)) );
+      ( "crashes",
+        List
+          (List.filter_map
+             (fun t ->
+               match t.outcome with
+               | Crashed msg ->
+                 Some (Obj [ ("family", String t.family); ("index", Int t.index);
+                             ("detail", String msg) ])
+               | _ -> None)
+             c.trials) );
+      ("ok", Bool (ok c));
+    ]

@@ -1,0 +1,63 @@
+(** Fault-injection robustness harness: the toolchain must never crash on
+    malformed input — every failure is a structured {!Wcet_diag.Diag.t}
+    with a stable code.
+
+    {!classify_exn} is the single mapping from the toolchain's documented
+    exception families to diagnostics; [bin/wcet_tool]'s top-level handler
+    and this campaign share it, so "handled gracefully" means the same
+    thing in production and under test. Deliberately generic exceptions
+    ([Failure], [Invalid_argument], [Not_found], assertion failures) are
+    {e not} classified: letting them through is exactly the bug the
+    campaign exists to catch.
+
+    The campaign mutates inputs along five axes — MiniC source text,
+    assembly text, linked binary images (corrupted instruction words,
+    truncated code), annotation text (including well-formed but bogus or
+    contradictory annotations), and memory maps — and drives each mutant
+    through compile/analyze/simulate under a fuel cap. Everything is
+    seeded PCG32: a campaign is reproducible from its seed. *)
+
+(** [classify_exn e] is the structured diagnostic for a documented,
+    expected failure, or [None] for anything that should count as a
+    crash. *)
+val classify_exn : exn -> Wcet_diag.Diag.t option
+
+type outcome =
+  | Ran_complete  (** mutant compiled and analyzed to a complete bound *)
+  | Ran_partial  (** analyzed with holes (partial bound) *)
+  | Rejected of Wcet_diag.Diag.t  (** failed with a structured diagnostic *)
+  | Crashed of string  (** escaped exception — a robustness bug *)
+
+type trial = { family : string; index : int; outcome : outcome }
+
+type campaign = {
+  trials : trial list;
+  complete : int;
+  partial : int;
+  rejected : int;
+  crashed : int;
+}
+
+(** Crash-free. *)
+val ok : campaign -> bool
+
+(** [(code, count)] histogram over the rejected trials. *)
+val rejection_histogram : campaign -> (string * int) list
+
+(** [run ?seed ?minic ?annots ?asm ?binary ?memmap ()] runs the campaign:
+    [minic] source-text mutants (default 120), [annots] annotation mutants
+    (default 60), [asm] assembly-text mutants (default 30), [binary]
+    corrupted/truncated images (default 24), plus the fixed bad-memory-map
+    suite ([memmap] defaults true). Defaults total 240+ trials. *)
+val run :
+  ?seed:int64 ->
+  ?minic:int ->
+  ?annots:int ->
+  ?asm:int ->
+  ?binary:int ->
+  ?memmap:bool ->
+  unit ->
+  campaign
+
+val pp_campaign : Format.formatter -> campaign -> unit
+val to_json : campaign -> Wcet_diag.Json.t

@@ -4,8 +4,18 @@ module Sim = Pred32_sim.Simulator
 module Analyzer = Wcet_core.Analyzer
 module Annot = Wcet_annot.Annot
 module Ldivmod = Softarith.Ldivmod
+module Diag = Wcet_diag.Diag
 
-type verdict = Bound of int | Fails of string
+type verdict =
+  | Bound of int
+  | Partial of int * Diag.t list
+  | Fails of Diag.t list
+
+(* Render-time truncation only: verdicts store the full diagnostics so
+   nothing is lost before the caller decides how much to show. *)
+let shorten msg =
+  let msg = String.map (fun c -> if c = '\n' then ' ' else c) msg in
+  if String.length msg > 60 then String.sub msg 0 57 ^ "..." else msg
 
 type run = {
   entry_id : string;
@@ -17,15 +27,15 @@ type run = {
   misra_violations : int;
 }
 
-let shorten msg =
-  let msg = String.map (fun c -> if c = '\n' then ' ' else c) msg in
-  if String.length msg > 60 then String.sub msg 0 57 ^ "..." else msg
-
 let try_bound ~hw ~annot program =
   match Analyzer.analyze ~hw ~annot program with
-  | report -> Bound report.Analyzer.wcet
-  | exception Analyzer.Analysis_error msg -> Fails (shorten msg)
-  | exception Wcet_cfg.Supergraph.Build_error msg -> Fails (shorten msg)
+  | report -> (
+    match report.Analyzer.verdict with
+    | Analyzer.Complete -> Bound report.Analyzer.wcet
+    | Analyzer.Partial -> Partial (report.Analyzer.wcet, report.Analyzer.diagnostics))
+  | exception Analyzer.Analysis_failed ds -> Fails ds
+  | exception Wcet_cfg.Supergraph.Build_error msg ->
+    Fails [ Diag.make Diag.Error Diag.Decode ~code:"E0201" msg ]
 
 let run_scenario ~id ~variant (s : Corpus.scenario) =
   let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
@@ -42,12 +52,14 @@ let run_scenario ~id ~variant (s : Corpus.scenario) =
         max acc (Sim.halted_cycles (Sim.run sim)))
       0 s.Corpus.inputs
   in
+  (* A partial bound is conditional on its holes, so only a complete bound
+     is checked against the simulated executions. *)
   (match assisted with
   | Bound b when observed > b ->
     failwith
       (Printf.sprintf "%s/%s: observed %d cycles exceeds the bound %d — unsound!" id variant
          observed b)
-  | Bound _ | Fails _ -> ());
+  | Bound _ | Partial _ | Fails _ -> ());
   let misra_violations =
     (* count findings in the user's functions, not the linked runtime *)
     Misra.Checker.check (Compile.frontend_with_runtime ~options:s.Corpus.options s.Corpus.source)
@@ -72,11 +84,14 @@ let run_entry (e : Corpus.entry) =
 let ratio run =
   match run.assisted with
   | Bound b when run.observed > 0 -> Some (float_of_int b /. float_of_int run.observed)
-  | Bound _ | Fails _ -> None
+  | Bound _ | Partial _ | Fails _ -> None
 
 let verdict_str = function
   | Bound b -> string_of_int b
+  | Partial (b, _) -> Printf.sprintf "partial %d" b
   | Fails _ -> "needs-annotation"
+
+let verdict_diags = function Bound _ -> [] | Partial (_, ds) | Fails ds -> ds
 
 let pp_row ppf run =
   let ratio_str =
@@ -107,6 +122,25 @@ let table_of ?domains entries ppf title =
     (fun (c, v) ->
       pp_row ppf c;
       pp_row ppf v)
+    runs;
+  Format.fprintf ppf "@,";
+  (* Diagnostics behind every partial / needs-annotation cell, one line
+     each (truncated here, at render time only). *)
+  List.iter
+    (fun (c, v) ->
+      List.iter
+        (fun run ->
+          let seen = Hashtbl.create 4 in
+          List.iter
+            (fun d ->
+              let key = (d.Diag.code, d.Diag.message) in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                Format.fprintf ppf "%s/%s: [%s] %s@," run.entry_id run.variant d.Diag.code
+                  (shorten d.Diag.message)
+              end)
+            (verdict_diags run.automatic @ verdict_diags run.assisted))
+        [ c; v ])
     runs;
   Format.fprintf ppf "@,";
   List.iter

@@ -4,8 +4,12 @@
     paper-vs-measured record). *)
 
 type verdict =
-  | Bound of int  (** analysis succeeded with this WCET bound (cycles) *)
-  | Fails of string  (** analysis failed; why (abbreviated) *)
+  | Bound of int  (** complete analysis with this WCET bound (cycles) *)
+  | Partial of int * Wcet_diag.Diag.t list
+      (** conditional bound: analysis holes remain; full diagnostics kept *)
+  | Fails of Wcet_diag.Diag.t list
+      (** analysis failed; the full structured diagnostics (truncation, if
+          any, happens at render time only) *)
 
 type run = {
   entry_id : string;

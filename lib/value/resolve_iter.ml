@@ -6,33 +6,52 @@ module Program = Pred32_asm.Program
 
 let max_rounds = 4
 
+(* One decode/value-analysis feedback step: run the value analysis on a graph
+   with unresolved indirect calls and read off every call-target register
+   that the analysis pins to a constant function entry. *)
+let learn_targets ~assumes program (graph : Supergraph.t) =
+  let loops = Loops.analyze graph in
+  let result = Analysis.run ~assumes graph loops in
+  List.filter_map
+    (fun (nid, site) ->
+      let node = graph.Supergraph.nodes.(nid) in
+      match node.Supergraph.block.Func_cfg.term with
+      | Func_cfg.Term_call_indirect { reg; _ } -> (
+        match Aval.singleton (Analysis.reg_at_exit result nid reg) with
+        | Some addr
+          when List.exists
+                 (fun (f : Program.func_info) -> f.Program.entry = addr)
+                 program.Program.functions ->
+          Some (site, [ addr ])
+        | Some _ | None -> None)
+      | _ -> None)
+    graph.Supergraph.unresolved_calls
+
 let build ?resolver ?(assumes = []) program =
   let base = match resolver with Some r -> r | None -> Resolver.auto program in
   let rec round resolver n =
     let graph = Supergraph.build ~allow_unresolved:(n > 0) ~resolver program in
     if graph.Supergraph.unresolved_calls = [] then graph
     else begin
-      let loops = Loops.analyze graph in
-      let result = Analysis.run ~assumes graph loops in
-      let learned =
-        List.filter_map
-          (fun (nid, site) ->
-            let node = graph.Supergraph.nodes.(nid) in
-            match node.Supergraph.block.Func_cfg.term with
-            | Func_cfg.Term_call_indirect { reg; _ } -> (
-              match Aval.singleton (Analysis.reg_at_exit result nid reg) with
-              | Some addr
-                when List.exists
-                       (fun (f : Program.func_info) -> f.Program.entry = addr)
-                       program.Program.functions ->
-                Some (site, [ addr ])
-              | Some _ | None -> None)
-            | _ -> None)
-          graph.Supergraph.unresolved_calls
-      in
+      let learned = learn_targets ~assumes program graph in
       if learned = [] then
         (* Nothing new: rebuild strictly so the error names the site. *)
         Supergraph.build ~resolver program
+      else round (Resolver.with_overrides ~call_targets:learned resolver) (n - 1)
+    end
+  in
+  round base max_rounds
+
+let build_graceful ?resolver ?(assumes = []) program =
+  let base = match resolver with Some r -> r | None -> Resolver.auto program in
+  let rec round resolver n =
+    let graph = Supergraph.build ~degrade:true ~resolver program in
+    if graph.Supergraph.unresolved_calls = [] || n = 0 then graph
+    else begin
+      let learned = learn_targets ~assumes program graph in
+      (* Nothing new to learn: keep the degraded graph — remaining
+         unresolved calls are analysis holes the analyzer reports. *)
+      if learned = [] then graph
       else round (Resolver.with_overrides ~call_targets:learned resolver) (n - 1)
     end
   in

@@ -17,3 +17,18 @@ val build :
   ?assumes:(int * Aval.t) list ->
   Pred32_asm.Program.t ->
   Wcet_cfg.Supergraph.t
+
+(** [build_graceful ?resolver ?assumes program] is {!build} in
+    graceful-degradation mode: after the resolution rounds, indirect calls
+    that remain unresolved become analysis holes (fall-through edges past
+    the call, recorded in the graph's [unresolved_calls]) and unresolvable
+    indirect jumps become dead ends ([unresolved_jumps]) instead of raising.
+    The caller is expected to report every remaining hole as a diagnostic
+    and mark the resulting WCET partial. Still raises
+    {!Wcet_cfg.Supergraph.Build_error} on fatal problems (undecodable code,
+    unannotated recursion, context explosion). *)
+val build_graceful :
+  ?resolver:Wcet_cfg.Resolver.t ->
+  ?assumes:(int * Aval.t) list ->
+  Pred32_asm.Program.t ->
+  Wcet_cfg.Supergraph.t

@@ -13,10 +13,15 @@ module Cache_analysis = Wcet_cache.Cache_analysis
 module Block_timing = Wcet_pipeline.Block_timing
 module Ipet = Wcet_ipet.Ipet
 module Annot = Wcet_annot.Annot
+module Diag = Wcet_diag.Diag
 
-exception Analysis_error of string
+exception Analysis_failed of Diag.t list
 
-let error fmt = Format.kasprintf (fun s -> raise (Analysis_error s)) fmt
+let () =
+  Printexc.register_printer (function
+    | Analysis_failed ds ->
+      Some (Format.asprintf "Analysis_failed:@,%a" Diag.pp_list ds)
+    | _ -> None)
 
 type phase = Decode | Loop_value | Cache | Pipeline | Path
 
@@ -26,6 +31,14 @@ let phase_name = function
   | Cache -> "cache analysis"
   | Pipeline -> "pipeline analysis"
   | Path -> "path analysis (IPET)"
+
+type confidence = Complete | Partial
+
+type hole =
+  | Hole_call of { site : int; func : string }
+  | Hole_jump of { site : int; func : string }
+  | Hole_loop of { header : int; func : string; reason : string }
+  | Hole_irreducible of { blocks : int list; func : string }
 
 type report = {
   program : Program.t;
@@ -41,6 +54,9 @@ type report = {
   solution : Ipet.solution;
   wcet : int;
   bcet : int;
+  verdict : confidence;
+  holes : hole list;
+  diagnostics : Diag.t list;
   phase_seconds : (phase * float) list;
 }
 
@@ -51,20 +67,39 @@ let timed phases phase f =
   phases := (phase, dt) :: !phases;
   result
 
-(* Translate the annotation set into a resolver. *)
-let resolver_of_annot program (annot : Annot.t) =
+(* A fatal problem: record the diagnostic and abort with everything
+   collected so far. *)
+let fatal c phase ~code ?loc ?hint fmt =
+  Format.kasprintf
+    (fun message ->
+      Diag.add c (Diag.make ?hint ?loc Diag.Error phase ~code message);
+      raise (Analysis_failed (Diag.items c)))
+    fmt
+
+let warn c phase ~code ?loc ?hint fmt =
+  Format.kasprintf
+    (fun message -> Diag.add c (Diag.make ?hint ?loc Diag.Warning phase ~code message))
+    fmt
+
+(* Translate the annotation set into a resolver. Unknown function names are
+   degraded to warnings: the offending target is dropped (the call site then
+   either resolves from the remaining names or becomes an analysis hole). *)
+let resolver_of_annot c program (annot : Annot.t) =
   let call_targets =
-    List.map
+    List.filter_map
       (fun (site, names) ->
         let addrs =
-          List.map
+          List.filter_map
             (fun name ->
               match Program.find_function program name with
-              | Some f -> f.Program.entry
-              | None -> error "calltargets annotation: unknown function %s" name)
+              | Some f -> Some f.Program.entry
+              | None ->
+                warn c Diag.Annot ~code:"W0401" ~loc:(Diag.at_addr site)
+                  "calltargets annotation names unknown function %s (ignored)" name;
+                None)
             names
         in
-        (site, addrs))
+        if addrs = [] then None else Some (site, addrs))
       annot.Annot.call_targets
   in
   let jump_targets =
@@ -91,13 +126,16 @@ let resolver_of_annot program (annot : Annot.t) =
           | None -> if continuations = [] then None else Some continuations);
     }
 
-let assumes_of_annot program (annot : Annot.t) =
+let assumes_of_annot c program (annot : Annot.t) =
   let user =
-    List.map
+    List.filter_map
       (fun (sym, lo, hi) ->
         match Program.symbol_opt program sym with
-        | Some addr -> (addr, Aval.interval lo hi)
-        | None -> error "assume annotation: unknown symbol %s" sym)
+        | Some addr -> Some (addr, Aval.interval lo hi)
+        | None ->
+          warn c Diag.Annot ~code:"W0402" "assume annotation names unknown symbol %s (ignored)"
+            sym;
+          None)
       annot.Annot.assumes
   in
   (* Compiler-runtime invariant: the heap bump pointer starts at its linked
@@ -112,21 +150,27 @@ let assumes_of_annot program (annot : Annot.t) =
   in
   runtime @ user
 
-let region_hints_of_annot program (annot : Annot.t) func =
+let region_hints_of_annot c program (annot : Annot.t) func =
   match List.assoc_opt func annot.Annot.memory_regions with
   | None -> None
-  | Some names ->
-    Some
-      (List.map
-         (fun name ->
-           match Memory_map.find_by_name program.Program.map name with
-           | Some r -> r
-           | None -> error "memory annotation: unknown region %s" name)
-         names)
+  | Some names -> (
+    match
+      List.filter_map
+        (fun name ->
+          match Memory_map.find_by_name program.Program.map name with
+          | Some r -> Some r
+          | None ->
+            warn c Diag.Annot ~code:"W0403" ~loc:(Diag.in_func func)
+              "memory annotation names unknown region %s (ignored)" name;
+            None)
+        names
+    with
+    | [] -> None
+    | rs -> Some rs)
 
 (* Nodes matching a place: block entries at an address, or entry blocks of a
    function (any context). *)
-let nodes_of_place (graph : Supergraph.t) program place =
+let nodes_of_place c (graph : Supergraph.t) program place =
   match place with
   | Annot.At_addr addr ->
     Array.to_list graph.Supergraph.nodes
@@ -134,7 +178,10 @@ let nodes_of_place (graph : Supergraph.t) program place =
            if n.Supergraph.block.Func_cfg.entry = addr then Some n.Supergraph.id else None)
   | Annot.In_function name -> (
     match Program.find_function program name with
-    | None -> error "annotation refers to unknown function %s" name
+    | None ->
+      warn c Diag.Annot ~code:"W0401" "flow-fact annotation names unknown function %s (ignored)"
+        name;
+      []
     | Some f ->
       Array.to_list graph.Supergraph.nodes
       |> List.filter_map (fun (n : Supergraph.node) ->
@@ -149,28 +196,31 @@ let loop_matches_place (graph : Supergraph.t) program (loops : Loops.info) li pl
     ignore program;
     header.Supergraph.func = name
 
-let facts_of_annot graph program (annot : Annot.t) =
-  List.map
+let facts_of_annot c graph program (annot : Annot.t) =
+  List.filter_map
     (fun fact ->
       match fact with
-      | Annot.Max_count (place, bound) ->
-        {
-          Ipet.fact_coeffs = List.map (fun n -> (n, 1)) (nodes_of_place graph program place);
-          fact_bound = bound;
-          fact_label =
-            (match place with
-            | Annot.At_addr a -> Printf.sprintf "maxcount at 0x%x" a
-            | Annot.In_function f -> Printf.sprintf "maxcount %s" f);
-        }
-      | Annot.Exclusive places ->
-        {
-          Ipet.fact_coeffs =
-            List.concat_map
-              (fun p -> List.map (fun n -> (n, 1)) (nodes_of_place graph program p))
-              places;
-          fact_bound = 1;
-          fact_label = "exclusive paths";
-        })
+      | Annot.Max_count (place, bound) -> (
+        match nodes_of_place c graph program place with
+        | [] -> None
+        | nodes ->
+          Some
+            {
+              Ipet.fact_coeffs = List.map (fun n -> (n, 1)) nodes;
+              fact_bound = bound;
+              fact_label =
+                (match place with
+                | Annot.At_addr a -> Printf.sprintf "maxcount at 0x%x" a
+                | Annot.In_function f -> Printf.sprintf "maxcount %s" f);
+            })
+      | Annot.Exclusive places -> (
+        match
+          List.concat_map
+            (fun p -> List.map (fun n -> (n, 1)) (nodes_of_place c graph program p))
+            places
+        with
+        | [] -> None
+        | coeffs -> Some { Ipet.fact_coeffs = coeffs; fact_bound = 1; fact_label = "exclusive paths" }))
     annot.Annot.flow_facts
 
 (* Best-case bound: the shortest feasible walk from entry to a halting
@@ -209,21 +259,82 @@ let best_case_bound (value : Analysis.result) (timing : Block_timing.t) =
   done;
   if !best = max_int then 0 else !best
 
+let build_error_code msg =
+  let contains affix =
+    let al = String.length affix and ml = String.length msg in
+    let rec go i = i + al <= ml && (String.sub msg i al = affix || go (i + 1)) in
+    go 0
+  in
+  if contains "recursi" then
+    ("E0202", Some "recursion <function> depth <n>")
+  else ("E0201", None)
+
+(* Pre-validate loop-bound annotation places so a bogus function name in a
+   loop annotation surfaces as a diagnostic instead of silently never
+   matching. *)
+let validate_loop_places c program (annot : Annot.t) =
+  List.iter
+    (fun (place, _) ->
+      match place with
+      | Annot.In_function name ->
+        if Program.find_function program name = None then
+          warn c Diag.Annot ~code:"W0401"
+            "loop-bound annotation names unknown function %s (ignored)" name
+      | Annot.At_addr _ -> ())
+    annot.Annot.loop_bounds
+
 let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
     ?(strategy = Wcet_util.Fixpoint.Rpo) program =
+  let c = Diag.collector () in
   let phases = ref [] in
-  let resolver = resolver_of_annot program annot in
-  let assumes = assumes_of_annot program annot in
+  let holes = ref [] in
+  let resolver = resolver_of_annot c program annot in
+  let assumes = assumes_of_annot c program annot in
+  validate_loop_places c program annot;
   let graph =
     timed phases Decode (fun () ->
-        try Resolve_iter.build ~resolver ~assumes program
-        with Supergraph.Build_error msg -> error "%s: %s" (phase_name Decode) msg)
+        try Resolve_iter.build_graceful ~resolver ~assumes program
+        with Supergraph.Build_error msg ->
+          let code, hint = build_error_code msg in
+          fatal c Diag.Decode ~code ?hint "%s: %s" (phase_name Decode) msg)
   in
+  (* Remaining unresolved indirect control flow: analysis holes, one
+     diagnostic per distinct site. *)
+  let seen_sites = Hashtbl.create 4 in
+  List.iter
+    (fun (nid, site) ->
+      if not (Hashtbl.mem seen_sites site) then begin
+        Hashtbl.add seen_sites site ();
+        let func = graph.Supergraph.nodes.(nid).Supergraph.func in
+        holes := Hole_call { site; func } :: !holes;
+        warn c Diag.Decode ~code:"W0301"
+          ~loc:(Diag.at_addr ~func site)
+          ~hint:(Printf.sprintf "calltargets at 0x%x = <function>, <function>" site)
+          "indirect call cannot be resolved; the callee is excluded from the bound"
+      end)
+    graph.Supergraph.unresolved_calls;
+  List.iter
+    (fun site ->
+      let func =
+        match Program.function_at program site with
+        | Some f -> f.Program.name
+        | None -> "?"
+      in
+      holes := Hole_jump { site; func } :: !holes;
+      warn c Diag.Decode ~code:"W0304"
+        ~loc:(Diag.at_addr ~func site)
+        ~hint:"setjmp auto   # if the jump implements longjmp"
+        "indirect jump cannot be resolved; execution beyond it is excluded from the bound")
+    graph.Supergraph.unresolved_jumps;
   let loops = Loops.analyze graph in
   let value, derived_bounds =
     timed phases Loop_value (fun () ->
-        let value = Analysis.run ~strategy ~assumes graph loops in
-        (value, Loop_bounds.analyze value loops))
+        match
+          let value = Analysis.run ~strategy ~assumes graph loops in
+          (value, Loop_bounds.analyze value loops)
+        with
+        | result -> result
+        | exception Failure msg -> fatal c Diag.Loop_value ~code:"E0203" "%s" msg)
   in
   (* Overlay annotation loop bounds on the derived verdicts. *)
   let effective_bounds = ref [] in
@@ -243,12 +354,64 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
       | Loop_bounds.Unbounded _, Some a -> effective_bounds := (li, a) :: !effective_bounds
       | Loop_bounds.Unbounded reason, None ->
         (* Loops of unreachable code are irrelevant. *)
-        if Analysis.reachable value loops.Loops.loops.(li).Loops.header then
-          unbounded_loops := (li, reason) :: !unbounded_loops)
+        if Analysis.reachable value loops.Loops.loops.(li).Loops.header then begin
+          unbounded_loops := (li, reason) :: !unbounded_loops;
+          (* Degrade: exclude the loop's iterations (back-edge count 0) so
+             every other function still gets a bound; the result is partial. *)
+          effective_bounds := (li, 0) :: !effective_bounds;
+          let hn = graph.Supergraph.nodes.(loops.Loops.loops.(li).Loops.header) in
+          let header = hn.Supergraph.block.Func_cfg.entry in
+          let func = hn.Supergraph.func in
+          holes := Hole_loop { header; func; reason } :: !holes;
+          warn c Diag.Loop_value ~code:"W0302"
+            ~loc:(Diag.at_addr ~func header)
+            ~hint:(Printf.sprintf "loop at 0x%x bound <N>" header)
+            "loop cannot be bounded automatically (%s); iterations beyond the first are \
+             excluded from the bound"
+            reason
+        end)
     derived_bounds.Loop_bounds.per_loop;
+  let facts = facts_of_annot c graph program annot in
+  (* Irreducible regions without user flow facts: degrade to one pass per
+     block so the path problem stays bounded; report the hole. *)
+  let user_fact_nodes =
+    List.concat_map (fun f -> List.map fst f.Ipet.fact_coeffs) facts
+  in
+  let synthetic_facts =
+    List.concat_map
+      (fun scc ->
+        if List.exists (fun n -> List.mem n user_fact_nodes) scc then []
+        else begin
+          let func = graph.Supergraph.nodes.(List.hd scc).Supergraph.func in
+          let blocks =
+            List.sort_uniq compare
+              (List.map
+                 (fun n -> graph.Supergraph.nodes.(n).Supergraph.block.Func_cfg.entry)
+                 scc)
+          in
+          holes := Hole_irreducible { blocks; func } :: !holes;
+          warn c Diag.Loop_value ~code:"W0303"
+            ~loc:(Diag.at_addr ~func (List.hd blocks))
+            ~hint:
+              (String.concat "\n"
+                 (List.map (fun a -> Printf.sprintf "maxcount at 0x%x <= <N>" a) blocks))
+            "irreducible region (%d blocks) has no automatic bound; limited to one pass per \
+             block in the bound"
+            (List.length scc);
+          List.map
+            (fun n ->
+              {
+                Ipet.fact_coeffs = [ (n, 1) ];
+                fact_bound = 1;
+                fact_label = "degradation: irreducible region";
+              })
+            scc
+        end)
+      loops.Loops.irreducible
+  in
   let cache =
     timed phases Cache (fun () ->
-        Cache_analysis.run ~strategy hw value ~region_hints:(region_hints_of_annot program annot))
+        Cache_analysis.run ~strategy hw value ~region_hints:(region_hints_of_annot c program annot))
   in
   let persistence =
     timed phases Cache (fun () -> Wcet_cache.Persistence.compute hw value loops cache)
@@ -256,7 +419,6 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
   let timing =
     timed phases Pipeline (fun () -> Block_timing.compute hw value cache ~persistence)
   in
-  let facts = facts_of_annot graph program annot in
   let solution =
     timed phases Path (fun () ->
         match
@@ -265,22 +427,19 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
               Ipet.value;
               times = timing.Block_timing.wcet;
               loop_bounds = !effective_bounds;
-              facts;
+              facts = facts @ synthetic_facts;
             }
             loops
         with
         | Ok s -> s
         | Error msg ->
-          let detail =
-            !unbounded_loops
-            |> List.map (fun (li, reason) ->
-                   let hn = graph.Supergraph.nodes.(loops.Loops.loops.(li).Loops.header) in
-                   Format.asprintf "  loop at 0x%x in %s: %s"
-                     hn.Supergraph.block.Func_cfg.entry hn.Supergraph.func reason)
-            |> String.concat "\n"
+          let code =
+            let is_infeasible =
+              String.length msg >= 24 && String.sub msg 0 24 = "path analysis infeasible"
+            in
+            if is_infeasible then "E0501" else "E0502"
           in
-          if detail = "" then error "%s: %s" (phase_name Path) msg
-          else error "%s: %s\nunbounded loops:\n%s" (phase_name Path) msg detail)
+          fatal c Diag.Path ~code "%s: %s" (phase_name Path) msg)
   in
   {
     program;
@@ -296,6 +455,9 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
     solution;
     wcet = solution.Ipet.wcet;
     bcet = best_case_bound value timing;
+    verdict = (if !holes = [] then Complete else Partial);
+    holes = List.rev !holes;
+    diagnostics = Diag.items c;
     phase_seconds = List.rev !phases;
   }
 
@@ -308,19 +470,100 @@ let analyze_modes ?(hw = Hw_config.default) ~base ~modes program =
   in
   oblivious :: per_mode
 
+let pp_hole ppf = function
+  | Hole_call { site; func } ->
+    Format.fprintf ppf "unresolved call at 0x%x in %s" site func
+  | Hole_jump { site; func } ->
+    Format.fprintf ppf "unresolved jump at 0x%x in %s" site func
+  | Hole_loop { header; func; reason } ->
+    Format.fprintf ppf "unbounded loop at 0x%x in %s (%s)" header func reason
+  | Hole_irreducible { blocks; func } ->
+    Format.fprintf ppf "irreducible region of %d blocks in %s" (List.length blocks) func
+
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>WCET bound: %d cycles (best-case bound: %d)@," r.wcet r.bcet;
+  (match r.verdict with
+  | Complete -> Format.fprintf ppf "@[<v>WCET bound: %d cycles (best-case bound: %d)@," r.wcet r.bcet
+  | Partial ->
+    Format.fprintf ppf
+      "@[<v>WCET bound: %d cycles — PARTIAL: conditional on %d analysis hole(s) (best-case \
+       bound: %d)@,"
+      r.wcet (List.length r.holes) r.bcet);
   Format.fprintf ppf "graph: %d nodes, %d contexts, %d loops@,"
     (Array.length r.graph.Supergraph.nodes)
     (Array.length r.graph.Supergraph.contexts)
     (Array.length r.loops.Loops.loops);
+  List.iter (fun h -> Format.fprintf ppf "hole: %a@," pp_hole h) r.holes;
   List.iter
     (fun (li, b) ->
       let hn = r.graph.Supergraph.nodes.(r.loops.Loops.loops.(li).Loops.header) in
       Format.fprintf ppf "loop at 0x%x in %s: bound %d@," hn.Supergraph.block.Func_cfg.entry
         hn.Supergraph.func b)
     r.effective_bounds;
+  if r.diagnostics <> [] then Format.fprintf ppf "%a@," Diag.pp_list r.diagnostics;
   List.iter
     (fun (phase, dt) -> Format.fprintf ppf "%s: %.1f ms@," (phase_name phase) (dt *. 1000.))
     r.phase_seconds;
   Format.fprintf ppf "@]"
+
+let hole_to_json = function
+  | Hole_call { site; func } ->
+    Wcet_diag.Json.Obj
+      [ ("kind", String "unresolved-call"); ("site", Int site); ("func", String func) ]
+  | Hole_jump { site; func } ->
+    Wcet_diag.Json.Obj
+      [ ("kind", String "unresolved-jump"); ("site", Int site); ("func", String func) ]
+  | Hole_loop { header; func; reason } ->
+    Wcet_diag.Json.Obj
+      [
+        ("kind", String "unbounded-loop");
+        ("header", Int header);
+        ("func", String func);
+        ("reason", String reason);
+      ]
+  | Hole_irreducible { blocks; func } ->
+    Wcet_diag.Json.Obj
+      [
+        ("kind", String "irreducible-region");
+        ("blocks", List (List.map (fun b -> Wcet_diag.Json.Int b) blocks));
+        ("func", String func);
+      ]
+
+let report_to_json r =
+  let open Wcet_diag.Json in
+  Obj
+    [
+      ("wcet", Int r.wcet);
+      ("bcet", Int r.bcet);
+      ("verdict", String (match r.verdict with Complete -> "complete" | Partial -> "partial"));
+      ("nodes", Int (Array.length r.graph.Supergraph.nodes));
+      ("contexts", Int (Array.length r.graph.Supergraph.contexts));
+      ("holes", List (List.map hole_to_json r.holes));
+      ("diagnostics", List (List.map Diag.to_json r.diagnostics));
+      ( "loops",
+        List
+          (List.map
+             (fun (li, b) ->
+               let hn = r.graph.Supergraph.nodes.(r.loops.Loops.loops.(li).Loops.header) in
+               Obj
+                 [
+                   ("header", Int hn.Supergraph.block.Func_cfg.entry);
+                   ("func", String hn.Supergraph.func);
+                   ("bound", Int b);
+                 ])
+             r.effective_bounds) );
+      ( "phases",
+        List
+          (List.map
+             (fun (phase, dt) ->
+               Obj [ ("name", String (phase_name phase)); ("seconds", Float dt) ])
+             r.phase_seconds) );
+    ]
+
+let failure_to_json ds =
+  let open Wcet_diag.Json in
+  Obj
+    [
+      ("wcet", Null);
+      ("verdict", String "failed");
+      ("diagnostics", List (List.map Diag.to_json ds));
+    ]

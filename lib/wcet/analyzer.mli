@@ -8,13 +8,50 @@
     what the F1 experiment prints.
 
     Annotations supply the design-level information of Section 4.3; the
-    analyzer trusts them. [Analysis_error] carries an explanation written in
-    the paper's terms (which loop needs a bound, which pointer needs
-    targets, and so on). *)
+    analyzer trusts them.
 
-exception Analysis_error of string
+    {2 Graceful degradation}
+
+    Problems that are local to one construct do not abort the analysis.
+    Instead the construct becomes an {e analysis hole} — it is excluded
+    from the bound, a structured {!Wcet_diag.Diag.t} diagnostic records
+    what was excluded and how to annotate it away, and the report's
+    [verdict] becomes {!Partial}. A partial WCET is explicitly conditional:
+    it bounds every path that avoids the holes, and is a true bound for the
+    whole program only once each hole is discharged (by annotation or by
+    showing the hole unreachable). The degradations are:
+
+    - unresolvable indirect call (W0301): the call is skipped — control
+      falls through to the return site; the callee's cost is excluded.
+    - unresolvable indirect jump (W0304): a dead end; execution beyond the
+      jump is excluded.
+    - loop with no derived or annotated bound (W0302): iterations beyond
+      the first entry are excluded (back-edge count 0).
+    - irreducible region with no covering user flow fact (W0303): limited
+      to one pass per block.
+
+    Global problems (undecodable code, unannotated recursion, context
+    explosion, value-analysis divergence, an infeasible or unbounded path
+    problem) are still fatal and raise {!Analysis_failed} carrying every
+    diagnostic collected so far. *)
+
+(** A fatal analysis failure: the payload always contains at least one
+    [Error]-severity diagnostic, plus any warnings emitted before the
+    failure. *)
+exception Analysis_failed of Wcet_diag.Diag.t list
 
 type phase = Decode | Loop_value | Cache | Pipeline | Path
+
+(** [Complete] bounds every execution; [Partial] is conditional on the
+    report's [holes]. *)
+type confidence = Complete | Partial
+
+(** One excluded construct of a partial analysis. *)
+type hole =
+  | Hole_call of { site : int; func : string }
+  | Hole_jump of { site : int; func : string }
+  | Hole_loop of { header : int; func : string; reason : string }
+  | Hole_irreducible of { blocks : int list; func : string }
 
 type report = {
   program : Pred32_asm.Program.t;
@@ -24,22 +61,24 @@ type report = {
   value : Wcet_value.Analysis.result;
   derived_bounds : Wcet_value.Loop_bounds.t;
   effective_bounds : (int * int) list;  (** (loop index, bound) after annotations *)
-  unbounded_loops : (int * string) list;  (** loops still unbounded, with reasons *)
+  unbounded_loops : (int * string) list;  (** loops degraded to holes, with reasons *)
   cache : Wcet_cache.Cache_analysis.result;
   timing : Wcet_pipeline.Block_timing.t;
   solution : Wcet_ipet.Ipet.solution;
-  wcet : int;  (** cycles, from program entry to halt *)
+  wcet : int;  (** cycles, from program entry to halt; partial if [verdict = Partial] *)
   bcet : int;  (** best-case lower bound (shortest feasible walk) *)
+  verdict : confidence;
+  holes : hole list;
+  diagnostics : Wcet_diag.Diag.t list;  (** warnings collected during analysis *)
   phase_seconds : (phase * float) list;
 }
 
-(** [analyze ?hw ?annot ?strategy program] raises [Analysis_error] when a
-    phase fails (undecodable code, unresolvable indirect control flow,
-    unannotated recursion, or an unbounded path problem). [strategy] picks
-    the fixpoint worklist order of the value and cache analyses; the default
-    reverse-postorder priority worklist gives the same fixpoint as [Fifo]
-    with strictly fewer transfers on structured programs (compare
-    [report.value.transfers] across the two). *)
+(** [analyze ?hw ?annot ?strategy program] raises {!Analysis_failed} only on
+    global failures (see above); local problems degrade to [holes] with a
+    [Partial] verdict. [strategy] picks the fixpoint worklist order of the
+    value and cache analyses; the default reverse-postorder priority
+    worklist gives the same fixpoint as [Fifo] with strictly fewer
+    transfers on structured programs. *)
 val analyze :
   ?hw:Pred32_hw.Hw_config.t ->
   ?annot:Wcet_annot.Annot.t ->
@@ -59,4 +98,13 @@ val analyze_modes :
   (string * report) list
 
 val phase_name : phase -> string
+val pp_hole : Format.formatter -> hole -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** Machine-readable report: wcet, bcet, verdict, holes, diagnostics,
+    per-loop effective bounds, per-phase times. *)
+val report_to_json : report -> Wcet_diag.Json.t
+
+(** JSON object for a failed analysis ([Analysis_failed] payload):
+    [{"wcet": null, "verdict": "failed", "diagnostics": [...]}]. *)
+val failure_to_json : Wcet_diag.Diag.t list -> Wcet_diag.Json.t

@@ -161,6 +161,78 @@ let test_duplicate_symbol () =
   | exception Assembler.Error _ -> ()
   | _ -> Alcotest.fail "expected duplicate-symbol error"
 
+let test_bus_error_fault () =
+  (* Load from an address no region maps: the simulator must report a
+     Bus_error fault naming the offending address, not raise. *)
+  let unit_ : Ast.unit_ =
+    [
+      Ast.Func
+        ( "main",
+          [
+            Ast.Li (r 2, 0x4000);
+            Ast.Raw (Insn.Alui (Insn.Shl, r 2, r 2, 16));
+            (* r2 = 0x40000000, unmapped on the default board *)
+            Ast.Raw (Insn.Load (r 3, r 2, 0));
+            Ast.Raw (Insn.Jump_reg Reg.lr);
+          ] );
+    ]
+  in
+  let program = Assembler.link unit_ in
+  let sim = Sim.create Hw_config.default program in
+  match Sim.run sim with
+  | Sim.Faulted { fault = Sim.Bus_error addr; _ } ->
+    Alcotest.(check int) "faulting address" 0x40000000 addr
+  | o -> Alcotest.failf "expected bus-error fault, got %a" Sim.pp_outcome o
+
+let test_write_to_rom_fault () =
+  (* Store into the ROM region (address 0): a Write_to_rom fault. *)
+  let unit_ : Ast.unit_ =
+    [
+      Ast.Func
+        ( "main",
+          [
+            Ast.Li (r 2, 0);
+            Ast.Raw (Insn.Store (r 2, r 2, 0));
+            Ast.Raw (Insn.Jump_reg Reg.lr);
+          ] );
+    ]
+  in
+  let program = Assembler.link unit_ in
+  let sim = Sim.create Hw_config.default program in
+  match Sim.run sim with
+  | Sim.Faulted { fault = Sim.Write_to_rom addr; _ } ->
+    Alcotest.(check int) "faulting address" 0 addr
+  | o -> Alcotest.failf "expected write-to-rom fault, got %a" Sim.pp_outcome o
+
+let test_faulted_termination_detail () =
+  (* A faulted run still reports how far it got: positive cycles/steps
+     (the startup stub plus the instructions before the fault), and
+     cycles_of agrees with the record. *)
+  let unit_ : Ast.unit_ =
+    [
+      Ast.Func
+        ( "main",
+          [
+            Ast.Li (r 2, 1);
+            Ast.Raw (Insn.Alui (Insn.Add, r 2, r 2, 1));
+            Ast.Raw (Insn.Store (r 2, Reg.zero, 0));
+            (* store to ROM at 0 *)
+            Ast.Raw (Insn.Jump_reg Reg.lr);
+          ] );
+    ]
+  in
+  let program = Assembler.link unit_ in
+  let sim = Sim.create Hw_config.default program in
+  match Sim.run sim with
+  | Sim.Faulted { fault = Sim.Write_to_rom _; cycles; steps } as o ->
+    Alcotest.(check bool) "made progress before faulting" true (steps > 2);
+    Alcotest.(check bool) "cycles accumulated" true (cycles > 0);
+    Alcotest.(check int) "cycles_of agrees" cycles (Sim.cycles_of o);
+    (match Sim.halted_cycles o with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "halted_cycles must reject a faulted run")
+  | o -> Alcotest.failf "expected write-to-rom fault, got %a" Sim.pp_outcome o
+
 let test_disassemble_roundtrip () =
   let program = Assembler.link sum_unit in
   let main = Option.get (Program.find_function program "main") in
@@ -193,6 +265,9 @@ let () =
       ( "errors",
         [
           Alcotest.test_case "illegal instruction fault" `Quick test_fault_on_illegal;
+          Alcotest.test_case "bus error fault" `Quick test_bus_error_fault;
+          Alcotest.test_case "write to rom fault" `Quick test_write_to_rom_fault;
+          Alcotest.test_case "faulted termination detail" `Quick test_faulted_termination_detail;
           Alcotest.test_case "undefined symbol" `Quick test_undefined_symbol;
           Alcotest.test_case "duplicate symbol" `Quick test_duplicate_symbol;
           Alcotest.test_case "disassembly" `Quick test_disassemble_roundtrip;

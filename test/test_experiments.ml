@@ -15,10 +15,16 @@ let find id variant =
 let bound_exn (r : Harness.run) =
   match r.Harness.assisted with
   | Harness.Bound b -> b
-  | Harness.Fails msg -> Alcotest.failf "%s/%s has no bound: %s" r.Harness.entry_id r.Harness.variant msg
+  | Harness.Partial (b, _) ->
+    Alcotest.failf "%s/%s bound %d is only partial" r.Harness.entry_id r.Harness.variant b
+  | Harness.Fails ds ->
+    Alcotest.failf "%s/%s has no bound: %s" r.Harness.entry_id r.Harness.variant
+      (match ds with d :: _ -> d.Wcet_diag.Diag.message | [] -> "?")
 
 let is_automatic (r : Harness.run) =
-  match r.Harness.automatic with Harness.Bound _ -> true | Harness.Fails _ -> false
+  match r.Harness.automatic with
+  | Harness.Bound _ -> true
+  | Harness.Partial _ | Harness.Fails _ -> false
 
 (* Shared shape assertions *)
 

@@ -1,0 +1,137 @@
+(* Robustness and soundness harness tests: the fault-injection campaign
+   (no input may crash the toolchain) and the corpus-wide soundness check
+   (no simulated run may exceed a complete bound). *)
+
+module Faultinject = Wcet_experiments.Faultinject
+module Check = Wcet_experiments.Check
+module Diag = Wcet_diag.Diag
+
+(* --- classify_exn --- *)
+
+let test_classify_known () =
+  let cases =
+    [
+      (Sys_error "no such file", "E0101");
+      (Minic.Compile.Error "bad", "E0108");
+      (Minic.Codegen.Error "bad", "E0105");
+      (Pred32_asm.Assembler.Error "dup", "E0106");
+      (Pred32_asm.Asm_parser.Error ("bad", 3), "E0107");
+      (Wcet_cfg.Func_cfg.Decode_error "bad word", "E0201");
+      (Wcet_cfg.Supergraph.Build_error "indirect call at 0x10", "E0201");
+      (Wcet_cfg.Supergraph.Build_error "recursive call to f requires...", "E0202");
+      (Pred32_memory.Image.Bus_error 64, "E0603");
+      (Pred32_memory.Image.Write_to_rom 0, "E0603");
+    ]
+  in
+  List.iter
+    (fun (e, expected) ->
+      match Faultinject.classify_exn e with
+      | Some d -> Alcotest.(check string) expected expected d.Diag.code
+      | None -> Alcotest.failf "expected %s, got unclassified" expected)
+    cases
+
+let test_classify_analysis_failed () =
+  let ds =
+    [
+      Diag.make Diag.Warning Diag.Decode ~code:"W0301" "w";
+      Diag.make Diag.Error Diag.Path ~code:"E0502" "e";
+    ]
+  in
+  match Faultinject.classify_exn (Wcet_core.Analyzer.Analysis_failed ds) with
+  | Some d -> Alcotest.(check string) "picks the error diag" "E0502" d.Diag.code
+  | None -> Alcotest.fail "Analysis_failed must classify"
+
+let test_generic_exceptions_unclassified () =
+  (* Generic exceptions stay unclassified on purpose: they are the crashes
+     the campaign exists to catch. *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (Printexc.to_string e) true (Faultinject.classify_exn e = None))
+    [ Failure "x"; Invalid_argument "x"; Not_found ]
+
+(* --- fault-injection campaign --- *)
+
+let campaign = lazy (Faultinject.run ~seed:20110318L ())
+
+let test_campaign_no_crashes () =
+  let c = Lazy.force campaign in
+  (match
+     List.filter_map
+       (fun (t : Faultinject.trial) ->
+         match t.Faultinject.outcome with
+         | Faultinject.Crashed msg -> Some (Printf.sprintf "%s/%d: %s" t.Faultinject.family t.Faultinject.index msg)
+         | _ -> None)
+       c.Faultinject.trials
+   with
+  | [] -> ()
+  | crashes -> Alcotest.failf "campaign crashed:\n%s" (String.concat "\n" crashes));
+  Alcotest.(check bool) "ok" true (Faultinject.ok c)
+
+let test_campaign_scale () =
+  (* The acceptance bar: at least 200 seeded mutations, all families. *)
+  let c = Lazy.force campaign in
+  Alcotest.(check bool) "at least 200 trials" true (List.length c.Faultinject.trials >= 200);
+  let families =
+    List.sort_uniq compare
+      (List.map (fun (t : Faultinject.trial) -> t.Faultinject.family) c.Faultinject.trials)
+  in
+  Alcotest.(check (list string)) "all five families ran"
+    [ "annot"; "asm"; "binary"; "memmap"; "minic" ]
+    families
+
+let test_campaign_deterministic () =
+  let summary (c : Faultinject.campaign) =
+    (c.Faultinject.complete, c.Faultinject.partial, c.Faultinject.rejected, c.Faultinject.crashed)
+  in
+  let small seed = Faultinject.run ~seed ~minic:20 ~annots:12 ~asm:8 ~binary:6 () in
+  Alcotest.(check bool) "same seed, same campaign" true
+    (summary (small 7L) = summary (small 7L))
+
+let test_campaign_rejections_structured () =
+  (* Every rejection carries a registered code. *)
+  let c = Lazy.force campaign in
+  List.iter
+    (fun (t : Faultinject.trial) ->
+      match t.Faultinject.outcome with
+      | Faultinject.Rejected d ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s registered" d.Diag.code)
+          true
+          (Diag.describe d.Diag.code <> None)
+      | _ -> ())
+    c.Faultinject.trials
+
+(* --- corpus soundness check --- *)
+
+let test_check_corpus_sound () =
+  let stats = Check.run ~seed:20110318L ~random_per_scenario:3 () in
+  (match stats.Check.violations with
+  | [] -> ()
+  | ds ->
+    Alcotest.failf "soundness violations:\n%s"
+      (String.concat "\n" (List.map (fun d -> d.Diag.message) ds)));
+  Alcotest.(check int) "no failed analyses" 0 stats.Check.failed;
+  Alcotest.(check bool) "every scenario visited" true (stats.Check.scenarios >= 30);
+  Alcotest.(check bool) "simulations ran" true (stats.Check.simulations > 0);
+  Alcotest.(check bool) "ok" true (Check.ok stats)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "known exception families" `Quick test_classify_known;
+          Alcotest.test_case "analysis failure payload" `Quick test_classify_analysis_failed;
+          Alcotest.test_case "generic exceptions unclassified" `Quick
+            test_generic_exceptions_unclassified;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "no crashes" `Quick test_campaign_no_crashes;
+          Alcotest.test_case "scale and families" `Quick test_campaign_scale;
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "rejections structured" `Quick test_campaign_rejections_structured;
+        ] );
+      ( "soundness",
+        [ Alcotest.test_case "corpus cross-validation" `Quick test_check_corpus_sound ] );
+    ]
