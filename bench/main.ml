@@ -82,40 +82,58 @@ let fixpoint_comparison () =
   in
   (counts Wcet_util.Fixpoint.Rpo, counts Wcet_util.Fixpoint.Fifo)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+module Json = Wcet_diag.Json
+
+(* Provenance stamps, so BENCH_results.json files from different checkouts
+   compare meaningfully. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
 let write_json ~path ~domains ~samples ~tables ~samples_per_sec
     ~rpo:(rpo_value, rpo_cache) ~fifo:(fifo_value, fifo_cache) =
+  let strategy v c =
+    Json.Obj [ ("value", Json.Int v); ("cache", Json.Int c); ("total", Json.Int (v + c)) ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("commit", Json.String (git_commit ()));
+        ("date", Json.String (iso_date ()));
+        ("domains", Json.Int domains);
+        ("ldivmod_samples", Json.Int samples);
+        ("histogram_samples_per_sec", Json.Float samples_per_sec);
+        ( "tables",
+          Json.List
+            (List.map
+               (fun (name, seconds) ->
+                 Json.Obj [ ("name", Json.String name); ("seconds", Json.Float seconds) ])
+               tables) );
+        ( "fixpoint_transfers",
+          Json.Obj
+            [
+              ("program", Json.String "quickstart");
+              ("rpo", strategy rpo_value rpo_cache);
+              ("fifo", strategy fifo_value fifo_cache);
+            ] );
+        (* Snapshot of every observability metric populated by the tables
+           above (analyzer counters, cache classifications, …). *)
+        ("metrics", Wcet_obs.Metrics.to_json ());
+      ]
+  in
   let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"domains\": %d,\n" domains;
-  p "  \"ldivmod_samples\": %d,\n" samples;
-  p "  \"histogram_samples_per_sec\": %.0f,\n" samples_per_sec;
-  p "  \"tables\": [\n";
-  List.iteri
-    (fun i (name, seconds) ->
-      p "    {\"name\": \"%s\", \"seconds\": %.6f}%s\n" (json_escape name) seconds
-        (if i = List.length tables - 1 then "" else ","))
-    tables;
-  p "  ],\n";
-  p "  \"fixpoint_transfers\": {\n";
-  p "    \"program\": \"quickstart\",\n";
-  p "    \"rpo\": {\"value\": %d, \"cache\": %d, \"total\": %d},\n" rpo_value rpo_cache
-    (rpo_value + rpo_cache);
-  p "    \"fifo\": {\"value\": %d, \"cache\": %d, \"total\": %d}\n" fifo_value fifo_cache
-    (fifo_value + fifo_cache);
-  p "  }\n";
-  p "}\n";
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
   close_out oc
 
 let () =
@@ -125,10 +143,18 @@ let () =
     | Some s -> int_of_string s
     | None -> 10_000_000
   in
-  (* T1 first, alone at top level: the histogram shards get all domains. *)
+  (* T1 first, alone at top level: the histogram shards get all domains.
+     The observability switch is still off here, so the sampling loop is
+     measured at its uninstrumented speed — enabling tracing must never
+     skew the headline throughput number. *)
   let t1_out, t1_seconds = timed (fun () -> render (Harness.table_t1 ~samples)) in
   print_string t1_out;
   print_newline ();
+  (* Everything after the timed histogram runs observed, so the JSON report
+     below can snapshot the metric registry. The small re-run populates the
+     ldivmod_iterations histogram metric (T1 itself ran unobserved). *)
+  Wcet_obs.Obs.enable ();
+  ignore (Softarith.Ldivmod.histogram ~samples:100_000 ~seed:1L ());
   (* The remaining tables fan out across the pool; each is rendered to its
      own buffer and printed in the fixed order below. *)
   let tables =

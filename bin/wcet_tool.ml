@@ -1,12 +1,17 @@
 (* The command-line front end of the analyzer suite:
 
-     wcet_tool analyze  prog.mc [--annot a.ann] [--profile default|uncached|no-hw-div]
+     wcet_tool analyze  prog.mc [--annot a.ann] [--hw default|uncached|no-hw-div]
                         [--soft-div] [--verbose] [--format text|json]
-     wcet_tool simulate prog.mc [--poke sym=value]... [--profile ...]
+                        [--profile] [--trace FILE]
+     wcet_tool explain  prog.mc [--annot a.ann] [--hw ...] [--soft-div]
+                        [--top N] [--dot FILE] [--format text|json]
+     wcet_tool simulate prog.mc [--poke sym=value]... [--hw ...]
      wcet_tool misra    prog.mc
      wcet_tool disasm   prog.mc
      wcet_tool suggest  prog.mc
      wcet_tool check    [--seed N] [--random N] [--faults N] [--format text|json]
+                        [--trace FILE]
+     wcet_tool metrics
      wcet_tool codes
 
    Programs are MiniC translation units; annotations use the textual syntax
@@ -28,8 +33,17 @@ open Cmdliner
 module Diag = Wcet_diag.Diag
 module Json = Wcet_diag.Json
 module Analyzer = Wcet_core.Analyzer
+module Explain = Wcet_core.Explain
 module Faultinject = Wcet_experiments.Faultinject
 module Check = Wcet_experiments.Check
+module Metrics = Wcet_obs.Metrics
+module Trace = Wcet_obs.Trace
+
+(* [wcet_tool metrics] lists every registered metric. Registration happens
+   in the module initializers of the instrumented libraries, which only run
+   for modules the executable links; reference the ones no subcommand pulls
+   in otherwise. *)
+let () = ignore Softarith.Ldivmod.udivmod
 
 let read_file path =
   let ic = open_in_bin path in
@@ -75,8 +89,32 @@ let format_arg =
 let source_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.mc" ~doc:"MiniC source file")
 
-let profile_arg =
-  Arg.(value & opt profile_conv Pred32_hw.Hw_config.default & info [ "profile" ] ~doc:"Hardware profile")
+let hw_arg =
+  Arg.(
+    value
+    & opt profile_conv Pred32_hw.Hw_config.default
+    & info [ "hw" ] ~doc:"Hardware profile: $(b,default), $(b,uncached) or $(b,no-hw-div)")
+
+(* Observability: both flags flip the global switch on, so spans and metric
+   cells populate during the run; with neither, instrumentation stays a
+   disabled-branch no-op. *)
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ] ~doc:"Print a phase profile (nested spans with wall-clock times) to stderr")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event file (load in Perfetto or chrome://tracing)")
+
+let obs_setup ~profile ~trace = if profile || trace <> None then Wcet_obs.Obs.enable ()
+
+let obs_finish ~profile ~trace =
+  (match trace with Some path -> Trace.write_chrome path | None -> ());
+  if profile then Format.eprintf "@[<v>%a@]@?" Trace.pp_profile ()
 
 let soft_div_arg =
   Arg.(value & flag & info [ "soft-div" ] ~doc:"Lower division to the software lDivMod routine")
@@ -96,16 +134,17 @@ let load_annot = function
     | Ok a -> a
     | Error msg -> fail_with (Diag.make Diag.Error Diag.Annot ~code:"E0404" msg))
 
+let annot_arg =
+  Arg.(value & opt (some file) None & info [ "annot" ] ~doc:"Annotation file")
+
 let analyze_cmd =
-  let annot_arg =
-    Arg.(value & opt (some file) None & info [ "annot" ] ~doc:"Annotation file")
-  in
   let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
-  let run source annot_file profile soft_div verbose format =
+  let run source annot_file hw soft_div verbose format profile trace =
     handle_errors (fun () ->
+        obs_setup ~profile ~trace;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
-        match Analyzer.analyze ~hw:profile ~annot program with
+        match Analyzer.analyze ~hw ~annot program with
         | report -> (
           (match format with
           | Json_format -> print_endline (Json.to_string (Analyzer.report_to_json report))
@@ -123,6 +162,7 @@ let analyze_cmd =
               if report.Analyzer.diagnostics <> [] then
                 Format.eprintf "@[<v>%a@]@." Diag.pp_list report.Analyzer.diagnostics
             end);
+          obs_finish ~profile ~trace;
           match report.Analyzer.verdict with
           | Analyzer.Complete -> ()
           | Analyzer.Partial -> exit Diag.Exit.partial)
@@ -130,10 +170,13 @@ let analyze_cmd =
           (match format with
           | Json_format -> print_endline (Json.to_string (Analyzer.failure_to_json ds))
           | Text -> Format.eprintf "@[<v>%a@]@." Diag.pp_list ds);
+          obs_finish ~profile ~trace;
           exit Diag.Exit.analysis)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Compute a WCET bound for a MiniC program")
-    Term.(const run $ source_arg $ annot_arg $ profile_arg $ soft_div_arg $ verbose_arg $ format_arg)
+    Term.(
+      const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ verbose_arg $ format_arg
+      $ profile_flag $ trace_arg)
 
 let poke_conv =
   let parse s =
@@ -151,10 +194,10 @@ let simulate_cmd =
   let pokes_arg =
     Arg.(value & opt_all poke_conv [] & info [ "poke" ] ~doc:"Set a global before running")
   in
-  let run source profile soft_div pokes =
+  let run source hw soft_div pokes =
     handle_errors (fun () ->
         let program = compile source ~soft_div in
-        let sim = Pred32_sim.Simulator.create profile program in
+        let sim = Pred32_sim.Simulator.create hw program in
         List.iter
           (fun (sym, v) ->
             if Pred32_asm.Program.symbol_opt program sym = None then
@@ -170,7 +213,7 @@ let simulate_cmd =
         Format.printf "%a@." Pred32_sim.Simulator.pp_outcome (Pred32_sim.Simulator.run sim))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run a MiniC program in the cycle-level simulator")
-    Term.(const run $ source_arg $ profile_arg $ soft_div_arg $ pokes_arg)
+    Term.(const run $ source_arg $ hw_arg $ soft_div_arg $ pokes_arg)
 
 let misra_cmd =
   let run source =
@@ -223,10 +266,10 @@ let cfg_cmd =
    piece of missing knowledge as a diagnostic with an annotation-template
    hint; suggest just prints those hints. *)
 let suggest_cmd =
-  let run source profile soft_div =
+  let run source hw soft_div =
     handle_errors (fun () ->
         let program = compile source ~soft_div in
-        match Analyzer.analyze ~hw:profile program with
+        match Analyzer.analyze ~hw program with
         | report -> (
           match report.Analyzer.verdict with
           | Analyzer.Complete ->
@@ -256,7 +299,54 @@ let suggest_cmd =
   Cmd.v
     (Cmd.info "suggest"
        ~doc:"Print annotation templates for whatever knowledge the analysis is missing")
-    Term.(const run $ source_arg $ profile_arg $ soft_div_arg)
+    Term.(const run $ source_arg $ hw_arg $ soft_div_arg)
+
+let explain_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Block rows to print (text format)")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the supergraph with the worst-case path highlighted as Graphviz dot \
+                ($(b,-) for stdout)")
+  in
+  let run source annot_file hw soft_div top dot format =
+    handle_errors (fun () ->
+        let program = compile source ~soft_div in
+        let annot = load_annot annot_file in
+        match Analyzer.analyze ~hw ~annot program with
+        | report ->
+          let ex = Explain.of_report report in
+          (match format with
+          | Json_format -> print_endline (Json.to_string (Explain.to_json ex))
+          | Text -> Format.printf "%a@." (Explain.pp ~top) ex);
+          (match dot with
+          | None -> ()
+          | Some "-" -> Explain.emit_dot Format.std_formatter report ex
+          | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                let ppf = Format.formatter_of_out_channel oc in
+                Explain.emit_dot ppf report ex;
+                Format.pp_print_flush ppf ()))
+        | exception Analyzer.Analysis_failed ds ->
+          (match format with
+          | Json_format -> print_endline (Json.to_string (Analyzer.failure_to_json ds))
+          | Text -> Format.eprintf "@[<v>%a@]@." Diag.pp_list ds);
+          exit Diag.Exit.analysis)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Decode the worst-case path: rank basic blocks and loops by their cycle contribution \
+          to the WCET bound")
+    Term.(
+      const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ top_arg $ dot_arg $ format_arg)
 
 let check_cmd =
   let seed_arg =
@@ -272,8 +362,9 @@ let check_cmd =
       value & opt int 240
       & info [ "faults" ] ~doc:"Fault-injection trial count (0 disables the campaign)")
   in
-  let run seed random faults format =
+  let run seed random faults format trace =
     handle_errors (fun () ->
+        obs_setup ~profile:false ~trace;
         let stats = Check.run ~seed ~random_per_scenario:random () in
         let campaign =
           let minic = faults / 2 in
@@ -296,6 +387,7 @@ let check_cmd =
         | Text ->
           Format.printf "%a@." Check.pp_stats stats;
           Format.printf "%a@." Faultinject.pp_campaign campaign);
+        obs_finish ~profile:false ~trace;
         if not passed then exit Diag.Exit.check_failed)
   in
   Cmd.v
@@ -303,7 +395,7 @@ let check_cmd =
        ~doc:
          "Cross-validate analyzer soundness over the corpus (simulated cycles vs bounds) and \
           run the fault-injection robustness campaign")
-    Term.(const run $ seed_arg $ random_arg $ faults_arg $ format_arg)
+    Term.(const run $ seed_arg $ random_arg $ faults_arg $ format_arg $ trace_arg)
 
 let codes_cmd =
   let run () =
@@ -311,6 +403,17 @@ let codes_cmd =
   in
   Cmd.v
     (Cmd.info "codes" ~doc:"List every stable diagnostic code the tool can emit")
+    Term.(const run $ const ())
+
+let metrics_cmd =
+  let run () =
+    List.iter (fun (name, help) -> Format.printf "%s  %s@." name help) (Metrics.all ())
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "List every metric the observability layer registers, with a one-line description \
+          (populate them with analyze --profile/--trace and --format json)")
     Term.(const run $ const ())
 
 let () =
@@ -333,6 +436,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; simulate_cmd; misra_cmd; disasm_cmd; suggest_cmd; cfg_cmd; check_cmd;
-            codes_cmd;
+            analyze_cmd; explain_cmd; simulate_cmd; misra_cmd; disasm_cmd; suggest_cmd; cfg_cmd;
+            check_cmd; metrics_cmd; codes_cmd;
           ]))

@@ -8,6 +8,42 @@ module Func_cfg = Wcet_cfg.Func_cfg
 module Analysis = Wcet_value.Analysis
 module Aval = Wcet_value.Aval
 
+module Metrics = Wcet_obs.Metrics
+
+let m_transfers =
+  Metrics.counter ~labels:[ ("analysis", "cache") ] ~name:"fixpoint_transfers"
+    ~help:"Transfer-function applications until the cache fixpoint" ()
+
+let m_widenings =
+  Metrics.counter ~labels:[ ("analysis", "cache") ] ~name:"fixpoint_widenings"
+    ~help:"State merges that used widening in the cache analysis" ()
+
+let m_joins =
+  Metrics.counter ~labels:[ ("analysis", "cache") ] ~name:"fixpoint_joins"
+    ~help:"State merges that used join in the cache analysis" ()
+
+let m_worklist_peak =
+  Metrics.gauge ~labels:[ ("analysis", "cache") ] ~name:"fixpoint_worklist_peak"
+    ~help:"Peak worklist occupancy of the cache fixpoint" ()
+
+let m_fetch_class cls =
+  Metrics.counter ~labels:[ ("class", cls) ] ~name:"cache_fetch_class"
+    ~help:("Instruction fetches classified " ^ cls) ()
+
+let m_fetch_ah = m_fetch_class "always_hit"
+let m_fetch_am = m_fetch_class "always_miss"
+let m_fetch_nc = m_fetch_class "not_classified"
+let m_fetch_bp = m_fetch_class "bypass"
+
+let m_data_class cls =
+  Metrics.counter ~labels:[ ("class", cls) ] ~name:"cache_data_class"
+    ~help:("Data accesses classified " ^ cls) ()
+
+let m_data_ah = m_data_class "always_hit"
+let m_data_am = m_data_class "always_miss"
+let m_data_nc = m_data_class "not_classified"
+let m_data_bp = m_data_class "bypass"
+
 type classification = Always_hit | Always_miss | Not_classified | Bypass
 
 type data_access = {
@@ -209,6 +245,26 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) (cfg : Hw_config.t) (value : Analys
         ignore (transfer (Some (fetch.(i), data_rec)) i st);
         data.(i) <- List.rev !data_rec)
     nodes;
+  Metrics.incr m_transfers solution.FP.transfers;
+  Metrics.incr m_widenings solution.FP.widenings;
+  Metrics.incr m_joins solution.FP.joins;
+  Metrics.set_max m_worklist_peak solution.FP.max_pending;
+  if Wcet_obs.Obs.on () then begin
+    let fetch_metric = function
+      | Always_hit -> m_fetch_ah
+      | Always_miss -> m_fetch_am
+      | Not_classified -> m_fetch_nc
+      | Bypass -> m_fetch_bp
+    in
+    let data_metric = function
+      | Always_hit -> m_data_ah
+      | Always_miss -> m_data_am
+      | Not_classified -> m_data_nc
+      | Bypass -> m_data_bp
+    in
+    Array.iter (Array.iter (fun c -> Metrics.incr (fetch_metric c) 1)) fetch;
+    Array.iter (List.iter (fun a -> Metrics.incr (data_metric a.kind) 1)) data
+  end;
   { fetch; data; transfers = solution.FP.transfers }
 
 let pp_classification ppf = function

@@ -10,6 +10,15 @@ module Loops = Wcet_cfg.Loops
 module Analysis = Wcet_value.Analysis
 module Aval = Wcet_value.Aval
 
+module Metrics = Wcet_obs.Metrics
+
+let m_promotions cache =
+  Metrics.counter ~labels:[ ("cache", cache) ] ~name:"cache_persistence_promotions"
+    ~help:("Not-classified " ^ cache ^ " accesses promoted to loop-persistent") ()
+
+let m_promotions_fetch = m_promotions "fetch"
+let m_promotions_data = m_promotions "data"
+
 type t = {
   persistent_fetch : (int * int, unit) Hashtbl.t;
   persistent_data : (int * int, unit) Hashtbl.t;
@@ -167,4 +176,6 @@ let compute (cfg : Hw_config.t) (value : Analysis.result) (loops : Loops.info)
         end
       end)
     order;
+  Metrics.incr m_promotions_fetch (Hashtbl.length result.persistent_fetch);
+  Metrics.incr m_promotions_data (Hashtbl.length result.persistent_data);
   result

@@ -3,6 +3,16 @@ module Supergraph = Wcet_cfg.Supergraph
 module Loops = Wcet_cfg.Loops
 module Analysis = Wcet_value.Analysis
 
+module Metrics = Wcet_obs.Metrics
+
+let m_solves = Metrics.counter ~name:"ipet_solves" ~help:"IPET problems handed to the ILP solver" ()
+
+let m_constraints =
+  Metrics.gauge ~name:"ipet_constraints" ~help:"Constraint rows of the last IPET problem" ()
+
+let m_variables =
+  Metrics.gauge ~name:"ipet_variables" ~help:"Flow variables of the last IPET problem" ()
+
 type fact = { fact_coeffs : (int * int) list; fact_bound : int; fact_label : string }
 
 type spec = {
@@ -166,6 +176,9 @@ let solve (spec : spec) (loops : Loops.info) =
   let problem =
     { Wcet_lp.Simplex.num_vars = !num_vars; maximize; constraints = !constraints }
   in
+  Metrics.incr m_solves 1;
+  Metrics.set m_constraints (List.length !constraints);
+  Metrics.set m_variables !num_vars;
   match Wcet_lp.Ilp.solve problem with
   | Wcet_lp.Ilp.Unbounded ->
     Error

@@ -1,5 +1,8 @@
 module Rat = Wcet_util.Rat
 
+let m_pivots =
+  Wcet_obs.Metrics.counter ~name:"simplex_pivots" ~help:"Simplex pivot operations performed" ()
+
 type op = Le | Ge | Eq
 
 type constr = { coeffs : (int * Rat.t) list; op : op; rhs : Rat.t }
@@ -18,6 +21,7 @@ type tableau = {
 }
 
 let pivot tab r c =
+  Wcet_obs.Metrics.incr m_pivots 1;
   let m = Array.length tab.t in
   let width = tab.cols + 1 in
   let prow = tab.t.(r) in

@@ -1,0 +1,172 @@
+(* Process-wide metrics registry: counters, gauges and histograms with
+   static labels.
+
+   Metrics are registered once, at module-initialization time of the
+   library that populates them (`let m = Metrics.counter ~name ... ()` at
+   top level), so the full registry exists before `main` runs and
+   `wcet_tool metrics` can list it without running an analysis. Labels are
+   static: a labeled metric is registered per label value (the full name
+   renders as `name{key=value}`), which keeps recording allocation-free —
+   no lazy child-cell creation on the hot path.
+
+   Cells are `Atomic.t`s: recording from the domain pool (harness corpus
+   fan-out, histogram shards) is safe, and because counter additions
+   commute the totals are deterministic for any domain count as long as
+   the *set* of recorded events is (which the fan-out guarantees — see
+   lib/util/parallel.ml). While `Obs.on ()` is false every recording
+   function is a no-op costing one atomic load and a branch. *)
+
+module Json = Wcet_diag.Json
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+type histogram = {
+  bounds : int array;  (* strictly increasing inclusive upper bounds *)
+  cells : int Atomic.t array;  (* length bounds + 1; last cell = overflow *)
+  h_sum : int Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type cell = Counter_cell of counter | Gauge_cell of gauge | Histogram_cell of histogram
+
+type metric = { name : string; help : string; cell : cell }
+
+let registry : metric list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let render_name base labels =
+  match labels with
+  | [] -> base
+  | ls ->
+    base ^ "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls) ^ "}"
+
+let register ~name ~help cell =
+  Mutex.lock registry_mutex;
+  let dup = List.exists (fun m -> m.name = name) !registry in
+  if dup then begin
+    Mutex.unlock registry_mutex;
+    invalid_arg ("Metrics: duplicate registration of " ^ name)
+  end;
+  registry := { name; help; cell } :: !registry;
+  Mutex.unlock registry_mutex
+
+let counter ?(labels = []) ~name ~help () =
+  let c = Atomic.make 0 in
+  register ~name:(render_name name labels) ~help (Counter_cell c);
+  c
+
+let gauge ?(labels = []) ~name ~help () =
+  let g = Atomic.make 0 in
+  register ~name:(render_name name labels) ~help (Gauge_cell g);
+  g
+
+let histogram ?(labels = []) ~name ~help ~buckets () =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing")
+    buckets;
+  let h =
+    {
+      bounds = Array.copy buckets;
+      cells = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+      h_sum = Atomic.make 0;
+      h_count = Atomic.make 0;
+    }
+  in
+  register ~name:(render_name name labels) ~help (Histogram_cell h);
+  h
+
+let incr c n = if Obs.on () then ignore (Atomic.fetch_and_add c n)
+
+let set g v = if Obs.on () then Atomic.set g v
+
+(* Monotonic maximum (e.g. peak worklist size): CAS loop, contention-free
+   in practice since gauges are written from post-run summaries. *)
+let set_max g v =
+  if Obs.on () then begin
+    let rec go () =
+      let cur = Atomic.get g in
+      if v > cur && not (Atomic.compare_and_set g cur v) then go ()
+    in
+    go ()
+  end
+
+(* Index of the first bucket whose inclusive upper bound admits [v];
+   [Array.length bounds] is the overflow cell. Bucket arrays are tiny
+   (~a dozen entries), so a linear scan beats binary search in practice. *)
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec go i = if i >= n then n else if v <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let record h v times =
+  ignore (Atomic.fetch_and_add h.cells.(bucket_index h v) times);
+  ignore (Atomic.fetch_and_add h.h_sum (v * times));
+  ignore (Atomic.fetch_and_add h.h_count times)
+
+let observe h v = if Obs.on () then record h v 1
+
+let observe_n h v ~n = if Obs.on () && n <> 0 then record h v n
+
+type value =
+  | Counter_value of int
+  | Gauge_value of int
+  | Histogram_value of {
+      buckets : (int * int) array;  (* (inclusive upper bound, count) *)
+      overflow : int;
+      sum : int;
+      count : int;
+    }
+
+let value_of = function
+  | Counter_cell c -> Counter_value (Atomic.get c)
+  | Gauge_cell g -> Gauge_value (Atomic.get g)
+  | Histogram_cell h ->
+    Histogram_value
+      {
+        buckets = Array.mapi (fun i b -> (b, Atomic.get h.cells.(i))) h.bounds;
+        overflow = Atomic.get h.cells.(Array.length h.bounds);
+        sum = Atomic.get h.h_sum;
+        count = Atomic.get h.h_count;
+      }
+
+let sorted () = List.sort (fun a b -> compare a.name b.name) !registry
+
+let all () = List.map (fun m -> (m.name, m.help)) (sorted ())
+
+let snapshot () = List.map (fun m -> (m.name, m.help, value_of m.cell)) (sorted ())
+
+let find name =
+  List.find_map (fun m -> if m.name = name then Some (value_of m.cell) else None) !registry
+
+let reset () =
+  List.iter
+    (fun m ->
+      match m.cell with
+      | Counter_cell c | Gauge_cell c -> Atomic.set c 0
+      | Histogram_cell h ->
+        Array.iter (fun cell -> Atomic.set cell 0) h.cells;
+        Atomic.set h.h_sum 0;
+        Atomic.set h.h_count 0)
+    !registry
+
+let value_to_json = function
+  | Counter_value v | Gauge_value v -> Json.Int v
+  | Histogram_value { buckets; overflow; sum; count } ->
+    Json.Obj
+      [
+        ( "buckets",
+          Json.List
+            (Array.to_list buckets
+            |> List.map (fun (le, c) -> Json.Obj [ ("le", Json.Int le); ("count", Json.Int c) ]))
+        );
+        ("overflow", Json.Int overflow);
+        ("sum", Json.Int sum);
+        ("count", Json.Int count);
+      ]
+
+let to_json () =
+  Json.Obj (List.map (fun m -> (m.name, value_to_json (value_of m.cell))) (sorted ()))

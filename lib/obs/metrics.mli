@@ -1,0 +1,70 @@
+(** Process-wide metrics registry: counters, gauges and histograms with
+    static labels.
+
+    Register at module-initialization time (top-level [let] in the library
+    that populates the metric); record from anywhere, including domain-pool
+    workers — cells are atomic. While {!Obs.on} is false, every recording
+    call is an allocation-free no-op. [wcet_tool metrics] lists the
+    registry; a test pins it so names never silently change meaning. *)
+
+type counter
+type gauge
+type histogram
+
+(** Registration. [labels] are static key=value pairs baked into the
+    metric's full name, rendered [name{key=value,...}]. Registering the
+    same full name twice raises [Invalid_argument]. *)
+
+val counter : ?labels:(string * string) list -> name:string -> help:string -> unit -> counter
+
+val gauge : ?labels:(string * string) list -> name:string -> help:string -> unit -> gauge
+
+(** [buckets] are strictly increasing {e inclusive} upper bounds; one
+    overflow cell past the last bound is added automatically. *)
+val histogram :
+  ?labels:(string * string) list ->
+  name:string ->
+  help:string ->
+  buckets:int array ->
+  unit ->
+  histogram
+
+(** Recording — no-ops while {!Obs.on} is false. *)
+
+val incr : counter -> int -> unit
+
+val set : gauge -> int -> unit
+
+(** [set_max g v] raises the gauge to [v] if [v] is larger (peak tracking). *)
+val set_max : gauge -> int -> unit
+
+val observe : histogram -> int -> unit
+
+(** [observe_n h v ~n] records the value [v] [n] times (bulk merge of a
+    pre-tallied histogram, e.g. the lDivMod shard counts). *)
+val observe_n : histogram -> int -> n:int -> unit
+
+(** Reading. *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of int
+  | Histogram_value of {
+      buckets : (int * int) array;  (** (inclusive upper bound, count) *)
+      overflow : int;
+      sum : int;
+      count : int;
+    }
+
+(** Every registered metric as [(full name, help)], sorted by name. *)
+val all : unit -> (string * string) list
+
+(** [(full name, help, current value)], sorted by name. *)
+val snapshot : unit -> (string * string * value) list
+
+val find : string -> value option
+
+(** Zero every cell (registrations survive). *)
+val reset : unit -> unit
+
+val to_json : unit -> Wcet_diag.Json.t

@@ -1,0 +1,15 @@
+(* The master switch of the observability layer.
+
+   Everything in this library — span recording (Trace) and metric cells
+   (Metrics) — checks this one flag before doing any work. Registration of
+   metric names happens unconditionally at module-initialization time (it
+   is cheap and once-per-process), but *recording* while disabled is a
+   single atomic load and a branch: no allocation, no locking, no
+   formatting. That keeps the analyzer's hot paths at their PR-1 speeds
+   when nobody is observing. *)
+
+let enabled = Atomic.make false
+
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false

@@ -1,0 +1,11 @@
+(** Master switch of the observability layer.
+
+    Off by default. While disabled, every recording entry point in
+    {!Metrics} and {!Trace} is a single atomic load plus a branch —
+    allocation-free, lock-free — so instrumented hot paths keep their
+    uninstrumented performance. Metric {e registration} (which happens at
+    module-initialization time) is unaffected by the switch. *)
+
+val on : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit

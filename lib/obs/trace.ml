@@ -1,0 +1,198 @@
+(* Span tracing: nested, wall-clocked phases of the analyzer.
+
+   A span is entered and exited around a phase (or sub-phase); nesting is
+   tracked per domain in domain-local storage, so the harness's corpus
+   fan-out traces correctly from every worker. Completed spans are
+   appended to one mutex-protected buffer and can be rendered two ways:
+
+   - a Chrome trace-event file ("X" complete events, microsecond
+     timestamps), loadable in Perfetto / chrome://tracing, one event per
+     line so the file is also greppable;
+   - a human-readable text profile (indented span tree with durations and
+     attributes), printed by `wcet_tool analyze --profile`.
+
+   While Obs.on () is false, with_span runs its thunk directly — no
+   allocation, no clock read. Timestamps come from Util.Mono_clock
+   (CLOCK_MONOTONIC), so durations never go negative. *)
+
+module Json = Wcet_diag.Json
+
+type attr = Int of int | Float of float | Str of string
+
+type event = {
+  name : string;
+  cat : string;
+  tid : int;  (* domain id *)
+  depth : int;  (* nesting depth at entry, 0 = root *)
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * attr) list;
+}
+
+type open_span = {
+  s_name : string;
+  s_cat : string;
+  s_start : int64;
+  s_depth : int;
+  mutable s_attrs : (string * attr) list;  (* reversed *)
+}
+
+let stack_key : open_span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let events_mutex = Mutex.create ()
+let events_rev : event list ref = ref []
+let n_events = ref 0
+let n_dropped = ref 0
+
+(* Backstop against unbounded growth on very long campaign runs; ~10 spans
+   per analysis means even the full corpus check stays far below this. *)
+let max_events = 262_144
+
+let reset () =
+  Mutex.lock events_mutex;
+  events_rev := [];
+  n_events := 0;
+  n_dropped := 0;
+  Mutex.unlock events_mutex;
+  Domain.DLS.get stack_key := []
+
+let depth () = List.length !(Domain.DLS.get stack_key)
+
+let dropped () = !n_dropped
+
+let add_attr k v =
+  if Obs.on () then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | s :: _ -> s.s_attrs <- (k, v) :: s.s_attrs
+
+let enter ~cat name =
+  let stack = Domain.DLS.get stack_key in
+  let span =
+    {
+      s_name = name;
+      s_cat = cat;
+      s_start = Wcet_util.Mono_clock.now_ns ();
+      s_depth = List.length !stack;
+      s_attrs = [];
+    }
+  in
+  stack := span :: !stack
+
+let exit_span () =
+  let stack = Domain.DLS.get stack_key in
+  match !stack with
+  | [] -> ()
+  | s :: rest ->
+    stack := rest;
+    let ev =
+      {
+        name = s.s_name;
+        cat = s.s_cat;
+        tid = (Domain.self () :> int);
+        depth = s.s_depth;
+        start_ns = s.s_start;
+        dur_ns = Int64.sub (Wcet_util.Mono_clock.now_ns ()) s.s_start;
+        attrs = List.rev s.s_attrs;
+      }
+    in
+    Mutex.lock events_mutex;
+    if !n_events >= max_events then incr n_dropped
+    else begin
+      events_rev := ev :: !events_rev;
+      incr n_events
+    end;
+    Mutex.unlock events_mutex
+
+let with_span ?(cat = "phase") ?(attrs = []) name f =
+  if not (Obs.on ()) then f ()
+  else begin
+    enter ~cat name;
+    List.iter (fun (k, v) -> add_attr k v) attrs;
+    Fun.protect ~finally:exit_span f
+  end
+
+(* Completion order; stable for rendering because we re-sort by start. *)
+let events () = List.rev !events_rev
+
+let by_start evs =
+  List.stable_sort
+    (fun a b ->
+      match compare a.tid b.tid with 0 -> Int64.compare a.start_ns b.start_ns | c -> c)
+    evs
+
+(* --- text profile --- *)
+
+let pp_attr ppf (k, v) =
+  match v with
+  | Int i -> Format.fprintf ppf "%s=%d" k i
+  | Float f -> Format.fprintf ppf "%s=%g" k f
+  | Str s -> Format.fprintf ppf "%s=%s" k s
+
+let pp_profile ppf () =
+  let evs = by_start (events ()) in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
+  let multi = List.length tids > 1 in
+  List.iter
+    (fun tid ->
+      if multi then Format.fprintf ppf "[domain %d]@," tid;
+      List.iter
+        (fun e ->
+          if e.tid = tid then begin
+            let indent = String.make (2 * e.depth) ' ' in
+            Format.fprintf ppf "%s%-*s %8.3f ms" indent
+              (max 1 (28 - (2 * e.depth)))
+              e.name
+              (Int64.to_float e.dur_ns /. 1e6);
+            if e.attrs <> [] then begin
+              Format.fprintf ppf "  {";
+              List.iteri
+                (fun i a ->
+                  if i > 0 then Format.fprintf ppf ", ";
+                  pp_attr ppf a)
+                e.attrs;
+              Format.fprintf ppf "}"
+            end;
+            Format.fprintf ppf "@,"
+          end)
+        evs)
+    tids;
+  if !n_dropped > 0 then Format.fprintf ppf "(%d spans dropped past the buffer cap)@," !n_dropped
+
+(* --- Chrome trace events --- *)
+
+let attr_json = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+
+let event_json e =
+  Json.Obj
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String e.cat);
+      ("ph", Json.String "X");
+      ("ts", Json.Float (Int64.to_float e.start_ns /. 1e3));
+      ("dur", Json.Float (Int64.to_float e.dur_ns /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.tid);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) e.attrs));
+    ]
+
+let to_json () = Json.List (List.map event_json (by_start (events ())))
+
+(* One event per line inside a JSON array: valid JSON for Perfetto, and
+   line-oriented for grep. *)
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let evs = by_start (events ()) in
+      output_string oc "[\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (Json.to_string (event_json e)))
+        evs;
+      output_string oc "\n]\n")

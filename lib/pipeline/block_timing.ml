@@ -7,6 +7,17 @@ module Func_cfg = Wcet_cfg.Func_cfg
 module Analysis = Wcet_value.Analysis
 module CA = Wcet_cache.Cache_analysis
 
+module Metrics = Wcet_obs.Metrics
+
+let m_blocks =
+  Metrics.counter ~name:"pipeline_blocks" ~help:"Basic blocks assigned a timing bound" ()
+
+let m_block_wcet =
+  Metrics.histogram ~name:"pipeline_block_wcet_cycles"
+    ~help:"Per-block worst-case cycle bounds"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
+    ()
+
 type t = { wcet : int array; bcet : int array }
 
 let fetch_worst (cfg : Hw_config.t) ~addr = function
@@ -108,4 +119,6 @@ let compute (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
       wcet.(i) <- !w;
       bcet.(i) <- !b)
     nodes;
+  Metrics.incr m_blocks n;
+  if Wcet_obs.Obs.on () then Array.iter (Metrics.observe m_block_wcet) wcet;
   { wcet; bcet }

@@ -11,6 +11,25 @@ module Lru_cache = Pred32_hw.Lru_cache
 module Timing = Pred32_hw.Timing
 module Program = Pred32_asm.Program
 
+module Metrics = Wcet_obs.Metrics
+
+let m_instructions =
+  Metrics.counter ~name:"sim_instructions" ~help:"Instructions retired by the simulator" ()
+
+let m_cycles = Metrics.counter ~name:"sim_cycles" ~help:"Cycles consumed by simulator runs" ()
+
+let m_stalls =
+  Metrics.counter ~name:"sim_stall_cycles"
+    ~help:"Simulator cycles lost to taken-branch penalties" ()
+
+let m_cache cache kind help =
+  Metrics.counter ~labels:[ ("cache", cache) ] ~name:("sim_cache_" ^ kind) ~help ()
+
+let m_ic_hits = m_cache "i" "hits" "Instruction-cache hits observed by the simulator"
+let m_ic_misses = m_cache "i" "misses" "Instruction-cache misses observed by the simulator"
+let m_dc_hits = m_cache "d" "hits" "Data-cache hits observed by the simulator"
+let m_dc_misses = m_cache "d" "misses" "Data-cache misses observed by the simulator"
+
 type fault = Illegal_instruction of int | Bus_error of int | Write_to_rom of int
 
 type outcome =
@@ -29,6 +48,13 @@ type t = {
   mutable pc : int;
   mutable cycles : int;
   mutable steps : int;
+  (* Plain-int tallies kept hot in [step]; published to the metrics
+     registry once per [run], so the inner loop never touches atomics. *)
+  mutable stall_cycles : int;
+  mutable ic_hits : int;
+  mutable ic_misses : int;
+  mutable dc_hits : int;
+  mutable dc_misses : int;
 }
 
 let create cfg program =
@@ -43,6 +69,11 @@ let create cfg program =
     pc = program.Program.entry;
     cycles = 0;
     steps = 0;
+    stall_cycles = 0;
+    ic_hits = 0;
+    ic_misses = 0;
+    dc_hits = 0;
+    dc_misses = 0;
   }
 
 let poke_word t addr v = Image.write_word t.mem addr v
@@ -108,6 +139,10 @@ let step t =
   (* Fetch. *)
   let fetch_region = region_of t pc in
   let fetch_outcome = cache_access t.icache fetch_region pc in
+  (match fetch_outcome with
+  | Timing.Cached_hit -> t.ic_hits <- t.ic_hits + 1
+  | Timing.Cached_miss -> t.ic_misses <- t.ic_misses + 1
+  | Timing.Uncached -> ());
   t.cycles <- t.cycles + Timing.fetch_cycles t.cfg ~outcome:fetch_outcome ~addr:pc;
   let word =
     try Image.read_word t.mem pc with Image.Bus_error a -> raise (Fault (Bus_error a))
@@ -116,7 +151,10 @@ let step t =
   Hashtbl.replace t.counts pc (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts pc));
   t.cycles <- t.cycles + Timing.base_cycles t.cfg insn;
   t.steps <- t.steps + 1;
-  let taken_penalty () = t.cycles <- t.cycles + t.cfg.Hw_config.branch_taken_penalty in
+  let taken_penalty () =
+    t.cycles <- t.cycles + t.cfg.Hw_config.branch_taken_penalty;
+    t.stall_cycles <- t.stall_cycles + t.cfg.Hw_config.branch_taken_penalty
+  in
   let next = pc + 4 in
   match insn with
   | Insn.Alu (op, rd, rs1, rs2) ->
@@ -135,6 +173,10 @@ let step t =
     let addr = Word.add (get t rs1) (Word.of_signed imm) in
     let region = region_of t addr in
     let outcome = cache_access t.dcache region addr in
+    (match outcome with
+    | Timing.Cached_hit -> t.dc_hits <- t.dc_hits + 1
+    | Timing.Cached_miss -> t.dc_misses <- t.dc_misses + 1
+    | Timing.Uncached -> ());
     t.cycles <- t.cycles + Timing.data_read_cycles t.cfg ~outcome ~region;
     let v =
       try Image.read_word t.mem addr with Image.Bus_error a -> raise (Fault (Bus_error a))
@@ -191,6 +233,11 @@ let run ?(fuel = 20_000_000) t =
   t.pc <- t.program.Program.entry;
   t.cycles <- 0;
   t.steps <- 0;
+  t.stall_cycles <- 0;
+  t.ic_hits <- 0;
+  t.ic_misses <- 0;
+  t.dc_hits <- 0;
+  t.dc_misses <- 0;
   Hashtbl.reset t.counts;
   let rec loop remaining =
     if remaining = 0 then Out_of_fuel { cycles = t.cycles; steps = t.steps }
@@ -201,7 +248,15 @@ let run ?(fuel = 20_000_000) t =
         Halted { cycles = t.cycles; steps = t.steps; return_value = get t Reg.rv }
       | exception Fault fault -> Faulted { fault; cycles = t.cycles; steps = t.steps }
   in
-  loop fuel
+  let outcome = loop fuel in
+  Metrics.incr m_instructions t.steps;
+  Metrics.incr m_cycles t.cycles;
+  Metrics.incr m_stalls t.stall_cycles;
+  Metrics.incr m_ic_hits t.ic_hits;
+  Metrics.incr m_ic_misses t.ic_misses;
+  Metrics.incr m_dc_hits t.dc_hits;
+  Metrics.incr m_dc_misses t.dc_misses;
+  outcome
 
 let cycles_of = function
   | Halted { cycles; _ } | Faulted { cycles; _ } | Out_of_fuel { cycles; _ } -> cycles

@@ -1,3 +1,14 @@
+module Metrics = Wcet_obs.Metrics
+
+(* Bucket bounds follow the paper's table rows (see [bucketize]). Recorded
+   serially from the merged shard tallies, so the metric is bit-identical
+   for any PAR_DOMAINS — the shard layout is fixed by the sample count. *)
+let m_iterations =
+  Metrics.histogram ~name:"ldivmod_iterations"
+    ~help:"Correction-loop iteration counts of sampled 32-bit divisions"
+    ~buckets:[| 0; 1; 2; 3; 9; 19; 39; 59; 79; 99; 135; 255 |]
+    ()
+
 type result = { quotient : int; remainder : int; iterations : int }
 
 let mask32 = 0xFFFFFFFF
@@ -120,7 +131,10 @@ let histogram ?domains ~samples ~seed () =
     parts;
   let hist = ref [] in
   for n = max_iter - 1 downto 0 do
-    if counts.(n) > 0 then hist := (n, counts.(n)) :: !hist
+    if counts.(n) > 0 then begin
+      Metrics.observe_n m_iterations n ~n:counts.(n);
+      hist := (n, counts.(n)) :: !hist
+    end
   done;
   let hist = !hist in
   let top =

@@ -117,6 +117,9 @@ module Make (D : Domain) = struct
     in_state : int -> D.t option;
     out_state : int -> D.t option;
     transfers : int;  (** number of [transfer] applications until the fixpoint *)
+    widenings : int;
+    joins : int;
+    max_pending : int;  (** peak worklist occupancy *)
   }
 
   (* [propagate] maps a node and its out-state to per-edge contributions
@@ -146,9 +149,15 @@ module Make (D : Domain) = struct
     let fifo = Queue.create () in
     let heap = Heap.create (min p.num_nodes 1024) in
     let transfers = ref 0 in
+    let widenings = ref 0 in
+    let joins = ref 0 in
+    let pending_now = ref 0 in
+    let max_pending = ref 0 in
     let enqueue n =
       if not in_queue.(n) then begin
         in_queue.(n) <- true;
+        incr pending_now;
+        if !pending_now > !max_pending then max_pending := !pending_now;
         match strategy with
         | Fifo -> Queue.add n fifo
         | Rpo -> Heap.push heap priority.(n) n
@@ -157,6 +166,7 @@ module Make (D : Domain) = struct
     let dequeue () =
       let n = match strategy with Fifo -> Queue.take fifo | Rpo -> Heap.pop heap in
       in_queue.(n) <- false;
+      decr pending_now;
       n
     in
     let pending () =
@@ -173,8 +183,14 @@ module Make (D : Domain) = struct
             if
               (p.widening_points n && visits.(n) >= p.widening_delay)
               || visits.(n) >= force_widen_after
-            then D.widen old state
-            else D.join old state
+            then begin
+              incr widenings;
+              D.widen old state
+            end
+            else begin
+              incr joins;
+              D.join old state
+            end
           in
           input.(n) <- Some merged;
           enqueue n
@@ -206,5 +222,8 @@ module Make (D : Domain) = struct
       in_state = (fun n -> input.(n));
       out_state = (fun n -> output.(n));
       transfers = !transfers;
+      widenings = !widenings;
+      joins = !joins;
+      max_pending = !max_pending;
     }
 end

@@ -48,6 +48,9 @@ module Make (D : Domain) : sig
     in_state : int -> D.t option;  (** [None] for unreachable nodes *)
     out_state : int -> D.t option;
     transfers : int;  (** total transfer applications, for diagnostics *)
+    widenings : int;  (** merges that used [widen] rather than [join] *)
+    joins : int;  (** merges that used [join] *)
+    max_pending : int;  (** peak worklist occupancy *)
   }
 
   (** [solve ?strategy ?propagate ?force_widen_after ?budget problem] runs

@@ -7,6 +7,35 @@ module Supergraph = Wcet_cfg.Supergraph
 module Func_cfg = Wcet_cfg.Func_cfg
 module Loops = Wcet_cfg.Loops
 
+module Metrics = Wcet_obs.Metrics
+
+(* Fixpoint.Make lives below Wcet_obs in the dependency order, so the engine
+   returns its statistics in the result record and each analysis publishes
+   them under its own label. *)
+let m_transfers =
+  Metrics.counter ~labels:[ ("analysis", "value") ] ~name:"fixpoint_transfers"
+    ~help:"Transfer-function applications until the value fixpoint" ()
+
+let m_widenings =
+  Metrics.counter ~labels:[ ("analysis", "value") ] ~name:"fixpoint_widenings"
+    ~help:"State merges that used widening in the value analysis" ()
+
+let m_joins =
+  Metrics.counter ~labels:[ ("analysis", "value") ] ~name:"fixpoint_joins"
+    ~help:"State merges that used join in the value analysis" ()
+
+let m_worklist_peak =
+  Metrics.gauge ~labels:[ ("analysis", "value") ] ~name:"fixpoint_worklist_peak"
+    ~help:"Peak worklist occupancy of the value fixpoint" ()
+
+let m_access precision =
+  Metrics.counter ~labels:[ ("precision", precision) ] ~name:"value_accesses"
+    ~help:("Memory accesses whose address resolved to " ^ precision) ()
+
+let m_access_exact = m_access "exact"
+let m_access_interval = m_access "interval"
+let m_access_unknown = m_access "unknown"
+
 type access = { insn_index : int; insn_addr : int; is_store : bool; addr : Aval.t }
 
 type result = {
@@ -217,6 +246,23 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) (graph : Supergraph
         ctx.record <- None;
         accesses.(i) <- List.rev !acc)
     graph.Supergraph.nodes;
+  Metrics.incr m_transfers solution.FP.transfers;
+  Metrics.incr m_widenings solution.FP.widenings;
+  Metrics.incr m_joins solution.FP.joins;
+  Metrics.set_max m_worklist_peak solution.FP.max_pending;
+  if Wcet_obs.Obs.on () then
+    Array.iter
+      (List.iter (fun a ->
+           let m =
+             match Aval.singleton a.addr with
+             | Some _ -> m_access_exact
+             | None -> (
+               match Aval.range a.addr with
+               | Some _ -> m_access_interval
+               | None -> m_access_unknown)
+           in
+           Metrics.incr m 1))
+      accesses;
   { graph; node_in; node_out; accesses; transfers = solution.FP.transfers }
 
 let reachable r i = Option.is_some r.node_in.(i)

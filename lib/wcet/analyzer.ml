@@ -14,6 +14,19 @@ module Block_timing = Wcet_pipeline.Block_timing
 module Ipet = Wcet_ipet.Ipet
 module Annot = Wcet_annot.Annot
 module Diag = Wcet_diag.Diag
+module Metrics = Wcet_obs.Metrics
+module Trace = Wcet_obs.Trace
+
+let m_runs_complete =
+  Metrics.counter ~labels:[ ("verdict", "complete") ] ~name:"analyzer_runs"
+    ~help:"Analyses finishing with a complete (unconditional) bound" ()
+
+let m_runs_partial =
+  Metrics.counter ~labels:[ ("verdict", "partial") ] ~name:"analyzer_runs"
+    ~help:"Analyses finishing with a partial (hole-conditional) bound" ()
+
+let m_failures =
+  Metrics.counter ~name:"analyzer_failures" ~help:"Analyses aborted by a fatal diagnostic" ()
 
 exception Analysis_failed of Diag.t list
 
@@ -60,18 +73,30 @@ type report = {
   phase_seconds : (phase * float) list;
 }
 
-let timed phases phase f =
-  let t0 = Wcet_util.Mono_clock.now () in
-  let result = f () in
-  let dt = Wcet_util.Mono_clock.now () -. t0 in
-  phases := (phase, dt) :: !phases;
-  result
+let span_name = function
+  | Decode -> "decode"
+  | Loop_value -> "value"
+  | Cache -> "cache"
+  | Pipeline -> "pipeline"
+  | Path -> "ipet"
+
+(* [span] overrides the trace-span name when one phase covers several
+   sub-steps (the Cache phase times both classification and persistence). *)
+let timed ?span phases phase f =
+  let name = match span with Some s -> s | None -> span_name phase in
+  Trace.with_span ~cat:"analyzer" name (fun () ->
+      let t0 = Wcet_util.Mono_clock.now () in
+      let result = f () in
+      let dt = Wcet_util.Mono_clock.now () -. t0 in
+      phases := (phase, dt) :: !phases;
+      result)
 
 (* A fatal problem: record the diagnostic and abort with everything
    collected so far. *)
 let fatal c phase ~code ?loc ?hint fmt =
   Format.kasprintf
     (fun message ->
+      Metrics.incr m_failures 1;
       Diag.add c (Diag.make ?hint ?loc Diag.Error phase ~code message);
       raise (Analysis_failed (Diag.items c)))
     fmt
@@ -283,7 +308,7 @@ let validate_loop_places c program (annot : Annot.t) =
       | Annot.At_addr _ -> ())
     annot.Annot.loop_bounds
 
-let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
+let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
     ?(strategy = Wcet_util.Fixpoint.Rpo) program =
   let c = Diag.collector () in
   let phases = ref [] in
@@ -414,7 +439,8 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
         Cache_analysis.run ~strategy hw value ~region_hints:(region_hints_of_annot c program annot))
   in
   let persistence =
-    timed phases Cache (fun () -> Wcet_cache.Persistence.compute hw value loops cache)
+    timed ~span:"persistence" phases Cache (fun () ->
+        Wcet_cache.Persistence.compute hw value loops cache)
   in
   let timing =
     timed phases Pipeline (fun () -> Block_timing.compute hw value cache ~persistence)
@@ -460,6 +486,21 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
     diagnostics = Diag.items c;
     phase_seconds = List.rev !phases;
   }
+
+let analyze ?hw ?annot ?strategy program =
+  Trace.with_span ~cat:"analyzer" "analyze" (fun () ->
+      let r = analyze_inner ?hw ?annot ?strategy program in
+      Trace.add_attr "nodes" (Trace.Int (Array.length r.graph.Supergraph.nodes));
+      Trace.add_attr "loops" (Trace.Int (Array.length r.loops.Loops.loops));
+      Trace.add_attr "wcet" (Trace.Int r.wcet);
+      (match r.verdict with
+      | Complete ->
+        Trace.add_attr "verdict" (Trace.Str "complete");
+        Metrics.incr m_runs_complete 1
+      | Partial ->
+        Trace.add_attr "verdict" (Trace.Str "partial");
+        Metrics.incr m_runs_partial 1);
+      r)
 
 let analyze_modes ?(hw = Hw_config.default) ~base ~modes program =
   let oblivious = ("(all modes)", analyze ~hw ~annot:base program) in
@@ -530,8 +571,16 @@ let hole_to_json = function
 
 let report_to_json r =
   let open Wcet_diag.Json in
+  (* When the observability layer is live, the machine-readable report also
+     carries the metric snapshot and the span trace — same Json renderer as
+     everything else, no second printer. *)
+  let obs_fields =
+    if Wcet_obs.Obs.on () then
+      [ ("metrics", Metrics.to_json ()); ("trace", Trace.to_json ()) ]
+    else []
+  in
   Obj
-    [
+    ([
       ("wcet", Int r.wcet);
       ("bcet", Int r.bcet);
       ("verdict", String (match r.verdict with Complete -> "complete" | Partial -> "partial"));
@@ -558,6 +607,7 @@ let report_to_json r =
                Obj [ ("name", String (phase_name phase)); ("seconds", Float dt) ])
              r.phase_seconds) );
     ]
+    @ obs_fields)
 
 let failure_to_json ds =
   let open Wcet_diag.Json in

@@ -1,0 +1,309 @@
+(* Tests for the observability layer (lib/obs) and its consumers:
+
+   - span nesting, balancing (including through exceptions), and the
+     disabled-mode no-op guarantee, measured down to allocation counts;
+   - histogram bucket-edge placement (inclusive upper bounds, overflow);
+   - determinism of the ldivmod_iterations metric across domain counts;
+   - the registry pin: the full set of metric names, so a rename or removal
+     is a deliberate, test-visible act (wcet_tool metrics shows this list);
+   - explain: the per-block decomposition covers the IPET bound exactly,
+     and the dominating loop is reported. *)
+
+module Obs = Wcet_obs.Obs
+module Metrics = Wcet_obs.Metrics
+module Trace = Wcet_obs.Trace
+module Analyzer = Wcet_core.Analyzer
+module Explain = Wcet_core.Explain
+module Harness = Wcet_experiments.Harness
+
+(* Metric registration happens at module-initialization time; reference
+   every instrumented module so the registry this binary sees is the one
+   wcet_tool links (the analyzer pulls in the rest transitively). *)
+let () = ignore Softarith.Ldivmod.udivmod
+let () = ignore Pred32_sim.Simulator.create
+
+let with_obs f =
+  Obs.enable ();
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect ~finally:Obs.disable f
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let inner_depth = ref (-1) in
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner" (fun () -> inner_depth := Trace.depth ()));
+      Alcotest.(check int) "depth inside inner" 2 !inner_depth;
+      Alcotest.(check int) "balanced after exit" 0 (Trace.depth ());
+      let events = Trace.events () in
+      Alcotest.(check (list string)) "completion order: inner closes first"
+        [ "inner"; "outer" ]
+        (List.map (fun (e : Trace.event) -> e.Trace.name) events);
+      let by_name n = List.find (fun (e : Trace.event) -> e.Trace.name = n) events in
+      Alcotest.(check int) "outer at depth 0" 0 (by_name "outer").Trace.depth;
+      Alcotest.(check int) "inner at depth 1" 1 (by_name "inner").Trace.depth;
+      let outer = by_name "outer" and inner = by_name "inner" in
+      Alcotest.(check bool) "inner within outer" true
+        (inner.Trace.start_ns >= outer.Trace.start_ns
+        && Int64.add inner.Trace.start_ns inner.Trace.dur_ns
+           <= Int64.add outer.Trace.start_ns outer.Trace.dur_ns))
+
+let test_span_balances_on_exception () =
+  with_obs (fun () ->
+      (try Trace.with_span "fails" (fun () -> failwith "boom") with Failure _ -> ());
+      Alcotest.(check int) "stack balanced" 0 (Trace.depth ());
+      Alcotest.(check (list string)) "span still recorded" [ "fails" ]
+        (List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.events ())))
+
+let test_span_attrs () =
+  with_obs (fun () ->
+      Trace.with_span ~attrs:[ ("at_entry", Trace.Int 1) ] "s" (fun () ->
+          Trace.add_attr "inside" (Trace.Str "yes"));
+      match Trace.events () with
+      | [ e ] ->
+        Alcotest.(check int) "attr count" 2 (List.length e.Trace.attrs);
+        Alcotest.(check bool) "entry attr first" true
+          (List.assoc "at_entry" e.Trace.attrs = Trace.Int 1)
+      | evs -> Alcotest.failf "expected one event, got %d" (List.length evs))
+
+(* --- disabled mode --- *)
+
+let test_disabled_no_op () =
+  Obs.disable ();
+  Trace.reset ();
+  Metrics.reset ();
+  let c = Metrics.counter ~name:"test_disabled_counter" ~help:"test" () in
+  let h =
+    Metrics.histogram ~name:"test_disabled_hist" ~help:"test" ~buckets:[| 1; 2 |] ()
+  in
+  Metrics.incr c 5;
+  Metrics.observe h 1;
+  Trace.with_span "ignored" (fun () -> ());
+  Alcotest.(check (option bool)) "counter untouched" (Some true)
+    (Option.map (fun v -> v = Metrics.Counter_value 0) (Metrics.find "test_disabled_counter"));
+  (match Metrics.find "test_disabled_hist" with
+  | Some (Metrics.Histogram_value { count; _ }) -> Alcotest.(check int) "hist untouched" 0 count
+  | _ -> Alcotest.fail "histogram not found");
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Trace.events ()))
+
+let test_disabled_allocation_free () =
+  Obs.disable ();
+  let c = Metrics.counter ~name:"test_alloc_counter" ~help:"test" () in
+  let h = Metrics.histogram ~name:"test_alloc_hist" ~help:"test" ~buckets:[| 1; 2 |] () in
+  let body () = () in
+  let iterations = 10_000 in
+  (* Warm up so any one-time allocation is out of the measured window. *)
+  Metrics.incr c 1;
+  Metrics.observe h 1;
+  Trace.with_span "warm" body;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iterations do
+    Metrics.incr c 1;
+    Metrics.observe h 1;
+    Metrics.observe_n h 1 ~n:3;
+    Trace.with_span "off" body
+  done;
+  let delta = Gc.minor_words () -. w0 in
+  (* Allow a few words for the measurement itself; anything per-iteration
+     would show up as >= [iterations] words. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled ops allocate nothing (delta %.0f words)" delta)
+    true
+    (delta < float_of_int iterations)
+
+(* --- histogram buckets --- *)
+
+(* Returns (buckets, overflow, sum, count); the inline record can't escape
+   its match. *)
+let hist_value name =
+  match Metrics.find name with
+  | Some (Metrics.Histogram_value { buckets; overflow; sum; count }) ->
+    (buckets, overflow, sum, count)
+  | _ -> Alcotest.failf "histogram %s not found" name
+
+let test_histogram_bucket_edges () =
+  with_obs (fun () ->
+      let h =
+        Metrics.histogram ~name:"test_edges" ~help:"test" ~buckets:[| 0; 10; 20 |] ()
+      in
+      (* Inclusive upper bounds: 0 -> bucket le=0; 1 and 10 -> le=10;
+         11 and 20 -> le=20; 21 -> overflow. *)
+      List.iter (Metrics.observe h) [ 0; 1; 10; 11; 20; 21 ];
+      let buckets, overflow, sum, count = hist_value "test_edges" in
+      Alcotest.(check (list (pair int int)))
+        "bucket placement"
+        [ (0, 1); (10, 2); (20, 2) ]
+        (Array.to_list buckets);
+      Alcotest.(check int) "overflow" 1 overflow;
+      Alcotest.(check int) "count" 6 count;
+      Alcotest.(check int) "sum" 63 sum)
+
+let test_histogram_rejects_bad_buckets () =
+  Alcotest.check_raises "non-increasing buckets"
+    (Invalid_argument "Metrics.histogram: bucket bounds must be strictly increasing")
+    (fun () -> ignore (Metrics.histogram ~name:"test_bad" ~help:"t" ~buckets:[| 1; 1 |] ()))
+
+(* --- determinism across domain counts --- *)
+
+let test_ldivmod_metric_deterministic () =
+  let snapshot domains =
+    with_obs (fun () ->
+        ignore (Softarith.Ldivmod.histogram ~domains ~samples:200_000 ~seed:7L ());
+        hist_value "ldivmod_iterations")
+  in
+  let s_buckets, s_overflow, s_sum, s_count = snapshot 1 in
+  let p_buckets, p_overflow, p_sum, p_count = snapshot 4 in
+  Alcotest.(check (list (pair int int)))
+    "bucket counts identical for 1 vs 4 domains"
+    (Array.to_list s_buckets) (Array.to_list p_buckets);
+  Alcotest.(check int) "overflow identical" s_overflow p_overflow;
+  Alcotest.(check int) "sum identical" s_sum p_sum;
+  Alcotest.(check int) "count identical" s_count p_count
+
+(* --- registry pin --- *)
+
+(* The full metric name set, as listed by `wcet_tool metrics`. Adding a
+   metric means adding it here; renaming or dropping one is an interface
+   change this test makes deliberate. Locally-registered test_* metrics are
+   filtered out. *)
+let pinned_names =
+  [
+    "analyzer_failures";
+    "analyzer_runs{verdict=complete}";
+    "analyzer_runs{verdict=partial}";
+    "cache_data_class{class=always_hit}";
+    "cache_data_class{class=always_miss}";
+    "cache_data_class{class=bypass}";
+    "cache_data_class{class=not_classified}";
+    "cache_fetch_class{class=always_hit}";
+    "cache_fetch_class{class=always_miss}";
+    "cache_fetch_class{class=bypass}";
+    "cache_fetch_class{class=not_classified}";
+    "cache_persistence_promotions{cache=data}";
+    "cache_persistence_promotions{cache=fetch}";
+    "fixpoint_joins{analysis=cache}";
+    "fixpoint_joins{analysis=value}";
+    "fixpoint_transfers{analysis=cache}";
+    "fixpoint_transfers{analysis=value}";
+    "fixpoint_widenings{analysis=cache}";
+    "fixpoint_widenings{analysis=value}";
+    "fixpoint_worklist_peak{analysis=cache}";
+    "fixpoint_worklist_peak{analysis=value}";
+    "ipet_constraints";
+    "ipet_solves";
+    "ipet_variables";
+    "ldivmod_iterations";
+    "pipeline_block_wcet_cycles";
+    "pipeline_blocks";
+    "sim_cache_hits{cache=d}";
+    "sim_cache_hits{cache=i}";
+    "sim_cache_misses{cache=d}";
+    "sim_cache_misses{cache=i}";
+    "sim_cycles";
+    "sim_instructions";
+    "sim_stall_cycles";
+    "simplex_pivots";
+    "value_accesses{precision=exact}";
+    "value_accesses{precision=interval}";
+    "value_accesses{precision=unknown}";
+  ]
+
+let test_registry_pinned () =
+  let registered =
+    Metrics.all ()
+    |> List.map fst
+    |> List.filter (fun n -> not (String.length n >= 5 && String.sub n 0 5 = "test_"))
+  in
+  Alcotest.(check (list string)) "registry matches the pinned name list" pinned_names registered;
+  List.iter
+    (fun (name, help) ->
+      Alcotest.(check bool) (name ^ " has a description") true (String.length help > 0))
+    (Metrics.all ())
+
+(* --- metrics populate during an observed analysis --- *)
+
+let counter_value name =
+  match Metrics.find name with
+  | Some (Metrics.Counter_value v) -> v
+  | Some (Metrics.Gauge_value v) -> v
+  | _ -> Alcotest.failf "metric %s not found" name
+
+let test_analysis_populates_metrics () =
+  let program = Minic.Compile.compile Harness.quickstart_source in
+  with_obs (fun () ->
+      ignore (Analyzer.analyze program);
+      Alcotest.(check bool) "value transfers recorded" true
+        (counter_value "fixpoint_transfers{analysis=value}" > 0);
+      Alcotest.(check bool) "cache transfers recorded" true
+        (counter_value "fixpoint_transfers{analysis=cache}" > 0);
+      Alcotest.(check bool) "fetch classifications recorded" true
+        (counter_value "cache_fetch_class{class=always_hit}"
+         + counter_value "cache_fetch_class{class=always_miss}"
+         + counter_value "cache_fetch_class{class=not_classified}"
+         + counter_value "cache_fetch_class{class=bypass}"
+        > 0);
+      Alcotest.(check bool) "simplex pivoted" true (counter_value "simplex_pivots" > 0);
+      Alcotest.(check int) "one ipet solve" 1 (counter_value "ipet_solves");
+      Alcotest.(check int) "one complete run" 1 (counter_value "analyzer_runs{verdict=complete}");
+      let spans = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.events ()) in
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool) (phase ^ " span present") true (List.mem phase spans))
+        [ "analyze"; "decode"; "value"; "cache"; "persistence"; "pipeline"; "ipet" ])
+
+(* --- explain --- *)
+
+let test_explain_covers_bound () =
+  let program = Minic.Compile.compile Harness.quickstart_source in
+  let report = Analyzer.analyze program in
+  let ex = Explain.of_report report in
+  Alcotest.(check int) "decomposition covers the bound exactly" report.Analyzer.wcet
+    ex.Explain.covered;
+  Alcotest.(check int) "wcet echoed" report.Analyzer.wcet ex.Explain.wcet;
+  Alcotest.(check bool) "per-block totals are count*cycles" true
+    (List.for_all
+       (fun (r : Explain.block_row) -> r.Explain.total = r.Explain.count * r.Explain.cycles)
+       ex.Explain.blocks);
+  Alcotest.(check bool) "rows sorted by total descending" true
+    (let rec sorted = function
+       | (a : Explain.block_row) :: (b :: _ as rest) ->
+         a.Explain.total >= b.Explain.total && sorted rest
+       | _ -> true
+     in
+     sorted ex.Explain.blocks);
+  match ex.Explain.dominating with
+  | None -> Alcotest.fail "quickstart has a loop; expected a dominating loop"
+  | Some row ->
+    Alcotest.(check string) "dominating loop in main" "main" row.Explain.loop_func;
+    let rendered = Format.asprintf "%a" (Explain.pp ~top:5) ex in
+    Alcotest.(check bool) "pp names the dominating loop" true
+      (Astring.String.is_infix ~affix:"dominating loop:" rendered)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "balances on exception" `Quick test_span_balances_on_exception;
+          Alcotest.test_case "span attributes" `Quick test_span_attrs;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "recording is a no-op" `Quick test_disabled_no_op;
+          Alcotest.test_case "allocation-free" `Quick test_disabled_allocation_free;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "bad buckets rejected" `Quick test_histogram_rejects_bad_buckets;
+          Alcotest.test_case "ldivmod metric domain-count independent" `Quick
+            test_ldivmod_metric_deterministic;
+          Alcotest.test_case "registry pinned" `Quick test_registry_pinned;
+          Alcotest.test_case "analysis populates metrics" `Quick test_analysis_populates_metrics;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "covers the bound exactly" `Quick test_explain_covers_bound ] );
+    ]
