@@ -6,7 +6,10 @@
      wcet_tool explain  prog.mc [--annot a.ann] [--hw ...] [--soft-div]
                         [--top N] [--dot FILE] [--format text|json]
      wcet_tool simulate prog.mc [--poke sym=value]... [--hw ...]
-     wcet_tool misra    prog.mc
+     wcet_tool misra    prog.mc [--format text|json]
+     wcet_tool audit    prog.mc [--annot a.ann] [--hw ...] [--soft-div]
+                        [--format text|json] [--dot FILE]
+     wcet_tool audit    --corpus [--seed N] [--grades] [--format text|json]
      wcet_tool disasm   prog.mc
      wcet_tool suggest  prog.mc
      wcet_tool check    [--seed N] [--random N] [--faults N] [--format text|json]
@@ -215,26 +218,140 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run a MiniC program in the cycle-level simulator")
     Term.(const run $ source_arg $ hw_arg $ soft_div_arg $ pokes_arg)
 
+(* User-code violations only: the linked runtime ("__"-prefixed functions)
+   deliberately violates some rules (software arithmetic loops, etc.). *)
+let user_violations source =
+  Misra.Checker.check (Minic.Compile.frontend_with_runtime (read_file source))
+  |> List.filter (fun (v : Misra.Checker.violation) ->
+         not
+           (String.length v.Misra.Checker.func > 1
+           && String.sub v.Misra.Checker.func 0 2 = "__"))
+
 let misra_cmd =
-  let run source =
+  let run source format =
     handle_errors (fun () ->
-        let tast = Minic.Compile.frontend_with_runtime (read_file source) in
-        let violations =
-          Misra.Checker.check tast
-          |> List.filter (fun (v : Misra.Checker.violation) ->
-                 not
-                   (String.length v.Misra.Checker.func > 1
-                   && String.sub v.Misra.Checker.func 0 2 = "__"))
-        in
-        if violations = [] then Format.printf "no MISRA-C violations found@."
-        else begin
-          List.iter (fun v -> Format.printf "%a@." Misra.Checker.pp_violation v) violations;
-          Format.printf "%d violation(s)@." (List.length violations);
-          exit Diag.Exit.misra
-        end)
+        let violations = user_violations source in
+        (match format with
+        | Json_format ->
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ( "violations",
+                      Json.List
+                        (List.map
+                           (fun v -> Diag.to_json (Misra.Audit.violation_to_diag v))
+                           violations) );
+                    ("count", Json.Int (List.length violations));
+                  ]))
+        | Text ->
+          if violations = [] then Format.printf "no MISRA-C violations found@."
+          else begin
+            List.iter (fun v -> Format.printf "%a@." Misra.Checker.pp_violation v) violations;
+            Format.printf "%d violation(s)@." (List.length violations)
+          end);
+        if violations <> [] then exit Diag.Exit.misra)
   in
   Cmd.v (Cmd.info "misra" ~doc:"Check a MiniC program against the studied MISRA-C rules")
-    Term.(const run $ source_arg)
+    Term.(const run $ source_arg $ format_arg)
+
+let audit_cmd =
+  let source_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"PROGRAM.mc" ~doc:"MiniC source (or .s assembly) to audit")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the supergraph with findings overlaid as Graphviz dot ($(b,-) for stdout)")
+  in
+  let corpus_arg =
+    Arg.(value & flag & info [ "corpus" ] ~doc:"Audit every corpus scenario instead of one program")
+  in
+  let grades_arg =
+    Arg.(
+      value & flag
+      & info [ "grades" ]
+          ~doc:"With $(b,--corpus): print one stable grade line per scenario (golden-file format)")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 20110318L
+      & info [ "seed" ]
+          ~doc:"With $(b,--corpus): selects each scenario's nominal coverage input set \
+                (deterministic)")
+  in
+  let emit_dot dot report audit =
+    match dot with
+    | None -> ()
+    | Some "-" -> Misra.Audit.emit_dot Format.std_formatter report audit
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Misra.Audit.emit_dot ppf report audit;
+          Format.pp_print_flush ppf ())
+  in
+  let run source annot_file hw soft_div format dot corpus grades seed =
+    handle_errors (fun () ->
+        if corpus then begin
+          let rows = Wcet_experiments.Audit_corpus.run ~seed () in
+          (if grades then
+             List.iter print_endline (Wcet_experiments.Audit_corpus.grades_lines rows)
+           else
+             match format with
+             | Json_format ->
+               print_endline (Json.to_string (Wcet_experiments.Audit_corpus.to_json rows))
+             | Text -> Format.printf "%a@." Wcet_experiments.Audit_corpus.pp rows)
+        end
+        else
+          match source with
+          | None ->
+            fail_with
+              (Diag.make Diag.Error Diag.Frontend ~code:"E0101"
+                 "audit needs a PROGRAM.mc argument (or --corpus)")
+          | Some source ->
+            let program = compile source ~soft_div in
+            let annot = load_annot annot_file in
+            let misra =
+              if Filename.check_suffix source ".s" then [] else user_violations source
+            in
+            (* Nominal coverage: one zero-input simulator run (inputs left at
+               their initial memory image), feeding the A0510 detector. *)
+            let coverage =
+              let sim = Pred32_sim.Simulator.create hw program in
+              match Pred32_sim.Simulator.run sim with
+              | Pred32_sim.Simulator.Halted _ ->
+                Some (fun addr -> Pred32_sim.Simulator.exec_count sim addr)
+              | Pred32_sim.Simulator.Faulted _ | Pred32_sim.Simulator.Out_of_fuel _ -> None
+            in
+            let audit =
+              match Analyzer.analyze ~hw ~annot program with
+              | report ->
+                let audit = Misra.Audit.of_report ~misra ~annot ?coverage report in
+                emit_dot dot report audit;
+                audit
+              | exception Analyzer.Analysis_failed ds -> Misra.Audit.of_failure ds
+            in
+            (match format with
+            | Json_format -> print_endline (Json.to_string (Misra.Audit.to_json audit))
+            | Text -> Format.printf "%a@?" Misra.Audit.pp audit);
+            if audit.Misra.Audit.grade <> Misra.Audit.Analyzable then exit Diag.Exit.misra)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Audit a binary for the paper's analyzability challenges (tier-1/tier-2) and grade \
+          its predictability")
+    Term.(
+      const run $ source_opt_arg $ annot_arg $ hw_arg $ soft_div_arg $ format_arg $ dot_arg
+      $ corpus_arg $ grades_arg $ seed_arg)
 
 let disasm_cmd =
   let run source soft_div =
@@ -436,6 +553,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; explain_cmd; simulate_cmd; misra_cmd; disasm_cmd; suggest_cmd; cfg_cmd;
-            check_cmd; metrics_cmd; codes_cmd;
+            analyze_cmd; explain_cmd; simulate_cmd; misra_cmd; audit_cmd; disasm_cmd;
+            suggest_cmd; cfg_cmd; check_cmd; metrics_cmd; codes_cmd;
           ]))

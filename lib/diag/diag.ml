@@ -10,6 +10,7 @@ type phase =
   | Path
   | Simulation
   | Check
+  | Audit
   | Internal
 
 type loc = { addr : int option; func : string option; line : int option }
@@ -46,6 +47,7 @@ let phase_name = function
   | Path -> "path"
   | Simulation -> "simulation"
   | Check -> "check"
+  | Audit -> "audit"
   | Internal -> "internal"
 
 (* The stable code registry. Codes are part of the tool's external contract
@@ -79,6 +81,28 @@ let all_codes =
     ("E0604", "unknown symbol in a poke/peek");
     ("E0701", "fault-injection campaign observed a crash");
     ("E0901", "internal error (uncaught exception)");
+    ("A0501", "audit: unresolved indirect call (tier-1, paper section 3)");
+    ("A0502", "audit: indirect call resolved by value analysis or annotation");
+    ("A0503", "audit: unresolved indirect jump (tier-1)");
+    ("A0504", "audit: indirect jump resolved by value analysis");
+    ("A0505", "audit: loop bound depends on unconstrained input data (tier-1)");
+    ("A0506", "audit: loop structure defeats automatic bounding (tier-1)");
+    ("A0507", "audit: irreducible control-flow region (tier-1)");
+    ("A0508", "audit: operating-mode structure (mode-variable guards, tier-2)");
+    ("A0509", "audit: imprecise memory access spanning regions (tier-2)");
+    ("A0510", "audit: critical-path blocks never reached in simulation (tier-2)");
+    ("A0511", "audit: call into a software-arithmetic routine (tier-2)");
+    ("A0512", "audit: block semantically unreachable (MISRA 14.1 variant)");
+    ("A0513", "audit: recursion in the call graph (tier-1)");
+    ("M1304", "MISRA 13.4: float in a loop-control expression");
+    ("M1306", "MISRA 13.6: irregular modification of a loop counter");
+    ("M1401", "MISRA 14.1: unreachable code");
+    ("M1404", "MISRA 14.4: goto used");
+    ("M1405", "MISRA 14.5: continue used");
+    ("M1601", "MISRA 16.1: variadic function");
+    ("M1602", "MISRA 16.2: recursion (direct or indirect)");
+    ("M2004", "MISRA 20.4: dynamic heap allocation");
+    ("M2007", "MISRA 20.7: setjmp/longjmp used");
   ]
 
 let describe code = List.assoc_opt code all_codes
@@ -99,6 +123,7 @@ let exit_for d =
   | Decode | Loop_value | Cache | Pipeline | Path -> Exit.analysis
   | Simulation -> Exit.usage
   | Check -> Exit.check_failed
+  | Audit -> Exit.misra
   | Internal -> Exit.internal
 
 let pp_loc ppf loc =

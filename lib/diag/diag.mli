@@ -26,6 +26,7 @@ type phase =
   | Path  (** IPET path analysis *)
   | Simulation
   | Check  (** the soundness cross-validation harness *)
+  | Audit  (** the binary-level analyzability auditor *)
   | Internal
 
 type loc = {

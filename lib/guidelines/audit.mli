@@ -1,0 +1,116 @@
+(** The binary-level analyzability auditor: Sections 3 and 4 of the paper
+    turned into an automatic static-analysis pass.
+
+    Where {!Checker} inspects the {e source} for the MISRA subset, the
+    auditor inspects the {e analysis artifacts} — reconstructed supergraph,
+    loop and value analysis, cache/pipeline timing, IPET solution — and
+    emits one typed finding per instance of the paper's predictability
+    challenges:
+
+    - tier-1 (defeat automatic analysis outright): unresolved vs. resolved
+      indirect calls and jumps (Section 3, function pointers), loops whose
+      bound depends on unconstrained input data (via the
+      {!Wcet_value.Loop_bounds} provenance), irreducible regions, recursion;
+    - tier-2 (lose precision without design-level information): mode-like
+      infeasible-path structure (mutually exclusive guards on a mode
+      variable, Section 4.3), memory accesses whose address interval spans
+      several memory regions, error-handling code that dominates the IPET
+      critical path while never executing in the nominal simulation, and
+      calls into the software-arithmetic runtime (Section 4.4) with their
+      iteration-bound status.
+
+    Every finding carries a stable [A05xx] code registered in
+    {!Wcet_diag.Diag.all_codes}, a severity, a binary location, the paper
+    section it instantiates, the MISRA rules it cross-references, and —
+    where an annotation can discharge it — a ready-to-paste annotation
+    template (the same aiT-style workflow the analyzer's hints follow).
+    Findings aggregate into per-function and per-program predictability
+    grades mirroring the paper's tier split. *)
+
+type tier = Tier1 | Tier2
+
+(** The predictability verdict: [Analyzable] — automatic analysis suffices
+    (only informational findings); [Needs_annotations] — a sound bound
+    requires the listed annotations (warnings remain); [Unanalyzable] — some
+    construct has no annotation remedy or the analysis failed outright
+    (errors remain). *)
+type grade = Analyzable | Needs_annotations | Unanalyzable
+
+type finding = {
+  code : string;  (** stable [A05xx] code, see {!Wcet_diag.Diag.all_codes} *)
+  tier : tier;
+  severity : Wcet_diag.Diag.severity;
+      (** [Error] defeats analysis with no annotation remedy; [Warning]
+          needs an annotation; [Info] records a challenge already handled *)
+  func : string option;  (** enclosing function, when localized *)
+  addr : int option;  (** binary address, when localized *)
+  section : string;  (** the paper section the finding instantiates *)
+  message : string;
+  suggestion : string option;  (** ready-to-paste discharge annotation *)
+  rules : string list;  (** MISRA rules cross-referenced, e.g. ["13.6"] *)
+}
+
+type t = {
+  findings : finding list;  (** sorted by code, then address *)
+  per_function : (string * grade) list;  (** user functions, sorted *)
+  grade : grade;  (** the program grade: worst over all findings *)
+  failure : Wcet_diag.Diag.t list;
+      (** non-empty only for {!of_failure}: the fatal diagnostics *)
+}
+
+(** [of_report ?misra ?annot ?coverage report] audits a completed (possibly
+    partial) analysis. [annot] is the annotation set the analysis ran with,
+    used to distinguish discharged challenges (Info) from open ones.
+    [misra] supplies source-level checker violations for cross-referencing
+    (a 13.6 violation confirms an irregular-counter loop finding).
+    [coverage] maps an instruction address to its execution count in a
+    nominal simulation run; when present, critical-path blocks that never
+    executed are reported as suspected error-handling paths (A0510).
+
+    Increments the [audit_findings{code=...}] metrics counter per finding
+    (when {!Wcet_obs.Obs} is enabled). *)
+val of_report :
+  ?misra:Checker.violation list ->
+  ?annot:Wcet_annot.Annot.t ->
+  ?coverage:(int -> int) ->
+  Wcet_core.Analyzer.report ->
+  t
+
+(** [of_failure diags] grades a fatally-failed analysis [Unanalyzable],
+    mapping recognizable diagnostics onto findings (E0202 unannotated
+    recursion becomes A0513). *)
+val of_failure : Wcet_diag.Diag.t list -> t
+
+val tier_name : tier -> string
+
+val grade_name : grade -> string
+(** ["analyzable"], ["needs-annotations"], ["unanalyzable"]. *)
+
+(** [to_diag f] renders a finding in the shared diagnostic currency (phase
+    [Audit]; the suggestion becomes the hint), so findings and analyzer
+    diagnostics share one text and JSON schema. *)
+val to_diag : finding -> Wcet_diag.Diag.t
+
+(** [finding_to_json f] is {!Wcet_diag.Diag.to_json} of {!to_diag} extended
+    with [tier], [section] and [rules] fields. *)
+val finding_to_json : finding -> Wcet_diag.Json.t
+
+val to_json : t -> Wcet_diag.Json.t
+
+val pp : Format.formatter -> t -> unit
+
+(** [emit_dot ppf report audit] writes the supergraph as Graphviz dot with
+    finding locations overlaid: blocks colored by worst finding severity and
+    labeled with the finding codes. *)
+val emit_dot : Format.formatter -> Wcet_core.Analyzer.report -> t -> unit
+
+(** {2 MISRA bridging (the shared diag/JSON schema for [wcet_tool misra])} *)
+
+(** [rule_code rule] is the stable [M]-prefixed diagnostic code of a checker
+    rule (e.g. 13.6 → ["M1306"]), registered in {!Wcet_diag.Diag.all_codes}. *)
+val rule_code : Checker.rule -> string
+
+(** [violation_to_diag v] renders a source-level checker violation as a
+    diagnostic (phase [Audit], code {!rule_code}, the paper's
+    {!Checker.wcet_impact} as the hint). *)
+val violation_to_diag : Checker.violation -> Wcet_diag.Diag.t

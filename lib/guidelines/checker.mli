@@ -3,10 +3,10 @@
 
     Checked rules: 13.4 (no float loop-control), 13.6 (loop counters not
     modified in the body), 14.1 (no syntactically unreachable code — the
-    semantic variant is the analyzer's reachability result), 14.4 (no
-    goto), 14.5 (no continue), 16.1 (no variadic functions), 16.2 (no
-    recursion), 20.4 (no dynamic heap allocation), 20.7 (no
-    setjmp/longjmp). *)
+    semantic variant, blocks the value analysis proves unreachable, is
+    {!Audit} finding A0512), 14.4 (no goto), 14.5 (no continue), 16.1 (no
+    variadic functions), 16.2 (no recursion), 20.4 (no dynamic heap
+    allocation), 20.7 (no setjmp/longjmp). *)
 
 type rule =
   | R13_4 | R13_6 | R14_1 | R14_4 | R14_5 | R16_1 | R16_2 | R20_4 | R20_7

@@ -6,7 +6,21 @@ module Func_cfg = Wcet_cfg.Func_cfg
 module Loops = Wcet_cfg.Loops
 module Resolver = Wcet_cfg.Resolver
 
-type verdict = Bounded of int | Unbounded of string
+type cause =
+  | Input_dependent
+  | Irregular_counter
+  | Aliased_counter
+  | Structural
+  | Unreachable_entry
+
+let cause_name = function
+  | Input_dependent -> "input-dependent"
+  | Irregular_counter -> "irregular-counter"
+  | Aliased_counter -> "aliased-counter"
+  | Structural -> "structural"
+  | Unreachable_entry -> "unreachable-entry"
+
+type verdict = Bounded of int | Unbounded of cause * string
 
 type t = { per_loop : verdict array }
 
@@ -212,7 +226,7 @@ let as_range v =
   | Aval.Top -> Some (0, 0xFFFFFFFF)
 
 let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
-    (int, string) Either.t =
+    (int, cause * string) Either.t =
   let graph = result.Analysis.graph in
   let node = graph.Supergraph.nodes.(nid) in
   match node.Supergraph.block.Func_cfg.term with
@@ -224,7 +238,7 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
     let fall_in =
       List.exists (fun (k, t) -> k = Supergraph.Enottaken && in_body t) node.Supergraph.succs
     in
-    if taken_in = fall_in then Either.Right "exit branch has both sides in the loop"
+    if taken_in = fall_in then Either.Right (Structural, "exit branch has both sides in the loop")
     else
       let continue_cond = if taken_in then cond else negate_cond cond in
       (* Identify counter and limit. *)
@@ -247,7 +261,8 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
         let limit_iv = interval_at_exit result nid other_reg in
         let rel = rel_of_cond ~counter_is_rs1 continue_cond in
         if limit_iv = Aval.Top then
-          Either.Right "iteration count depends on input data (no bound on the limit operand)"
+          Either.Right
+            (Input_dependent, "iteration count depends on input data (no bound on the limit operand)")
         else
         let sign_ok =
           (not (is_signed_cond cond))
@@ -255,12 +270,12 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
              | Some (_, ih), Some (_, lh) -> ih < 0x80000000 && lh < 0x80000000
              | _ -> false)
         in
-        if not sign_ok then Either.Right "signed comparison on possibly-negative values"
+        if not sign_ok then Either.Right (Input_dependent, "signed comparison on possibly-negative values")
         else
           let all_pos = List.for_all (fun d -> d > 0) deltas in
           let all_neg = List.for_all (fun d -> d < 0) deltas in
           if deltas = [] || not (all_pos || all_neg) then
-            Either.Right "counter steps in both directions (rule 13.6)"
+            Either.Right (Irregular_counter, "counter steps in both directions (rule 13.6)")
           else
             (* Slowest progress gives the worst case. *)
             let d =
@@ -268,12 +283,13 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
               else List.fold_left max min_int deltas
             in
             match (as_range init_iv, as_range limit_iv) with
-            | None, _ | _, None -> Either.Right "loop entry unreachable"
+            | None, _ | _, None -> Either.Right (Unreachable_entry, "loop entry unreachable")
             | Some init, Some ((llo, _) as limit) -> (
               match compute_bound ~rel ~d ~init ~limit ~limit_lo:llo with
               | Some n -> Either.Left n
               | None ->
-                Either.Right "iteration count depends on input data (limit interval too wide)")
+                Either.Right
+                (Input_dependent, "iteration count depends on input data (limit interval too wide)"))
       in
       let pick counter_is_rs1 (addr, stores) other_reg =
         (* Extract the constant step from every store to the counter slot. *)
@@ -294,7 +310,7 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
             stores
         in
         if List.exists Option.is_none deltas then
-          Either.Right "counter update is not a constant step (rule 13.6)"
+          Either.Right (Irregular_counter, "counter update is not a constant step (rule 13.6)")
         else
           finish ~counter_is_rs1
             ~deltas:(List.map Option.get deltas)
@@ -304,8 +320,8 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
       match (c1, c2) with
       | `Counter cs, (`Value | `Aliased) -> pick true cs rs2
       | (`Value | `Aliased), `Counter cs -> pick false cs rs1
-      | `Counter _, `Counter _ -> Either.Right "both branch operands are modified in the loop"
-      | `Aliased, _ | _, `Aliased -> Either.Right "counter may be written through a pointer"
+      | `Counter _, `Counter _ -> Either.Right (Irregular_counter, "both branch operands are modified in the loop")
+      | `Aliased, _ | _, `Aliased -> Either.Right (Aliased_counter, "counter may be written through a pointer")
       | `Value, `Value -> (
         (* No memory counter: try register-resident counters. *)
         match (classify_register result loop rs1, classify_register result loop rs2) with
@@ -318,10 +334,10 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
             ~init_iv:(reg_entry_interval result loop rs2)
             ~other_reg:rs1
         | `Reg_counter _, `Reg_counter _ ->
-          Either.Right "both branch operands are modified in the loop"
+          Either.Right (Irregular_counter, "both branch operands are modified in the loop")
         | (`Invariant | `Unknown), (`Invariant | `Unknown) ->
-          Either.Right "exit condition is not derived from a loop counter"))
-  | _ -> Either.Right "exit is not a conditional branch"
+          Either.Right (Structural, "exit condition is not derived from a loop counter")))
+  | _ -> Either.Right (Structural, "exit is not a conditional branch")
 
 let analyze (result : Analysis.result) (loops : Loops.info) =
   let graph = result.Analysis.graph in
@@ -348,18 +364,18 @@ let analyze (result : Analysis.result) (loops : Loops.info) =
             loop.Loops.body
         in
         if candidates = [] then
-          Unbounded "no dominating exit branch (irreducible or multi-exit loop)"
+          Unbounded (Structural, "no dominating exit branch (irreducible or multi-exit loop)")
         else
           let results = List.map (analyze_exit result loop) candidates in
           let bounds = List.filter_map (function Either.Left n -> Some n | _ -> None) results in
           match bounds with
           | [] ->
-            let reason =
+            let cause, reason =
               match results with
               | Either.Right r :: _ -> r
-              | _ -> "no boundable exit"
+              | _ -> (Structural, "no boundable exit")
             in
-            Unbounded reason
+            Unbounded (cause, reason)
           | _ -> Bounded (List.fold_left min max_int bounds))
       loops.Loops.loops
   in
@@ -374,7 +390,7 @@ let pp graph loops ppf t =
       | Bounded n ->
         Format.fprintf ppf "loop @ 0x%x in %s: bound %d@,"
           hn.Supergraph.block.Func_cfg.entry hn.Supergraph.func n
-      | Unbounded reason ->
+      | Unbounded (_, reason) ->
         Format.fprintf ppf "loop @ 0x%x in %s: UNBOUNDED (%s)@,"
           hn.Supergraph.block.Func_cfg.entry hn.Supergraph.func reason)
     t.per_loop

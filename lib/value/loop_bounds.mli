@@ -13,14 +13,36 @@
     (14.4/20.7) — are reported [Unbounded] with a reason, matching the
     paper's claim that they require manual annotation. *)
 
+(** Structured provenance of an [Unbounded] verdict: {e why} the bound
+    derivation failed, so downstream consumers (the analyzability auditor,
+    diagnostics) can map each failure onto the paper's challenge taxonomy
+    instead of string-matching the human-readable reason. *)
+type cause =
+  | Input_dependent
+      (** the limit operand's interval is unconstrained input data — the
+          paper's tier-one "input-data-dependent loops" challenge; an
+          [assume] or [loop bound] annotation discharges it *)
+  | Irregular_counter
+      (** the counter's in-loop updates are not a constant step in one
+          direction (the structure MISRA rule 13.6 forbids) *)
+  | Aliased_counter
+      (** the counter may be written through an unresolved pointer
+          (rule 13.6's address-taken case) *)
+  | Structural
+      (** no dominating single-side exit branch to anchor the induction
+          argument on (multi-exit or irreducibly-entered loop) *)
+  | Unreachable_entry  (** the loop entry is dead code; bound irrelevant *)
+
 type verdict =
   | Bounded of int  (** max back-edge executions per loop entry *)
-  | Unbounded of string  (** human-readable reason *)
+  | Unbounded of cause * string  (** provenance plus human-readable reason *)
 
 type t = {
   per_loop : verdict array;  (** indexed like [Loops.info.loops] *)
 }
 
 val analyze : Analysis.result -> Wcet_cfg.Loops.info -> t
+
+val cause_name : cause -> string
 
 val pp : Wcet_cfg.Supergraph.t -> Wcet_cfg.Loops.info -> Format.formatter -> t -> unit

@@ -377,7 +377,7 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
       | Loop_bounds.Bounded b, Some a -> effective_bounds := (li, min b a) :: !effective_bounds
       | Loop_bounds.Bounded b, None -> effective_bounds := (li, b) :: !effective_bounds
       | Loop_bounds.Unbounded _, Some a -> effective_bounds := (li, a) :: !effective_bounds
-      | Loop_bounds.Unbounded reason, None ->
+      | Loop_bounds.Unbounded (_, reason), None ->
         (* Loops of unreachable code are irrelevant. *)
         if Analysis.reachable value loops.Loops.loops.(li).Loops.header then begin
           unbounded_loops := (li, reason) :: !unbounded_loops;

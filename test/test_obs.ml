@@ -21,6 +21,7 @@ module Harness = Wcet_experiments.Harness
    wcet_tool links (the analyzer pulls in the rest transitively). *)
 let () = ignore Softarith.Ldivmod.udivmod
 let () = ignore Pred32_sim.Simulator.create
+let () = ignore Misra.Audit.grade_name
 
 let with_obs f =
   Obs.enable ();
@@ -173,6 +174,19 @@ let pinned_names =
     "analyzer_failures";
     "analyzer_runs{verdict=complete}";
     "analyzer_runs{verdict=partial}";
+    "audit_findings{code=A0501}";
+    "audit_findings{code=A0502}";
+    "audit_findings{code=A0503}";
+    "audit_findings{code=A0504}";
+    "audit_findings{code=A0505}";
+    "audit_findings{code=A0506}";
+    "audit_findings{code=A0507}";
+    "audit_findings{code=A0508}";
+    "audit_findings{code=A0509}";
+    "audit_findings{code=A0510}";
+    "audit_findings{code=A0511}";
+    "audit_findings{code=A0512}";
+    "audit_findings{code=A0513}";
     "cache_data_class{class=always_hit}";
     "cache_data_class{class=always_miss}";
     "cache_data_class{class=bypass}";
