@@ -71,6 +71,29 @@ let run_bechamel () =
     results;
   Format.printf "@."
 
+(* Cold-vs-warm wall clock of the persistent analysis cache on the
+   quickstart program: the warm run must hit the whole-program entry and
+   skip every analysis phase. Uses a throwaway store so the benchmark never
+   touches (or is skewed by) a user's _wcet_cache. *)
+let cache_comparison () =
+  let program = Minic.Compile.compile Harness.quickstart_source in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wcet_bench_cache.%d" (Unix.getpid ()))
+  in
+  if not (Wcet_core.Report_cache.set_dir dir) then (0., 0.)
+  else begin
+    let r_cold, cold = timed (fun () -> Analyzer.analyze program) in
+    let r_warm, warm = timed (fun () -> Analyzer.analyze program) in
+    Wcet_core.Report_cache.disable ();
+    (match Wcet_util.Store.open_store dir with
+    | Ok s -> ignore (Wcet_util.Store.clear s)
+    | Error _ -> ());
+    if r_cold.Analyzer.wcet <> r_warm.Analyzer.wcet then
+      failwith "cache benchmark: warm bound differs from cold bound";
+    (cold, warm)
+  end
+
 (* Transfer counts of the two worklist strategies on the quickstart program:
    the observable win of the RPO priority worklist over chaotic FIFO. *)
 let fixpoint_comparison () =
@@ -101,7 +124,8 @@ let iso_date () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
 let write_json ~path ~domains ~samples ~tables ~samples_per_sec
-    ~rpo:(rpo_value, rpo_cache) ~fifo:(fifo_value, fifo_cache) =
+    ~rpo:(rpo_value, rpo_cache) ~fifo:(fifo_value, fifo_cache)
+    ~store:(store_cold, store_warm) =
   let strategy v c =
     Json.Obj [ ("value", Json.Int v); ("cache", Json.Int c); ("total", Json.Int (v + c)) ]
   in
@@ -126,6 +150,15 @@ let write_json ~path ~domains ~samples ~tables ~samples_per_sec
               ("rpo", strategy rpo_value rpo_cache);
               ("fifo", strategy fifo_value fifo_cache);
             ] );
+        ( "analysis_cache",
+          Json.Obj
+            [
+              ("program", Json.String "quickstart");
+              ("cold_seconds", Json.Float store_cold);
+              ("warm_seconds", Json.Float store_warm);
+              ( "speedup",
+                if store_warm > 0. then Json.Float (store_cold /. store_warm) else Json.Null );
+            ] );
         (* Snapshot of every observability metric populated by the tables
            above (analyzer counters, cache classifications, …). *)
         ("metrics", Wcet_obs.Metrics.to_json ());
@@ -139,9 +172,11 @@ let write_json ~path ~domains ~samples ~tables ~samples_per_sec
 let () =
   let domains = Parallel.default_domains () in
   let samples =
-    match Sys.getenv_opt "LDIVMOD_SAMPLES" with
-    | Some s -> int_of_string s
-    | None -> 10_000_000
+    match Harness.samples_from_env () with
+    | Ok s -> s
+    | Error d ->
+      Format.eprintf "%a@." Wcet_diag.Diag.pp d;
+      exit (Wcet_diag.Diag.exit_for d)
   in
   (* T1 first, alone at top level: the histogram shards get all domains.
      The observability switch is still off here, so the sampling loop is
@@ -182,13 +217,18 @@ let () =
     "== fixpoint worklist (quickstart program) ==@.  rpo  transfers: value %d + cache %d = %d@.  \
      fifo transfers: value %d + cache %d = %d@.@."
     rpo_value rpo_cache (rpo_value + rpo_cache) fifo_value fifo_cache (fifo_value + fifo_cache);
+  let (store_cold, store_warm) = cache_comparison () in
+  Format.printf
+    "== analysis cache (quickstart program) ==@.  cold: %.4f s   warm: %.4f s   speedup: %.1fx@.@."
+    store_cold store_warm
+    (if store_warm > 0. then store_cold /. store_warm else 0.);
   let samples_per_sec = float_of_int samples /. t1_seconds in
   let table_times =
     ("T1", t1_seconds)
     :: (Array.to_list rendered |> List.map (fun (name, _, seconds) -> (name, seconds)))
   in
   write_json ~path:"BENCH_results.json" ~domains ~samples ~tables:table_times ~samples_per_sec
-    ~rpo ~fifo;
+    ~rpo ~fifo ~store:(store_cold, store_warm);
   Format.printf "== timings (%d domains) ==@." domains;
   List.iter
     (fun (name, seconds) -> Format.printf "  %-6s %8.3f s@." name seconds)

@@ -14,8 +14,15 @@
      wcet_tool suggest  prog.mc
      wcet_tool check    [--seed N] [--random N] [--faults N] [--format text|json]
                         [--trace FILE]
+     wcet_tool cache    stats|clear|verify [--cache-dir DIR] [--format text|json]
      wcet_tool metrics
      wcet_tool codes
+
+   The analysis commands (analyze, explain, audit, suggest, check) keep a
+   persistent result cache in _wcet_cache/ (override with --cache-dir or
+   WCET_CACHE_DIR, disable with --no-cache); warm reruns of an unchanged
+   program reproduce the cold report bit for bit without re-running the
+   analysis phases.
 
    Programs are MiniC translation units; annotations use the textual syntax
    of Wcet_annot.Annot.
@@ -41,6 +48,8 @@ module Faultinject = Wcet_experiments.Faultinject
 module Check = Wcet_experiments.Check
 module Metrics = Wcet_obs.Metrics
 module Trace = Wcet_obs.Trace
+module Report_cache = Wcet_core.Report_cache
+module Store = Wcet_util.Store
 
 (* [wcet_tool metrics] lists every registered metric. Registration happens
    in the module initializers of the instrumented libraries, which only run
@@ -122,6 +131,37 @@ let obs_finish ~profile ~trace =
 let soft_div_arg =
   Arg.(value & flag & info [ "soft-div" ] ~doc:"Lower division to the software lDivMod routine")
 
+(* The persistent analysis cache. Resolution order: --cache-dir, then
+   WCET_CACHE_DIR, then ./_wcet_cache. Opening is best-effort — an
+   unusable directory queues W0612 and the run proceeds uncached. Store
+   warnings are drained at exit so they reach stderr on every path
+   (including the cached-report path, whose output must stay bit-identical
+   to the cold run's). *)
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Analysis result cache directory (default $(b,_wcet_cache); the \
+           $(b,WCET_CACHE_DIR) environment variable overrides the default)")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the persistent analysis result cache")
+
+let resolve_cache_dir cache_dir =
+  match cache_dir with
+  | Some d -> d
+  | None -> (
+    match Sys.getenv_opt "WCET_CACHE_DIR" with
+    | Some d when d <> "" -> d
+    | Some _ | None -> "_wcet_cache")
+
+let cache_setup ~cache_dir ~no_cache =
+  if no_cache then Report_cache.disable ()
+  else ignore (Report_cache.set_dir (resolve_cache_dir cache_dir));
+  at_exit (fun () -> List.iter print_diag (Report_cache.drain_diags ()))
+
 (* MiniC sources compile; .s files go straight to the assembler. *)
 let compile path ~soft_div =
   if Filename.check_suffix path ".s" then
@@ -142,9 +182,10 @@ let annot_arg =
 
 let analyze_cmd =
   let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
-  let run source annot_file hw soft_div verbose format profile trace =
+  let run source annot_file hw soft_div verbose format profile trace cache_dir no_cache =
     handle_errors (fun () ->
         obs_setup ~profile ~trace;
+        cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
         match Analyzer.analyze ~hw ~annot program with
@@ -179,7 +220,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Compute a WCET bound for a MiniC program")
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ verbose_arg $ format_arg
-      $ profile_flag $ trace_arg)
+      $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg)
 
 let poke_conv =
   let parse s =
@@ -298,8 +339,9 @@ let audit_cmd =
           Misra.Audit.emit_dot ppf report audit;
           Format.pp_print_flush ppf ())
   in
-  let run source annot_file hw soft_div format dot corpus grades seed =
+  let run source annot_file hw soft_div format dot corpus grades seed cache_dir no_cache =
     handle_errors (fun () ->
+        cache_setup ~cache_dir ~no_cache;
         if corpus then begin
           let rows = Wcet_experiments.Audit_corpus.run ~seed () in
           (if grades then
@@ -351,7 +393,7 @@ let audit_cmd =
           its predictability")
     Term.(
       const run $ source_opt_arg $ annot_arg $ hw_arg $ soft_div_arg $ format_arg $ dot_arg
-      $ corpus_arg $ grades_arg $ seed_arg)
+      $ corpus_arg $ grades_arg $ seed_arg $ cache_dir_arg $ no_cache_arg)
 
 let disasm_cmd =
   let run source soft_div =
@@ -383,8 +425,9 @@ let cfg_cmd =
    piece of missing knowledge as a diagnostic with an annotation-template
    hint; suggest just prints those hints. *)
 let suggest_cmd =
-  let run source hw soft_div =
+  let run source hw soft_div cache_dir no_cache =
     handle_errors (fun () ->
+        cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         match Analyzer.analyze ~hw program with
         | report -> (
@@ -416,7 +459,7 @@ let suggest_cmd =
   Cmd.v
     (Cmd.info "suggest"
        ~doc:"Print annotation templates for whatever knowledge the analysis is missing")
-    Term.(const run $ source_arg $ hw_arg $ soft_div_arg)
+    Term.(const run $ source_arg $ hw_arg $ soft_div_arg $ cache_dir_arg $ no_cache_arg)
 
 let explain_cmd =
   let top_arg =
@@ -430,8 +473,9 @@ let explain_cmd =
           ~doc:"Write the supergraph with the worst-case path highlighted as Graphviz dot \
                 ($(b,-) for stdout)")
   in
-  let run source annot_file hw soft_div top dot format =
+  let run source annot_file hw soft_div top dot format cache_dir no_cache =
     handle_errors (fun () ->
+        cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
         match Analyzer.analyze ~hw ~annot program with
@@ -463,7 +507,8 @@ let explain_cmd =
          "Decode the worst-case path: rank basic blocks and loops by their cycle contribution \
           to the WCET bound")
     Term.(
-      const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ top_arg $ dot_arg $ format_arg)
+      const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ top_arg $ dot_arg $ format_arg
+      $ cache_dir_arg $ no_cache_arg)
 
 let check_cmd =
   let seed_arg =
@@ -479,9 +524,10 @@ let check_cmd =
       value & opt int 240
       & info [ "faults" ] ~doc:"Fault-injection trial count (0 disables the campaign)")
   in
-  let run seed random faults format trace =
+  let run seed random faults format trace cache_dir no_cache =
     handle_errors (fun () ->
         obs_setup ~profile:false ~trace;
+        cache_setup ~cache_dir ~no_cache;
         let stats = Check.run ~seed ~random_per_scenario:random () in
         let campaign =
           let minic = faults / 2 in
@@ -512,7 +558,105 @@ let check_cmd =
        ~doc:
          "Cross-validate analyzer soundness over the corpus (simulated cycles vs bounds) and \
           run the fault-injection robustness campaign")
-    Term.(const run $ seed_arg $ random_arg $ faults_arg $ format_arg $ trace_arg)
+    Term.(const run $ seed_arg $ random_arg $ faults_arg $ format_arg $ trace_arg $ cache_dir_arg
+          $ no_cache_arg)
+
+(* Cache maintenance. These open the store directly (no analysis runs), so
+   an unusable directory is a hard usage error here, unlike during analyze
+   where it degrades to an uncached run. *)
+let open_cache_store cache_dir =
+  let dir = resolve_cache_dir cache_dir in
+  match Store.open_store dir with
+  | Ok s -> s
+  | Error msg ->
+    fail_with
+      (Diag.makef Diag.Error Diag.Store ~code:"W0612" "cannot open cache directory %s: %s" dir
+         msg)
+
+let cache_cmd =
+  let stats_cmd =
+    let run cache_dir format =
+      handle_errors (fun () ->
+          let s = open_cache_store cache_dir in
+          let st = Store.stats s in
+          match format with
+          | Json_format ->
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("root", Json.String (Store.root s));
+                      ("version", Json.String (Report_cache.version ()));
+                      ("entries", Json.Int st.Store.entries);
+                      ("bytes", Json.Int st.Store.bytes);
+                      ( "by_kind",
+                        Json.Obj
+                          (List.map (fun (k, n) -> (k, Json.Int n)) st.Store.by_kind) );
+                    ]))
+          | Text ->
+            Format.printf "cache %s: %d entr%s, %d bytes@." (Store.root s) st.Store.entries
+              (if st.Store.entries = 1 then "y" else "ies")
+              st.Store.bytes;
+            List.iter (fun (k, n) -> Format.printf "  %-10s %d@." k n) st.Store.by_kind)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print entry counts and on-disk size of the analysis cache")
+      Term.(const run $ cache_dir_arg $ format_arg)
+  in
+  let clear_cmd =
+    let run cache_dir =
+      handle_errors (fun () ->
+          let s = open_cache_store cache_dir in
+          let n = Store.clear s in
+          Format.printf "removed %d entr%s from %s@." n
+            (if n = 1 then "y" else "ies")
+            (Store.root s))
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every entry from the analysis cache")
+      Term.(const run $ cache_dir_arg)
+  in
+  let verify_cmd =
+    let run cache_dir format =
+      handle_errors (fun () ->
+          let s = open_cache_store cache_dir in
+          let r = Store.verify ~expect_version:(Report_cache.version ()) s in
+          (match format with
+          | Json_format ->
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("root", Json.String (Store.root s));
+                      ("checked", Json.Int r.Store.checked);
+                      ("valid", Json.Int r.Store.valid);
+                      ("corrupt", Json.List (List.map (fun k -> Json.String k) r.Store.corrupt));
+                      ( "stale",
+                        Json.List (List.map (fun k -> Json.String k) r.Store.mismatched) );
+                    ]))
+          | Text ->
+            Format.printf "checked %d entr%s: %d valid, %d corrupt, %d stale@." r.Store.checked
+              (if r.Store.checked = 1 then "y" else "ies")
+              r.Store.valid
+              (List.length r.Store.corrupt)
+              (List.length r.Store.mismatched);
+            List.iter (fun k -> Format.printf "  corrupt: %s@." k) r.Store.corrupt;
+            List.iter (fun k -> Format.printf "  stale:   %s@." k) r.Store.mismatched);
+          if r.Store.corrupt <> [] then exit Diag.Exit.usage)
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-read every cache entry end to end, checking envelopes, checksums and the tool \
+            version (exit 1 if corrupt entries are found)")
+      Term.(const run $ cache_dir_arg $ format_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clean the persistent analysis result cache ($(b,_wcet_cache) by default; \
+          see $(b,--cache-dir)/$(b,WCET_CACHE_DIR))")
+    [ stats_cmd; clear_cmd; verify_cmd ]
 
 let codes_cmd =
   let run () =
@@ -554,5 +698,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; explain_cmd; simulate_cmd; misra_cmd; audit_cmd; disasm_cmd;
-            suggest_cmd; cfg_cmd; check_cmd; metrics_cmd; codes_cmd;
+            suggest_cmd; cfg_cmd; check_cmd; cache_cmd; metrics_cmd; codes_cmd;
           ]))

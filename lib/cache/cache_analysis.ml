@@ -53,12 +53,6 @@ type data_access = {
   regions : Region.t list;
 }
 
-type result = {
-  fetch : classification array array;
-  data : data_access list array;
-  transfers : int;
-}
-
 (* Abstract state: a pair of optional caches. *)
 module Cstate = struct
   type t = { ic : Acache.t option; dc : Acache.t option }
@@ -80,6 +74,14 @@ module Cstate = struct
   let join a b = { ic = map2 Acache.join a.ic b.ic; dc = map2 Acache.join a.dc b.dc }
   let widen = join
 end
+
+type result = {
+  fetch : classification array array;
+  data : data_access list array;
+  node_in : Cstate.t option array;
+  node_out : Cstate.t option array;
+  transfers : int;
+}
 
 module FP = Wcet_util.Fixpoint.Make (Cstate)
 
@@ -172,7 +174,7 @@ let fetch_info (cfg : Hw_config.t) map addr ic =
       (classification, Option.map (fun c -> Acache.access c line))
     | Some _ | None -> (Bypass, Fun.id))
 
-let run ?(strategy = Wcet_util.Fixpoint.Rpo) (cfg : Hw_config.t) (value : Analysis.result)
+let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?seeds (cfg : Hw_config.t) (value : Analysis.result)
     ~region_hints =
   let graph = value.Analysis.graph in
   let nodes = graph.Supergraph.nodes in
@@ -233,7 +235,7 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) (cfg : Hw_config.t) (value : Analys
       widening_delay = max_int;
     }
   in
-  let solution = FP.solve ~strategy problem in
+  let solution = FP.solve ~strategy ?seeds problem in
   let fetch = Array.map (fun node -> Array.make (Array.length node.Supergraph.block.Func_cfg.insns) Not_classified) nodes in
   let data = Array.make n [] in
   Array.iteri
@@ -265,7 +267,13 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) (cfg : Hw_config.t) (value : Analys
     Array.iter (Array.iter (fun c -> Metrics.incr (fetch_metric c) 1)) fetch;
     Array.iter (List.iter (fun a -> Metrics.incr (data_metric a.kind) 1)) data
   end;
-  { fetch; data; transfers = solution.FP.transfers }
+  {
+    fetch;
+    data;
+    node_in = Array.init n solution.FP.in_state;
+    node_out = Array.init n solution.FP.out_state;
+    transfers = solution.FP.transfers;
+  }
 
 let pp_classification ppf = function
   | Always_hit -> Format.pp_print_string ppf "AH"

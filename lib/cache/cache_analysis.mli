@@ -22,18 +22,33 @@ type data_access = {
   regions : Pred32_memory.Region.t list;  (** candidate target regions *)
 }
 
+(** Abstract cache state: must/may pair per configured cache ([None] when
+    that cache is absent from the hardware configuration). Exposed so the
+    persistent result cache can checkpoint and reseed converged states. *)
+module Cstate : sig
+  type t = { ic : Acache.t option; dc : Acache.t option }
+
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+end
+
 type result = {
   fetch : classification array array;  (** per node, per instruction *)
   data : data_access list array;  (** per node *)
+  node_in : Cstate.t option array;  (** converged per-node states ([None] = unreachable) *)
+  node_out : Cstate.t option array;
   transfers : int;  (** fixpoint transfer count (worklist efficiency metric) *)
 }
 
 (** [run ?strategy cfg value_result ~region_hints] — [region_hints] maps a
     function name to the regions its unresolved accesses may touch (from
     annotations). [strategy] selects the shared fixpoint engine's worklist
-    order (default reverse-postorder priority). *)
+    order (default reverse-postorder priority). [seeds] supplies cached
+    per-node (in, out) states from a previous run (see
+    {!Wcet_util.Fixpoint.Make.solve}). *)
 val run :
   ?strategy:Wcet_util.Fixpoint.strategy ->
+  ?seeds:(int -> (Cstate.t * Cstate.t) option) ->
   Pred32_hw.Hw_config.t ->
   Wcet_value.Analysis.result ->
   region_hints:(string -> Pred32_memory.Region.t list option) ->

@@ -11,6 +11,7 @@ type phase =
   | Simulation
   | Check
   | Audit
+  | Store
   | Internal
 
 type loc = { addr : int option; func : string option; line : int option }
@@ -48,6 +49,7 @@ let phase_name = function
   | Simulation -> "simulation"
   | Check -> "check"
   | Audit -> "audit"
+  | Store -> "cache-store"
   | Internal -> "internal"
 
 (* The stable code registry. Codes are part of the tool's external contract
@@ -62,6 +64,7 @@ let all_codes =
     ("E0106", "link failed (duplicate/undefined symbols, layout)");
     ("E0107", "assembly parse error");
     ("E0108", "compilation failed");
+    ("E0110", "invalid environment variable value");
     ("E0201", "decoding / CFG reconstruction failed");
     ("E0202", "recursive call without a recursion-depth annotation");
     ("E0203", "analysis iteration budget exceeded (did not converge)");
@@ -79,6 +82,9 @@ let all_codes =
     ("W0602", "simulation did not run to completion");
     ("E0603", "memory fault (unmapped/unaligned access or ROM write)");
     ("E0604", "unknown symbol in a poke/peek");
+    ("W0610", "analysis cache entry corrupt (evicted, recomputed)");
+    ("W0611", "analysis cache entry from another tool version (evicted, recomputed)");
+    ("W0612", "analysis cache directory unusable (caching disabled for this run)");
     ("E0701", "fault-injection campaign observed a crash");
     ("E0901", "internal error (uncaught exception)");
     ("A0501", "audit: unresolved indirect call (tier-1, paper section 3)");
@@ -122,6 +128,7 @@ let exit_for d =
   | Frontend | Annot -> Exit.usage
   | Decode | Loop_value | Cache | Pipeline | Path -> Exit.analysis
   | Simulation -> Exit.usage
+  | Store -> Exit.usage
   | Check -> Exit.check_failed
   | Audit -> Exit.misra
   | Internal -> Exit.internal

@@ -27,6 +27,7 @@ type phase =
   | Simulation
   | Check  (** the soundness cross-validation harness *)
   | Audit  (** the binary-level analyzability auditor *)
+  | Store  (** the persistent analysis-result cache *)
   | Internal
 
 type loc = {

@@ -11,6 +11,7 @@ module Memory_map = Pred32_memory.Memory_map
 
 let classify_exn = function
   | Sys_error msg -> Some (Diag.make Diag.Error Diag.Frontend ~code:"E0101" msg)
+  | Harness.Invalid_env d -> Some d
   | Minic.Lexer.Error (msg, loc) ->
     Some
       (Diag.make Diag.Error Diag.Frontend ~code:"E0102" ~loc:(Diag.at_line loc.Minic.Ast.line)

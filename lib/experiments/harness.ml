@@ -157,6 +157,23 @@ let table_tier_two ?domains ppf () =
   table_of ?domains Corpus.tier_two_entries ppf
     "E2: design-level information vs WCET precision (Section 4.3)"
 
+exception Invalid_env of Diag.t
+
+(* LDIVMOD_SAMPLES is user input like any other: parsed with
+   int_of_string_opt (the PAR_DOMAINS convention in Wcet_util.Parallel) and
+   rejected with a registered diagnostic, never a bare Failure. *)
+let samples_from_env () =
+  match Sys.getenv_opt "LDIVMOD_SAMPLES" with
+  | None -> Ok 10_000_000
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 1 -> Ok v
+    | Some _ | None ->
+      Error
+        (Diag.makef Diag.Error Diag.Frontend ~code:"E0110"
+           ~hint:"LDIVMOD_SAMPLES must be a positive integer sample count"
+           "invalid LDIVMOD_SAMPLES value %S" s))
+
 (* Paper's Table 1 numbers (10^8 samples) for the side-by-side print. *)
 let paper_table1 =
   [
@@ -170,9 +187,9 @@ let table_t1 ?samples ?(seed = 20110318L) ?domains ppf () =
     match samples with
     | Some s -> s
     | None -> (
-      match Sys.getenv_opt "LDIVMOD_SAMPLES" with
-      | Some s -> int_of_string s
-      | None -> 10_000_000)
+      match samples_from_env () with
+      | Ok s -> s
+      | Error d -> raise (Invalid_env d))
   in
   let hist, top = Ldivmod.histogram ?domains ~samples ~seed () in
   let rows = Ldivmod.bucketize hist in

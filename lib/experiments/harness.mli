@@ -46,10 +46,20 @@ val table_tier_two : ?domains:int -> Format.formatter -> unit -> unit
 val table_of :
   ?domains:int -> Wcet_corpus.Corpus.entry list -> Format.formatter -> string -> unit
 
+(** Raised by {!table_t1} (and classified to its registered code by
+    [Faultinject.classify_exn]) when an environment override is invalid. *)
+exception Invalid_env of Wcet_diag.Diag.t
+
+(** The LDIVMOD_SAMPLES override: [Ok samples] (default 10_000_000 when
+    unset), or [Error d] with an E0110 diagnostic when the value is not a
+    positive integer. *)
+val samples_from_env : unit -> (int, Wcet_diag.Diag.t) result
+
 (** T1: the lDivMod iteration histogram (Table 1 of the paper), printed
     next to the paper's values. [samples] defaults to [10_000_000]; the
-    environment variable LDIVMOD_SAMPLES overrides it. [seed] defaults to
-    the paper date; [domains] is the histogram fan-out width (the result is
+    environment variable LDIVMOD_SAMPLES overrides it (raising
+    [Invalid_env] on a malformed value). [seed] defaults to the paper
+    date; [domains] is the histogram fan-out width (the result is
     domain-count independent). *)
 val table_t1 : ?samples:int -> ?seed:int64 -> ?domains:int -> Format.formatter -> unit -> unit
 

@@ -42,6 +42,10 @@ let write_word t addr v =
 let load_words t ~base words =
   Array.iteri (fun i w -> ignore (write_raw t (base + (4 * i)) w)) words
 
+let contents t =
+  Hashtbl.fold (fun name b acc -> (name, Bytes.to_string b) :: acc) t.store []
+  |> List.sort compare
+
 let copy t =
   let store = Hashtbl.create 7 in
   Hashtbl.iter (fun k v -> Hashtbl.add store k (Bytes.copy v)) t.store;

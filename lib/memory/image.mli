@@ -24,6 +24,11 @@ val write_word : t -> int -> Pred32_isa.Word.t -> unit
     read-only check (used by the loader to install code into ROM). *)
 val load_words : t -> base:int -> Pred32_isa.Word.t array -> unit
 
+(** [contents t] is the backing bytes of every region ever touched, sorted
+    by region name — a canonical dump for content-addressed cache keys
+    (independent of hashtable iteration order). *)
+val contents : t -> (string * string) list
+
 (** [copy t] is a deep copy; the simulator snapshots the loaded image so each
     run starts from identical memory. *)
 val copy : t -> t

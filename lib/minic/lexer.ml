@@ -80,7 +80,11 @@ let tokenize src =
           advance ()
         done;
         let text = String.sub src start (!pos - start) in
-        emit (INT (int_of_string text land 0xFFFFFFFF)) l
+        (* int_of_string_opt: a lone "0x" or a literal past 63 bits must be
+           a diagnostic, not a Failure backtrace *)
+        match int_of_string_opt text with
+        | Some v -> emit (INT (v land 0xFFFFFFFF)) l
+        | None -> error ("bad integer literal " ^ text)
       end
       else begin
         while (match peek 0 with Some c -> is_digit c | None -> false) do
@@ -93,12 +97,14 @@ let tokenize src =
           done;
           let text = String.sub src start (!pos - start) in
           if peek 0 = Some 'f' then advance ();
-          emit (FLOATLIT (float_of_string text)) l
+          match float_of_string_opt text with
+          | Some v -> emit (FLOATLIT v) l
+          | None -> error ("bad float literal " ^ text)
         end
         else begin
           let text = String.sub src start (!pos - start) in
           match int_of_string_opt text with
-          | Some v -> emit (INT v) l
+          | Some v -> emit (INT (v land 0xFFFFFFFF)) l
           | None -> error ("bad integer literal " ^ text)
         end
       end

@@ -1,0 +1,56 @@
+(** Content-addressed on-disk store.
+
+    One file per entry under [root/<k0k1>/<key>.wcache], where [key] is a
+    caller-supplied content hash (hex). Each file carries a checksummed
+    envelope ([kind], [version], md5, length) so corruption is detected on
+    read, and writes are temp-file + atomic-rename so concurrent domains
+    and processes sharing a store are safe. No operation ever raises on
+    filesystem trouble: reads degrade to [Miss]/[Corrupt], writes to
+    [Error]. The store is policy-free — key derivation, versioning and
+    eviction decisions belong to the caller (see [Wcet_core.Report_cache]). *)
+
+type t
+
+type read_outcome =
+  | Hit of { kind : string; version : string; payload : string }
+  | Miss  (** no entry under that key *)
+  | Corrupt of string  (** entry exists but its envelope or checksum is bad *)
+
+type stats = { entries : int; bytes : int; by_kind : (string * int) list }
+
+type verify_report = {
+  checked : int;
+  valid : int;
+  corrupt : string list;  (** keys of entries with a bad envelope or checksum *)
+  mismatched : string list;  (** keys whose version differs from [expect_version] *)
+}
+
+(** [open_store root] creates [root] (and parents) if needed. *)
+val open_store : string -> (t, string) result
+
+val root : t -> string
+
+(** Path an entry for [key] would live at (exposed for tests/tooling). *)
+val entry_path : t -> string -> string
+
+val mem : t -> key:string -> bool
+val read : t -> key:string -> read_outcome
+
+(** [write t ~key ~kind ~version payload] atomically (re)places the entry;
+    returns the bytes written including the envelope. *)
+val write : t -> key:string -> kind:string -> version:string -> string -> (int, string) result
+
+(** [remove t ~key] deletes the entry; [false] if it did not exist. *)
+val remove : t -> key:string -> bool
+
+(** Entry count, total on-disk bytes, and per-[kind] entry counts. *)
+val stats : t -> stats
+
+(** Re-reads every entry end to end, checking envelope and checksum; with
+    [expect_version], entries recorded under a different version are
+    reported as [mismatched] (they are stale, not corrupt). *)
+val verify : ?expect_version:string -> t -> verify_report
+
+(** Removes every entry (and leftover temporary files); returns the number
+    of entries removed. *)
+val clear : t -> int

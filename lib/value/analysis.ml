@@ -198,7 +198,7 @@ module FP = Wcet_util.Fixpoint.Make (struct
   let widen = State.widen
 end)
 
-let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) (graph : Supergraph.t)
+let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds (graph : Supergraph.t)
     (loops : Loops.info) =
   let n = Array.length graph.Supergraph.nodes in
   let ctx = { program = graph.Supergraph.program; linkage = Hashtbl.create 64; record = None } in
@@ -216,7 +216,7 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) (graph : Supergraph
               | None -> None
               | Some st_edge -> Some (target, st_edge))
             node.Supergraph.succs)
-        ~force_widen_after:40
+        ?seeds ~force_widen_after:40
         ~budget:(200 * n * (1 + Array.length loops.Loops.loops))
         {
           FP.num_nodes = n;

@@ -25,10 +25,14 @@ type result = {
     memory facts (address, interval) from annotations (the paper's
     design-level information). [strategy] selects the worklist order of the
     shared fixpoint engine (default reverse-postorder priority; [Fifo] only
-    for transfer-count comparisons — the fixpoint itself is identical). *)
+    for transfer-count comparisons — the fixpoint itself is identical).
+    [seeds] supplies cached per-node (in, out) states from a previous run
+    (see {!Wcet_util.Fixpoint.Make.solve}); nodes of unchanged functions
+    then settle without re-transferring (incremental re-analysis). *)
 val run :
   ?strategy:Wcet_util.Fixpoint.strategy ->
   ?assumes:(int * Aval.t) list ->
+  ?seeds:(int -> (State.t * State.t) option) ->
   Wcet_cfg.Supergraph.t ->
   Wcet_cfg.Loops.info ->
   result

@@ -352,10 +352,17 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
         "indirect jump cannot be resolved; execution beyond it is excluded from the bound")
     graph.Supergraph.unresolved_jumps;
   let loops = Loops.analyze graph in
+  (* Per-function seeds from the persistent cache: unchanged functions
+     settle at their cached states without re-transferring. *)
+  let seeds = Report_cache.load_seeds ~hw ~annot ~strategy ~assumes graph in
   let value, derived_bounds =
     timed phases Loop_value (fun () ->
         match
-          let value = Analysis.run ~strategy ~assumes graph loops in
+          let value =
+            Analysis.run ~strategy ~assumes
+              ?seeds:(Option.map (fun s -> s.Report_cache.value_seed) seeds)
+              graph loops
+          in
           (value, Loop_bounds.analyze value loops)
         with
         | result -> result
@@ -436,7 +443,10 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
   in
   let cache =
     timed phases Cache (fun () ->
-        Cache_analysis.run ~strategy hw value ~region_hints:(region_hints_of_annot c program annot))
+        Cache_analysis.run ~strategy
+          ?seeds:(Option.map (fun s -> s.Report_cache.cache_seed) seeds)
+          hw value
+          ~region_hints:(region_hints_of_annot c program annot))
   in
   let persistence =
     timed ~span:"persistence" phases Cache (fun () ->
@@ -467,6 +477,7 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
           in
           fatal c Diag.Path ~code "%s: %s" (phase_name Path) msg)
   in
+  Report_cache.save_function_results ~hw ~annot ~strategy ~assumes value cache;
   {
     program;
     hw;
@@ -487,9 +498,33 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
     phase_seconds = List.rev !phases;
   }
 
-let analyze ?hw ?annot ?strategy program =
+let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
+    ?(strategy = Wcet_util.Fixpoint.Rpo) program =
   Trace.with_span ~cat:"analyzer" "analyze" (fun () ->
-      let r = analyze_inner ?hw ?annot ?strategy program in
+      let cached =
+        if not (Report_cache.enabled ()) then None
+        else
+          match Report_cache.find_report ~hw ~annot ~strategy program with
+          | None -> None
+          | Some payload -> (
+            (* The envelope checksum and version already passed; a decode
+               failure here means marshal-layout drift — degrade to a
+               recompute, reclassifying the hit as a miss. *)
+            match (Marshal.from_string payload 0 : report) with
+            | r -> Some r
+            | exception _ ->
+              Report_cache.invalidate_report ~hw ~annot ~strategy program;
+              None)
+      in
+      let r =
+        match cached with
+        | Some r -> r
+        | None ->
+          let r = analyze_inner ~hw ~annot ~strategy program in
+          if Report_cache.enabled () then
+            Report_cache.save_report ~hw ~annot ~strategy program (Marshal.to_string r []);
+          r
+      in
       Trace.add_attr "nodes" (Trace.Int (Array.length r.graph.Supergraph.nodes));
       Trace.add_attr "loops" (Trace.Int (Array.length r.loops.Loops.loops));
       Trace.add_attr "wcet" (Trace.Int r.wcet);

@@ -1,0 +1,548 @@
+(* Persistent content-addressed analysis cache.
+
+   Two granularities over one Wcet_util.Store:
+
+   - "report": the whole marshaled analyzer report, keyed by everything
+     the analysis depends on (binary image, memory map, annotations,
+     hardware configuration, worklist strategy). A hit skips every phase
+     and is bit-identical to the run that wrote it.
+
+   - "func": per-function converged value/cache fixpoint states, keyed by
+     the function's own code bytes, the code of every function reachable
+     from it, the annotation slices that feed the fixpoints, and the
+     non-text ROM data it may read. On a report-level miss these seed the
+     fixpoint solvers so only changed functions re-transfer (incremental
+     re-analysis). Soundness: a seed is a post-fixpoint of a monotone
+     system (see Fixpoint.solve ?seeds), so reuse can only widen, never
+     narrow, the abstract states; a function whose own loads may read the
+     text segment is never cached, because its transfer function could
+     then change without its key changing.
+
+   Keys are md5 content hashes; entry envelopes carry a version string
+   (format + salt), so a format bump invalidates by version mismatch
+   rather than by key. Corrupt or mismatched entries are evicted, counted,
+   reported as W0610/W0611 warnings and recomputed — never a crash. *)
+
+module Program = Pred32_asm.Program
+module Image = Pred32_memory.Image
+module Memory_map = Pred32_memory.Memory_map
+module Region = Pred32_memory.Region
+module Hw_config = Pred32_hw.Hw_config
+module Supergraph = Wcet_cfg.Supergraph
+module Func_cfg = Wcet_cfg.Func_cfg
+module Analysis = Wcet_value.Analysis
+module State = Wcet_value.State
+module Aval = Wcet_value.Aval
+module Cache_analysis = Wcet_cache.Cache_analysis
+module Cstate = Wcet_cache.Cache_analysis.Cstate
+module Annot = Wcet_annot.Annot
+module Store = Wcet_util.Store
+module Diag = Wcet_diag.Diag
+module Metrics = Wcet_obs.Metrics
+
+(* Bump when the marshaled payload layout changes (report or slice types). *)
+let format_version = "1"
+
+let m_hits gran =
+  Metrics.counter ~labels:[ ("granularity", gran) ] ~name:"cache_store_hits"
+    ~help:("Persistent-cache hits at " ^ gran ^ " granularity") ()
+
+let m_hits_program = m_hits "program"
+let m_hits_function = m_hits "function"
+
+let m_misses gran =
+  Metrics.counter ~labels:[ ("granularity", gran) ] ~name:"cache_store_misses"
+    ~help:("Persistent-cache misses at " ^ gran ^ " granularity") ()
+
+let m_misses_program = m_misses "program"
+let m_misses_function = m_misses "function"
+
+let m_evictions =
+  Metrics.counter ~name:"cache_store_evictions"
+    ~help:"Persistent-cache entries evicted (corrupt or version-mismatched)" ()
+
+let m_bytes_read =
+  Metrics.counter ~name:"cache_store_bytes_read"
+    ~help:"Payload bytes read from the persistent cache" ()
+
+let m_bytes_written =
+  Metrics.counter ~name:"cache_store_bytes_written"
+    ~help:"Bytes written to the persistent cache" ()
+
+(* Global configuration: set once by the CLI (or a test) before analyses
+   run; worker domains only read it. Off by default so library users and
+   the test suite opt in explicitly. *)
+let store_ref : Store.t option Atomic.t = Atomic.make None
+let salt_ref : string Atomic.t = Atomic.make ""
+let version () = format_version ^ Atomic.get salt_ref
+let set_version_salt s = Atomic.set salt_ref s
+
+type session = {
+  program_hits : int;
+  program_misses : int;
+  function_hits : int;
+  function_misses : int;
+  evictions : int;
+}
+
+let s_program_hits = Atomic.make 0
+let s_program_misses = Atomic.make 0
+let s_function_hits = Atomic.make 0
+let s_function_misses = Atomic.make 0
+let s_evictions = Atomic.make 0
+
+let session_stats () =
+  {
+    program_hits = Atomic.get s_program_hits;
+    program_misses = Atomic.get s_program_misses;
+    function_hits = Atomic.get s_function_hits;
+    function_misses = Atomic.get s_function_misses;
+    evictions = Atomic.get s_evictions;
+  }
+
+let reset_session () =
+  List.iter (fun a -> Atomic.set a 0)
+    [ s_program_hits; s_program_misses; s_function_hits; s_function_misses; s_evictions ]
+
+(* Store-layer warnings accumulate here (the analyzer's collector is not in
+   scope at lookup time, and appending them to a cached report would break
+   bit-identity); the CLI drains and prints them after the run. *)
+let diags_mutex = Mutex.create ()
+let diags_rev : Diag.t list ref = ref []
+
+let add_diag d =
+  Mutex.protect diags_mutex (fun () -> diags_rev := d :: !diags_rev)
+
+let drain_diags () =
+  Mutex.protect diags_mutex (fun () ->
+      let ds = List.rev !diags_rev in
+      diags_rev := [];
+      ds)
+
+let disable () = Atomic.set store_ref None
+let enabled () = Atomic.get store_ref <> None
+let dir () = Option.map Store.root (Atomic.get store_ref)
+
+let set_dir d =
+  match Store.open_store d with
+  | Ok s ->
+    Atomic.set store_ref (Some s);
+    true
+  | Error msg ->
+    Atomic.set store_ref None;
+    add_diag
+      (Diag.makef Diag.Warning Diag.Store ~code:"W0612"
+         ~hint:"pass --cache-dir DIR or --no-cache" "%s; caching disabled for this run" msg);
+    false
+
+(* ---- Key derivation ------------------------------------------------- *)
+
+let digest_parts parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+let marshal v = Marshal.to_string v []
+
+(* Everything of the program the analyses can observe: entry/layout/symbol
+   tables plus the canonical image dump (region name + backing bytes,
+   sorted — independent of hashtable iteration order). *)
+let program_parts (p : Program.t) =
+  marshal (p.Program.entry, p.Program.text_base, p.Program.text_limit, p.Program.functions,
+           p.Program.symbols)
+  :: marshal (Memory_map.regions p.Program.map)
+  :: List.concat_map (fun (name, bytes) -> [ name; bytes ]) (Image.contents p.Program.image)
+
+let report_key ~hw ~annot ~strategy program =
+  digest_parts
+    ("report"
+    :: marshal (hw : Hw_config.t)
+    :: marshal (annot : Annot.t)
+    :: Wcet_util.Fixpoint.strategy_name strategy
+    :: program_parts program)
+
+(* ---- Per-function slices -------------------------------------------- *)
+
+(* A node is addressed position-independently by its context signature —
+   the chain of (function, caller-block-entry) pairs from the root — plus
+   its own block entry address. One call per block (a call terminates a
+   block), so the signature is unique per node. *)
+type node_sig = (string * int) list * int
+
+type slice_row = {
+  rsig : node_sig;
+  rvalue : (State.t * State.t) option;
+  rcache : (Cstate.t * Cstate.t) option;
+}
+
+let ctx_sig (graph : Supergraph.t) =
+  let memo = Array.make (Array.length graph.Supergraph.contexts) None in
+  let rec go cid =
+    match memo.(cid) with
+    | Some s -> s
+    | None ->
+      let c = graph.Supergraph.contexts.(cid) in
+      let s =
+        match c.Supergraph.parent with
+        | None -> [ (c.Supergraph.cfunc, -1) ]
+        | Some (pcid, caller) ->
+          (c.Supergraph.cfunc,
+           graph.Supergraph.nodes.(caller).Supergraph.block.Func_cfg.entry)
+          :: go pcid
+      in
+      memo.(cid) <- Some s;
+      s
+  in
+  go
+
+let node_sig graph =
+  let csig = ctx_sig graph in
+  fun (n : Supergraph.node) ->
+    ((csig n.Supergraph.ctx, n.Supergraph.block.Func_cfg.entry) : node_sig)
+
+let code_bytes (p : Program.t) (f : Program.func_info) =
+  let b = Buffer.create 256 in
+  let addr = ref f.Program.entry in
+  while !addr < f.Program.limit do
+    (match Image.read_word p.Program.image !addr with
+    | w -> Buffer.add_string b (string_of_int w)
+    | exception _ -> Buffer.add_string b "?");
+    Buffer.add_char b ';';
+    addr := !addr + 4
+  done;
+  Buffer.contents b
+
+(* ROM bytes outside the text segment: constant data the value analysis
+   can read through State.load. Text bytes are covered per function by
+   code_bytes; functions whose loads may reach into text are not cached
+   at all (see may_read_text). *)
+let rom_data_digest (p : Program.t) =
+  let text_lo = p.Program.text_base and text_hi = p.Program.text_limit in
+  let parts =
+    List.concat_map
+      (fun (r : Region.t) ->
+        match r.Region.kind with
+        | Region.Rom ->
+          let bytes =
+            match List.assoc_opt r.Region.name (Image.contents p.Program.image) with
+            | Some b -> b
+            | None -> ""
+          in
+          (* blank out the text window so code edits don't shift this digest *)
+          let lo = max 0 (text_lo - r.Region.base) in
+          let hi = min (String.length bytes) (text_hi - r.Region.base) in
+          let bytes =
+            if lo < hi then
+              String.sub bytes 0 lo
+              ^ String.make (hi - lo) '\000'
+              ^ String.sub bytes hi (String.length bytes - hi)
+            else bytes
+          in
+          [ r.Region.name; bytes ]
+        | Region.Ram | Region.Scratchpad | Region.Io -> [])
+      (Memory_map.regions p.Program.map)
+  in
+  digest_parts parts
+
+(* Function-name call graph of the supergraph (covers resolved indirect
+   calls), plus whether a function contains indirect control flow whose
+   resolution depends on annotations or global dataflow. *)
+let call_graph (graph : Supergraph.t) =
+  let callees : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let indirect : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let callee_list f =
+    match Hashtbl.find_opt callees f with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add callees f l;
+      l
+  in
+  Array.iter
+    (fun (n : Supergraph.node) ->
+      (match n.Supergraph.block.Func_cfg.term with
+      | Func_cfg.Term_call_indirect _ | Func_cfg.Term_jump_indirect _ ->
+        Hashtbl.replace indirect n.Supergraph.func ()
+      | _ -> ());
+      List.iter
+        (fun (kind, m) ->
+          match kind with
+          | Supergraph.Ecall ->
+            let callee = graph.Supergraph.nodes.(m).Supergraph.func in
+            let l = callee_list n.Supergraph.func in
+            if not (List.mem callee !l) then l := callee :: !l
+          | _ -> ())
+        n.Supergraph.succs)
+    graph.Supergraph.nodes;
+  let callees_of f = match Hashtbl.find_opt callees f with Some l -> !l | None -> [] in
+  let has_indirect f = Hashtbl.mem indirect f in
+  (callees_of, has_indirect)
+
+(* Transitive closure over function names (handles recursion cycles). *)
+let reachable_funcs callees_of f =
+  let seen = Hashtbl.create 8 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      List.iter go (callees_of f)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+(* Per-function key: everything the converged states of this function's
+   nodes can depend on, other than entry-context dataflow (which seeding
+   re-checks through the worklist). *)
+let function_key ~hw ~(annot : Annot.t) ~strategy ~assumes ~rom_data ~callees_of ~has_indirect
+    (program : Program.t) fname =
+  let closure = reachable_funcs callees_of fname in
+  let closure_code =
+    List.concat_map
+      (fun g ->
+        match Program.find_function program g with
+        | Some fi -> [ g; string_of_int fi.Program.entry; code_bytes program fi ]
+        | None -> [ g; "?" ])
+      closure
+  in
+  let region_slices =
+    List.filter (fun (g, _) -> List.mem g closure) annot.Annot.memory_regions
+    |> List.sort compare
+  in
+  let indirect_salt =
+    if List.exists has_indirect closure then
+      [ marshal (annot.Annot.call_targets, annot.Annot.setjmp_auto) ]
+    else []
+  in
+  digest_parts
+    ([
+       "func";
+       fname;
+       marshal (hw : Hw_config.t);
+       Wcet_util.Fixpoint.strategy_name strategy;
+       marshal (Memory_map.regions program.Program.map);
+       Printf.sprintf "%d:%d" program.Program.text_base program.Program.text_limit;
+       marshal (assumes : (int * Aval.t) list);
+       marshal annot.Annot.recursion_depths;
+       marshal region_slices;
+       rom_data;
+     ]
+    @ indirect_salt @ closure_code)
+
+(* A function whose loads may read inside the text segment could change
+   behaviour when *other* code moves, without its own key changing: never
+   cache it. Unknown-address loads may read anywhere. *)
+let may_read_text (program : Program.t) (value : Analysis.result) nodes_of_func fname =
+  let text_lo = program.Program.text_base and text_hi = program.Program.text_limit in
+  List.exists
+    (fun nid ->
+      List.exists
+        (fun (a : Analysis.access) ->
+          (not a.Analysis.is_store)
+          &&
+          match Aval.range a.Analysis.addr with
+          | None -> true
+          | Some (lo, hi) -> lo < text_hi && hi >= text_lo)
+        value.Analysis.accesses.(nid))
+    (nodes_of_func fname)
+
+(* ---- Store plumbing -------------------------------------------------- *)
+
+let evict store key ~code ~why =
+  ignore (Store.remove store ~key);
+  Atomic.incr s_evictions;
+  Metrics.incr m_evictions 1;
+  add_diag
+    (Diag.makef Diag.Warning Diag.Store ~code "%s; entry evicted and the result recomputed" why)
+
+(* Read an entry expecting [kind]; handles corruption/version eviction.
+   Returns the payload on a clean hit. *)
+let read_entry store ~key ~kind =
+  match Store.read store ~key with
+  | Store.Miss -> None
+  | Store.Corrupt reason ->
+    evict store key ~code:"W0610" ~why:(Printf.sprintf "cache entry is corrupt (%s)" reason);
+    None
+  | Store.Hit { kind = k; version = v; payload } ->
+    if v <> version () then begin
+      evict store key ~code:"W0611"
+        ~why:
+          (Printf.sprintf "cache entry was written by tool version %s (this is %s)" v
+             (version ()));
+      None
+    end
+    else if k <> kind then begin
+      evict store key ~code:"W0610"
+        ~why:(Printf.sprintf "cache entry has kind %s where %s was expected" k kind);
+      None
+    end
+    else begin
+      Metrics.incr m_bytes_read (String.length payload);
+      Some payload
+    end
+
+let write_entry store ~key ~kind payload =
+  match Store.write store ~key ~kind ~version:(version ()) payload with
+  | Ok n -> Metrics.incr m_bytes_written n
+  | Error _ -> ()  (* a failed write only costs a future miss *)
+
+(* ---- Whole-program reports ------------------------------------------ *)
+
+let find_report ~hw ~annot ~strategy program =
+  match Atomic.get store_ref with
+  | None -> None
+  | Some store -> (
+    let key = report_key ~hw ~annot ~strategy program in
+    match read_entry store ~key ~kind:"report" with
+    | Some payload ->
+      Atomic.incr s_program_hits;
+      Metrics.incr m_hits_program 1;
+      Some payload
+    | None ->
+      Atomic.incr s_program_misses;
+      Metrics.incr m_misses_program 1;
+      None)
+
+let save_report ~hw ~annot ~strategy program payload =
+  match Atomic.get store_ref with
+  | None -> ()
+  | Some store ->
+    write_entry store ~key:(report_key ~hw ~annot ~strategy program) ~kind:"report" payload
+
+(* The caller could not decode a payload [find_report] returned (marshal
+   layout drift not covered by the version string): reclassify the hit as
+   a miss and evict the entry. *)
+let invalidate_report ~hw ~annot ~strategy program =
+  (match Atomic.get store_ref with
+  | None -> ()
+  | Some store ->
+    evict store
+      (report_key ~hw ~annot ~strategy program)
+      ~code:"W0610" ~why:"cached report failed to deserialize");
+  Atomic.decr s_program_hits;
+  Atomic.incr s_program_misses;
+  Metrics.incr m_misses_program 1
+
+(* ---- Per-function seeding ------------------------------------------- *)
+
+type seeds = {
+  value_seed : int -> (State.t * State.t) option;
+  cache_seed : int -> (Cstate.t * Cstate.t) option;
+  hit_functions : string list;
+}
+
+let nodes_by_func (graph : Supergraph.t) =
+  let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (n : Supergraph.node) ->
+      match Hashtbl.find_opt tbl n.Supergraph.func with
+      | Some l -> l := n.Supergraph.id :: !l
+      | None -> Hashtbl.add tbl n.Supergraph.func (ref [ n.Supergraph.id ]))
+    graph.Supergraph.nodes;
+  fun f -> match Hashtbl.find_opt tbl f with Some l -> !l | None -> []
+
+let cached_function_names (graph : Supergraph.t) =
+  let program = graph.Supergraph.program in
+  List.filter_map
+    (fun (f : Program.func_info) ->
+      (* only functions the graph actually expanded *)
+      if
+        Array.exists
+          (fun (n : Supergraph.node) -> n.Supergraph.func = f.Program.name)
+          graph.Supergraph.nodes
+      then Some f.Program.name
+      else None)
+    program.Program.functions
+
+let load_seeds ~hw ~annot ~strategy ~assumes (graph : Supergraph.t) =
+  match Atomic.get store_ref with
+  | None -> None
+  | Some store ->
+    let program = graph.Supergraph.program in
+    let callees_of, has_indirect = call_graph graph in
+    let rom_data = rom_data_digest program in
+    let nsig = node_sig graph in
+    let n = Array.length graph.Supergraph.nodes in
+    let by_sig : (node_sig, int) Hashtbl.t = Hashtbl.create n in
+    Array.iter
+      (fun (node : Supergraph.node) -> Hashtbl.replace by_sig (nsig node) node.Supergraph.id)
+      graph.Supergraph.nodes;
+    let value_seeds = Array.make n None in
+    let cache_seeds = Array.make n None in
+    let hits = ref [] in
+    List.iter
+      (fun fname ->
+        let key =
+          function_key ~hw ~annot ~strategy ~assumes ~rom_data ~callees_of ~has_indirect
+            program fname
+        in
+        match read_entry store ~key ~kind:"func" with
+        | None ->
+          Atomic.incr s_function_misses;
+          Metrics.incr m_misses_function 1
+        | Some payload -> (
+          match (Marshal.from_string payload 0 : slice_row list) with
+          | exception _ ->
+            evict store key ~code:"W0610" ~why:"cached function slice failed to deserialize";
+            Atomic.incr s_function_misses;
+            Metrics.incr m_misses_function 1
+          | rows ->
+            List.iter
+              (fun row ->
+                match Hashtbl.find_opt by_sig row.rsig with
+                | None -> ()  (* context no longer exists; harmless *)
+                | Some nid ->
+                  value_seeds.(nid) <- row.rvalue;
+                  cache_seeds.(nid) <- row.rcache)
+              rows;
+            Atomic.incr s_function_hits;
+            Metrics.incr m_hits_function 1;
+            hits := fname :: !hits))
+      (cached_function_names graph);
+    if !hits = [] then None
+    else
+      Some
+        {
+          value_seed = (fun i -> value_seeds.(i));
+          cache_seed = (fun i -> cache_seeds.(i));
+          hit_functions = List.rev !hits;
+        }
+
+let save_function_results ~hw ~annot ~strategy ~assumes (value : Analysis.result)
+    (cache : Cache_analysis.result) =
+  match Atomic.get store_ref with
+  | None -> ()
+  | Some store ->
+    let graph = value.Analysis.graph in
+    let program = graph.Supergraph.program in
+    let callees_of, has_indirect = call_graph graph in
+    let rom_data = rom_data_digest program in
+    let nsig = node_sig graph in
+    let nodes_of = nodes_by_func graph in
+    List.iter
+      (fun fname ->
+        if not (may_read_text program value nodes_of fname) then begin
+          let key =
+            function_key ~hw ~annot ~strategy ~assumes ~rom_data ~callees_of ~has_indirect
+              program fname
+          in
+          (* An existing entry under this key already describes these
+             states (or a sound widening of them): keep it, skip the IO. *)
+          if not (Store.mem store ~key) then begin
+            let rows =
+              List.map
+                (fun nid ->
+                  {
+                    rsig = nsig graph.Supergraph.nodes.(nid);
+                    rvalue =
+                      (match (value.Analysis.node_in.(nid), value.Analysis.node_out.(nid)) with
+                      | Some i, Some o -> Some (i, o)
+                      | _ -> None);
+                    rcache =
+                      (match
+                         (cache.Cache_analysis.node_in.(nid), cache.Cache_analysis.node_out.(nid))
+                       with
+                      | Some i, Some o -> Some (i, o)
+                      | _ -> None);
+                  })
+                (nodes_of fname)
+            in
+            write_entry store ~key ~kind:"func" (marshal (rows : slice_row list))
+          end
+        end)
+      (cached_function_names graph)

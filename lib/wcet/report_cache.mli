@@ -1,0 +1,117 @@
+(** Persistent content-addressed analysis cache (the tool's warm-rerun
+    layer).
+
+    Two granularities over one {!Wcet_util.Store}: whole-program marshaled
+    reports (a hit skips every analysis phase and reproduces the cold run
+    bit for bit) and per-function converged value/cache fixpoint states
+    (on a report miss they seed the fixpoint solvers so only changed
+    functions re-transfer — incremental re-analysis). Keys are md5 hashes
+    of everything a result depends on: binary image and layout, memory
+    map, annotations, hardware configuration, worklist strategy, and — per
+    function — its code bytes, the code of its transitive callees, and the
+    constant ROM data it may read. Entry envelopes carry a version string;
+    corrupt or version-mismatched entries are evicted, reported as
+    W0610/W0611 warnings and recomputed, never a crash.
+
+    Configuration is process-global and read-only for worker domains: the
+    CLI calls {!set_dir} (or {!disable}) once before any analysis runs.
+    The library default is disabled. *)
+
+module Diag := Wcet_diag.Diag
+
+(** {1 Configuration} *)
+
+(** [set_dir d] opens (creating if needed) the store at [d] and enables
+    caching; on failure caching stays disabled, a W0612 warning is queued
+    and [false] is returned. *)
+val set_dir : string -> bool
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val dir : unit -> string option
+
+(** Version string recorded in entry envelopes (format version plus salt).
+    [set_version_salt] exists so tests and forks can force invalidation. *)
+val version : unit -> string
+
+val set_version_salt : string -> unit
+
+(** {1 Session accounting} *)
+
+type session = {
+  program_hits : int;
+  program_misses : int;
+  function_hits : int;
+  function_misses : int;
+  evictions : int;
+}
+
+val session_stats : unit -> session
+val reset_session : unit -> unit
+
+(** Store-layer warnings (W0610/W0611/W0612) queued since the last drain.
+    They are kept out of cached reports to preserve bit-identity; the CLI
+    prints them on stderr after the run. *)
+val drain_diags : unit -> Diag.t list
+
+(** {1 Whole-program reports}
+
+    Payloads are opaque bytes: the analyzer marshals/unmarshals its report
+    type itself (this module cannot name it without a dependency cycle). *)
+
+val find_report :
+  hw:Pred32_hw.Hw_config.t ->
+  annot:Wcet_annot.Annot.t ->
+  strategy:Wcet_util.Fixpoint.strategy ->
+  Pred32_asm.Program.t ->
+  string option
+
+val save_report :
+  hw:Pred32_hw.Hw_config.t ->
+  annot:Wcet_annot.Annot.t ->
+  strategy:Wcet_util.Fixpoint.strategy ->
+  Pred32_asm.Program.t ->
+  string ->
+  unit
+
+(** The payload [find_report] returned failed to deserialize: evict it and
+    reclassify the hit as a miss (W0610). *)
+val invalidate_report :
+  hw:Pred32_hw.Hw_config.t ->
+  annot:Wcet_annot.Annot.t ->
+  strategy:Wcet_util.Fixpoint.strategy ->
+  Pred32_asm.Program.t ->
+  unit
+
+(** {1 Per-function fixpoint seeding} *)
+
+type seeds = {
+  value_seed : int -> (Wcet_value.State.t * Wcet_value.State.t) option;
+  cache_seed :
+    int -> (Wcet_cache.Cache_analysis.Cstate.t * Wcet_cache.Cache_analysis.Cstate.t) option;
+  hit_functions : string list;  (** functions restored from the store *)
+}
+
+(** [load_seeds ~hw ~annot ~strategy ~assumes graph] reads every matching
+    per-function entry and builds node-indexed seed functions for the two
+    fixpoints; [None] when caching is off or nothing matched. [assumes]
+    must be the resolved assume set the value analysis will run with. *)
+val load_seeds :
+  hw:Pred32_hw.Hw_config.t ->
+  annot:Wcet_annot.Annot.t ->
+  strategy:Wcet_util.Fixpoint.strategy ->
+  assumes:(int * Wcet_value.Aval.t) list ->
+  Wcet_cfg.Supergraph.t ->
+  seeds option
+
+(** [save_function_results ~hw ~annot ~strategy ~assumes value cache]
+    writes one slice entry per analyzed function (skipping functions whose
+    loads may read the text segment, and keys that already exist). *)
+val save_function_results :
+  hw:Pred32_hw.Hw_config.t ->
+  annot:Wcet_annot.Annot.t ->
+  strategy:Wcet_util.Fixpoint.strategy ->
+  assumes:(int * Wcet_value.Aval.t) list ->
+  Wcet_value.Analysis.result ->
+  Wcet_cache.Cache_analysis.result ->
+  unit

@@ -48,6 +48,17 @@ let test_describe () =
   Alcotest.(check bool) "W0301 documented" true (Diag.describe "W0301" <> None);
   Alcotest.(check (option string)) "unknown code" None (Diag.describe "E9999")
 
+(* The codes this PR introduced: environment-variable validation and the
+   persistent analysis cache's degradation warnings. *)
+let test_store_and_env_codes_registered () =
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " documented") true (Diag.describe code <> None))
+    [ "E0110"; "W0610"; "W0611"; "W0612" ];
+  Alcotest.(check int) "store phase exits as usage" 1
+    (Diag.exit_for (Diag.make Diag.Warning Diag.Store ~code:"W0612" "x"));
+  Alcotest.(check string) "store phase name" "cache-store" (Diag.phase_name Diag.Store)
+
 let test_pp_format () =
   let d =
     Diag.make Diag.Warning Diag.Decode ~code:"W0301"
@@ -195,6 +206,8 @@ let () =
         [
           Alcotest.test_case "codes unique" `Quick test_codes_unique;
           Alcotest.test_case "describe" `Quick test_describe;
+          Alcotest.test_case "store and env codes registered" `Quick
+            test_store_and_env_codes_registered;
           Alcotest.test_case "pp format" `Quick test_pp_format;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
           Alcotest.test_case "collector" `Quick test_collector;

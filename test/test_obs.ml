@@ -197,6 +197,13 @@ let pinned_names =
     "cache_fetch_class{class=not_classified}";
     "cache_persistence_promotions{cache=data}";
     "cache_persistence_promotions{cache=fetch}";
+    "cache_store_bytes_read";
+    "cache_store_bytes_written";
+    "cache_store_evictions";
+    "cache_store_hits{granularity=function}";
+    "cache_store_hits{granularity=program}";
+    "cache_store_misses{granularity=function}";
+    "cache_store_misses{granularity=program}";
     "fixpoint_joins{analysis=cache}";
     "fixpoint_joins{analysis=value}";
     "fixpoint_transfers{analysis=cache}";
