@@ -157,6 +157,19 @@ let resolve_cache_dir cache_dir =
     | Some d when d <> "" -> d
     | Some _ | None -> "_wcet_cache")
 
+(* Entry envelopes are checked against format_version plus this salt
+   before their payload reaches Marshal.from_string, which is not type
+   safe: stale marshaled layouts must be stopped by the version check,
+   not by manual bump discipline. Deriving the salt from the executable's
+   own digest makes every rebuild a distinct version — conservative (a
+   rebuild that changes no layout also invalidates, under W0611) but a
+   drifted layout can never reach the unmarshaller. *)
+let () =
+  Report_cache.set_version_salt
+    (match Digest.file Sys.executable_name with
+    | d -> "+" ^ Digest.to_hex d
+    | exception _ -> "")
+
 let cache_setup ~cache_dir ~no_cache =
   if no_cache then Report_cache.disable ()
   else ignore (Report_cache.set_dir (resolve_cache_dir cache_dir));

@@ -80,6 +80,7 @@ let histogram ?(labels = []) ~name ~help ~buckets () =
   h
 
 let incr c n = if Obs.on () then ignore (Atomic.fetch_and_add c n)
+let decr c n = incr c (-n)
 
 let set g v = if Obs.on () then Atomic.set g v
 

@@ -33,6 +33,11 @@ val histogram :
 
 val incr : counter -> int -> unit
 
+(** [decr c n] takes back [n] earlier increments — for the rare event that
+    is reclassified after being counted (e.g. a cache hit whose payload
+    later fails to decode becomes a miss). *)
+val decr : counter -> int -> unit
+
 val set : gauge -> int -> unit
 
 (** [set_max g v] raises the gauge to [v] if [v] is larger (peak tracking). *)

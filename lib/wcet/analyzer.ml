@@ -442,9 +442,13 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
       loops.Loops.irreducible
   in
   let cache =
+    (* Cache seeds are gated on the value fixpoint: a slice's cache states
+       are only reused at nodes whose value states converged to the ones
+       recorded with them, because the cache transfer replays this run's
+       access sets (Report_cache.gate_cache_seed). *)
     timed phases Cache (fun () ->
         Cache_analysis.run ~strategy
-          ?seeds:(Option.map (fun s -> s.Report_cache.cache_seed) seeds)
+          ?seeds:(Option.map (fun s -> Report_cache.gate_cache_seed s value) seeds)
           hw value
           ~region_hints:(region_hints_of_annot c program annot))
   in

@@ -12,11 +12,16 @@
      from it, the annotation slices that feed the fixpoints, and the
      non-text ROM data it may read. On a report-level miss these seed the
      fixpoint solvers so only changed functions re-transfer (incremental
-     re-analysis). Soundness: a seed is a post-fixpoint of a monotone
-     system (see Fixpoint.solve ?seeds), so reuse can only widen, never
-     narrow, the abstract states; a function whose own loads may read the
-     text segment is never cached, because its transfer function could
-     then change without its key changing.
+     re-analysis). Soundness: a value seed is a post-fixpoint of a
+     monotone system whose transfer functions the key fully covers (see
+     Fixpoint.solve ?seeds), so reuse can only widen, never narrow, the
+     abstract states. Cache seeds need one more check: the cache transfer
+     function replays the CURRENT run's access sets, which depend on
+     caller-supplied dataflow the key deliberately omits, so cache states
+     are seeded only at nodes whose value states converged to exactly the
+     recorded ones (gate_cache_seed). A function whose own loads may read
+     the text segment is never cached, because its transfer function
+     could then change without its key changing.
 
    Keys are md5 content hashes; entry envelopes carry a version string
    (format + salt), so a format bump invalidates by version mismatch
@@ -416,6 +421,7 @@ let invalidate_report ~hw ~annot ~strategy program =
       ~code:"W0610" ~why:"cached report failed to deserialize");
   Atomic.decr s_program_hits;
   Atomic.incr s_program_misses;
+  Metrics.decr m_hits_program 1;
   Metrics.incr m_misses_program 1
 
 (* ---- Per-function seeding ------------------------------------------- *)
@@ -503,6 +509,30 @@ let load_seeds ~hw ~annot ~strategy ~assumes (graph : Supergraph.t) =
           hit_functions = List.rev !hits;
         }
 
+(* The cache transfer function at node [i] replays this run's access set
+   (value.Analysis.accesses.(i), a deterministic function of the converged
+   value in-state), which the per-function key deliberately does not
+   cover: editing a caller can widen a callee's value states without
+   changing the callee's key. A slice's cache states were computed under
+   the value states recorded beside them, so they may seed the cache
+   fixpoint only at nodes where this run's value analysis converged to
+   exactly those states — there the old and new transfer functions
+   coincide and the seed is a genuine post-fixpoint. Anywhere else the
+   stale out-state could freeze must-cache contents the wider access set
+   no longer guarantees and classify later accesses Always_hit unsoundly
+   (a WCET underestimate), so the seed is dropped and the node
+   re-transfers from the delivered dataflow. *)
+let gate_cache_seed seeds (value : Analysis.result) i =
+  match seeds.cache_seed i with
+  | None -> None
+  | Some cs -> (
+    match (seeds.value_seed i, value.Analysis.node_in.(i), value.Analysis.node_out.(i)) with
+    | Some (s_in, s_out), Some v_in, Some v_out
+      when State.leq s_in v_in && State.leq v_in s_in && State.leq s_out v_out
+           && State.leq v_out s_out ->
+      Some cs
+    | _ -> None)
+
 let save_function_results ~hw ~annot ~strategy ~assumes (value : Analysis.result)
     (cache : Cache_analysis.result) =
   match Atomic.get store_ref with
@@ -521,28 +551,32 @@ let save_function_results ~hw ~annot ~strategy ~assumes (value : Analysis.result
             function_key ~hw ~annot ~strategy ~assumes ~rom_data ~callees_of ~has_indirect
               program fname
           in
-          (* An existing entry under this key already describes these
-             states (or a sound widening of them): keep it, skip the IO. *)
-          if not (Store.mem store ~key) then begin
-            let rows =
-              List.map
-                (fun nid ->
-                  {
-                    rsig = nsig graph.Supergraph.nodes.(nid);
-                    rvalue =
-                      (match (value.Analysis.node_in.(nid), value.Analysis.node_out.(nid)) with
-                      | Some i, Some o -> Some (i, o)
-                      | _ -> None);
-                    rcache =
-                      (match
-                         (cache.Cache_analysis.node_in.(nid), cache.Cache_analysis.node_out.(nid))
-                       with
-                      | Some i, Some o -> Some (i, o)
-                      | _ -> None);
-                  })
-                (nodes_of fname)
-            in
-            write_entry store ~key ~kind:"func" (marshal (rows : slice_row list))
-          end
+          (* The key does not cover caller-supplied dataflow, so an entry
+             written by an earlier run can hold states narrower (or wider)
+             than this run's convergence — e.g. the callee has since been
+             widened through an edited caller. Stale entries are tolerated
+             by the seeding machinery (the worklist re-delivers dataflow
+             and gate_cache_seed drops mismatched cache states), but they
+             make every warm run redo that work; overwrite so the store
+             always tracks the latest converged states. *)
+          let rows =
+            List.map
+              (fun nid ->
+                {
+                  rsig = nsig graph.Supergraph.nodes.(nid);
+                  rvalue =
+                    (match (value.Analysis.node_in.(nid), value.Analysis.node_out.(nid)) with
+                    | Some i, Some o -> Some (i, o)
+                    | _ -> None);
+                  rcache =
+                    (match
+                       (cache.Cache_analysis.node_in.(nid), cache.Cache_analysis.node_out.(nid))
+                     with
+                    | Some i, Some o -> Some (i, o)
+                    | _ -> None);
+                })
+              (nodes_of fname)
+          in
+          write_entry store ~key ~kind:"func" (marshal (rows : slice_row list))
         end)
       (cached_function_names graph)

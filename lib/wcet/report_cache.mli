@@ -95,7 +95,9 @@ type seeds = {
 (** [load_seeds ~hw ~annot ~strategy ~assumes graph] reads every matching
     per-function entry and builds node-indexed seed functions for the two
     fixpoints; [None] when caching is off or nothing matched. [assumes]
-    must be the resolved assume set the value analysis will run with. *)
+    must be the resolved assume set the value analysis will run with.
+    [value_seed] may be passed to the value analysis directly; [cache_seed]
+    must go through {!gate_cache_seed} first. *)
 val load_seeds :
   hw:Pred32_hw.Hw_config.t ->
   annot:Wcet_annot.Annot.t ->
@@ -104,9 +106,24 @@ val load_seeds :
   Wcet_cfg.Supergraph.t ->
   seeds option
 
+(** [gate_cache_seed seeds value i] is [seeds.cache_seed i] restricted to
+    nodes whose value states in the converged result [value] equal the
+    ones recorded beside the cache states in the slice. The cache
+    transfer function replays the current run's access sets, which the
+    per-function key does not cover (caller-supplied dataflow); seeding
+    cache states computed under different value states could freeze stale
+    must-cache contents and underestimate the bound. *)
+val gate_cache_seed :
+  seeds ->
+  Wcet_value.Analysis.result ->
+  int ->
+  (Wcet_cache.Cache_analysis.Cstate.t * Wcet_cache.Cache_analysis.Cstate.t) option
+
 (** [save_function_results ~hw ~annot ~strategy ~assumes value cache]
     writes one slice entry per analyzed function (skipping functions whose
-    loads may read the text segment, and keys that already exist). *)
+    loads may read the text segment). An existing entry under the same key
+    is overwritten: the key does not cover caller-supplied dataflow, so it
+    may hold states from an older convergence. *)
 val save_function_results :
   hw:Pred32_hw.Hw_config.t ->
   annot:Wcet_annot.Annot.t ->

@@ -12,10 +12,14 @@
 module Store = Wcet_util.Store
 module Report_cache = Wcet_core.Report_cache
 module Analyzer = Wcet_core.Analyzer
+module Cache_analysis = Wcet_cache.Cache_analysis
+module Block_timing = Wcet_pipeline.Block_timing
 module Compile = Minic.Compile
 module Lexer = Minic.Lexer
 module Diag = Wcet_diag.Diag
 module Json = Wcet_diag.Json
+module Metrics = Wcet_obs.Metrics
+module Obs = Wcet_obs.Obs
 
 let fresh_dir =
   let counter = ref 0 in
@@ -253,6 +257,120 @@ let test_function_invalidation_on_edit () =
       Alcotest.(check int) "seeded bound = scratch bound" scratch.Analyzer.wcet
         seeded.Analyzer.wcet)
 
+(* f's data-access addresses depend on its argument, and main supplies
+   that argument — caller dataflow the per-function key deliberately does
+   not cover. Editing only the constant in main leaves f's code (and the
+   whole layout) byte-identical, so f's slice still matches on the warm
+   run while its value (and therefore cache) states converge elsewhere:
+   at 16-byte lines table[1] and table[6] live in different cache lines,
+   and the trailing table[6] access hits exactly when the loop really
+   loaded table[6]'s line. *)
+let caller_passes_1 =
+  "rom int table[8] = {3, 1, 4, 1, 5, 9, 2, 6};\n\
+   int acc;\n\
+   int f(int x) { int i; int s; s = 0; for (i = 0; i < 3; i = i + 1) { s = s + table[x]; } \
+   s = s + table[6]; return s; }\n\
+   int main() { acc = f(1); return acc; }\n"
+
+let caller_passes_6 =
+  "rom int table[8] = {3, 1, 4, 1, 5, 9, 2, 6};\n\
+   int acc;\n\
+   int f(int x) { int i; int s; s = 0; for (i = 0; i < 3; i = i + 1) { s = s + table[x]; } \
+   s = s + table[6]; return s; }\n\
+   int main() { acc = f(6); return acc; }\n"
+
+(* A seeded run analyzes under states at least as wide as the scratch
+   run's, so it may only be LESS classified: a seeded Always_hit or
+   Always_miss where the scratch run concluded otherwise means a stale
+   cache state survived seeding. Compared only at nodes both runs
+   reached; graph construction is deterministic, so node ids align. *)
+let classification_optimism_violations (seeded : Analyzer.report) (scratch : Analyzer.report) =
+  let s = seeded.Analyzer.cache and c = scratch.Analyzer.cache in
+  let sound_wrt mine precise =
+    match mine with
+    | Cache_analysis.Always_hit -> precise = Cache_analysis.Always_hit
+    | Cache_analysis.Always_miss -> precise = Cache_analysis.Always_miss
+    | Cache_analysis.Not_classified | Cache_analysis.Bypass -> true
+  in
+  let viol = ref [] in
+  Array.iteri
+    (fun i s_fetch ->
+      match (s.Cache_analysis.node_in.(i), c.Cache_analysis.node_in.(i)) with
+      | Some _, Some _ ->
+        Array.iteri
+          (fun j sc ->
+            if not (sound_wrt sc c.Cache_analysis.fetch.(i).(j)) then
+              viol := Printf.sprintf "fetch at node %d insn %d" i j :: !viol)
+          s_fetch;
+        List.iter
+          (fun (da : Cache_analysis.data_access) ->
+            match
+              List.find_opt
+                (fun (db : Cache_analysis.data_access) ->
+                  db.Cache_analysis.insn_index = da.Cache_analysis.insn_index)
+                c.Cache_analysis.data.(i)
+            with
+            | None -> ()
+            | Some db ->
+              if not (sound_wrt da.Cache_analysis.kind db.Cache_analysis.kind) then
+                viol :=
+                  Printf.sprintf "data access at node %d insn %d" i
+                    da.Cache_analysis.insn_index
+                  :: !viol)
+          s.Cache_analysis.data.(i)
+      | _ -> ())
+    s.Cache_analysis.fetch;
+  List.rev !viol
+
+let seeded_then_scratch src_cold src_target =
+  with_cache (fun _dir ->
+      let a = Compile.compile src_cold in
+      let b = Compile.compile src_target in
+      ignore (Analyzer.analyze a);
+      Report_cache.reset_session ();
+      let seeded = Analyzer.analyze b in
+      let s = Report_cache.session_stats () in
+      Alcotest.(check bool) "f's slice was restored (the test exercises seeding)" true
+        (s.Report_cache.function_hits >= 1);
+      Report_cache.disable ();
+      let scratch = Analyzer.analyze b in
+      (seeded, scratch))
+
+let test_caller_dataflow_change_regates_cache_seeds () =
+  (* The cache transfer function replays the current run's access sets; a
+     cache seed recorded under different value states must not survive a
+     caller edit that changes them, or stale must/may-cache contents
+     would claim hits (and misses) the new dataflow no longer supports —
+     the f(6)-cold → f(1)-seeded direction steals an Always_hit for the
+     trailing table[6] access (a WCET underestimate), the reverse
+     direction a spurious Always_miss (a BCET overestimate).
+     Function-granularity seeding promises soundness, not bit-identity:
+     the seeded bound may be wider than scratch, never tighter. *)
+  List.iter
+    (fun (cold, target) ->
+      let seeded, scratch = seeded_then_scratch cold target in
+      Alcotest.(check bool) "seeded WCET bound is sound (>= scratch)" true
+        (seeded.Analyzer.wcet >= scratch.Analyzer.wcet);
+      Alcotest.(check bool) "seeded BCET bound is sound (<= scratch)" true
+        (seeded.Analyzer.bcet <= scratch.Analyzer.bcet);
+      Alcotest.(check (list string)) "no stale cache classification survived seeding" []
+        (classification_optimism_violations seeded scratch))
+    [ (caller_passes_1, caller_passes_6); (caller_passes_6, caller_passes_1) ]
+
+let test_function_entries_track_latest_convergence () =
+  (* save_function_results must overwrite a slice whose key survives a
+     caller edit: the stored states describe the OLD convergence, and
+     keeping them would make every later warm run redo the re-widening. *)
+  with_cache (fun dir ->
+      ignore (Analyzer.analyze (Compile.compile caller_passes_1));
+      let before = List.map (fun p -> (p, Digest.file p)) (files_under dir) in
+      ignore (Analyzer.analyze (Compile.compile caller_passes_6));
+      let rewritten =
+        List.exists (fun (p, d) -> Sys.file_exists p && Digest.file p <> d) before
+      in
+      Alcotest.(check bool) "a surviving slice was rewritten with the new states" true
+        rewritten)
+
 (* --- degradation: corruption and version drift --- *)
 
 let corrupt_every_entry dir =
@@ -284,6 +402,42 @@ let test_corrupt_entries_degrade () =
       Alcotest.(check bool) "every store diag is a warning, never fatal" true
         (codes <> []);
       (* the evicted keys were rewritten by the recompute: warm again *)
+      Report_cache.reset_session ();
+      ignore (Analyzer.analyze program);
+      Alcotest.(check int) "cache healed" 1
+        (Report_cache.session_stats ()).Report_cache.program_hits)
+
+let test_undecodable_report_reclassifies_hit () =
+  (* A valid envelope (checksum and version pass) whose payload is not a
+     marshaled report: the analyzer's decode fails, the entry is evicted
+     and the lookup must end up counted as a miss — in the session stats
+     AND the metrics registry — not as a hit plus a miss. *)
+  with_cache (fun _dir ->
+      let program = Compile.compile quickstart_like in
+      let hw = Pred32_hw.Hw_config.default in
+      let annot = Wcet_annot.Annot.empty in
+      let strategy = Wcet_util.Fixpoint.Rpo in
+      Report_cache.save_report ~hw ~annot ~strategy program "not a marshaled report";
+      let metric name =
+        match Metrics.find name with Some (Metrics.Counter_value n) -> n | _ -> 0
+      in
+      Obs.enable ();
+      Fun.protect ~finally:Obs.disable (fun () ->
+          let hits0 = metric "cache_store_hits{granularity=program}" in
+          let misses0 = metric "cache_store_misses{granularity=program}" in
+          let r = Analyzer.analyze program in
+          Alcotest.(check bool) "recomputed a real bound" true (r.Analyzer.wcet > 0);
+          let s = Report_cache.session_stats () in
+          Alcotest.(check int) "no net session hit" 0 s.Report_cache.program_hits;
+          Alcotest.(check int) "one session miss" 1 s.Report_cache.program_misses;
+          Alcotest.(check bool) "entry evicted" true (s.Report_cache.evictions >= 1);
+          Alcotest.(check int) "no net registry hit" hits0
+            (metric "cache_store_hits{granularity=program}");
+          Alcotest.(check int) "one registry miss" (misses0 + 1)
+            (metric "cache_store_misses{granularity=program}"));
+      let codes = List.map (fun d -> d.Diag.code) (Report_cache.drain_diags ()) in
+      Alcotest.(check bool) "W0610 reported" true (List.mem "W0610" codes);
+      (* the recompute rewrote the entry: warm again *)
       Report_cache.reset_session ();
       ignore (Analyzer.analyze program);
       Alcotest.(check int) "cache healed" 1
@@ -418,8 +572,14 @@ let () =
           Alcotest.test_case "annotation change misses" `Quick test_annotation_change_misses;
           Alcotest.test_case "one-function edit invalidates one function" `Quick
             test_function_invalidation_on_edit;
+          Alcotest.test_case "caller dataflow change re-gates cache seeds" `Quick
+            test_caller_dataflow_change_regates_cache_seeds;
+          Alcotest.test_case "function entries track the latest convergence" `Quick
+            test_function_entries_track_latest_convergence;
           Alcotest.test_case "corrupt entries degrade to recompute" `Quick
             test_corrupt_entries_degrade;
+          Alcotest.test_case "undecodable report reclassifies the hit" `Quick
+            test_undecodable_report_reclassifies_hit;
           Alcotest.test_case "version bump invalidates" `Quick test_version_bump_invalidates;
           Alcotest.test_case "unusable directory disables caching" `Quick
             test_unusable_dir_disables;
