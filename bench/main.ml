@@ -105,6 +105,67 @@ let fixpoint_comparison () =
   in
   (counts Wcet_util.Fixpoint.Rpo, counts Wcet_util.Fixpoint.Fifo)
 
+(* Whole-program vs summary engine on the quickstart program, cold (no
+   report cache): the component schedule drains nodes in the same global
+   RPO-priority order as the whole-program worklist, so the transfer totals
+   must match exactly — this block is both a benchmark and a standing
+   cross-check of that bit-identity argument (DESIGN.md section 5g). *)
+let scc_engine_comparison () =
+  let program = Minic.Compile.compile Harness.quickstart_source in
+  let run engine =
+    timed (fun () ->
+        let r = Analyzer.analyze ~engine program in
+        ( r.Analyzer.wcet,
+          r.Analyzer.value.Wcet_value.Analysis.transfers,
+          r.Analyzer.cache.Wcet_cache.Cache_analysis.transfers ))
+  in
+  let (w_bound, w_value, w_cache), w_secs = run Analyzer.Whole_program in
+  let (s_bound, s_value, s_cache), s_secs = run Analyzer.Summary in
+  if w_bound <> s_bound then failwith "scc benchmark: engines disagree on the WCET bound";
+  ((w_value, w_cache, w_secs), (s_value, s_cache, s_secs))
+
+let incremental_source edited =
+  (* The edit changes leaf_a's code bytes but not its output interval (t is
+     clamped back to 1 on both sides of the edit), so a warm rerun should
+     re-transfer leaf_a's components only — every downstream slice still
+     sees its recorded input. *)
+  Printf.sprintf
+    "int leaf_a(int x) { int t; t = %d; if (t > 0) { t = 1; } return x + t; }\n\
+     int leaf_b(int x) { return x * 2; }\n\
+     int mid_a(int x) { return leaf_a(x); }\n\
+     int mid_b(int x) { return leaf_b(x); }\n\
+     int main() { return mid_a(3) + mid_b(4); }\n"
+    (if edited then 2 else 1)
+
+(* One-function edit under a warm per-function cache: cold-analyze the base
+   program, then analyze a variant whose only change is leaf_a's constant.
+   The summary engine reloads slices for the untouched functions and
+   re-transfers only leaf_a's components plus the nodes downstream of its
+   changed output — the warm transfer count is the O(changed) headline. *)
+let incremental_comparison () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wcet_bench_scc.%d" (Unix.getpid ()))
+  in
+  if not (Wcet_core.Report_cache.set_dir dir) then ((0, 0), (0, 0))
+  else begin
+    let transfers r =
+      ( r.Analyzer.value.Wcet_value.Analysis.transfers,
+        r.Analyzer.cache.Wcet_cache.Cache_analysis.transfers )
+    in
+    let cold =
+      transfers (Analyzer.analyze (Minic.Compile.compile (incremental_source false)))
+    in
+    let warm =
+      transfers (Analyzer.analyze (Minic.Compile.compile (incremental_source true)))
+    in
+    Wcet_core.Report_cache.disable ();
+    (match Wcet_util.Store.open_store dir with
+    | Ok s -> ignore (Wcet_util.Store.clear s)
+    | Error _ -> ());
+    (cold, warm)
+  end
+
 module Json = Wcet_diag.Json
 
 (* Provenance stamps, so BENCH_results.json files from different checkouts
@@ -125,7 +186,9 @@ let iso_date () =
 
 let write_json ~path ~domains ~samples ~tables ~samples_per_sec
     ~rpo:(rpo_value, rpo_cache) ~fifo:(fifo_value, fifo_cache)
-    ~store:(store_cold, store_warm) =
+    ~store:(store_cold, store_warm)
+    ~scc:((wp_value, wp_cache, wp_secs), (sm_value, sm_cache, sm_secs))
+    ~incr:(incr_cold, incr_warm) =
   let strategy v c =
     Json.Obj [ ("value", Json.Int v); ("cache", Json.Int c); ("total", Json.Int (v + c)) ]
   in
@@ -149,6 +212,34 @@ let write_json ~path ~domains ~samples ~tables ~samples_per_sec
               ("program", Json.String "quickstart");
               ("rpo", strategy rpo_value rpo_cache);
               ("fifo", strategy fifo_value fifo_cache);
+            ] );
+        ( "scc_summary",
+          Json.Obj
+            [
+              ("program", Json.String "quickstart");
+              ( "whole_program",
+                Json.Obj
+                  [
+                    ("value", Json.Int wp_value);
+                    ("cache", Json.Int wp_cache);
+                    ("total", Json.Int (wp_value + wp_cache));
+                    ("seconds", Json.Float wp_secs);
+                  ] );
+              ( "summary",
+                Json.Obj
+                  [
+                    ("value", Json.Int sm_value);
+                    ("cache", Json.Int sm_cache);
+                    ("total", Json.Int (sm_value + sm_cache));
+                    ("seconds", Json.Float sm_secs);
+                  ] );
+              ( "incremental_edit",
+                Json.Obj
+                  [
+                    ("program", Json.String "five-function diamond, one leaf edited");
+                    ("cold", (fun (v, c) -> strategy v c) incr_cold);
+                    ("warm", (fun (v, c) -> strategy v c) incr_warm);
+                  ] );
             ] );
         ( "analysis_cache",
           Json.Obj
@@ -217,6 +308,22 @@ let () =
     "== fixpoint worklist (quickstart program) ==@.  rpo  transfers: value %d + cache %d = %d@.  \
      fifo transfers: value %d + cache %d = %d@.@."
     rpo_value rpo_cache (rpo_value + rpo_cache) fifo_value fifo_cache (fifo_value + fifo_cache);
+  let ((wp_value, wp_cache, wp_secs), (sm_value, sm_cache, sm_secs)) as scc =
+    scc_engine_comparison ()
+  in
+  Format.printf
+    "== scc summary engine (quickstart program, cold) ==@.  whole-program: value %d + cache %d = \
+     %d transfers   %.4f s@.  summary:       value %d + cache %d = %d transfers   %.4f s@.@."
+    wp_value wp_cache (wp_value + wp_cache) wp_secs sm_value sm_cache (sm_value + sm_cache)
+    sm_secs;
+  let (((incr_cold_v, incr_cold_c), (incr_warm_v, incr_warm_c)) as incr) =
+    incremental_comparison ()
+  in
+  Format.printf
+    "== incremental one-function edit (warm per-function cache) ==@.  cold: value %d + cache %d = \
+     %d transfers@.  warm: value %d + cache %d = %d transfers@.@."
+    incr_cold_v incr_cold_c (incr_cold_v + incr_cold_c) incr_warm_v incr_warm_c
+    (incr_warm_v + incr_warm_c);
   let (store_cold, store_warm) = cache_comparison () in
   Format.printf
     "== analysis cache (quickstart program) ==@.  cold: %.4f s   warm: %.4f s   speedup: %.1fx@.@."
@@ -228,7 +335,7 @@ let () =
     :: (Array.to_list rendered |> List.map (fun (name, _, seconds) -> (name, seconds)))
   in
   write_json ~path:"BENCH_results.json" ~domains ~samples ~tables:table_times ~samples_per_sec
-    ~rpo ~fifo ~store:(store_cold, store_warm);
+    ~rpo ~fifo ~store:(store_cold, store_warm) ~scc ~incr;
   Format.printf "== timings (%d domains) ==@." domains;
   List.iter
     (fun (name, seconds) -> Format.printf "  %-6s %8.3f s@." name seconds)

@@ -193,15 +193,26 @@ let load_annot = function
 let annot_arg =
   Arg.(value & opt (some file) None & info [ "annot" ] ~doc:"Annotation file")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("summary", Analyzer.Summary); ("whole-program", Analyzer.Whole_program) ])
+        Analyzer.Summary
+    & info [ "engine" ]
+        ~doc:
+          "Fixpoint engine: $(b,summary) (bottom-up SCC-scheduled with persistent \
+           per-function summaries; the default) or $(b,whole-program) (single worklist)")
+
 let analyze_cmd =
   let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
-  let run source annot_file hw soft_div verbose format profile trace cache_dir no_cache =
+  let run source annot_file hw soft_div verbose format profile trace cache_dir no_cache engine =
     handle_errors (fun () ->
         obs_setup ~profile ~trace;
         cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
-        match Analyzer.analyze ~hw ~annot program with
+        match Analyzer.analyze ~hw ~annot ~engine program with
         | report -> (
           (match format with
           | Json_format -> print_endline (Json.to_string (Analyzer.report_to_json report))
@@ -233,7 +244,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Compute a WCET bound for a MiniC program")
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ verbose_arg $ format_arg
-      $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg)
+      $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg $ engine_arg)
 
 let poke_conv =
   let parse s =

@@ -54,4 +54,42 @@ val run :
   region_hints:(string -> Pred32_memory.Region.t list option) ->
   result
 
+(** Per-node summary row for {!run_scheduled}: the external
+    (cross-component) cache input the node's component received when the
+    row was recorded, and the converged (in, out) states. A row is only
+    valid when the value states its access sets were derived from also
+    match — the caller gates the slice on that. *)
+type summary_row = {
+  sc_input : Cstate.t option;
+  sc_states : (Cstate.t * Cstate.t) option;
+}
+
+type summary_slice = int -> summary_row option
+
+(** Accounting from a scheduled run, for persisting fresh rows. *)
+type scheduled_info = {
+  sched_ext_input : Cstate.t option array;
+      (** per node: external input received this run *)
+  sched_components : int;  (** components activated by the dataflow *)
+  sched_computed : int;  (** solved by iteration *)
+  sched_applied : int;  (** installed from summary rows *)
+}
+
+(** Semantic state equality ([leq] both ways). *)
+val equal_cstate : Cstate.t -> Cstate.t -> bool
+
+(** [run_scheduled ?slice cfg value_result ~region_hints] solves the cache
+    problem one call-graph component at a time over the
+    reachability-filtered supergraph (see
+    {!Wcet_value.Analysis.run_scheduled}); components whose members are
+    covered by [slice] rows recorded under semantically equal external
+    inputs are applied without transferring. *)
+val run_scheduled :
+  ?slice:summary_slice ->
+  ?domains:int ->
+  Pred32_hw.Hw_config.t ->
+  Wcet_value.Analysis.result ->
+  region_hints:(string -> Pred32_memory.Region.t list option) ->
+  result * scheduled_info
+
 val pp_classification : Format.formatter -> classification -> unit

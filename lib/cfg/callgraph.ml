@@ -1,0 +1,201 @@
+(* Call-graph condensation.
+
+   Two layers share one iterative Tarjan SCC pass:
+
+   - [condense]: generic, over any integer node graph — builds the
+     Fixpoint.plan that drives component-scheduled solving (components in
+     topological order, dependency levels, global RPO priority).
+
+   - [of_supergraph]: the function-level view — which functions form
+     recursive groups, in bottom-up (callee-first) order, and which program
+     functions the supergraph never expanded (unreachable). This is the
+     reporting/metrics view; the analyses schedule at supergraph-node
+     granularity where a "component" is usually much smaller than a
+     function (one basic block, or one loop body possibly spanning the
+     contexts of callees invoked inside the loop). *)
+
+module Supergraph = Supergraph
+module Fixpoint = Wcet_util.Fixpoint
+
+(* Iterative Tarjan. Emits SCCs in reverse topological order; [emit] is
+   called once per component with its member list. *)
+let tarjan ~num_nodes ~succs ~emit =
+  let index = Array.make num_nodes (-1) in
+  let lowlink = Array.make num_nodes 0 in
+  let on_stack = Array.make num_nodes false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let visit root =
+    if index.(root) < 0 then begin
+      let dfs = ref [] in
+      let push n =
+        index.(n) <- !next_index;
+        lowlink.(n) <- !next_index;
+        incr next_index;
+        stack := n :: !stack;
+        on_stack.(n) <- true;
+        dfs := (n, ref (succs n)) :: !dfs
+      in
+      push root;
+      while !dfs <> [] do
+        match !dfs with
+        | [] -> ()
+        | (n, rest) :: tl -> (
+          match !rest with
+          | m :: ms ->
+            rest := ms;
+            if m >= 0 && m < num_nodes then begin
+              if index.(m) < 0 then push m
+              else if on_stack.(m) && index.(m) < lowlink.(n) then lowlink.(n) <- index.(m)
+            end
+          | [] ->
+            dfs := tl;
+            (match tl with
+            | (parent, _) :: _ ->
+              if lowlink.(n) < lowlink.(parent) then lowlink.(parent) <- lowlink.(n)
+            | [] -> ());
+            if lowlink.(n) = index.(n) then begin
+              let members = ref [] in
+              let continue_ = ref true in
+              while !continue_ do
+                match !stack with
+                | [] -> continue_ := false
+                | m :: restack ->
+                  stack := restack;
+                  on_stack.(m) <- false;
+                  members := m :: !members;
+                  if m = n then continue_ := false
+              done;
+              emit !members
+            end)
+      done
+    end
+  in
+  for n = 0 to num_nodes - 1 do
+    visit n
+  done
+
+let condense ~num_nodes ~entries ~succs =
+  let comps_rev = ref [] in
+  let ncomps = ref 0 in
+  let comp_emission = Array.make (max 1 num_nodes) 0 in
+  tarjan ~num_nodes ~succs ~emit:(fun members ->
+      List.iter (fun m -> comp_emission.(m) <- !ncomps) members;
+      comps_rev := members :: !comps_rev;
+      incr ncomps);
+  let nc = !ncomps in
+  (* Tarjan emits sinks first; flip the numbering so components are
+     topological: comp(u) < comp(v) for every cross-component edge u->v. *)
+  let comp_of = Array.init num_nodes (fun i -> nc - 1 - comp_emission.(i)) in
+  let priority = Fixpoint.rpo_index ~num_nodes ~entries ~succs in
+  let comps = Array.make (max 1 nc) [||] in
+  List.iteri
+    (fun topo members ->
+      let arr = Array.of_list members in
+      Array.sort (fun a b -> compare (priority.(a), a) (priority.(b), b)) arr;
+      comps.(topo) <- arr)
+    !comps_rev;
+  let comps = if nc = 0 then [||] else Array.sub comps 0 nc in
+  (* Longest-path layering over the condensation: a component's level is one
+     past the deepest of its predecessors, so no level contains an edge. *)
+  let level = Array.make nc 0 in
+  for c = 0 to nc - 1 do
+    Array.iter
+      (fun u ->
+        List.iter
+          (fun v ->
+            if v >= 0 && v < num_nodes then begin
+              let cv = comp_of.(v) in
+              if cv <> c && level.(cv) < level.(c) + 1 then level.(cv) <- level.(c) + 1
+            end)
+          (succs u))
+      comps.(c)
+  done;
+  let depth = Array.fold_left (fun acc l -> max acc (l + 1)) 0 level in
+  let counts = Array.make (max 1 depth) 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) level;
+  let levels = Array.init depth (fun l -> Array.make counts.(l) 0) in
+  let fill = Array.make (max 1 depth) 0 in
+  for c = 0 to nc - 1 do
+    let l = level.(c) in
+    levels.(l).(fill.(l)) <- c;
+    fill.(l) <- fill.(l) + 1
+  done;
+  {
+    Fixpoint.plan_comp_of = comp_of;
+    plan_comps = comps;
+    plan_levels = levels;
+    plan_priority = priority;
+  }
+
+(* ---- Function-level view -------------------------------------------- *)
+
+type t = {
+  sccs : string list array;
+  recursive : bool array;
+  unreachable : string list;
+}
+
+let of_supergraph (graph : Supergraph.t) =
+  let program = graph.Supergraph.program in
+  (* Functions the graph actually expanded, in program order. *)
+  let expanded : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (n : Supergraph.node) -> Hashtbl.replace expanded n.Supergraph.func ())
+    graph.Supergraph.nodes;
+  let funcs, unreachable =
+    List.partition
+      (fun (f : Pred32_asm.Program.func_info) -> Hashtbl.mem expanded f.Pred32_asm.Program.name)
+      program.Pred32_asm.Program.functions
+  in
+  let funcs = Array.of_list (List.map (fun f -> f.Pred32_asm.Program.name) funcs) in
+  let index_of : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri (fun i f -> Hashtbl.replace index_of f i) funcs;
+  let nf = Array.length funcs in
+  let callees = Array.make (max 1 nf) [] in
+  let self_call = Array.make (max 1 nf) false in
+  Array.iter
+    (fun (n : Supergraph.node) ->
+      match Hashtbl.find_opt index_of n.Supergraph.func with
+      | None -> ()
+      | Some fi ->
+        List.iter
+          (fun (kind, m) ->
+            match kind with
+            | Supergraph.Ecall -> (
+              let callee = graph.Supergraph.nodes.(m).Supergraph.func in
+              match Hashtbl.find_opt index_of callee with
+              | None -> ()
+              | Some ci ->
+                if ci = fi then self_call.(fi) <- true;
+                if not (List.mem ci callees.(fi)) then callees.(fi) <- ci :: callees.(fi))
+            | _ -> ())
+          n.Supergraph.succs)
+    graph.Supergraph.nodes;
+  let sccs_rev = ref [] in
+  (* Tarjan emission order is reverse topological over caller->callee edges,
+     i.e. callees before callers: exactly the bottom-up summary order. *)
+  tarjan ~num_nodes:nf ~succs:(fun i -> callees.(i)) ~emit:(fun members ->
+      sccs_rev := members :: !sccs_rev);
+  let sccs = Array.of_list (List.rev !sccs_rev) in
+  let recursive =
+    Array.map
+      (fun members ->
+        match members with
+        | [ f ] -> self_call.(f)
+        | _ :: _ :: _ -> true
+        | [] -> false)
+      sccs
+  in
+  {
+    sccs = Array.map (fun ms -> List.sort compare (List.map (fun i -> funcs.(i)) ms)) sccs;
+    recursive;
+    unreachable = List.map (fun f -> f.Pred32_asm.Program.name) unreachable;
+  }
+
+let scc_count t = Array.length t.sccs
+
+let scc_of t fname =
+  let found = ref None in
+  Array.iteri (fun i ms -> if !found = None && List.mem fname ms then found := Some i) t.sccs;
+  !found

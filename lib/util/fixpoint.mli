@@ -19,6 +19,21 @@ val strategy_name : strategy -> string
     Exposed for tests and for consumers that want the traversal order. *)
 val rpo_index : num_nodes:int -> entries:int list -> succs:(int -> int list) -> int array
 
+(** Schedule for {!Make.solve_plan}: the node graph condensed into strongly
+    connected components (built by [Wcet_cfg.Callgraph.condense], which lives
+    above this module in the dependency order). Components are numbered
+    topologically — every cross-component edge goes from a smaller to a
+    larger id — and grouped into dependency levels with no edges inside a
+    level. [plan_priority] is the global {!rpo_index} of the underlying
+    problem, kept so per-component solves pop nodes in the whole-program
+    order. *)
+type plan = {
+  plan_comp_of : int array;  (** node -> component id (topological) *)
+  plan_comps : int array array;  (** component id -> members, by priority *)
+  plan_levels : int array array;  (** level -> component ids, ascending *)
+  plan_priority : int array;  (** global RPO index of every node *)
+}
+
 module type Domain = sig
   type t
 
@@ -85,4 +100,53 @@ module Make (D : Domain) : sig
     ?budget:int ->
     problem ->
     result
+
+  (** Per-component outcome of {!solve_plan}. *)
+  type plan_info = {
+    applied : bool array;
+        (** component was installed from summary rows, not solved *)
+    per_comp_transfers : int array;
+    ext_input : D.t option array;
+        (** per node: the joined cross-component ("inbox") contribution the
+            node received, [None] when it only saw intra-component dataflow *)
+  }
+
+  (** [solve_plan ~plan problem] solves the problem one strongly connected
+      component at a time, bottom-up over the condensation: levels run in
+      order, the components of a level are independent and fan out across
+      the {!Parallel} domain pool, and results are merged in component
+      order so the outcome is deterministic for any domain count.
+
+      Because every cross-component edge goes forward in both the
+      condensation and the RPO priority, the whole-program {!solve} also
+      finishes a component's predecessors before first visiting the
+      component; solving each component against its accumulated external
+      inputs with the global RPO priority therefore reproduces the
+      whole-program fixpoint (and transfer count) component by component.
+
+      [summary ~comp ~input] may short-circuit a component by returning
+      recorded [(in, out)] rows for its members; they are installed without
+      transferring and their out-states propagated downstream. The callback
+      must only do so when [input] — the delivered inbox, per member —
+      semantically equals the inputs the rows were recorded under, and the
+      rows cover every member (unreached members may map to [None]).
+      It runs on a worker domain and must not mutate shared state except at
+      member indices. [on_comp_start cid] runs on the worker domain before
+      the component is examined (summary check included); [on_level_done
+      comps] runs on the calling domain after a level is merged.
+
+      [strategy] is not a parameter: scheduled solving is inherently
+      priority-driven ([Rpo]). [seeds] are not supported — summaries
+      subsume them. *)
+  val solve_plan :
+    ?propagate:(int -> D.t -> (int * D.t) list) ->
+    ?summary:(comp:int -> input:(int -> D.t option) -> (int -> (D.t * D.t) option) option) ->
+    ?on_comp_start:(int -> unit) ->
+    ?on_level_done:(int array -> unit) ->
+    ?force_widen_after:int ->
+    ?budget:int ->
+    ?domains:int ->
+    plan:plan ->
+    problem ->
+    result * plan_info
 end

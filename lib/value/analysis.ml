@@ -66,13 +66,26 @@ let eval_alu op a b =
   | Insn.Slt -> Aval.slt a b
   | Insn.Sltu -> Aval.sltu a b
 
+(* Frame-linkage bookkeeping is behind hooks: the whole-program solve uses
+   one chronological table, the scheduled solve a level snapshot plus a
+   worker-local overlay (see run_scheduled). *)
 type ctx = {
   program : Program.t;
-  linkage : (int, unit) Hashtbl.t;
+  is_linkage : int -> bool;
+  register_linkage : int -> unit;
   mutable record : (int -> int -> bool -> Aval.t -> unit) option;
 }
 
-let is_linkage ctx a = Hashtbl.mem ctx.linkage a
+let chronological_ctx program =
+  let linkage : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  {
+    program;
+    is_linkage = Hashtbl.mem linkage;
+    register_linkage = (fun a -> Hashtbl.replace linkage a ());
+    record = None;
+  }
+
+let is_linkage ctx a = ctx.is_linkage a
 
 let trackable ctx addr =
   match Memory_map.find ctx.program.Program.map addr with
@@ -127,7 +140,7 @@ let transfer_insn ctx st index (addr, insn) =
     (* Frame-linkage bookkeeping: prologue saves of lr/fp relative to sp. *)
     (match (Aval.singleton av, ()) with
     | Some a, () when (Reg.equal rs2 Reg.lr || Reg.equal rs2 Reg.fp) && Reg.equal rs1 Reg.sp ->
-      Hashtbl.replace ctx.linkage a ()
+      ctx.register_linkage a
     | _ -> ());
     match Aval.singleton av with
     | Some a when a land 3 = 0 ->
@@ -198,39 +211,25 @@ module FP = Wcet_util.Fixpoint.Make (struct
   let widen = State.widen
 end)
 
-let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds (graph : Supergraph.t)
-    (loops : Loops.info) =
+let widening_points (graph : Supergraph.t) (loops : Loops.info) =
   let n = Array.length graph.Supergraph.nodes in
-  let ctx = { program = graph.Supergraph.program; linkage = Hashtbl.create 64; record = None } in
   let widening_point = Array.make n false in
   Array.iter (fun (l : Loops.loop) -> widening_point.(l.Loops.header) <- true) loops.Loops.loops;
   List.iter (List.iter (fun v -> widening_point.(v) <- true)) loops.Loops.irreducible;
-  let solution =
-    try
-      FP.solve ~strategy
-        ~propagate:(fun i st_out ->
-          let node = graph.Supergraph.nodes.(i) in
-          List.filter_map
-            (fun (kind, target) ->
-              match refine_edge ctx node kind st_out with
-              | None -> None
-              | Some st_edge -> Some (target, st_edge))
-            node.Supergraph.succs)
-        ?seeds ~force_widen_after:40
-        ~budget:(200 * n * (1 + Array.length loops.Loops.loops))
-        {
-          FP.num_nodes = n;
-          entries = [ (graph.Supergraph.entry, State.entry_state ~assumes) ];
-          succs = (fun i -> List.map snd graph.Supergraph.nodes.(i).Supergraph.succs);
-          transfer = (fun i st -> transfer_block ctx st graph.Supergraph.nodes.(i));
-          widening_points = (fun i -> widening_point.(i));
-          widening_delay = 2;
-        }
-    with Failure _ -> failwith "value analysis did not converge"
-  in
-  let node_in = Array.init n solution.FP.in_state in
-  let node_out = Array.init n solution.FP.out_state in
-  (* Final pass: record data-access intervals from the fixpoint states. *)
+  widening_point
+
+let propagate_of ctx (graph : Supergraph.t) i st_out =
+  let node = graph.Supergraph.nodes.(i) in
+  List.filter_map
+    (fun (kind, target) ->
+      match refine_edge ctx node kind st_out with
+      | None -> None
+      | Some st_edge -> Some (target, st_edge))
+    node.Supergraph.succs
+
+(* Shared tail of both solvers: access recording + fixpoint metrics. *)
+let finish ctx (graph : Supergraph.t) node_in node_out (solution : FP.result) =
+  let n = Array.length graph.Supergraph.nodes in
   let accesses = Array.make n [] in
   Array.iteri
     (fun i (node : Supergraph.node) ->
@@ -265,6 +264,193 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds (graph : Sup
       accesses;
   { graph; node_in; node_out; accesses; transfers = solution.FP.transfers }
 
+let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds (graph : Supergraph.t)
+    (loops : Loops.info) =
+  let n = Array.length graph.Supergraph.nodes in
+  let ctx = chronological_ctx graph.Supergraph.program in
+  let widening_point = widening_points graph loops in
+  let solution =
+    try
+      FP.solve ~strategy
+        ~propagate:(propagate_of ctx graph)
+        ?seeds ~force_widen_after:40
+        ~budget:(200 * n * (1 + Array.length loops.Loops.loops))
+        {
+          FP.num_nodes = n;
+          entries = [ (graph.Supergraph.entry, State.entry_state ~assumes) ];
+          succs = (fun i -> List.map snd graph.Supergraph.nodes.(i).Supergraph.succs);
+          transfer = (fun i st -> transfer_block ctx st graph.Supergraph.nodes.(i));
+          widening_points = (fun i -> widening_point.(i));
+          widening_delay = 2;
+        }
+    with Failure _ -> failwith "value analysis did not converge"
+  in
+  let node_in = Array.init n solution.FP.in_state in
+  let node_out = Array.init n solution.FP.out_state in
+  finish ctx graph node_in node_out solution
+
+(* ---- Component-scheduled solve -------------------------------------- *)
+
+let m_summary_computes =
+  Metrics.counter ~labels:[ ("analysis", "value") ] ~name:"summary_computes"
+    ~help:"Components solved by iteration in the scheduled value analysis" ()
+
+let m_summary_hits =
+  Metrics.counter ~labels:[ ("analysis", "value") ] ~name:"summary_hits"
+    ~help:"Components applied from recorded summary rows in the value analysis" ()
+
+let m_scc_transfers =
+  Metrics.histogram ~labels:[ ("analysis", "value") ] ~name:"summary_scc_transfers"
+    ~help:"Transfer count per solved component of the scheduled value analysis"
+    ~buckets:[| 0; 1; 2; 4; 8; 16; 32; 64; 128; 256 |] ()
+
+(* Emit one retrospective "scc" span per solved component (trace-only
+   bookkeeping; durations are not meaningful, the attributes are). *)
+let comp_spans analysis (graph : Supergraph.t) (plan : Wcet_util.Fixpoint.plan)
+    (info : FP.plan_info) =
+  if Wcet_obs.Obs.on () then
+    Array.iteri
+      (fun cid members ->
+        if (not info.FP.applied.(cid)) && info.FP.per_comp_transfers.(cid) > 0 then begin
+          let funcs =
+            List.sort_uniq compare
+              (Array.to_list
+                 (Array.map (fun m -> graph.Supergraph.nodes.(m).Supergraph.func) members))
+          in
+          Wcet_obs.Trace.with_span ~cat:"summary"
+            ~attrs:
+              [
+                ("analysis", Wcet_obs.Trace.Str analysis);
+                ("funcs", Wcet_obs.Trace.Str (String.concat "," funcs));
+                ("nodes", Wcet_obs.Trace.Int (Array.length members));
+                ("transfers", Wcet_obs.Trace.Int info.FP.per_comp_transfers.(cid));
+              ]
+            "scc"
+            (fun () -> ())
+        end)
+      plan.Wcet_util.Fixpoint.plan_comps
+
+let run_scheduled ?(assumes = []) ?slice ?domains (graph : Supergraph.t) (loops : Loops.info) =
+  let n = Array.length graph.Supergraph.nodes in
+  let nodes = graph.Supergraph.nodes in
+  let succs i = List.map snd nodes.(i).Supergraph.succs in
+  let plan =
+    Wcet_cfg.Callgraph.condense ~num_nodes:n ~entries:[ graph.Supergraph.entry ] ~succs
+  in
+  (* Linkage under scheduled solving: workers see the registrations of
+     strictly earlier levels (a snapshot merged between levels on the
+     calling domain) plus their own component's (a worker-local overlay,
+     reset per component). Per-node registrations are also recorded so that
+     an applied component replays the ones from its rows. *)
+  let snapshot : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let overlay_key = Domain.DLS.new_key (fun () -> Hashtbl.create 16) in
+  let current_node = Domain.DLS.new_key (fun () -> ref (-1)) in
+  let node_linkage : int list array = Array.make n [] in
+  let ctx =
+    {
+      program = graph.Supergraph.program;
+      is_linkage =
+        (fun a -> Hashtbl.mem (Domain.DLS.get overlay_key) a || Hashtbl.mem snapshot a);
+      register_linkage =
+        (fun a ->
+          Hashtbl.replace (Domain.DLS.get overlay_key) a ();
+          let nd = !(Domain.DLS.get current_node) in
+          if nd >= 0 && not (List.mem a node_linkage.(nd)) then
+            node_linkage.(nd) <- a :: node_linkage.(nd));
+      record = None;
+    }
+  in
+  let widening_point = widening_points graph loops in
+  let summary =
+    match slice with
+    | None -> None
+    | Some lookup ->
+      Some
+        (fun ~comp ~input ->
+          let members = plan.Wcet_util.Fixpoint.plan_comps.(comp) in
+          let ok =
+            Array.for_all
+              (fun m ->
+                match lookup m with
+                | None -> false
+                | Some (row : Summary.row) -> Summary.equal_input (input m) row.Summary.input)
+              members
+          in
+          if not ok then None
+          else begin
+            Array.iter
+              (fun m ->
+                match lookup m with
+                | Some row -> node_linkage.(m) <- row.Summary.linkage
+                | None -> ())
+              members;
+            Some
+              (fun m ->
+                match lookup m with Some row -> row.Summary.states | None -> None)
+          end)
+  in
+  let solution, pinfo =
+    try
+      FP.solve_plan ?summary ?domains
+        ~propagate:(propagate_of ctx graph)
+        ~on_comp_start:(fun _ ->
+          Hashtbl.reset (Domain.DLS.get overlay_key);
+          Domain.DLS.get current_node := -1)
+        ~on_level_done:(fun comps ->
+          Array.iter
+            (fun cid ->
+              Array.iter
+                (fun m ->
+                  List.iter (fun a -> Hashtbl.replace snapshot a ()) node_linkage.(m))
+                plan.Wcet_util.Fixpoint.plan_comps.(cid))
+            comps)
+        ~force_widen_after:40
+        ~budget:(200 * n * (1 + Array.length loops.Loops.loops))
+        ~plan
+        {
+          FP.num_nodes = n;
+          entries = [ (graph.Supergraph.entry, State.entry_state ~assumes) ];
+          succs;
+          transfer =
+            (fun i st ->
+              Domain.DLS.get current_node := i;
+              transfer_block ctx st nodes.(i));
+          widening_points = (fun i -> widening_point.(i));
+          widening_delay = 2;
+        }
+    with Failure _ -> failwith "value analysis did not converge"
+  in
+  let node_in = Array.init n solution.FP.in_state in
+  let node_out = Array.init n solution.FP.out_state in
+  (* The recording pass sees the complete linkage set; registrations were
+     already attributed (solved components during their transfers, applied
+     ones from their rows), so replay registers nothing. *)
+  let result =
+    finish
+      { ctx with is_linkage = Hashtbl.mem snapshot; register_linkage = ignore; record = None }
+      graph node_in node_out solution
+  in
+  let computed = ref 0 and applied = ref 0 in
+  Array.iteri
+    (fun cid a ->
+      if a then incr applied
+      else if pinfo.FP.per_comp_transfers.(cid) > 0 then begin
+        incr computed;
+        Metrics.observe m_scc_transfers pinfo.FP.per_comp_transfers.(cid)
+      end)
+    pinfo.FP.applied;
+  Metrics.incr m_summary_computes !computed;
+  Metrics.incr m_summary_hits !applied;
+  comp_spans "value" graph plan pinfo;
+  ( result,
+    {
+      Summary.ext_input = pinfo.FP.ext_input;
+      node_linkage;
+      components = !computed + !applied;
+      computed = !computed;
+      applied = !applied;
+    } )
+
 let reachable r i = Option.is_some r.node_in.(i)
 
 (* Successor edges that survive branch refinement: an edge whose refined
@@ -275,7 +461,12 @@ let feasible_successors r i =
   else
     let node = r.graph.Supergraph.nodes.(i) in
     let ctx =
-      { program = r.graph.Supergraph.program; linkage = Hashtbl.create 1; record = None }
+      {
+        program = r.graph.Supergraph.program;
+        is_linkage = (fun _ -> false);
+        register_linkage = ignore;
+        record = None;
+      }
     in
     match r.node_out.(i) with
     | None -> []

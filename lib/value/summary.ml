@@ -1,0 +1,40 @@
+(* Per-node summary rows for the component-scheduled value analysis.
+
+   A row is the unit the persistent store replays: the external input a
+   node's component received when the row was recorded, the converged
+   (in, out) states, and the frame-linkage words the node registered while
+   transferring. Analysis.run_scheduled applies a component from rows
+   exactly when every member has a row and the delivered external input
+   semantically equals the recorded one — the "honest key" contract: the
+   store key covers the code, the input equality check covers the
+   caller-supplied dataflow the key cannot. *)
+
+type row = {
+  input : State.t option;
+      (* external (cross-component) contribution delivered to this node
+         when the row was recorded; None when it only saw intra-component
+         dataflow *)
+  states : (State.t * State.t) option;
+      (* converged (in, out); None when the node was unreached *)
+  linkage : int list;
+      (* frame-linkage addresses registered while transferring this node *)
+}
+
+type slice = int -> row option
+
+(* What a scheduled run records, for persisting rows and for accounting. *)
+type info = {
+  ext_input : State.t option array;
+  node_linkage : int list array;
+  components : int;  (* activated (solved + applied) *)
+  computed : int;
+  applied : int;
+}
+
+let equal_state a b = State.leq a b && State.leq b a
+
+let equal_input a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> equal_state a b
+  | None, Some _ | Some _, None -> false

@@ -1,0 +1,43 @@
+(** Summary representation for the component-scheduled value analysis
+    ({!Analysis.run_scheduled}).
+
+    A summary maps a component's abstract input state to its converged
+    output states (plus, indirectly, the access sets the cache analysis
+    replays from them). Rows are recorded per node; a component is applied
+    from rows — skipping every transfer — exactly when all members are
+    covered and the delivered external input semantically equals the
+    recorded one. Equality is [leq] both ways: abstract states with equal
+    meaning can differ structurally (map balance), so byte digests are
+    never compared. *)
+
+type row = {
+  input : State.t option;
+      (** external (cross-component) contribution the node's component
+          received when the row was recorded *)
+  states : (State.t * State.t) option;
+      (** converged (in, out); [None] for a node unreached under that
+          dataflow *)
+  linkage : int list;
+      (** frame-linkage words registered while transferring this node;
+          replayed when the component is applied so downstream havocs see
+          the same linkage set *)
+}
+
+(** Node-indexed row lookup, [None] when the node has no recorded row. *)
+type slice = int -> row option
+
+(** Everything a scheduled run records beyond the {!Analysis.result}. *)
+type info = {
+  ext_input : State.t option array;
+      (** per node: the external input it received this run *)
+  node_linkage : int list array;
+      (** per node: linkage registrations (recorded or replayed) *)
+  components : int;  (** components activated by the dataflow *)
+  computed : int;  (** components solved by iteration *)
+  applied : int;  (** components installed from summary rows *)
+}
+
+(** Semantic equality: [leq] both ways. *)
+val equal_state : State.t -> State.t -> bool
+
+val equal_input : State.t option -> State.t option -> bool

@@ -28,6 +28,29 @@ let m_runs_partial =
 let m_failures =
   Metrics.counter ~name:"analyzer_failures" ~help:"Analyses aborted by a fatal diagnostic" ()
 
+let m_scc_count =
+  Metrics.gauge ~name:"scc_count"
+    ~help:"Strongly connected components of the analyzed program's call graph" ()
+
+(* Which fixpoint engine drives the value and cache analyses. [Summary] is
+   the default: a bottom-up component-scheduled solve over the call-graph
+   condensation with persistent per-function summaries (O(changed)
+   re-analysis). [Whole_program] is the classic single-worklist solve; it
+   is forced whenever a non-default worklist strategy is requested, since
+   the component schedule is inherently priority-ordered. *)
+type engine = Summary | Whole_program
+
+let engine_name = function Summary -> "summary" | Whole_program -> "whole-program"
+
+(* The WCET_CACHE_PARANOID env flag cross-checks every summary-engine run
+   against a fresh whole-program solve and fails loudly (E0204) on any
+   semantic state divergence. Debug aid: the extra solves also inflate the
+   fixpoint metrics. *)
+let paranoid () =
+  match Sys.getenv_opt "WCET_CACHE_PARANOID" with
+  | Some v when v <> "" && v <> "0" -> true
+  | _ -> false
+
 exception Analysis_failed of Diag.t list
 
 let () =
@@ -193,6 +216,20 @@ let region_hints_of_annot c program (annot : Annot.t) func =
     | [] -> None
     | rs -> Some rs)
 
+(* Region hints resolved once per function of the graph, up front: the
+   cache transfer runs on worker domains under the summary engine, where
+   resolving lazily would race on the diagnostic collector — and would
+   emit one W0403 per node instead of one per function. *)
+let region_hint_table c program annot (graph : Supergraph.t) =
+  let tbl : (string, Pred32_memory.Region.t list option) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (n : Supergraph.node) ->
+      let f = n.Supergraph.func in
+      if not (Hashtbl.mem tbl f) then
+        Hashtbl.add tbl f (region_hints_of_annot c program annot f))
+    graph.Supergraph.nodes;
+  fun f -> Option.join (Hashtbl.find_opt tbl f)
+
 (* Nodes matching a place: block entries at an address, or entry blocks of a
    function (any context). *)
 let nodes_of_place c (graph : Supergraph.t) program place =
@@ -309,7 +346,8 @@ let validate_loop_places c program (annot : Annot.t) =
     annot.Annot.loop_bounds
 
 let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
-    ?(strategy = Wcet_util.Fixpoint.Rpo) program =
+    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) program =
+  let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
   let c = Diag.collector () in
   let phases = ref [] in
   let holes = ref [] in
@@ -352,18 +390,32 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
         "indirect jump cannot be resolved; execution beyond it is excluded from the bound")
     graph.Supergraph.unresolved_jumps;
   let loops = Loops.analyze graph in
-  (* Per-function seeds from the persistent cache: unchanged functions
-     settle at their cached states without re-transferring. *)
-  let seeds = Report_cache.load_seeds ~hw ~annot ~strategy ~assumes graph in
-  let value, derived_bounds =
+  if Wcet_obs.Obs.on () then
+    Metrics.set m_scc_count
+      (Wcet_cfg.Callgraph.scc_count (Wcet_cfg.Callgraph.of_supergraph graph));
+  (* Per-function summary rows from the persistent cache: components whose
+     members all carry rows recorded under the inputs delivered this run
+     are applied without re-transferring a node. *)
+  let slices =
+    match engine with
+    | Summary -> Report_cache.load_slices ~hw ~annot ~assumes graph
+    | Whole_program -> None
+  in
+  let value, vinfo, derived_bounds =
     timed phases Loop_value (fun () ->
         match
-          let value =
-            Analysis.run ~strategy ~assumes
-              ?seeds:(Option.map (fun s -> s.Report_cache.value_seed) seeds)
-              graph loops
+          let value, vinfo =
+            match engine with
+            | Summary ->
+              let value, vinfo =
+                Analysis.run_scheduled ~assumes
+                  ?slice:(Option.map Report_cache.value_slice slices)
+                  graph loops
+              in
+              (value, Some vinfo)
+            | Whole_program -> (Analysis.run ~strategy ~assumes graph loops, None)
           in
-          (value, Loop_bounds.analyze value loops)
+          (value, vinfo, Loop_bounds.analyze value loops)
         with
         | result -> result
         | exception Failure msg -> fatal c Diag.Loop_value ~code:"E0203" "%s" msg)
@@ -441,17 +493,64 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
         end)
       loops.Loops.irreducible
   in
-  let cache =
-    (* Cache seeds are gated on the value fixpoint: a slice's cache states
-       are only reused at nodes whose value states converged to the ones
-       recorded with them, because the cache transfer replays this run's
-       access sets (Report_cache.gate_cache_seed). *)
+  let region_hints = region_hint_table c program annot graph in
+  let cache, cinfo =
+    (* Cache rows are gated on the value fixpoint: a row is only offered at
+       nodes whose value states converged to the ones recorded with it,
+       because the cache transfer replays this run's access sets
+       (Report_cache.cache_slice). *)
     timed phases Cache (fun () ->
-        Cache_analysis.run ~strategy
-          ?seeds:(Option.map (fun s -> Report_cache.gate_cache_seed s value) seeds)
-          hw value
-          ~region_hints:(region_hints_of_annot c program annot))
+        match engine with
+        | Summary ->
+          let cache, cinfo =
+            Cache_analysis.run_scheduled
+              ?slice:(Option.map (fun s -> Report_cache.cache_slice s value) slices)
+              hw value ~region_hints
+          in
+          (cache, Some cinfo)
+        | Whole_program -> (Cache_analysis.run ~strategy hw value ~region_hints, None))
   in
+  (* Paranoid cross-check: re-solve whole-program and require semantic
+     state equality at every node. Divergence means a summary was applied
+     where it should not have been — fail loudly rather than risk an
+     unsound bound. *)
+  if engine = Summary && paranoid () then begin
+    let eq_opt eq a b =
+      match (a, b) with
+      | None, None -> true
+      | Some a, Some b -> eq a b
+      | None, Some _ | Some _, None -> false
+    in
+    let wp_value = Analysis.run ~assumes graph loops in
+    let n = Array.length graph.Supergraph.nodes in
+    for i = 0 to n - 1 do
+      if
+        (not
+           (eq_opt Wcet_value.Summary.equal_state value.Analysis.node_in.(i)
+              wp_value.Analysis.node_in.(i)))
+        || not
+             (eq_opt Wcet_value.Summary.equal_state value.Analysis.node_out.(i)
+                wp_value.Analysis.node_out.(i))
+      then
+        fatal c Diag.Loop_value ~code:"E0204"
+          ~loc:(Diag.in_func graph.Supergraph.nodes.(i).Supergraph.func)
+          "summary-engine value state diverges from the whole-program solve at node %d" i
+    done;
+    let wp_cache = Cache_analysis.run hw wp_value ~region_hints in
+    for i = 0 to n - 1 do
+      if
+        (not
+           (eq_opt Cache_analysis.equal_cstate cache.Cache_analysis.node_in.(i)
+              wp_cache.Cache_analysis.node_in.(i)))
+        || not
+             (eq_opt Cache_analysis.equal_cstate cache.Cache_analysis.node_out.(i)
+                wp_cache.Cache_analysis.node_out.(i))
+      then
+        fatal c Diag.Cache ~code:"E0204"
+          ~loc:(Diag.in_func graph.Supergraph.nodes.(i).Supergraph.func)
+          "summary-engine cache state diverges from the whole-program solve at node %d" i
+    done
+  end;
   let persistence =
     timed ~span:"persistence" phases Cache (fun () ->
         Wcet_cache.Persistence.compute hw value loops cache)
@@ -481,7 +580,10 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
           in
           fatal c Diag.Path ~code "%s: %s" (phase_name Path) msg)
   in
-  Report_cache.save_function_results ~hw ~annot ~strategy ~assumes value cache;
+  (match (vinfo, cinfo) with
+  | Some vinfo, Some cinfo ->
+    Report_cache.save_slices ~hw ~annot ~assumes value vinfo cache cinfo
+  | _ -> ());
   {
     program;
     hw;
@@ -503,12 +605,14 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
   }
 
 let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
-    ?(strategy = Wcet_util.Fixpoint.Rpo) program =
+    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) program =
+  let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
+  let ename = engine_name engine in
   Trace.with_span ~cat:"analyzer" "analyze" (fun () ->
       let cached =
         if not (Report_cache.enabled ()) then None
         else
-          match Report_cache.find_report ~hw ~annot ~strategy program with
+          match Report_cache.find_report ~hw ~annot ~strategy ~engine:ename program with
           | None -> None
           | Some payload -> (
             (* The envelope checksum and version already passed; a decode
@@ -517,16 +621,17 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
             match (Marshal.from_string payload 0 : report) with
             | r -> Some r
             | exception _ ->
-              Report_cache.invalidate_report ~hw ~annot ~strategy program;
+              Report_cache.invalidate_report ~hw ~annot ~strategy ~engine:ename program;
               None)
       in
       let r =
         match cached with
         | Some r -> r
         | None ->
-          let r = analyze_inner ~hw ~annot ~strategy program in
+          let r = analyze_inner ~hw ~annot ~strategy ~engine program in
           if Report_cache.enabled () then
-            Report_cache.save_report ~hw ~annot ~strategy program (Marshal.to_string r []);
+            Report_cache.save_report ~hw ~annot ~strategy ~engine:ename program
+              (Marshal.to_string r []);
           r
       in
       Trace.add_attr "nodes" (Trace.Int (Array.length r.graph.Supergraph.nodes));
@@ -541,11 +646,12 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
         Metrics.incr m_runs_partial 1);
       r)
 
-let analyze_modes ?(hw = Hw_config.default) ~base ~modes program =
-  let oblivious = ("(all modes)", analyze ~hw ~annot:base program) in
+let analyze_modes ?(hw = Hw_config.default) ?(engine = Summary) ~base ~modes program =
+  let oblivious = ("(all modes)", analyze ~hw ~engine ~annot:base program) in
   let per_mode =
     List.map
-      (fun (name, annot) -> (name, analyze ~hw ~annot:(Annot.merge base annot) program))
+      (fun (name, annot) ->
+        (name, analyze ~hw ~engine ~annot:(Annot.merge base annot) program))
       modes
   in
   oblivious :: per_mode

@@ -73,16 +73,35 @@ type report = {
   phase_seconds : (phase * float) list;
 }
 
-(** [analyze ?hw ?annot ?strategy program] raises {!Analysis_failed} only on
-    global failures (see above); local problems degrade to [holes] with a
-    [Partial] verdict. [strategy] picks the fixpoint worklist order of the
-    value and cache analyses; the default reverse-postorder priority
+(** Fixpoint engine for the value and cache analyses. [Summary] (the
+    default) condenses the call graph into strongly connected components
+    and solves bottom-up: independent components run concurrently on the
+    domain pool, and components covered by persisted summary rows recorded
+    under the same external inputs are applied without transferring — a
+    one-function edit re-analyzes only that function's components and the
+    components whose inputs actually changed. [Whole_program] is the
+    classic single-worklist solve. The engines agree on bounds and
+    verdicts (the [WCET_CACHE_PARANOID] environment flag cross-checks
+    every summary run against a whole-program solve and aborts with E0204
+    on divergence). *)
+type engine = Summary | Whole_program
+
+(** ["summary"] / ["whole-program"]. *)
+val engine_name : engine -> string
+
+(** [analyze ?hw ?annot ?strategy ?engine program] raises {!Analysis_failed}
+    only on global failures (see above); local problems degrade to [holes]
+    with a [Partial] verdict. [strategy] picks the fixpoint worklist order
+    of the value and cache analyses; the default reverse-postorder priority
     worklist gives the same fixpoint as [Fifo] with strictly fewer
-    transfers on structured programs. *)
+    transfers on structured programs. A non-default [strategy] forces the
+    [Whole_program] engine (the component schedule is inherently
+    priority-ordered). *)
 val analyze :
   ?hw:Pred32_hw.Hw_config.t ->
   ?annot:Wcet_annot.Annot.t ->
   ?strategy:Wcet_util.Fixpoint.strategy ->
+  ?engine:engine ->
   Pred32_asm.Program.t ->
   report
 
@@ -92,6 +111,7 @@ val analyze :
     [None] keyed as ["(all modes)"] first. *)
 val analyze_modes :
   ?hw:Pred32_hw.Hw_config.t ->
+  ?engine:engine ->
   base:Wcet_annot.Annot.t ->
   modes:(string * Wcet_annot.Annot.t) list ->
   Pred32_asm.Program.t ->

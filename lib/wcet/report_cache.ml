@@ -7,21 +7,24 @@
      hardware configuration, worklist strategy). A hit skips every phase
      and is bit-identical to the run that wrote it.
 
-   - "func": per-function converged value/cache fixpoint states, keyed by
-     the function's own code bytes, the code of every function reachable
-     from it, the annotation slices that feed the fixpoints, and the
-     non-text ROM data it may read. On a report-level miss these seed the
-     fixpoint solvers so only changed functions re-transfer (incremental
-     re-analysis). Soundness: a value seed is a post-fixpoint of a
-     monotone system whose transfer functions the key fully covers (see
-     Fixpoint.solve ?seeds), so reuse can only widen, never narrow, the
-     abstract states. Cache seeds need one more check: the cache transfer
-     function replays the CURRENT run's access sets, which depend on
-     caller-supplied dataflow the key deliberately omits, so cache states
-     are seeded only at nodes whose value states converged to exactly the
-     recorded ones (gate_cache_seed). A function whose own loads may read
-     the text segment is never cached, because its transfer function
-     could then change without its key changing.
+   - "func": per-function summary rows for the component-scheduled
+     analyses (Analysis.run_scheduled / Cache_analysis.run_scheduled),
+     keyed by the function's OWN code bytes, the annotation slices that
+     feed its fixpoints, and the non-text ROM data it may read — not by
+     its callees' code. The key is honest: everything it omits
+     (caller- and callee-supplied dataflow) is re-checked at apply time,
+     because a component is only installed from rows when the external
+     inputs delivered this run semantically equal the recorded ones
+     (Summary.equal_input). Editing a callee changes the inputs flowing
+     back to its callers, so their rows fail the input check and re-solve;
+     editing nothing but one leaf re-solves exactly that leaf's component
+     and the components whose inputs actually changed. Cache rows carry
+     one more guard: the cache transfer replays the CURRENT run's access
+     sets (derived from value states), so a cache row is only offered
+     where this run's value states equal the recorded ones (cache_slice).
+     A function whose own loads may read the text segment is never
+     cached, because its transfer function could then change without its
+     key changing.
 
    Keys are md5 content hashes; entry envelopes carry a version string
    (format + salt), so a format bump invalidates by version mismatch
@@ -46,7 +49,7 @@ module Diag = Wcet_diag.Diag
 module Metrics = Wcet_obs.Metrics
 
 (* Bump when the marshaled payload layout changes (report or slice types). *)
-let format_version = "1"
+let format_version = "2"
 
 let m_hits gran =
   Metrics.counter ~labels:[ ("granularity", gran) ] ~name:"cache_store_hits"
@@ -154,9 +157,13 @@ let program_parts (p : Program.t) =
   :: marshal (Memory_map.regions p.Program.map)
   :: List.concat_map (fun (name, bytes) -> [ name; bytes ]) (Image.contents p.Program.image)
 
-let report_key ~hw ~annot ~strategy program =
+(* [engine] is the analyzer engine name ("summary" / "whole-program"):
+   the engines agree on bounds for every corpus program we test, but the
+   report payload embeds engine-specific accounting (transfer counts,
+   component statistics), so reports are keyed per engine. *)
+let report_key ~hw ~annot ~strategy ~engine program =
   digest_parts
-    ("report"
+    ("report" :: engine
     :: marshal (hw : Hw_config.t)
     :: marshal (annot : Annot.t)
     :: Wcet_util.Fixpoint.strategy_name strategy
@@ -172,8 +179,11 @@ type node_sig = (string * int) list * int
 
 type slice_row = {
   rsig : node_sig;
-  rvalue : (State.t * State.t) option;
-  rcache : (Cstate.t * Cstate.t) option;
+  rvinput : State.t option;  (* external value input delivered when recorded *)
+  rvalue : (State.t * State.t) option;  (* converged value (in, out) *)
+  rlinkage : int list;  (* frame-linkage registrations replayed on apply *)
+  rcinput : Cstate.t option;  (* external cache input delivered when recorded *)
+  rcache : (Cstate.t * Cstate.t) option;  (* converged cache (in, out) *)
 }
 
 let ctx_sig (graph : Supergraph.t) =
@@ -245,73 +255,37 @@ let rom_data_digest (p : Program.t) =
   in
   digest_parts parts
 
-(* Function-name call graph of the supergraph (covers resolved indirect
-   calls), plus whether a function contains indirect control flow whose
-   resolution depends on annotations or global dataflow. *)
-let call_graph (graph : Supergraph.t) =
-  let callees : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+(* Functions containing indirect control flow, whose resolution depends on
+   annotations or global dataflow. *)
+let indirect_funcs (graph : Supergraph.t) =
   let indirect : (string, unit) Hashtbl.t = Hashtbl.create 4 in
-  let callee_list f =
-    match Hashtbl.find_opt callees f with
-    | Some l -> l
-    | None ->
-      let l = ref [] in
-      Hashtbl.add callees f l;
-      l
-  in
   Array.iter
     (fun (n : Supergraph.node) ->
-      (match n.Supergraph.block.Func_cfg.term with
+      match n.Supergraph.block.Func_cfg.term with
       | Func_cfg.Term_call_indirect _ | Func_cfg.Term_jump_indirect _ ->
         Hashtbl.replace indirect n.Supergraph.func ()
-      | _ -> ());
-      List.iter
-        (fun (kind, m) ->
-          match kind with
-          | Supergraph.Ecall ->
-            let callee = graph.Supergraph.nodes.(m).Supergraph.func in
-            let l = callee_list n.Supergraph.func in
-            if not (List.mem callee !l) then l := callee :: !l
-          | _ -> ())
-        n.Supergraph.succs)
+      | _ -> ())
     graph.Supergraph.nodes;
-  let callees_of f = match Hashtbl.find_opt callees f with Some l -> !l | None -> [] in
-  let has_indirect f = Hashtbl.mem indirect f in
-  (callees_of, has_indirect)
+  fun f -> Hashtbl.mem indirect f
 
-(* Transitive closure over function names (handles recursion cycles). *)
-let reachable_funcs callees_of f =
-  let seen = Hashtbl.create 8 in
-  let rec go f =
-    if not (Hashtbl.mem seen f) then begin
-      Hashtbl.add seen f ();
-      List.iter go (callees_of f)
-    end
-  in
-  go f;
-  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
-
-(* Per-function key: everything the converged states of this function's
-   nodes can depend on, other than entry-context dataflow (which seeding
-   re-checks through the worklist). *)
-let function_key ~hw ~(annot : Annot.t) ~strategy ~assumes ~rom_data ~callees_of ~has_indirect
+(* Per-function key: the function's OWN code and the configuration its
+   transfer functions read — deliberately NOT its callees' code. The
+   summary apply rule re-checks everything the key omits: a row is only
+   installed when the external inputs delivered this run equal the
+   recorded ones, so a changed callee invalidates its callers through
+   changed dataflow, not through the key. *)
+let function_key ~hw ~(annot : Annot.t) ~assumes ~rom_data ~has_indirect
     (program : Program.t) fname =
-  let closure = reachable_funcs callees_of fname in
-  let closure_code =
-    List.concat_map
-      (fun g ->
-        match Program.find_function program g with
-        | Some fi -> [ g; string_of_int fi.Program.entry; code_bytes program fi ]
-        | None -> [ g; "?" ])
-      closure
+  let own_code =
+    match Program.find_function program fname with
+    | Some fi -> [ string_of_int fi.Program.entry; code_bytes program fi ]
+    | None -> [ "?" ]
   in
   let region_slices =
-    List.filter (fun (g, _) -> List.mem g closure) annot.Annot.memory_regions
-    |> List.sort compare
+    List.filter (fun (g, _) -> g = fname) annot.Annot.memory_regions |> List.sort compare
   in
   let indirect_salt =
-    if List.exists has_indirect closure then
-      [ marshal (annot.Annot.call_targets, annot.Annot.setjmp_auto) ]
+    if has_indirect fname then [ marshal (annot.Annot.call_targets, annot.Annot.setjmp_auto) ]
     else []
   in
   digest_parts
@@ -319,7 +293,6 @@ let function_key ~hw ~(annot : Annot.t) ~strategy ~assumes ~rom_data ~callees_of
        "func";
        fname;
        marshal (hw : Hw_config.t);
-       Wcet_util.Fixpoint.strategy_name strategy;
        marshal (Memory_map.regions program.Program.map);
        Printf.sprintf "%d:%d" program.Program.text_base program.Program.text_limit;
        marshal (assumes : (int * Aval.t) list);
@@ -327,7 +300,7 @@ let function_key ~hw ~(annot : Annot.t) ~strategy ~assumes ~rom_data ~callees_of
        marshal region_slices;
        rom_data;
      ]
-    @ indirect_salt @ closure_code)
+    @ indirect_salt @ own_code)
 
 (* A function whose loads may read inside the text segment could change
    behaviour when *other* code moves, without its own key changing: never
@@ -388,11 +361,11 @@ let write_entry store ~key ~kind payload =
 
 (* ---- Whole-program reports ------------------------------------------ *)
 
-let find_report ~hw ~annot ~strategy program =
+let find_report ~hw ~annot ~strategy ~engine program =
   match Atomic.get store_ref with
   | None -> None
   | Some store -> (
-    let key = report_key ~hw ~annot ~strategy program in
+    let key = report_key ~hw ~annot ~strategy ~engine program in
     match read_entry store ~key ~kind:"report" with
     | Some payload ->
       Atomic.incr s_program_hits;
@@ -403,34 +376,37 @@ let find_report ~hw ~annot ~strategy program =
       Metrics.incr m_misses_program 1;
       None)
 
-let save_report ~hw ~annot ~strategy program payload =
+let save_report ~hw ~annot ~strategy ~engine program payload =
   match Atomic.get store_ref with
   | None -> ()
   | Some store ->
-    write_entry store ~key:(report_key ~hw ~annot ~strategy program) ~kind:"report" payload
+    write_entry store
+      ~key:(report_key ~hw ~annot ~strategy ~engine program)
+      ~kind:"report" payload
 
 (* The caller could not decode a payload [find_report] returned (marshal
    layout drift not covered by the version string): reclassify the hit as
    a miss and evict the entry. *)
-let invalidate_report ~hw ~annot ~strategy program =
+let invalidate_report ~hw ~annot ~strategy ~engine program =
   (match Atomic.get store_ref with
   | None -> ()
   | Some store ->
     evict store
-      (report_key ~hw ~annot ~strategy program)
+      (report_key ~hw ~annot ~strategy ~engine program)
       ~code:"W0610" ~why:"cached report failed to deserialize");
   Atomic.decr s_program_hits;
   Atomic.incr s_program_misses;
   Metrics.decr m_hits_program 1;
   Metrics.incr m_misses_program 1
 
-(* ---- Per-function seeding ------------------------------------------- *)
+(* ---- Per-function summary slices ------------------------------------ *)
 
-type seeds = {
-  value_seed : int -> (State.t * State.t) option;
-  cache_seed : int -> (Cstate.t * Cstate.t) option;
-  hit_functions : string list;
+type slices = {
+  srows : slice_row option array;  (* node-indexed restored rows *)
+  shit_functions : string list;  (* functions restored from the store *)
 }
+
+let hit_functions s = s.shit_functions
 
 let nodes_by_func (graph : Supergraph.t) =
   let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
@@ -455,12 +431,12 @@ let cached_function_names (graph : Supergraph.t) =
       else None)
     program.Program.functions
 
-let load_seeds ~hw ~annot ~strategy ~assumes (graph : Supergraph.t) =
+let load_slices ~hw ~annot ~assumes (graph : Supergraph.t) =
   match Atomic.get store_ref with
   | None -> None
   | Some store ->
     let program = graph.Supergraph.program in
-    let callees_of, has_indirect = call_graph graph in
+    let has_indirect = indirect_funcs graph in
     let rom_data = rom_data_digest program in
     let nsig = node_sig graph in
     let n = Array.length graph.Supergraph.nodes in
@@ -468,15 +444,11 @@ let load_seeds ~hw ~annot ~strategy ~assumes (graph : Supergraph.t) =
     Array.iter
       (fun (node : Supergraph.node) -> Hashtbl.replace by_sig (nsig node) node.Supergraph.id)
       graph.Supergraph.nodes;
-    let value_seeds = Array.make n None in
-    let cache_seeds = Array.make n None in
+    let srows = Array.make n None in
     let hits = ref [] in
     List.iter
       (fun fname ->
-        let key =
-          function_key ~hw ~annot ~strategy ~assumes ~rom_data ~callees_of ~has_indirect
-            program fname
-        in
+        let key = function_key ~hw ~annot ~assumes ~rom_data ~has_indirect program fname in
         match read_entry store ~key ~kind:"func" with
         | None ->
           Atomic.incr s_function_misses;
@@ -492,82 +464,83 @@ let load_seeds ~hw ~annot ~strategy ~assumes (graph : Supergraph.t) =
               (fun row ->
                 match Hashtbl.find_opt by_sig row.rsig with
                 | None -> ()  (* context no longer exists; harmless *)
-                | Some nid ->
-                  value_seeds.(nid) <- row.rvalue;
-                  cache_seeds.(nid) <- row.rcache)
+                | Some nid -> srows.(nid) <- Some row)
               rows;
             Atomic.incr s_function_hits;
             Metrics.incr m_hits_function 1;
             hits := fname :: !hits))
       (cached_function_names graph);
-    if !hits = [] then None
-    else
-      Some
-        {
-          value_seed = (fun i -> value_seeds.(i));
-          cache_seed = (fun i -> cache_seeds.(i));
-          hit_functions = List.rev !hits;
-        }
+    if !hits = [] then None else Some { srows; shit_functions = List.rev !hits }
+
+let value_slice slices i =
+  Option.map
+    (fun row ->
+      {
+        Wcet_value.Summary.input = row.rvinput;
+        states = row.rvalue;
+        linkage = row.rlinkage;
+      })
+    slices.srows.(i)
 
 (* The cache transfer function at node [i] replays this run's access set
    (value.Analysis.accesses.(i), a deterministic function of the converged
-   value in-state), which the per-function key deliberately does not
-   cover: editing a caller can widen a callee's value states without
-   changing the callee's key. A slice's cache states were computed under
-   the value states recorded beside them, so they may seed the cache
-   fixpoint only at nodes where this run's value analysis converged to
-   exactly those states — there the old and new transfer functions
-   coincide and the seed is a genuine post-fixpoint. Anywhere else the
-   stale out-state could freeze must-cache contents the wider access set
-   no longer guarantees and classify later accesses Always_hit unsoundly
-   (a WCET underestimate), so the seed is dropped and the node
-   re-transfers from the delivered dataflow. *)
-let gate_cache_seed seeds (value : Analysis.result) i =
-  match seeds.cache_seed i with
+   value in-state), which neither the per-function key nor the cache-state
+   input check covers. A row's cache states were computed under the value
+   states recorded beside them, so the row is offered to the scheduled
+   cache analysis only at nodes where this run's value analysis converged
+   to semantically equal states — there the old and new transfer functions
+   coincide. Anywhere else a stale out-state could freeze must-cache
+   contents the wider access set no longer guarantees and classify later
+   accesses Always_hit unsoundly (a WCET underestimate), so the row is
+   withheld and the component re-solves. *)
+let cache_slice slices (value : Analysis.result) i =
+  match slices.srows.(i) with
   | None -> None
-  | Some cs -> (
-    match (seeds.value_seed i, value.Analysis.node_in.(i), value.Analysis.node_out.(i)) with
-    | Some (s_in, s_out), Some v_in, Some v_out
-      when State.leq s_in v_in && State.leq v_in s_in && State.leq s_out v_out
-           && State.leq v_out s_out ->
-      Some cs
-    | _ -> None)
+  | Some row ->
+    let value_matches =
+      match (row.rvalue, value.Analysis.node_in.(i), value.Analysis.node_out.(i)) with
+      | Some (s_in, s_out), Some v_in, Some v_out ->
+        State.leq s_in v_in && State.leq v_in s_in && State.leq s_out v_out
+        && State.leq v_out s_out
+      | None, None, None -> true
+      | _ -> false
+    in
+    if value_matches then
+      Some { Cache_analysis.sc_input = row.rcinput; sc_states = row.rcache }
+    else None
 
-let save_function_results ~hw ~annot ~strategy ~assumes (value : Analysis.result)
-    (cache : Cache_analysis.result) =
+let save_slices ~hw ~annot ~assumes (value : Analysis.result)
+    (vinfo : Wcet_value.Summary.info) (cache : Cache_analysis.result)
+    (cinfo : Cache_analysis.scheduled_info) =
   match Atomic.get store_ref with
   | None -> ()
   | Some store ->
     let graph = value.Analysis.graph in
     let program = graph.Supergraph.program in
-    let callees_of, has_indirect = call_graph graph in
+    let has_indirect = indirect_funcs graph in
     let rom_data = rom_data_digest program in
     let nsig = node_sig graph in
     let nodes_of = nodes_by_func graph in
     List.iter
       (fun fname ->
         if not (may_read_text program value nodes_of fname) then begin
-          let key =
-            function_key ~hw ~annot ~strategy ~assumes ~rom_data ~callees_of ~has_indirect
-              program fname
-          in
-          (* The key does not cover caller-supplied dataflow, so an entry
-             written by an earlier run can hold states narrower (or wider)
-             than this run's convergence — e.g. the callee has since been
-             widened through an edited caller. Stale entries are tolerated
-             by the seeding machinery (the worklist re-delivers dataflow
-             and gate_cache_seed drops mismatched cache states), but they
-             make every warm run redo that work; overwrite so the store
-             always tracks the latest converged states. *)
+          let key = function_key ~hw ~annot ~assumes ~rom_data ~has_indirect program fname in
+          (* Overwrite any existing entry: the key does not cover
+             caller-supplied dataflow, so it may hold rows recorded under
+             inputs that no longer flow; the store always tracks the
+             latest run. *)
           let rows =
             List.map
               (fun nid ->
                 {
                   rsig = nsig graph.Supergraph.nodes.(nid);
+                  rvinput = vinfo.Wcet_value.Summary.ext_input.(nid);
                   rvalue =
                     (match (value.Analysis.node_in.(nid), value.Analysis.node_out.(nid)) with
                     | Some i, Some o -> Some (i, o)
                     | _ -> None);
+                  rlinkage = vinfo.Wcet_value.Summary.node_linkage.(nid);
+                  rcinput = cinfo.Cache_analysis.sched_ext_input.(nid);
                   rcache =
                     (match
                        (cache.Cache_analysis.node_in.(nid), cache.Cache_analysis.node_out.(nid))

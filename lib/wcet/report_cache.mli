@@ -3,15 +3,16 @@
 
     Two granularities over one {!Wcet_util.Store}: whole-program marshaled
     reports (a hit skips every analysis phase and reproduces the cold run
-    bit for bit) and per-function converged value/cache fixpoint states
-    (on a report miss they seed the fixpoint solvers so only changed
-    functions re-transfer — incremental re-analysis). Keys are md5 hashes
-    of everything a result depends on: binary image and layout, memory
-    map, annotations, hardware configuration, worklist strategy, and — per
-    function — its code bytes, the code of its transitive callees, and the
-    constant ROM data it may read. Entry envelopes carry a version string;
-    corrupt or version-mismatched entries are evicted, reported as
-    W0610/W0611 warnings and recomputed, never a crash.
+    bit for bit) and per-function summary rows for the component-scheduled
+    analyses (on a report miss, components whose rows match re-install
+    without transferring — incremental re-analysis in O(changed)). The
+    per-function key is honest: it covers the function's OWN code bytes,
+    its annotation slices and the constant ROM data it may read — not its
+    callees — because the summary apply rule re-checks the omitted
+    dataflow at apply time (external inputs must semantically equal the
+    recorded ones). Entry envelopes carry a version string; corrupt or
+    version-mismatched entries are evicted, reported as W0610/W0611
+    warnings and recomputed, never a crash.
 
     Configuration is process-global and read-only for worker domains: the
     CLI calls {!set_dir} (or {!disable}) once before any analysis runs.
@@ -63,6 +64,7 @@ val find_report :
   hw:Pred32_hw.Hw_config.t ->
   annot:Wcet_annot.Annot.t ->
   strategy:Wcet_util.Fixpoint.strategy ->
+  engine:string ->
   Pred32_asm.Program.t ->
   string option
 
@@ -70,6 +72,7 @@ val save_report :
   hw:Pred32_hw.Hw_config.t ->
   annot:Wcet_annot.Annot.t ->
   strategy:Wcet_util.Fixpoint.strategy ->
+  engine:string ->
   Pred32_asm.Program.t ->
   string ->
   unit
@@ -80,55 +83,59 @@ val invalidate_report :
   hw:Pred32_hw.Hw_config.t ->
   annot:Wcet_annot.Annot.t ->
   strategy:Wcet_util.Fixpoint.strategy ->
+  engine:string ->
   Pred32_asm.Program.t ->
   unit
 
-(** {1 Per-function fixpoint seeding} *)
+(** {1 Per-function summary slices}
 
-type seeds = {
-  value_seed : int -> (Wcet_value.State.t * Wcet_value.State.t) option;
-  cache_seed :
-    int -> (Wcet_cache.Cache_analysis.Cstate.t * Wcet_cache.Cache_analysis.Cstate.t) option;
-  hit_functions : string list;  (** functions restored from the store *)
-}
+    One store entry per function holds the summary rows of its nodes:
+    external inputs delivered when recorded, converged value and cache
+    states, and frame-linkage registrations. The scheduled analyses apply
+    a whole component from rows when every member's row matches the
+    dataflow delivered this run ({!Wcet_value.Analysis.run_scheduled}). *)
 
-(** [load_seeds ~hw ~annot ~strategy ~assumes graph] reads every matching
-    per-function entry and builds node-indexed seed functions for the two
-    fixpoints; [None] when caching is off or nothing matched. [assumes]
-    must be the resolved assume set the value analysis will run with.
-    [value_seed] may be passed to the value analysis directly; [cache_seed]
-    must go through {!gate_cache_seed} first. *)
-val load_seeds :
+type slices
+
+(** [load_slices ~hw ~annot ~assumes graph] reads every matching
+    per-function entry; [None] when caching is off or nothing matched.
+    [assumes] must be the resolved assume set the value analysis will run
+    with. *)
+val load_slices :
   hw:Pred32_hw.Hw_config.t ->
   annot:Wcet_annot.Annot.t ->
-  strategy:Wcet_util.Fixpoint.strategy ->
   assumes:(int * Wcet_value.Aval.t) list ->
   Wcet_cfg.Supergraph.t ->
-  seeds option
+  slices option
 
-(** [gate_cache_seed seeds value i] is [seeds.cache_seed i] restricted to
-    nodes whose value states in the converged result [value] equal the
-    ones recorded beside the cache states in the slice. The cache
-    transfer function replays the current run's access sets, which the
-    per-function key does not cover (caller-supplied dataflow); seeding
-    cache states computed under different value states could freeze stale
-    must-cache contents and underestimate the bound. *)
-val gate_cache_seed :
-  seeds ->
-  Wcet_value.Analysis.result ->
-  int ->
-  (Wcet_cache.Cache_analysis.Cstate.t * Wcet_cache.Cache_analysis.Cstate.t) option
+(** Functions restored from the store. *)
+val hit_functions : slices -> string list
 
-(** [save_function_results ~hw ~annot ~strategy ~assumes value cache]
-    writes one slice entry per analyzed function (skipping functions whose
-    loads may read the text segment). An existing entry under the same key
-    is overwritten: the key does not cover caller-supplied dataflow, so it
-    may hold states from an older convergence. *)
-val save_function_results :
+(** Node-indexed row view for the scheduled value analysis. *)
+val value_slice : slices -> Wcet_value.Summary.slice
+
+(** [cache_slice slices value] is the node-indexed row view for the
+    scheduled cache analysis, restricted to nodes whose value states in
+    the converged result [value] semantically equal the ones recorded
+    beside the cache states. The cache transfer replays the current run's
+    access sets (derived from value states), which the per-function key
+    does not cover; applying cache rows computed under different value
+    states could freeze stale must-cache contents and underestimate the
+    bound. *)
+val cache_slice :
+  slices -> Wcet_value.Analysis.result -> Wcet_cache.Cache_analysis.summary_slice
+
+(** [save_slices ~hw ~annot ~assumes value vinfo cache cinfo] writes one
+    slice entry per analyzed function (skipping functions whose loads may
+    read the text segment). An existing entry under the same key is
+    overwritten: the key does not cover caller-supplied dataflow, so it
+    may hold rows from an older run. *)
+val save_slices :
   hw:Pred32_hw.Hw_config.t ->
   annot:Wcet_annot.Annot.t ->
-  strategy:Wcet_util.Fixpoint.strategy ->
   assumes:(int * Wcet_value.Aval.t) list ->
   Wcet_value.Analysis.result ->
+  Wcet_value.Summary.info ->
   Wcet_cache.Cache_analysis.result ->
+  Wcet_cache.Cache_analysis.scheduled_info ->
   unit

@@ -1,0 +1,193 @@
+(* Tests for the call-graph condensation (lib/cfg/callgraph) and the
+   summary-based scheduled analyses built on it: SCC structure, slice
+   bookkeeping, and the corpus-wide property that the summary engine and
+   the whole-program engine agree on every bound and verdict. *)
+
+module Compile = Minic.Compile
+module Analyzer = Wcet_core.Analyzer
+module Report_cache = Wcet_core.Report_cache
+module Callgraph = Wcet_cfg.Callgraph
+module Annot = Wcet_annot.Annot
+module Corpus = Wcet_corpus.Corpus
+module Store = Wcet_util.Store
+
+let annot_exn text =
+  match Annot.parse text with
+  | Ok a -> a
+  | Error msg -> Alcotest.failf "bad annotation: %s" msg
+
+let graph_of ?annot source =
+  (Analyzer.analyze ?annot (Compile.compile source)).Analyzer.graph
+
+let scc_with cg f =
+  match Callgraph.scc_of cg f with
+  | Some i -> i
+  | None -> Alcotest.failf "function %s not in any SCC" f
+
+(* --- SCC structure --- *)
+
+let test_mutual_recursion_one_scc () =
+  (* f -> g -> h -> f: one three-member SCC, marked recursive; main in its
+     own non-recursive SCC, after (above) the cycle. *)
+  let source =
+    "int f(int n) { if (n < 1) { return 0; } return g(n - 1); } \
+     int g(int n) { return h(n); } \
+     int h(int n) { return f(n); } \
+     int main() { return f(6); }"
+  in
+  let cg =
+    Callgraph.of_supergraph
+      (graph_of
+         ~annot:(annot_exn "recursion f depth 7\nrecursion g depth 7\nrecursion h depth 7")
+         source)
+  in
+  let sf = scc_with cg "f" in
+  Alcotest.(check int) "f and g share an SCC" sf (scc_with cg "g");
+  Alcotest.(check int) "f and h share an SCC" sf (scc_with cg "h");
+  Alcotest.(check (list string)) "members sorted" [ "f"; "g"; "h" ] cg.Callgraph.sccs.(sf);
+  Alcotest.(check bool) "cycle is recursive" true cg.Callgraph.recursive.(sf);
+  let sm = scc_with cg "main" in
+  Alcotest.(check bool) "main is its own SCC" true (sm <> sf);
+  Alcotest.(check bool) "main is not recursive" false cg.Callgraph.recursive.(sm);
+  Alcotest.(check bool) "callee SCC first (bottom-up order)" true (sf < sm)
+
+let test_self_recursion_marked () =
+  let source =
+    "int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); } \
+     int main() { return fact(6); }"
+  in
+  let cg = Callgraph.of_supergraph (graph_of ~annot:(annot_exn "recursion fact depth 8") source) in
+  Alcotest.(check bool) "single-member self-call SCC is recursive" true
+    cg.Callgraph.recursive.(scc_with cg "fact");
+  Alcotest.(check bool) "main is not" false cg.Callgraph.recursive.(scc_with cg "main")
+
+let diamond_source =
+  "int shared(int x) { int i; int s; s = x; for (i = 0; i < 4; i = i + 1) { s = s + i; } \
+   return s; }\n\
+   int helper_a(int x) { return shared(x + 1); }\n\
+   int helper_b(int x) { return shared(x + 2); }\n\
+   int main() { return helper_a(1) + helper_b(2); }\n"
+
+let test_diamond_sccs () =
+  (* main -> {helper_a, helper_b} -> shared: four singleton SCCs, shared
+     exactly once (not once per call path), callee-first order. *)
+  let cg = Callgraph.of_supergraph (graph_of diamond_source) in
+  Alcotest.(check int) "four SCCs" 4 (Callgraph.scc_count cg);
+  Alcotest.(check (list string)) "no function duplicated"
+    [ "helper_a"; "helper_b"; "main"; "shared" ]
+    (List.sort compare (Array.to_list cg.Callgraph.sccs |> List.concat));
+  Alcotest.(check bool) "shared before its callers" true
+    (scc_with cg "shared" < scc_with cg "helper_a"
+    && scc_with cg "shared" < scc_with cg "helper_b");
+  Alcotest.(check bool) "callers before main" true
+    (scc_with cg "helper_a" < scc_with cg "main"
+    && scc_with cg "helper_b" < scc_with cg "main");
+  Alcotest.(check bool) "nothing recursive" true
+    (Array.for_all not cg.Callgraph.recursive);
+  Alcotest.(check (list string)) "nothing unreachable" [] cg.Callgraph.unreachable
+
+let test_unreachable_function_skipped () =
+  (* orphan is never called: the supergraph does not expand it and the
+     call graph reports it, so no summary work (or slice entry) is spent
+     on it. *)
+  let source =
+    "int orphan(int x) { return x * 3; }\n\
+     int used(int x) { return x + 1; }\n\
+     int main() { return used(41); }\n"
+  in
+  let cg = Callgraph.of_supergraph (graph_of source) in
+  Alcotest.(check (list string)) "orphan reported unreachable" [ "orphan" ]
+    cg.Callgraph.unreachable;
+  Alcotest.(check (option int)) "orphan has no SCC" None (Callgraph.scc_of cg "orphan");
+  Alcotest.(check int) "two SCCs (used, main)" 2 (Callgraph.scc_count cg)
+
+(* --- slice bookkeeping: one store entry per function --- *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wcet_test_callgraph.%d.%d" (Unix.getpid ()) !counter)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_cache f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Report_cache.disable ();
+      ignore (Report_cache.drain_diags ());
+      Report_cache.reset_session ();
+      rm_rf dir)
+    (fun () ->
+      if not (Report_cache.set_dir dir) then Alcotest.fail "set_dir refused a fresh temp dir";
+      Report_cache.reset_session ();
+      f dir)
+
+let test_diamond_writes_one_slice_per_function () =
+  (* The diamond's shared callee gets ONE slice entry, not one per caller
+     path: summaries are stored per function, contexts are rows inside. *)
+  with_cache (fun dir ->
+      ignore (Analyzer.analyze (Compile.compile diamond_source));
+      match Store.open_store dir with
+      | Error msg -> Alcotest.failf "open_store: %s" msg
+      | Ok s ->
+        let st = Store.stats s in
+        Alcotest.(check (option int)) "one func entry per function" (Some 4)
+          (List.assoc_opt "func" st.Store.by_kind))
+
+(* --- corpus-wide engine equivalence --- *)
+
+let test_corpus_engines_agree () =
+  (* Both engines must produce the same bounds and verdict on every corpus
+     scenario — the bit-identity property of the component schedule, at
+     the level users observe. Runs uncached so the summary engine actually
+     solves (no slices to apply). *)
+  Report_cache.disable ();
+  List.iter
+    (fun (e : Corpus.entry) ->
+      List.iter
+        (fun (variant, (s : Corpus.scenario)) ->
+          let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
+          let annot = s.Corpus.annotations program in
+          let run engine =
+            match Analyzer.analyze ~hw:s.Corpus.hw ~annot ~engine program with
+            | r -> Ok (r.Analyzer.wcet, r.Analyzer.bcet, r.Analyzer.verdict)
+            | exception Analyzer.Analysis_failed ds ->
+              Error (List.map (fun (d : Wcet_diag.Diag.t) -> d.Wcet_diag.Diag.code) ds)
+          in
+          let summary = run Analyzer.Summary in
+          let whole = run Analyzer.Whole_program in
+          if summary <> whole then
+            Alcotest.failf "%s/%s: engines disagree" e.Corpus.id variant)
+        [ ("conforming", e.Corpus.conforming); ("violating", e.Corpus.violating) ])
+    Corpus.all
+
+let () =
+  Alcotest.run "callgraph"
+    [
+      ( "sccs",
+        [
+          Alcotest.test_case "mutual recursion is one SCC" `Quick
+            test_mutual_recursion_one_scc;
+          Alcotest.test_case "self recursion marked" `Quick test_self_recursion_marked;
+          Alcotest.test_case "diamond condensation" `Quick test_diamond_sccs;
+          Alcotest.test_case "unreachable function skipped" `Quick
+            test_unreachable_function_skipped;
+        ] );
+      ( "slices",
+        [
+          Alcotest.test_case "one slice entry per function" `Quick
+            test_diamond_writes_one_slice_per_function;
+        ] );
+      ( "engine equivalence",
+        [ Alcotest.test_case "corpus bounds identical" `Slow test_corpus_engines_agree ] );
+    ]

@@ -201,6 +201,94 @@ let test_quickstart_transfers () =
     (Printf.sprintf "rpo %d < fifo %d" transfers_rpo transfers_fifo)
     true (transfers_rpo < transfers_fifo)
 
+(* --- component-scheduled solve (solve_plan) --- *)
+
+let ladder_plan () =
+  let p = ladder_problem () in
+  let plan =
+    Wcet_cfg.Callgraph.condense ~num_nodes:p.FP.num_nodes ~entries:[ 0 ] ~succs:p.FP.succs
+  in
+  (p, plan)
+
+let test_plan_shape () =
+  let p, plan = ladder_plan () in
+  (* the loop 10-12 is one component; topological ids along every edge *)
+  Alcotest.(check bool) "loop collapses to one component" true
+    (plan.Fixpoint.plan_comp_of.(10) = plan.Fixpoint.plan_comp_of.(11)
+    && plan.Fixpoint.plan_comp_of.(11) = plan.Fixpoint.plan_comp_of.(12));
+  for u = 0 to 12 do
+    List.iter
+      (fun v ->
+        if plan.Fixpoint.plan_comp_of.(u) <> plan.Fixpoint.plan_comp_of.(v) then
+          Alcotest.(check bool)
+            (Printf.sprintf "edge %d -> %d crosses upward" u v)
+            true
+            (plan.Fixpoint.plan_comp_of.(u) < plan.Fixpoint.plan_comp_of.(v)))
+      (p.FP.succs u)
+  done;
+  (* levels partition the components; components of one level share no edge *)
+  let seen = Array.concat (Array.to_list plan.Fixpoint.plan_levels) in
+  Alcotest.(check int) "levels cover every component" (Array.length plan.Fixpoint.plan_comps)
+    (Array.length seen)
+
+let test_solve_plan_matches_solve () =
+  let p, plan = ladder_plan () in
+  let whole = FP.solve p in
+  let sched, info = FP.solve_plan ~plan p in
+  for n = 0 to 12 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "same in-state at %d" n)
+      (whole.FP.in_state n) (sched.FP.in_state n)
+  done;
+  (* cold bit-identity: the component schedule replays the global solve's
+     pop order, so the transfer counts agree exactly *)
+  Alcotest.(check int) "same transfer count" whole.FP.transfers sched.FP.transfers;
+  Alcotest.(check bool) "nothing applied without a summary" true
+    (Array.for_all not info.FP.applied)
+
+let test_solve_plan_parallel_deterministic () =
+  let p, plan = ladder_plan () in
+  let a, _ = FP.solve_plan ~domains:1 ~plan p in
+  let p2, _ = ladder_plan () in
+  let b, _ = FP.solve_plan ~domains:4 ~plan p2 in
+  for n = 0 to 12 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "state %d" n)
+      (a.FP.in_state n) (b.FP.in_state n)
+  done;
+  Alcotest.(check int) "same transfers" a.FP.transfers b.FP.transfers
+
+let test_solve_plan_applies_summary () =
+  let p, plan = ladder_plan () in
+  let first, info0 = FP.solve_plan ~plan p in
+  (* offer every component its recorded rows, gated on the same external
+     inputs — the warm-run contract of the scheduled analyses *)
+  let summary ~comp ~input =
+    let members = plan.Fixpoint.plan_comps.(comp) in
+    if Array.for_all (fun m -> input m = info0.FP.ext_input.(m)) members then
+      Some
+        (fun m ->
+          match (first.FP.in_state m, first.FP.out_state m) with
+          | Some i, Some o -> Some (i, o)
+          | _ -> None)
+    else None
+  in
+  let second, info = FP.solve_plan ~summary ~plan p in
+  Alcotest.(check int) "warm run transfers nothing" 0 second.FP.transfers;
+  for n = 0 to 12 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "state %d restored" n)
+      (first.FP.in_state n) (second.FP.in_state n)
+  done;
+  Array.iteri
+    (fun cid applied ->
+      let active =
+        Array.exists (fun m -> first.FP.in_state m <> None) plan.Fixpoint.plan_comps.(cid)
+      in
+      if active then
+        Alcotest.(check bool) (Printf.sprintf "component %d applied" cid) true applied)
+    info.FP.applied
+
 (* --- domain pool --- *)
 
 let test_pool_order () =
@@ -263,6 +351,15 @@ let () =
           Alcotest.test_case "widening delay" `Quick test_widening_delay;
           Alcotest.test_case "budget" `Quick test_budget;
           Alcotest.test_case "quickstart: rpo < fifo" `Quick test_quickstart_transfers;
+        ] );
+      ( "scheduled",
+        [
+          Alcotest.test_case "plan shape" `Quick test_plan_shape;
+          Alcotest.test_case "solve_plan = solve (cold bit-identity)" `Quick
+            test_solve_plan_matches_solve;
+          Alcotest.test_case "parallel deterministic" `Quick
+            test_solve_plan_parallel_deterministic;
+          Alcotest.test_case "summary application" `Quick test_solve_plan_applies_summary;
         ] );
       ( "pool",
         [

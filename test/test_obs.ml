@@ -218,6 +218,7 @@ let pinned_names =
     "ldivmod_iterations";
     "pipeline_block_wcet_cycles";
     "pipeline_blocks";
+    "scc_count";
     "sim_cache_hits{cache=d}";
     "sim_cache_hits{cache=i}";
     "sim_cache_misses{cache=d}";
@@ -226,6 +227,12 @@ let pinned_names =
     "sim_instructions";
     "sim_stall_cycles";
     "simplex_pivots";
+    "summary_computes{analysis=cache}";
+    "summary_computes{analysis=value}";
+    "summary_hits{analysis=cache}";
+    "summary_hits{analysis=value}";
+    "summary_scc_transfers{analysis=cache}";
+    "summary_scc_transfers{analysis=value}";
     "value_accesses{precision=exact}";
     "value_accesses{precision=interval}";
     "value_accesses{precision=unknown}";

@@ -417,7 +417,9 @@ let test_undecodable_report_reclassifies_hit () =
       let hw = Pred32_hw.Hw_config.default in
       let annot = Wcet_annot.Annot.empty in
       let strategy = Wcet_util.Fixpoint.Rpo in
-      Report_cache.save_report ~hw ~annot ~strategy program "not a marshaled report";
+      Report_cache.save_report ~hw ~annot ~strategy
+        ~engine:(Analyzer.engine_name Analyzer.Summary)
+        program "not a marshaled report";
       let metric name =
         match Metrics.find name with Some (Metrics.Counter_value n) -> n | _ -> 0
       in
