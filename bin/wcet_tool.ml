@@ -15,6 +15,10 @@
      wcet_tool check    [--seed N] [--random N] [--faults N] [--format text|json]
                         [--trace FILE]
      wcet_tool cache    stats|clear|verify [--cache-dir DIR] [--format text|json]
+     wcet_tool serve    [--socket PATH] [--watch DIR] [--workers N] [--queue N]
+                        [--timeout-ms MS] [--max-frame BYTES]
+     wcet_tool call     METHOD [PROGRAM] [--socket PATH] [--timeout-ms MS]
+                        [--raw BYTES] [--retry]
      wcet_tool metrics
      wcet_tool codes
 
@@ -50,6 +54,9 @@ module Metrics = Wcet_obs.Metrics
 module Trace = Wcet_obs.Trace
 module Report_cache = Wcet_core.Report_cache
 module Store = Wcet_util.Store
+module Server = Wcet_serve.Server
+module Client = Wcet_serve.Client
+module Proto = Wcet_serve.Proto
 
 (* [wcet_tool metrics] lists every registered metric. Registration happens
    in the module initializers of the instrumented libraries, which only run
@@ -122,10 +129,44 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a Chrome trace-event file (load in Perfetto or chrome://tracing)")
 
-let obs_setup ~profile ~trace = if profile || trace <> None then Wcet_obs.Obs.enable ()
+(* One-shot runs with --trace=FILE install SIGINT/SIGTERM handlers so an
+   interrupted run still flushes its span buffer; Trace.write_chrome is
+   temp+rename, so the trace on disk is complete or absent, never torn.
+   The flag is cleared before flushing (and by the normal exit path) so
+   the buffer is written at most once. *)
+let trace_flush_target = ref None
+
+let install_trace_signal_handlers () =
+  let handle signal code =
+    try
+      Sys.set_signal signal
+        (Sys.Signal_handle
+           (fun _ ->
+             (match !trace_flush_target with
+             | Some path -> (
+               trace_flush_target := None;
+               try Trace.write_chrome path with _ -> ())
+             | None -> ());
+             exit code))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  handle Sys.sigint 130;
+  handle Sys.sigterm 143
+
+let obs_setup ~profile ~trace =
+  if profile || trace <> None then Wcet_obs.Obs.enable ();
+  match trace with
+  | Some path ->
+    trace_flush_target := Some path;
+    install_trace_signal_handlers ()
+  | None -> ()
 
 let obs_finish ~profile ~trace =
-  (match trace with Some path -> Trace.write_chrome path | None -> ());
+  (match trace with
+  | Some path ->
+    trace_flush_target := None;
+    Trace.write_chrome path
+  | None -> ());
   if profile then Format.eprintf "@[<v>%a@]@?" Trace.pp_profile ()
 
 let soft_div_arg =
@@ -548,7 +589,19 @@ let check_cmd =
       value & opt int 240
       & info [ "faults" ] ~doc:"Fault-injection trial count (0 disables the campaign)")
   in
-  let run seed random faults format trace cache_dir no_cache =
+  let store_faults_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "store-faults" ]
+          ~doc:"Cache-store corruption trial count (0 disables the store campaign)")
+  in
+  let daemon_faults_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "daemon-faults" ]
+          ~doc:"Daemon wire-level fault-injection trial count (0 disables the daemon campaign)")
+  in
+  let run seed random faults store_faults daemon_faults format trace cache_dir no_cache =
     handle_errors (fun () ->
         obs_setup ~profile:false ~trace;
         cache_setup ~cache_dir ~no_cache;
@@ -560,20 +613,45 @@ let check_cmd =
           let binary = faults - minic - annots - asm in
           Faultinject.run ~seed ~minic ~annots ~asm ~binary ~memmap:(faults > 0) ()
         in
-        let passed = Check.ok stats && Faultinject.ok campaign in
+        let store_campaign =
+          if store_faults > 0 then
+            Some (Faultinject.store_campaign ~seed ~trials:store_faults ())
+          else None
+        in
+        let daemon_campaign =
+          if daemon_faults > 0 then Some (Faultinject.run_daemon ~seed ~trials:daemon_faults ())
+          else None
+        in
+        let ok_opt = function Some c -> Faultinject.ok c | None -> true in
+        let passed =
+          Check.ok stats && Faultinject.ok campaign && ok_opt store_campaign
+          && ok_opt daemon_campaign
+        in
         (match format with
         | Json_format ->
           print_endline
             (Json.to_string
                (Json.Obj
-                  [
-                    ("soundness", Check.to_json stats);
-                    ("faults", Faultinject.to_json campaign);
-                    ("ok", Json.Bool passed);
-                  ]))
+                  ([
+                     ("soundness", Check.to_json stats);
+                     ("faults", Faultinject.to_json campaign);
+                   ]
+                  @ (match store_campaign with
+                    | Some c -> [ ("store_faults", Faultinject.to_json c) ]
+                    | None -> [])
+                  @ (match daemon_campaign with
+                    | Some c -> [ ("daemon_faults", Faultinject.to_json c) ]
+                    | None -> [])
+                  @ [ ("ok", Json.Bool passed) ])))
         | Text ->
           Format.printf "%a@." Check.pp_stats stats;
-          Format.printf "%a@." Faultinject.pp_campaign campaign);
+          Format.printf "%a@." Faultinject.pp_campaign campaign;
+          (match store_campaign with
+          | Some c -> Format.printf "store %a@." Faultinject.pp_campaign c
+          | None -> ());
+          match daemon_campaign with
+          | Some c -> Format.printf "daemon %a@." Faultinject.pp_campaign c
+          | None -> ());
         obs_finish ~profile:false ~trace;
         if not passed then exit Diag.Exit.check_failed)
   in
@@ -581,9 +659,214 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Cross-validate analyzer soundness over the corpus (simulated cycles vs bounds) and \
-          run the fault-injection robustness campaign")
-    Term.(const run $ seed_arg $ random_arg $ faults_arg $ format_arg $ trace_arg $ cache_dir_arg
-          $ no_cache_arg)
+          run the fault-injection robustness campaigns (toolchain inputs, on-disk cache store, \
+          and the analysis daemon's wire protocol)")
+    Term.(const run $ seed_arg $ random_arg $ faults_arg $ store_faults_arg $ daemon_faults_arg
+          $ format_arg $ trace_arg $ cache_dir_arg $ no_cache_arg)
+
+(* --- the analysis daemon ------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "wcet.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon")
+
+let serve_cmd =
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "watch" ] ~docv:"DIR"
+          ~doc:
+            "Watch DIR for changed $(b,.mc)/$(b,.s) sources, re-analyze on change and stream \
+             delta events (bound drift, changed functions, new/discharged findings) to \
+             clients subscribed with the $(b,subscribe) method")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Request worker threads")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue capacity; excess requests are refused with D0704 + retry hint")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline (requests may override with params.timeout_ms); an \
+             expired analysis is answered with a partial-verdict reply (D0703)")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Proto.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Per-frame size ceiling (oversized → D0705)")
+  in
+  let watch_period_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "watch-period" ] ~docv:"SECONDS" ~doc:"Watch-mode scan period")
+  in
+  let debounce_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "debounce" ] ~docv:"SECONDS"
+          ~doc:"Watch-mode debounce: a change is analyzed once its content is stable this long")
+  in
+  let run socket watch workers queue timeout_ms max_frame watch_period debounce profile trace
+      cache_dir no_cache =
+    handle_errors (fun () ->
+        obs_setup ~profile ~trace;
+        cache_setup ~cache_dir ~no_cache;
+        let cfg =
+          {
+            (Server.default_config ~socket_path:socket) with
+            Server.workers;
+            Server.queue_capacity = queue;
+            Server.max_frame;
+            Server.default_timeout_ms = timeout_ms;
+            Server.classify = Faultinject.classify_exn;
+            Server.watch = Option.map (fun d -> (d, watch_period, debounce)) watch;
+          }
+        in
+        match Server.create cfg with
+        | Error msg -> fail_with (Diag.make Diag.Error Diag.Serve ~code:"D0708" msg)
+        | Ok server ->
+          (* SIGTERM/SIGINT start the drain; run returns once in-flight
+             work is answered, then the normal path flushes trace sinks. *)
+          let stop _ = Server.request_stop server in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Format.eprintf "wcet_tool serve: listening on %s (%d workers, queue %d)@." socket
+            workers queue;
+          Server.run server;
+          Format.eprintf "wcet_tool serve: drained@.";
+          obs_finish ~profile ~trace)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resilient analysis daemon: concurrent analyze/explain/audit/metrics/cache \
+          requests over a Unix-domain socket, with per-request deadlines, backpressure, fault \
+          isolation (D07xx replies) and graceful drain on SIGTERM")
+    Term.(
+      const run $ socket_arg $ watch_arg $ workers_arg $ queue_arg $ timeout_arg $ max_frame_arg
+      $ watch_period_arg $ debounce_arg $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg)
+
+let call_cmd =
+  let meth_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"METHOD"
+          ~doc:"Method to call (analyze, explain, audit, metrics, cache, codes, ping, ...)")
+  in
+  let source_pos_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Source path for the analysis methods")
+  in
+  let hw_str_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hw" ] ~doc:"Hardware profile name passed to the daemon")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline (server-side)")
+  in
+  let raw_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"BYTES"
+          ~doc:
+            "Send BYTES verbatim (a newline is appended) and print the first reply; for wire \
+             protocol testing")
+  in
+  let retry_arg =
+    Arg.(
+      value & flag
+      & info [ "retry" ]
+          ~doc:"Retry overloaded (D0704) replies with jittered exponential backoff")
+  in
+  let run socket meth source annot_file hw_str soft_div timeout_ms raw retry =
+    handle_errors (fun () ->
+        let c =
+          match Client.connect socket with
+          | Ok c -> c
+          | Error msg -> fail_with (Diag.make Diag.Error Diag.Serve ~code:"D0708" msg)
+        in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let reply =
+              match raw with
+              | Some bytes -> (
+                match Client.send_raw c (bytes ^ "\n") with
+                | Error msg -> Error msg
+                | Ok () -> Client.read_reply c)
+              | None -> (
+                match meth with
+                | None ->
+                  fail_with
+                    (Diag.make Diag.Error Diag.Serve ~code:"D0702"
+                       "a METHOD argument (or --raw) is required")
+                | Some meth ->
+                  let params =
+                    List.concat
+                      [
+                        (match source with
+                        | Some s -> [ ("source", Json.String s) ]
+                        | None -> []);
+                        (match annot_file with
+                        | Some a -> [ ("annot", Json.String a) ]
+                        | None -> []);
+                        (match hw_str with
+                        | Some h -> [ ("hw", Json.String h) ]
+                        | None -> []);
+                        (if soft_div then [ ("soft_div", Json.Bool true) ] else []);
+                      ]
+                  in
+                  let id = Json.Int 1 in
+                  if retry then
+                    Client.request_with_retry
+                      ~rng:(Wcet_util.Pcg.create ~seed:(Wcet_util.Mono_clock.now_ns ()) ())
+                      ?timeout_ms c ~id ~meth (Json.Obj params)
+                  else Client.request ?timeout_ms c ~id ~meth (Json.Obj params))
+            in
+            match reply with
+            | Error msg -> fail_with (Diag.make Diag.Error Diag.Serve ~code:"D0708" msg)
+            | Ok r ->
+              if r.Proto.ok then begin
+                let res = Option.value ~default:Json.Null r.Proto.result in
+                print_endline (Json.to_string res);
+                match Json.member "verdict" res with
+                | Some (Json.String "partial") -> exit Diag.Exit.partial
+                | Some (Json.String "failed") -> exit Diag.Exit.analysis
+                | _ -> ()
+              end
+              else begin
+                print_endline (Json.to_string (Option.value ~default:Json.Null r.Proto.error));
+                exit Diag.Exit.usage
+              end))
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send one request to a running daemon and print the JSON reply (exit 0 complete, 4 \
+          partial, 2 failed analysis, 1 error reply)")
+    Term.(
+      const run $ socket_arg $ meth_arg $ source_pos_arg $ annot_arg $ hw_str_arg $ soft_div_arg
+      $ timeout_arg $ raw_arg $ retry_arg)
 
 (* Cache maintenance. These open the store directly (no analysis runs), so
    an unusable directory is a hard usage error here, unlike during analyze
@@ -722,5 +1005,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; explain_cmd; simulate_cmd; misra_cmd; audit_cmd; disasm_cmd;
-            suggest_cmd; cfg_cmd; check_cmd; cache_cmd; metrics_cmd; codes_cmd;
+            suggest_cmd; cfg_cmd; check_cmd; serve_cmd; call_cmd; cache_cmd; metrics_cmd;
+            codes_cmd;
           ]))

@@ -49,6 +49,7 @@ type result = {
 val run :
   ?strategy:Wcet_util.Fixpoint.strategy ->
   ?seeds:(int -> (Cstate.t * Cstate.t) option) ->
+  ?cancel:(unit -> bool) ->
   Pred32_hw.Hw_config.t ->
   Wcet_value.Analysis.result ->
   region_hints:(string -> Pred32_memory.Region.t list option) ->
@@ -86,6 +87,7 @@ val equal_cstate : Cstate.t -> Cstate.t -> bool
     inputs are applied without transferring. *)
 val run_scheduled :
   ?slice:summary_slice ->
+  ?cancel:(unit -> bool) ->
   ?domains:int ->
   Pred32_hw.Hw_config.t ->
   Wcet_value.Analysis.result ->

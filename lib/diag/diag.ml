@@ -12,6 +12,7 @@ type phase =
   | Check
   | Audit
   | Store
+  | Serve
   | Internal
 
 type loc = { addr : int option; func : string option; line : int option }
@@ -50,6 +51,7 @@ let phase_name = function
   | Check -> "check"
   | Audit -> "audit"
   | Store -> "cache-store"
+  | Serve -> "serve"
   | Internal -> "internal"
 
 (* The stable code registry. Codes are part of the tool's external contract
@@ -87,6 +89,17 @@ let all_codes =
     ("W0611", "analysis cache entry from another tool version (evicted, recomputed)");
     ("W0612", "analysis cache directory unusable (caching disabled for this run)");
     ("E0701", "fault-injection campaign observed a crash");
+    ("D0701", "daemon: frame is not valid JSON");
+    ("D0702", "daemon: request is malformed (missing/ill-typed id, method or params)");
+    ("D0703", "daemon: deadline exceeded, analysis cancelled (partial reply)");
+    ("D0704", "daemon: server overloaded, request not admitted (retry after hint)");
+    ("D0705", "daemon: frame exceeds the maximum size (dropped)");
+    ("D0706", "daemon: request failed with an unclassified internal error (fault isolated)");
+    ("D0707", "daemon: unknown method");
+    ("D0708", "daemon: cannot bind or connect to the server socket");
+    ("W0701", "daemon watch: source vanished or became unreadable (skipped)");
+    ("W0702", "daemon: client disconnected before its reply could be delivered");
+    ("W0703", "daemon: request rejected because the server is draining for shutdown");
     ("E0901", "internal error (uncaught exception)");
     ("A0501", "audit: unresolved indirect call (tier-1, paper section 3)");
     ("A0502", "audit: indirect call resolved by value analysis or annotation");
@@ -130,6 +143,7 @@ let exit_for d =
   | Decode | Loop_value | Cache | Pipeline | Path -> Exit.analysis
   | Simulation -> Exit.usage
   | Store -> Exit.usage
+  | Serve -> Exit.usage
   | Check -> Exit.check_failed
   | Audit -> Exit.misra
   | Internal -> Exit.internal

@@ -28,6 +28,7 @@ type phase =
   | Check  (** the soundness cross-validation harness *)
   | Audit  (** the binary-level analyzability auditor *)
   | Store  (** the persistent analysis-result cache *)
+  | Serve  (** the analysis daemon ([wcet_tool serve]) *)
   | Internal
 
 type loc = {

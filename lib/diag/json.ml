@@ -58,3 +58,250 @@ let to_string t =
   Buffer.contents buf
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* ---- parser ----------------------------------------------------------- *)
+
+(* Recursive-descent RFC 8259 reader over a string with an explicit cursor.
+   Errors abort through a local exception carrying position + message; the
+   nesting depth is capped so a ["[[[[..."] bomb fails cleanly instead of
+   overflowing the stack. *)
+
+exception Parse_error of int * string
+
+let max_depth = 256
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (cur.pos, msg))
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.s
+    && match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some d when d = c -> cur.pos <- cur.pos + 1
+  | Some d -> fail cur (Printf.sprintf "expected %c, found %c" c d)
+  | None -> fail cur (Printf.sprintf "expected %c, found end of input" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.s && String.sub cur.s cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+(* UTF-8 encode one scalar value (the \uXXXX path; surrogate pairs are
+   combined by the caller). *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let hex4 cur =
+  if cur.pos + 4 > String.length cur.s then fail cur "truncated \\u escape";
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let c = cur.s.[cur.pos] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail cur "bad hex digit in \\u escape"
+    in
+    v := (!v * 16) + d;
+    cur.pos <- cur.pos + 1
+  done;
+  !v
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if cur.pos >= String.length cur.s then fail cur "unterminated string";
+    let c = cur.s.[cur.pos] in
+    cur.pos <- cur.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if cur.pos >= String.length cur.s then fail cur "unterminated escape";
+      let e = cur.s.[cur.pos] in
+      cur.pos <- cur.pos + 1;
+      (match e with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        let u = hex4 cur in
+        if u >= 0xd800 && u <= 0xdbff then begin
+          (* high surrogate: require the low half *)
+          if
+            cur.pos + 1 < String.length cur.s
+            && cur.s.[cur.pos] = '\\'
+            && cur.s.[cur.pos + 1] = 'u'
+          then begin
+            cur.pos <- cur.pos + 2;
+            let lo = hex4 cur in
+            if lo < 0xdc00 || lo > 0xdfff then fail cur "bad low surrogate"
+            else add_utf8 buf (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00))
+          end
+          else fail cur "unpaired surrogate"
+        end
+        else if u >= 0xdc00 && u <= 0xdfff then fail cur "unpaired surrogate"
+        else add_utf8 buf u
+      | _ -> fail cur "bad escape character");
+      go ())
+    | c when Char.code c < 0x20 -> fail cur "unescaped control character in string"
+    | c ->
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number cur =
+  let start = cur.pos in
+  let digits () =
+    let d0 = cur.pos in
+    while
+      cur.pos < String.length cur.s
+      && match cur.s.[cur.pos] with '0' .. '9' -> true | _ -> false
+    do
+      cur.pos <- cur.pos + 1
+    done;
+    if cur.pos = d0 then fail cur "expected digit"
+  in
+  if peek cur = Some '-' then cur.pos <- cur.pos + 1;
+  (* leading zero may not be followed by more digits *)
+  (match peek cur with
+  | Some '0' ->
+    cur.pos <- cur.pos + 1;
+    (match peek cur with
+    | Some ('0' .. '9') -> fail cur "leading zero"
+    | _ -> ())
+  | Some ('1' .. '9') -> digits ()
+  | _ -> fail cur "expected digit");
+  let is_float = ref false in
+  (match peek cur with
+  | Some '.' ->
+    is_float := true;
+    cur.pos <- cur.pos + 1;
+    digits ()
+  | _ -> ());
+  (match peek cur with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    cur.pos <- cur.pos + 1;
+    (match peek cur with
+    | Some ('+' | '-') -> cur.pos <- cur.pos + 1
+    | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub cur.s start (cur.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text)
+
+let rec parse_value cur depth =
+  if depth > max_depth then fail cur "nesting too deep";
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '{' ->
+    cur.pos <- cur.pos + 1;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      cur.pos <- cur.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur (depth + 1) in
+        fields := (k, v) :: !fields;
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          cur.pos <- cur.pos + 1;
+          members ()
+        | Some '}' -> cur.pos <- cur.pos + 1
+        | _ -> fail cur "expected , or } in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    cur.pos <- cur.pos + 1;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      cur.pos <- cur.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value cur (depth + 1) in
+        items := v :: !items;
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          cur.pos <- cur.pos + 1;
+          elements ()
+        | Some ']' -> cur.pos <- cur.pos + 1
+        | _ -> fail cur "expected , or ] in array"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %c" c)
+
+let parse s =
+  let cur = { s; pos = 0 } in
+  match parse_value cur 0 with
+  | v ->
+    skip_ws cur;
+    if cur.pos <> String.length s then
+      Error (Printf.sprintf "at %d: trailing garbage after document" cur.pos)
+    else Ok v
+  | exception Parse_error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
+  | exception Failure msg -> Error msg
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None

@@ -1,8 +1,10 @@
-(** A minimal JSON tree and printer for the machine-readable diagnostic and
-    report output ([wcet_tool --format=json]).
+(** A minimal JSON tree, printer and parser for the machine-readable
+    diagnostic and report output ([wcet_tool --format=json]) and the
+    daemon's wire protocol ([wcet_tool serve]).
 
-    Deliberately tiny — the repo has no JSON dependency and only ever needs
-    to {e emit} JSON, never parse it. Strings are escaped per RFC 8259. *)
+    Deliberately tiny — the repo has no JSON dependency. Strings are
+    escaped per RFC 8259 on output; the parser accepts RFC 8259 documents
+    (with [\uXXXX] escapes decoded to UTF-8) and never raises. *)
 
 type t =
   | Null
@@ -17,3 +19,20 @@ type t =
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+(** [parse s] reads one JSON document (leading/trailing whitespace
+    allowed; anything else after the document is an error). Integral
+    numbers that fit [int] become [Int], all others [Float]. Nesting
+    deeper than an internal limit is rejected rather than risking a stack
+    overflow on adversarial input. Never raises. *)
+val parse : string -> (t, string) result
+
+(** {2 Accessors}
+
+    Total helpers for picking a typed field out of a parsed tree; they
+    return [None] on a missing member or a type mismatch. *)
+
+val member : string -> t -> t option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

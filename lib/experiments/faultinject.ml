@@ -306,6 +306,349 @@ let rejection_histogram c =
     c.trials;
   Hashtbl.fold (fun code n acc -> (code, n) :: acc) tbl [] |> List.sort compare
 
+(* --- cache-store campaign ---------------------------------------------- *)
+
+module Store = Wcet_util.Store
+module Report_cache = Wcet_core.Report_cache
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_whole_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let list_wcache_files root =
+  let acc = ref [] in
+  let rec walk d =
+    match Sys.readdir d with
+    | entries ->
+      Array.iter
+        (fun name ->
+          let p = Filename.concat d name in
+          if try Sys.is_directory p with Sys_error _ -> false then walk p
+          else if Filename.check_suffix p ".wcache" then acc := p :: !acc)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  walk root;
+  List.sort compare !acc
+
+(* On-disk envelope mutations: the store must degrade every one of these to
+   Miss/Corrupt on read, never raise. *)
+let corrupt_file rng path kind =
+  match read_whole_file path with
+  | exception Sys_error _ -> ()
+  | s ->
+    let n = String.length s in
+    let s' =
+      match kind with
+      | 0 when n > 0 ->
+        (* single bit flip *)
+        let b = Bytes.of_string s in
+        let i = Pcg.next_int rng n in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Pcg.next_int rng 8)));
+        Bytes.to_string b
+      | 1 when n > 0 -> String.sub s 0 (Pcg.next_int rng n) (* truncate *)
+      | 2 -> "" (* zero-length file *)
+      | 3 ->
+        (* smash the envelope header *)
+        let b = Bytes.of_string s in
+        for i = 0 to min 7 (n - 1) do
+          Bytes.set b i (random_char rng)
+        done;
+        Bytes.to_string b
+      | _ -> s ^ "trailing garbage past the recorded length"
+    in
+    write_whole_file path s'
+
+(* Run [f] against a store at [dir], restoring the process-global cache
+   configuration afterwards (the campaign must not leak state into the
+   caller's runs). *)
+let with_cache_dir dir f =
+  let prev_enabled = Report_cache.enabled () in
+  let prev_dir = Report_cache.dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Report_cache.drain_diags ());
+      match (prev_enabled, prev_dir) with
+      | true, Some d -> ignore (Report_cache.set_dir d)
+      | _ -> Report_cache.disable ())
+    (fun () ->
+      if not (Report_cache.set_dir dir) then
+        Crashed (Printf.sprintf "cannot open fault-injection store at %s" dir)
+      else f ())
+
+let store_trial ~dir rng i =
+  guard (fun () ->
+      with_cache_dir dir (fun () ->
+          let program =
+            Compile.compile (List.nth minic_seeds (i mod List.length minic_seeds))
+          in
+          (match Store.open_store dir with
+          | Ok s -> ignore (Store.clear s)
+          | Error _ -> ());
+          ignore (Report_cache.drain_diags ());
+          (* cold run populates report + slice entries *)
+          let cold = Analyzer.analyze ~annot:Annot.empty program in
+          let files = list_wcache_files dir in
+          let n = List.length files in
+          if n > 0 then
+            for _ = 0 to Pcg.next_int rng 3 do
+              corrupt_file rng (List.nth files (Pcg.next_int rng n)) (Pcg.next_int rng 5)
+            done;
+          (* direct probe: a raw store read of any mutated entry must come
+             back as a value (Hit/Miss/Corrupt), never an exception *)
+          (match Store.open_store dir with
+          | Ok s ->
+            List.iter
+              (fun p ->
+                let key = Filename.chop_suffix (Filename.basename p) ".wcache" in
+                ignore (Store.read s ~key))
+              files
+          | Error _ -> ());
+          (* warm run must heal: evict the damage (W0610/W0611), recompute,
+             and land on the cold bound bit for bit *)
+          let warm = Analyzer.analyze ~annot:Annot.empty program in
+          let heals = Report_cache.drain_diags () in
+          match
+            List.find_opt (fun (d : Diag.t) -> Diag.describe d.Diag.code = None) heals
+          with
+          | Some d -> Crashed (Printf.sprintf "unregistered heal code %s" d.Diag.code)
+          | None ->
+            if warm.Analyzer.wcet <> cold.Analyzer.wcet then
+              Crashed
+                (Printf.sprintf "bound drift after store corruption: cold %d, warm %d"
+                   cold.Analyzer.wcet warm.Analyzer.wcet)
+            else (
+              match warm.Analyzer.verdict with
+              | Analyzer.Complete -> Ran_complete
+              | Analyzer.Partial -> Ran_partial)))
+
+let summarize trials =
+  let count p = List.length (List.filter p trials) in
+  {
+    trials;
+    complete = count (fun t -> t.outcome = Ran_complete);
+    partial = count (fun t -> t.outcome = Ran_partial);
+    rejected = count (fun t -> match t.outcome with Rejected _ -> true | _ -> false);
+    crashed = count (fun t -> match t.outcome with Crashed _ -> true | _ -> false);
+  }
+
+let fresh_scratch_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let store_campaign ?(seed = 20110318L) ?(trials = 48) ?dir () =
+  let rng = Pcg.create ~seed () in
+  let dir, cleanup =
+    match dir with
+    | Some d -> (d, false)
+    | None -> (fresh_scratch_dir "wcet-store-faults", true)
+  in
+  let out = ref [] in
+  for i = 0 to trials - 1 do
+    out := { family = "store"; index = i; outcome = store_trial ~dir rng i } :: !out
+  done;
+  if cleanup then begin
+    (match Store.open_store dir with Ok s -> ignore (Store.clear s) | Error _ -> ());
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end;
+  summarize (List.rev !out)
+
+(* --- daemon campaign ---------------------------------------------------- *)
+
+module Server = Wcet_serve.Server
+module Client = Wcet_serve.Client
+module Proto = Wcet_serve.Proto
+module Json = Wcet_diag.Json
+
+let strip_newlines s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+(* A failed reply counts as graceful only under a registered code. *)
+let reply_outcome (r : Proto.reply) =
+  if r.Proto.ok then Ran_complete
+  else
+    match Proto.error_code r with
+    | Some code when Diag.describe code <> None ->
+      Rejected (Diag.make Diag.Error Diag.Serve ~code "daemon rejection")
+    | Some code -> Crashed (Printf.sprintf "unregistered rejection code %s" code)
+    | None -> Crashed "error reply without a diagnostic code"
+
+let with_conn socket_path f =
+  match Client.connect socket_path with
+  | Error msg -> Crashed ("connect: " ^ msg)
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let daemon_read_timeout = 60.
+
+let send_one_frame_and_read socket_path text =
+  with_conn socket_path (fun c ->
+      match Client.send_raw c text with
+      | Error msg -> Crashed ("send: " ^ msg)
+      | Ok () -> (
+        match Client.read_reply ~timeout_s:daemon_read_timeout c with
+        | Error msg -> Crashed ("no reply to an injected frame: " ^ msg)
+        | Ok r -> reply_outcome r))
+
+let daemon_trial ~socket_path ~src rng i =
+  let analyze_params = Json.Obj [ ("source", Json.String src) ] in
+  let well_formed =
+    strip_newlines
+      (String.trim (Proto.encode_request ~id:(Json.Int i) ~meth:"analyze" analyze_params))
+  in
+  match i mod 8 with
+  | 0 ->
+    (* mutated frame: may decode (and then run, fail, or be unknown) or be
+       rejected as D0701/D0702 — all typed either way *)
+    ("malformed", send_one_frame_and_read socket_path
+                    (strip_newlines (mutate_text_n rng well_formed) ^ "\n"))
+  | 1 ->
+    (* truncated JSON *)
+    let cut = Pcg.next_int rng (String.length well_formed) in
+    ("truncated", send_one_frame_and_read socket_path (String.sub well_formed 0 cut ^ "\n"))
+  | 2 ->
+    let garbage = String.init (1 + Pcg.next_int rng 64) (fun _ -> random_char rng) in
+    ("not-json", send_one_frame_and_read socket_path (strip_newlines garbage ^ "\n"))
+  | 3 ->
+    (* oversized: blow past the server's max_frame in one line *)
+    ("oversized", send_one_frame_and_read socket_path (String.make 8192 'a' ^ "\n"))
+  | 4 ->
+    (* mid-request disconnect, then prove the server survived *)
+    ( "disconnect",
+      match Client.connect socket_path with
+      | Error msg -> Crashed ("connect: " ^ msg)
+      | Ok c ->
+        ignore (Client.send_raw c (Proto.encode_request ~id:(Json.Int i) ~meth:"analyze"
+                                     analyze_params));
+        Client.close c;
+        with_conn socket_path (fun c2 ->
+            match
+              Client.request ~timeout_s:daemon_read_timeout c2 ~id:(Json.Int i) ~meth:"ping"
+                (Json.Obj [])
+            with
+            | Ok r when r.Proto.ok -> Ran_complete
+            | Ok r -> reply_outcome r
+            | Error msg -> Crashed ("liveness after disconnect: " ^ msg)) )
+  | 5 ->
+    (* concurrent overload burst: a small queue sheds load as D0704 while
+       everything else is answered typed *)
+    ( "overload",
+      let conns = List.init 6 (fun _ -> Client.connect socket_path) in
+      let outcomes =
+        List.mapi
+          (fun k conn ->
+            match conn with
+            | Error msg -> Crashed ("connect: " ^ msg)
+            | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match
+                    Client.request ~timeout_s:daemon_read_timeout ~timeout_ms:1 c
+                      ~id:(Json.Int ((i * 16) + k))
+                      ~meth:"analyze" analyze_params
+                  with
+                  | Error msg -> Crashed ("overload reply: " ^ msg)
+                  | Ok r ->
+                    if r.Proto.ok then Ran_complete else reply_outcome r))
+          conns
+      in
+      let crashedo =
+        List.find_opt (function Crashed _ -> true | _ -> false) outcomes
+      in
+      let rejectedo =
+        List.find_opt (function Rejected _ -> true | _ -> false) outcomes
+      in
+      match (crashedo, rejectedo) with
+      | Some o, _ -> o
+      | None, Some o -> o
+      | None, None -> Ran_complete )
+  | 6 ->
+    (* deadline expiry: timeout_ms=0 is expired on arrival *)
+    ( "deadline",
+      with_conn socket_path (fun c ->
+          match
+            Client.request ~timeout_s:daemon_read_timeout ~timeout_ms:0 c ~id:(Json.Int i)
+              ~meth:"analyze" analyze_params
+          with
+          | Error msg -> Crashed ("deadline reply: " ^ msg)
+          | Ok r when not r.Proto.ok -> reply_outcome r
+          | Ok r -> (
+            match r.Proto.result with
+            | Some res when Json.member "verdict" res = Some (Json.String "partial") ->
+              Ran_partial
+            | Some _ -> Ran_complete (* warm-cache hit beat the deadline poll *)
+            | None -> Crashed "ok reply without a result")) )
+  | _ ->
+    (* well-formed control requests, rotating over the method table *)
+    let meths =
+      [| ("ping", Json.Obj []); ("metrics", Json.Obj []); ("codes", Json.Obj []);
+         ("cache", Json.Obj []); ("analyze", analyze_params);
+         ("frobnicate", Json.Obj []) |]
+    in
+    let meth, params = meths.(i / 8 mod Array.length meths) in
+    ( "control",
+      with_conn socket_path (fun c ->
+          match
+            Client.request ~timeout_s:daemon_read_timeout c ~id:(Json.String "ctl")
+              ~meth params
+          with
+          | Error msg -> Crashed ("control reply: " ^ msg)
+          | Ok r -> reply_outcome r) )
+
+let run_daemon ?(seed = 20110318L) ?(trials = 200) () =
+  let rng = Pcg.create ~seed () in
+  let pid = Unix.getpid () in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "wcet-faultd-%d.sock" pid)
+  in
+  let src = Filename.temp_file "wcet-daemon" ".mc" in
+  write_whole_file src Harness.quickstart_source;
+  let cfg =
+    {
+      (Server.default_config ~socket_path) with
+      Server.workers = 2;
+      Server.queue_capacity = 4;
+      Server.max_frame = 4096;
+      Server.retry_after_ms = 10;
+      Server.classify = classify_exn;
+    }
+  in
+  let out = ref [] in
+  let emit family index outcome = out := { family; index; outcome } :: !out in
+  (match Server.create cfg with
+  | Error msg -> emit "daemon" 0 (Crashed ("server did not start: " ^ msg))
+  | Ok server ->
+    let th = Thread.create Server.run server in
+    for i = 0 to trials - 1 do
+      let family, outcome =
+        try daemon_trial ~socket_path ~src rng i
+        with e -> ("daemon", Crashed (Printexc.to_string e))
+      in
+      emit family i outcome
+    done;
+    (* post-campaign liveness: the server must still answer, then drain *)
+    emit "liveness" trials
+      (with_conn socket_path (fun c ->
+           match
+             Client.request ~timeout_s:daemon_read_timeout c ~id:(Json.Int (-1)) ~meth:"ping"
+               (Json.Obj [])
+           with
+           | Ok r when r.Proto.ok -> Ran_complete
+           | Ok r -> reply_outcome r
+           | Error msg -> Crashed ("post-campaign liveness: " ^ msg)));
+    Server.request_stop server;
+    Thread.join th);
+  (try Sys.remove src with Sys_error _ -> ());
+  (try Sys.remove socket_path with Sys_error _ -> ());
+  summarize (List.rev !out)
+
 let pp_campaign ppf c =
   Format.fprintf ppf
     "@[<v>fault injection: %d trials — %d complete, %d partial, %d rejected, %d crashed@,"

@@ -59,5 +59,29 @@ val run :
   unit ->
   campaign
 
+(** [store_campaign ?seed ?trials ?dir ()] attacks the persistent analysis
+    cache: each trial cold-analyzes a seed program into a store at [dir] (a
+    scratch directory by default, removed afterwards), then bit-flips,
+    truncates, header-smashes, empties or pads [.wcache] entry files on
+    disk and re-analyzes warm. Graceful means: raw {!Wcet_util.Store.read}
+    of every damaged entry returns a value (Hit/Miss/Corrupt), the warm run
+    heals with registered diagnostics (W0610/W0611) and reproduces the cold
+    bound bit for bit. Bound drift or an unregistered heal counts as
+    [Crashed]. The process-global cache configuration is saved and
+    restored. Default 48 trials. *)
+val store_campaign : ?seed:int64 -> ?trials:int -> ?dir:string -> unit -> campaign
+
+(** [run_daemon ?seed ?trials ()] starts an in-process analysis daemon
+    ([Wcet_serve.Server], 2 workers, admission queue of 4, 4 KiB frame cap)
+    on a scratch socket and attacks it over the real wire: mutated frames,
+    truncated JSON, non-JSON garbage, oversized frames, mid-request
+    disconnects, concurrent overload bursts, expired deadlines, plus
+    well-formed control requests. Graceful means every reply is either
+    [ok] or carries a registered diagnostic code, and the server still
+    answers a liveness ping after the barrage, then drains cleanly.
+    Default 200 trials (the overload family opens 6 connections per
+    trial). *)
+val run_daemon : ?seed:int64 -> ?trials:int -> unit -> campaign
+
 val pp_campaign : Format.formatter -> campaign -> unit
 val to_json : campaign -> Wcet_diag.Json.t

@@ -182,17 +182,28 @@ let event_json e =
 let to_json () = Json.List (List.map event_json (by_start (events ())))
 
 (* One event per line inside a JSON array: valid JSON for Perfetto, and
-   line-oriented for grep. *)
+   line-oriented for grep. Written to a temp file in the target directory
+   and renamed into place, so an interrupted run (the SIGINT/SIGTERM flush
+   path) leaves either the complete trace or no trace — never a torn
+   file. *)
 let write_chrome path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      let evs = by_start (events ()) in
-      output_string oc "[\n";
-      List.iteri
-        (fun i e ->
-          if i > 0 then output_string oc ",\n";
-          output_string oc (Json.to_string (event_json e)))
-        evs;
-      output_string oc "\n]\n")
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path) (Filename.basename path) ".tmp"
+  in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         let evs = by_start (events ()) in
+         output_string oc "[\n";
+         List.iteri
+           (fun i e ->
+             if i > 0 then output_string oc ",\n";
+             output_string oc (Json.to_string (event_json e)))
+           evs;
+         output_string oc "\n]\n")
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

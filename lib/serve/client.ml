@@ -1,0 +1,99 @@
+module Json = Wcet_diag.Json
+module Clock = Wcet_util.Mono_clock
+
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; buf = Buffer.create 4096 }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with _ -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let send_raw t s =
+  let data = Bytes.of_string s in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  match
+    while !off < len do
+      match Unix.write t.fd data !off (len - !off) with
+      | n -> off := !off + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* Extract one line from the buffer, if a full one is present. *)
+let take_line buf =
+  let s = Buffer.contents buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear buf;
+    Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
+
+let read_frame ?(timeout_s = 10.) t =
+  let deadline = Clock.now () +. timeout_s in
+  let chunk = Bytes.create 8192 in
+  let rec loop () =
+    match take_line t.buf with
+    | Some line -> Ok line
+    | None ->
+      let remaining = deadline -. Clock.now () in
+      if remaining <= 0. then Error "timed out waiting for a frame"
+      else (
+        match Unix.select [ t.fd ] [] [] remaining with
+        | [], _, _ -> Error "timed out waiting for a frame"
+        | _ -> (
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "connection closed by server"
+          | n ->
+            Buffer.add_subbytes t.buf chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  in
+  loop ()
+
+let is_event text =
+  match Json.parse text with
+  | Ok j -> Json.member "event" j <> None
+  | Error _ -> false
+
+let rec read_reply ?timeout_s t =
+  match read_frame ?timeout_s t with
+  | Error _ as e -> e
+  | Ok line -> if is_event line then read_reply ?timeout_s t else Proto.decode_reply line
+
+let request ?timeout_s ?timeout_ms t ~id ~meth params =
+  match send_raw t (Proto.encode_request ?timeout_ms ~id ~meth params) with
+  | Error _ as e -> e
+  | Ok () -> read_reply ?timeout_s t
+
+let request_with_retry ?(attempts = 5) ?(base_ms = 25) ?timeout_s ?timeout_ms ~rng t ~id
+    ~meth params =
+  let rec go i =
+    match request ?timeout_s ?timeout_ms t ~id ~meth params with
+    | Error _ as e -> e
+    | Ok reply ->
+      if Proto.error_code reply = Some "D0704" && i + 1 < attempts then begin
+        let hint =
+          match reply.Proto.retry_after_ms with Some ms when ms > 0 -> ms | _ -> base_ms
+        in
+        let backoff = hint * (1 lsl min i 10) in
+        let jitter = Wcet_util.Pcg.next_int rng (max backoff 1) in
+        Thread.delay (float_of_int (backoff + jitter) /. 1000.);
+        go (i + 1)
+      end
+      else Ok reply
+  in
+  go 0

@@ -1,0 +1,52 @@
+(** Blocking client for the analysis daemon, used by [wcet_tool call], the
+    fault-injection campaign and the tests.
+
+    Never raises on I/O: connection problems surface as [Error] strings.
+    {!send_raw} writes arbitrary bytes, so malformed/truncated/oversized
+    frames can be injected through the same code path real clients use. *)
+
+module Json := Wcet_diag.Json
+
+type t
+
+val connect : string -> (t, string) result
+val close : t -> unit
+
+(** Raw bytes on the wire, no framing — the fault-injection entry. *)
+val send_raw : t -> string -> (unit, string) result
+
+(** Next NDJSON frame (newline stripped). [Error] on timeout, disconnect
+    or I/O failure. *)
+val read_frame : ?timeout_s:float -> t -> (string, string) result
+
+(** Next {e reply} frame, skipping server-initiated event frames. *)
+val read_reply : ?timeout_s:float -> t -> (Proto.reply, string) result
+
+(** One request/reply exchange. [timeout_s] bounds the local wait for the
+    reply; [timeout_ms] is the request's server-side deadline. *)
+val request :
+  ?timeout_s:float ->
+  ?timeout_ms:int ->
+  t ->
+  id:Json.t ->
+  meth:string ->
+  Json.t ->
+  (Proto.reply, string) result
+
+(** Like {!request}, but an overloaded reply (D0704) is retried with
+    jittered exponential backoff: attempt [i] sleeps
+    [hint * 2^i + uniform(0, hint * 2^i)] where [hint] is the server's
+    [retry_after_ms] (or [base_ms], default 25, when absent). [rng] makes
+    the jitter deterministic. Returns the last reply after [attempts]
+    (default 5) overloaded answers in a row. *)
+val request_with_retry :
+  ?attempts:int ->
+  ?base_ms:int ->
+  ?timeout_s:float ->
+  ?timeout_ms:int ->
+  rng:Wcet_util.Pcg.t ->
+  t ->
+  id:Json.t ->
+  meth:string ->
+  Json.t ->
+  (Proto.reply, string) result

@@ -1,0 +1,152 @@
+module Json = Wcet_diag.Json
+module Diag = Wcet_diag.Diag
+
+let default_max_frame = 1 lsl 20
+
+type request = { id : Json.t; meth : string; params : Json.t; timeout_ms : int option }
+
+type decode_error = Not_json of string | Malformed of string
+
+let decode_request text =
+  match Json.parse text with
+  | Error msg -> Error (Not_json msg)
+  | Ok json -> (
+    match json with
+    | Json.Obj _ -> (
+      let id = Json.member "id" json in
+      let meth = Option.bind (Json.member "method" json) Json.to_string_opt in
+      let params = match Json.member "params" json with None -> Json.Obj [] | Some p -> p in
+      match (id, meth, params) with
+      | None, _, _ -> Error (Malformed "request has no id")
+      | Some id, _, _ when Json.to_int_opt id = None && Json.to_string_opt id = None ->
+        Error (Malformed "request id must be an integer or a string")
+      | _, None, _ -> Error (Malformed "request has no method (or it is not a string)")
+      | _, _, (Json.Obj _ as params) -> (
+        match Json.member "timeout_ms" params with
+        | None -> Ok { id = Option.get id; meth = Option.get meth; params; timeout_ms = None }
+        | Some t -> (
+          match Json.to_int_opt t with
+          | Some ms when ms >= 0 ->
+            Ok { id = Option.get id; meth = Option.get meth; params; timeout_ms = Some ms }
+          | Some _ | None -> Error (Malformed "timeout_ms must be a non-negative integer")))
+      | _, _, _ -> Error (Malformed "params must be an object"))
+    | _ -> Error (Malformed "request frame must be a JSON object"))
+
+let frame json = Json.to_string json ^ "\n"
+
+let encode_request ?timeout_ms ~id ~meth params =
+  let params =
+    match (params, timeout_ms) with
+    | p, None -> p
+    | Json.Obj fields, Some ms -> Json.Obj (("timeout_ms", Json.Int ms) :: fields)
+    | p, Some _ -> p
+  in
+  frame
+    (Json.Obj [ ("id", id); ("method", Json.String meth); ("params", params) ])
+
+let ok_reply ~id result = Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+
+let error_reply ?retry_after_ms ~id diag =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool false); ("error", Diag.to_json diag) ]
+    @ match retry_after_ms with None -> [] | Some ms -> [ ("retry_after_ms", Json.Int ms) ])
+
+(* The deadline reply reuses the report schema: a Partial verdict with a
+   typed hole, so clients that understand partial reports need no special
+   case — the analysis simply has one more kind of excluded knowledge. *)
+let deadline_reply ~id ~elapsed_ms =
+  let diag =
+    Diag.makef Diag.Warning Diag.Serve ~code:"D0703"
+      ~hint:"raise timeout_ms or split the request"
+      "deadline exceeded after %d ms; analysis cancelled" elapsed_ms
+  in
+  ok_reply ~id
+    (Json.Obj
+       [
+         ("wcet", Json.Null);
+         ("bcet", Json.Null);
+         ("verdict", Json.String "partial");
+         ( "holes",
+           Json.List
+             [
+               Json.Obj
+                 [
+                   ("kind", Json.String "deadline-exceeded");
+                   ("elapsed_ms", Json.Int elapsed_ms);
+                 ];
+             ] );
+         ("diagnostics", Json.List [ Diag.to_json diag ]);
+       ])
+
+let event name fields = Json.Obj (("event", Json.String name) :: fields)
+
+type reply = {
+  reply_id : Json.t;
+  ok : bool;
+  result : Json.t option;
+  error : Json.t option;
+  retry_after_ms : int option;
+}
+
+let decode_reply text =
+  match Json.parse text with
+  | Error msg -> Error ("reply is not valid JSON: " ^ msg)
+  | Ok json -> (
+    match (Json.member "id" json, Option.bind (Json.member "ok" json) Json.to_bool_opt) with
+    | Some id, Some ok ->
+      Ok
+        {
+          reply_id = id;
+          ok;
+          result = Json.member "result" json;
+          error = Json.member "error" json;
+          retry_after_ms =
+            Option.bind (Json.member "retry_after_ms" json) Json.to_int_opt;
+        }
+    | _ -> Error "frame is not a reply (no id/ok members)")
+
+let error_code r =
+  Option.bind r.error (fun e -> Option.bind (Json.member "code" e) Json.to_string_opt)
+
+module Framer = struct
+  type t = {
+    max_frame : int;
+    buf : Buffer.t;
+    mutable discarding : bool;  (** past the limit: skip to the next newline *)
+    mutable discarded : int;  (** bytes of the oversized frame seen so far *)
+  }
+
+  type item = Frame of string | Oversized of int
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Buffer.create 512; discarding = false; discarded = 0 }
+
+  let feed t bytes len =
+    let items = ref [] in
+    for i = 0 to len - 1 do
+      let c = Bytes.get bytes i in
+      if t.discarding then begin
+        if c = '\n' then begin
+          items := Oversized t.discarded :: !items;
+          t.discarding <- false;
+          t.discarded <- 0
+        end
+        else t.discarded <- t.discarded + 1
+      end
+      else if c = '\n' then begin
+        items := Frame (Buffer.contents t.buf) :: !items;
+        Buffer.clear t.buf
+      end
+      else begin
+        Buffer.add_char t.buf c;
+        if Buffer.length t.buf > t.max_frame then begin
+          t.discarding <- true;
+          t.discarded <- Buffer.length t.buf;
+          Buffer.clear t.buf
+        end
+      end
+    done;
+    List.rev !items
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) (String.length s)
+end

@@ -1,0 +1,95 @@
+(** Wire protocol of the analysis daemon ([wcet_tool serve]).
+
+    Frames are newline-delimited JSON (NDJSON) over a Unix-domain stream
+    socket. A request is one object
+
+    {v {"id": <int|string>, "method": "<name>", "params": {...}} v}
+
+    where [params] may carry ["timeout_ms"] to set the request's deadline.
+    Every reply echoes the id:
+
+    {v {"id": ..., "ok": true,  "result": <payload>}
+       {"id": ..., "ok": false, "error": <diagnostic>, "retry_after_ms"?: N} v}
+
+    The [result] payload of an analysis method is exactly the object
+    [wcet_tool <method> --format=json] prints, so the wire protocol and the
+    one-shot CLI share one schema. [error] is a {!Wcet_diag.Diag.to_json}
+    object whose [code] is one of the registered D07xx/W07xx daemon codes.
+    Watch-mode events are server-initiated frames shaped
+    [{"event": "<name>", ...}] (no [id]). *)
+
+module Json := Wcet_diag.Json
+
+(** Hard ceiling on one frame's length in bytes (newline included), unless
+    the server config overrides it. *)
+val default_max_frame : int
+
+type request = {
+  id : Json.t;  (** [Int] or [String]; echoed verbatim in the reply *)
+  meth : string;
+  params : Json.t;  (** always an [Obj] (defaults to the empty object) *)
+  timeout_ms : int option;  (** from [params.timeout_ms] *)
+}
+
+type decode_error =
+  | Not_json of string  (** frame is not a JSON document → D0701 *)
+  | Malformed of string  (** missing/ill-typed id, method or params → D0702 *)
+
+val decode_request : string -> (request, decode_error) result
+
+(** [encode_request ?timeout_ms ~id ~meth params] is the framed (newline
+    terminated) request text. *)
+val encode_request : ?timeout_ms:int -> id:Json.t -> meth:string -> Json.t -> string
+
+(** {2 Replies} *)
+
+val ok_reply : id:Json.t -> Json.t -> Json.t
+
+(** [error_reply ?retry_after_ms ~id diag] — [id] is [Json.Null] when the
+    request's id never decoded (D0701 frames). *)
+val error_reply : ?retry_after_ms:int -> id:Json.t -> Wcet_diag.Diag.t -> Json.t
+
+(** The typed deadline reply (D0703): an [ok] reply whose result is a
+    Partial-verdict report skeleton with one [deadline-exceeded] hole, so a
+    timed-out analyze degrades exactly like any other partial analysis. *)
+val deadline_reply : id:Json.t -> elapsed_ms:int -> Json.t
+
+(** [event name fields] is [{"event": name, ...fields}]. *)
+val event : string -> (string * Json.t) list -> Json.t
+
+(** [frame json] is the wire text of one frame: compact JSON plus ['\n']. *)
+val frame : Json.t -> string
+
+type reply = {
+  reply_id : Json.t;
+  ok : bool;
+  result : Json.t option;
+  error : Json.t option;  (** diagnostic object of a failed reply *)
+  retry_after_ms : int option;
+}
+
+(** Client-side view of one reply frame; [Error] on non-reply frames. *)
+val decode_reply : string -> (reply, string) result
+
+(** [error_code reply] is the [code] member of a failed reply's diagnostic
+    (e.g. ["D0704"]). *)
+val error_code : reply -> string option
+
+(** {2 Framing}
+
+    A stateful splitter from a byte stream to frames. Oversized frames are
+    skipped to the next newline and reported with their length, so one
+    abusive frame costs one typed rejection, not the connection. *)
+
+module Framer : sig
+  type t
+  type item = Frame of string | Oversized of int
+
+  val create : ?max_frame:int -> unit -> t
+
+  (** [feed t buf len] consumes [buf.[0..len)] and returns the completed
+      items, in order. *)
+  val feed : t -> bytes -> int -> item list
+
+  val feed_string : t -> string -> item list
+end

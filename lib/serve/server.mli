@@ -1,0 +1,60 @@
+(** The resilient analysis daemon: a fault-isolated request server over a
+    Unix-domain socket.
+
+    Robustness properties (see DESIGN.md §5h):
+    - {b Fault isolation}: any exception a request raises is converted to a
+      typed error reply — [classify]'d into its documented diagnostic, or
+      D0706 as the backstop — and never terminates the server.
+    - {b Deadlines}: each request carries [timeout_ms] (or inherits the
+      server default), measured from {e admission} — queue wait counts. An
+      expired analysis is cancelled cooperatively at fixpoint-transfer
+      granularity and answered with a Partial-verdict reply carrying a
+      [deadline-exceeded] hole (D0703).
+    - {b Backpressure}: a bounded admission queue; when full, the request
+      is refused immediately with D0704 and a [retry_after_ms] hint.
+    - {b Graceful shutdown}: {!request_stop} (the SIGTERM/SIGINT path)
+      stops accepting, answers frames that still arrive with W0703, drains
+      the queue and in-flight work, publishes a [shutdown] event to
+      subscribers, and only then tears connections down. Crash-only
+      recovery is inherited from the store: every write is temp+rename, so
+      a kill -9 leaves only entries the store tolerates as Miss/Corrupt.
+    - {b Watch mode}: a scanner thread ({!Watch}) re-analyzes changed
+      sources and streams delta events to clients subscribed via the
+      [subscribe] method. *)
+
+module Json := Wcet_diag.Json
+
+type config = {
+  socket_path : string;
+  workers : int;  (** request worker threads (default 4) *)
+  queue_capacity : int;  (** admission queue bound (default 64) *)
+  max_frame : int;  (** per-frame byte ceiling (default {!Proto.default_max_frame}) *)
+  default_timeout_ms : int option;  (** server-default deadline; [None] = none *)
+  retry_after_ms : int;  (** backpressure hint in D0704 replies *)
+  classify : exn -> Wcet_diag.Diag.t option;
+      (** documented-exception classifier (the CLI passes
+          [Faultinject.classify_exn]); unclassified exceptions become D0706 *)
+  handler : cancel:(unit -> bool) -> meth:string -> params:Json.t -> Json.t option;
+      (** method dispatcher ({!Handlers.standard}); [None] → D0707 *)
+  watch : (string * float * float) option;
+      (** [(dir, period_s, debounce_s)] enables watch mode *)
+}
+
+val default_config : socket_path:string -> config
+
+type t
+
+(** Binds and listens on [socket_path] (replacing a stale socket file).
+    After [create] returns, connections are accepted (backlogged until
+    {!run} starts servicing them). *)
+val create : config -> (t, string) result
+
+(** Serves until {!request_stop}, then drains and returns. Call it on a
+    dedicated thread for in-process use. *)
+val run : t -> unit
+
+(** Async-signal-safe stop request: sets a flag {!run} polls. *)
+val request_stop : t -> unit
+
+(** True from the moment a stop was requested. *)
+val draining : t -> bool

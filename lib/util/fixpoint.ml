@@ -11,6 +11,11 @@ type strategy = Fifo | Rpo
 
 let strategy_name = function Fifo -> "fifo" | Rpo -> "rpo"
 
+(* Cooperative cancellation: [solve]/[solve_plan] poll their token before
+   every transfer and bail out with this. Declared outside the functor so
+   one handler catches it whichever domain instantiation raised. *)
+exception Cancelled
+
 (* Reverse-postorder index for every node reachable from [entries] via
    [succs]; unreachable nodes get [max_int] (they sort last if the solver
    ever sees them). Iterative DFS: graphs can have ~10^5 nodes. *)
@@ -143,7 +148,8 @@ module Make (D : Domain) = struct
      widens at *every* node visited more than that many times, as a
      convergence backstop for domains with infinite ascending chains outside
      the declared widening points. *)
-  let solve ?(strategy = Rpo) ?propagate ?seeds ?(force_widen_after = max_int) ?budget p =
+  let solve ?(strategy = Rpo) ?propagate ?seeds ?(force_widen_after = max_int) ?budget
+      ?(cancel = fun () -> false) p =
     let propagate =
       match propagate with
       | Some f -> f
@@ -237,6 +243,7 @@ module Make (D : Domain) = struct
         | None -> ()
       done);
     while pending () do
+      if cancel () then raise Cancelled;
       let n = dequeue () in
       incr transfers;
       (match budget with
@@ -294,7 +301,7 @@ module Make (D : Domain) = struct
      Determinism: results are merged in component order, so states,
      counters and deliveries are identical for any domain count. *)
   let solve_plan ?propagate ?summary ?on_comp_start ?on_level_done
-      ?(force_widen_after = max_int) ?budget ?domains ~plan p =
+      ?(force_widen_after = max_int) ?budget ?(cancel = fun () -> false) ?domains ~plan p =
     let propagate =
       match propagate with
       | Some f -> f
@@ -332,6 +339,7 @@ module Make (D : Domain) = struct
        components of a level. Returns the cross-component deliveries in
        emission order plus local counters. *)
     let solve_comp cid =
+      if cancel () then raise Cancelled;
       (match on_comp_start with Some f -> f cid | None -> ());
       let members = plan.plan_comps.(cid) in
       if not (Array.exists (fun m -> ext_input.(m) <> None) members) then
@@ -413,6 +421,7 @@ module Make (D : Domain) = struct
              snapshot — slightly lax across a level, still a backstop). *)
           let base = !transfers in
           while not (Heap.is_empty heap) do
+            if cancel () then raise Cancelled;
             let m = Heap.pop heap in
             in_queue.(m) <- false;
             decr pending_now;

@@ -19,6 +19,13 @@ val strategy_name : strategy -> string
     Exposed for tests and for consumers that want the traversal order. *)
 val rpo_index : num_nodes:int -> entries:int list -> succs:(int -> int list) -> int array
 
+(** Raised out of {!Make.solve} / {!Make.solve_plan} when their [cancel]
+    callback returns [true]. Cooperative: the token is polled once per
+    transfer, so a solve stops within one transfer of the token tripping.
+    The daemon uses this for per-request deadlines; partial solver state is
+    discarded by the caller. *)
+exception Cancelled
+
 (** Schedule for {!Make.solve_plan}: the node graph condensed into strongly
     connected components (built by [Wcet_cfg.Callgraph.condense], which lives
     above this module in the dependency order). Components are numbered
@@ -91,13 +98,16 @@ module Make (D : Domain) : sig
 
       [force_widen_after] widens at any node visited more than that many
       times regardless of [widening_points], as a convergence backstop.
-      [budget] caps the transfer count; exceeding it raises [Failure]. *)
+      [budget] caps the transfer count; exceeding it raises [Failure].
+      [cancel] is polled before every transfer; when it returns [true] the
+      solve raises {!Cancelled}. *)
   val solve :
     ?strategy:strategy ->
     ?propagate:(int -> D.t -> (int * D.t) list) ->
     ?seeds:(int -> (D.t * D.t) option) ->
     ?force_widen_after:int ->
     ?budget:int ->
+    ?cancel:(unit -> bool) ->
     problem ->
     result
 
@@ -137,7 +147,9 @@ module Make (D : Domain) : sig
 
       [strategy] is not a parameter: scheduled solving is inherently
       priority-driven ([Rpo]). [seeds] are not supported — summaries
-      subsume them. *)
+      subsume them. [cancel] is polled on the worker domains before every
+      transfer; a tripped token raises {!Cancelled} on the calling domain
+      (the token must therefore be safe to call from any domain). *)
   val solve_plan :
     ?propagate:(int -> D.t -> (int * D.t) list) ->
     ?summary:(comp:int -> input:(int -> D.t option) -> (int -> (D.t * D.t) option) option) ->
@@ -145,6 +157,7 @@ module Make (D : Domain) : sig
     ?on_level_done:(int array -> unit) ->
     ?force_widen_after:int ->
     ?budget:int ->
+    ?cancel:(unit -> bool) ->
     ?domains:int ->
     plan:plan ->
     problem ->

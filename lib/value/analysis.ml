@@ -264,8 +264,8 @@ let finish ctx (graph : Supergraph.t) node_in node_out (solution : FP.result) =
       accesses;
   { graph; node_in; node_out; accesses; transfers = solution.FP.transfers }
 
-let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds (graph : Supergraph.t)
-    (loops : Loops.info) =
+let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds ?cancel
+    (graph : Supergraph.t) (loops : Loops.info) =
   let n = Array.length graph.Supergraph.nodes in
   let ctx = chronological_ctx graph.Supergraph.program in
   let widening_point = widening_points graph loops in
@@ -273,7 +273,7 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds (graph : Sup
     try
       FP.solve ~strategy
         ~propagate:(propagate_of ctx graph)
-        ?seeds ~force_widen_after:40
+        ?seeds ?cancel ~force_widen_after:40
         ~budget:(200 * n * (1 + Array.length loops.Loops.loops))
         {
           FP.num_nodes = n;
@@ -330,7 +330,8 @@ let comp_spans analysis (graph : Supergraph.t) (plan : Wcet_util.Fixpoint.plan)
         end)
       plan.Wcet_util.Fixpoint.plan_comps
 
-let run_scheduled ?(assumes = []) ?slice ?domains (graph : Supergraph.t) (loops : Loops.info) =
+let run_scheduled ?(assumes = []) ?slice ?cancel ?domains (graph : Supergraph.t)
+    (loops : Loops.info) =
   let n = Array.length graph.Supergraph.nodes in
   let nodes = graph.Supergraph.nodes in
   let succs i = List.map snd nodes.(i).Supergraph.succs in
@@ -391,7 +392,7 @@ let run_scheduled ?(assumes = []) ?slice ?domains (graph : Supergraph.t) (loops 
   in
   let solution, pinfo =
     try
-      FP.solve_plan ?summary ?domains
+      FP.solve_plan ?summary ?cancel ?domains
         ~propagate:(propagate_of ctx graph)
         ~on_comp_start:(fun _ ->
           Hashtbl.reset (Domain.DLS.get overlay_key);

@@ -28,11 +28,14 @@ type result = {
     for transfer-count comparisons — the fixpoint itself is identical).
     [seeds] supplies cached per-node (in, out) states from a previous run
     (see {!Wcet_util.Fixpoint.Make.solve}); nodes of unchanged functions
-    then settle without re-transferring (incremental re-analysis). *)
+    then settle without re-transferring (incremental re-analysis).
+    [cancel] is the cooperative cancellation token of the underlying
+    solver: when it trips, {!Wcet_util.Fixpoint.Cancelled} escapes. *)
 val run :
   ?strategy:Wcet_util.Fixpoint.strategy ->
   ?assumes:(int * Aval.t) list ->
   ?seeds:(int -> (State.t * State.t) option) ->
+  ?cancel:(unit -> bool) ->
   Wcet_cfg.Supergraph.t ->
   Wcet_cfg.Loops.info ->
   result
@@ -53,6 +56,7 @@ val run :
 val run_scheduled :
   ?assumes:(int * Aval.t) list ->
   ?slice:Summary.slice ->
+  ?cancel:(unit -> bool) ->
   ?domains:int ->
   Wcet_cfg.Supergraph.t ->
   Wcet_cfg.Loops.info ->

@@ -346,8 +346,16 @@ let validate_loop_places c program (annot : Annot.t) =
     annot.Annot.loop_bounds
 
 let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
-    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) program =
+    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) ?cancel program =
   let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
+  (* The token reaches the value/cache fixpoints (polled per transfer); the
+     remaining phases poll it at their boundary so a deadline that expires
+     between fixpoints still cancels before the next phase starts. *)
+  let check_cancel () =
+    match cancel with
+    | Some c when c () -> raise Wcet_util.Fixpoint.Cancelled
+    | Some _ | None -> ()
+  in
   let c = Diag.collector () in
   let phases = ref [] in
   let holes = ref [] in
@@ -410,10 +418,10 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
               let value, vinfo =
                 Analysis.run_scheduled ~assumes
                   ?slice:(Option.map Report_cache.value_slice slices)
-                  graph loops
+                  ?cancel graph loops
               in
               (value, Some vinfo)
-            | Whole_program -> (Analysis.run ~strategy ~assumes graph loops, None)
+            | Whole_program -> (Analysis.run ~strategy ~assumes ?cancel graph loops, None)
           in
           (value, vinfo, Loop_bounds.analyze value loops)
         with
@@ -493,6 +501,7 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
         end)
       loops.Loops.irreducible
   in
+  check_cancel ();
   let region_hints = region_hint_table c program annot graph in
   let cache, cinfo =
     (* Cache rows are gated on the value fixpoint: a row is only offered at
@@ -505,10 +514,10 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
           let cache, cinfo =
             Cache_analysis.run_scheduled
               ?slice:(Option.map (fun s -> Report_cache.cache_slice s value) slices)
-              hw value ~region_hints
+              ?cancel hw value ~region_hints
           in
           (cache, Some cinfo)
-        | Whole_program -> (Cache_analysis.run ~strategy hw value ~region_hints, None))
+        | Whole_program -> (Cache_analysis.run ~strategy ?cancel hw value ~region_hints, None))
   in
   (* Paranoid cross-check: re-solve whole-program and require semantic
      state equality at every node. Divergence means a summary was applied
@@ -551,6 +560,7 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
           "summary-engine cache state diverges from the whole-program solve at node %d" i
     done
   end;
+  check_cancel ();
   let persistence =
     timed ~span:"persistence" phases Cache (fun () ->
         Wcet_cache.Persistence.compute hw value loops cache)
@@ -558,6 +568,7 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
   let timing =
     timed phases Pipeline (fun () -> Block_timing.compute hw value cache ~persistence)
   in
+  check_cancel ();
   let solution =
     timed phases Path (fun () ->
         match
@@ -605,7 +616,7 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
   }
 
 let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
-    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) program =
+    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) ?cancel program =
   let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
   let ename = engine_name engine in
   Trace.with_span ~cat:"analyzer" "analyze" (fun () ->
@@ -628,7 +639,7 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
         match cached with
         | Some r -> r
         | None ->
-          let r = analyze_inner ~hw ~annot ~strategy ~engine program in
+          let r = analyze_inner ~hw ~annot ~strategy ~engine ?cancel program in
           if Report_cache.enabled () then
             Report_cache.save_report ~hw ~annot ~strategy ~engine:ename program
               (Marshal.to_string r []);

@@ -96,12 +96,18 @@ val engine_name : engine -> string
     worklist gives the same fixpoint as [Fifo] with strictly fewer
     transfers on structured programs. A non-default [strategy] forces the
     [Whole_program] engine (the component schedule is inherently
-    priority-ordered). *)
+    priority-ordered).
+
+    [cancel] is a cooperative cancellation token (the daemon's per-request
+    deadline): it is polled by the value/cache fixpoints before every
+    transfer and by the analyzer between phases; when it returns [true],
+    {!Wcet_util.Fixpoint.Cancelled} escapes with no partial report. *)
 val analyze :
   ?hw:Pred32_hw.Hw_config.t ->
   ?annot:Wcet_annot.Annot.t ->
   ?strategy:Wcet_util.Fixpoint.strategy ->
   ?engine:engine ->
+  ?cancel:(unit -> bool) ->
   Pred32_asm.Program.t ->
   report
 

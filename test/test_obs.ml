@@ -22,6 +22,7 @@ module Harness = Wcet_experiments.Harness
 let () = ignore Softarith.Ldivmod.udivmod
 let () = ignore Pred32_sim.Simulator.create
 let () = ignore Misra.Audit.grade_name
+let () = ignore Wcet_serve.Server.default_config
 
 let with_obs f =
   Obs.enable ();
@@ -219,6 +220,15 @@ let pinned_names =
     "pipeline_block_wcet_cycles";
     "pipeline_blocks";
     "scc_count";
+    "serve_connections";
+    "serve_queue_peak";
+    "serve_requests{outcome=cancelled}";
+    "serve_requests{outcome=completed}";
+    "serve_requests{outcome=failed}";
+    "serve_requests{outcome=rejected}";
+    "serve_requests{outcome=undelivered}";
+    "serve_watch_events";
+    "serve_watch_scans";
     "sim_cache_hits{cache=d}";
     "sim_cache_hits{cache=i}";
     "sim_cache_misses{cache=d}";
