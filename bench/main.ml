@@ -167,22 +167,42 @@ let incremental_comparison () =
   end
 
 module Json = Wcet_diag.Json
+module Ledger = Wcet_obs.Ledger
 
-(* Provenance stamps, so BENCH_results.json files from different checkouts
-   compare meaningfully. *)
-let git_commit () =
-  try
-    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
-    let line = try input_line ic with End_of_file -> "" in
-    match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when line <> "" -> line
-    | _ -> "unknown"
-  with _ -> "unknown"
+(* Provenance stamps (shared with the bound ledger), so BENCH_results.json
+   files from different checkouts compare meaningfully. *)
+let git_commit = Ledger.git_commit
+let iso_date = Ledger.iso_date
 
-let iso_date () =
-  let tm = Unix.gmtime (Unix.time ()) in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+(* One bound-drift snapshot per benchmarked program, appended to the NDJSON
+   ledger so successive bench runs form a time series readable by
+   [wcet_tool ledger report] and gated by [wcet_tool ledger diff]. *)
+let ledger_snapshot ~program source =
+  let report = Analyzer.analyze (Minic.Compile.compile source) in
+  {
+    Ledger.program;
+    digest = Digest.to_hex (Digest.string source);
+    commit = Ledger.git_commit ();
+    date = Ledger.iso_date ();
+    verdict =
+      (match report.Analyzer.verdict with
+      | Analyzer.Complete -> "complete"
+      | Analyzer.Partial -> "partial");
+    bound = Some report.Analyzer.wcet;
+    observed = None;
+    metrics = Wcet_core.Attribution.precision_counts report;
+  }
+
+let write_ledger ~path =
+  let entries =
+    [
+      ledger_snapshot ~program:"bench/quickstart" Wcet_experiments.Harness.quickstart_source;
+      ledger_snapshot ~program:"bench/diamond" (incremental_source false);
+    ]
+  in
+  match Ledger.append ~path entries with
+  | Ok () -> Format.printf "  bound snapshots appended to %s@.@." path
+  | Error msg -> Format.eprintf "W0802: bench ledger not written: %s@." msg
 
 let write_json ~path ~domains ~samples ~tables ~samples_per_sec
     ~rpo:(rpo_value, rpo_cache) ~fifo:(fifo_value, fifo_cache)
@@ -341,7 +361,8 @@ let () =
     (fun (name, seconds) -> Format.printf "  %-6s %8.3f s@." name seconds)
     table_times;
   Format.printf "  T1 throughput: %.2e samples/s@." samples_per_sec;
-  Format.printf "  (machine-readable copy in BENCH_results.json)@.@.";
+  Format.printf "  (machine-readable copy in BENCH_results.json)@.";
+  write_ledger ~path:"BENCH_ledger.ndjson";
   if Sys.getenv_opt "BENCH_FAST" = None then begin
     Format.printf "== micro-benchmarks (bechamel) ==@.";
     run_bechamel ()

@@ -52,6 +52,8 @@ module Faultinject = Wcet_experiments.Faultinject
 module Check = Wcet_experiments.Check
 module Metrics = Wcet_obs.Metrics
 module Trace = Wcet_obs.Trace
+module Ledger = Wcet_obs.Ledger
+module Attribution = Wcet_core.Attribution
 module Report_cache = Wcet_core.Report_cache
 module Store = Wcet_util.Store
 module Server = Wcet_serve.Server
@@ -165,7 +167,12 @@ let obs_finish ~profile ~trace =
   (match trace with
   | Some path ->
     trace_flush_target := None;
-    Trace.write_chrome path
+    Trace.write_chrome path;
+    let dropped = Trace.dropped () in
+    if dropped > 0 then
+      print_diag
+        (Diag.makef Diag.Warning Diag.Obs ~code:"W0801"
+           "trace buffer overflowed: %s is missing %d dropped span(s)" path dropped)
   | None -> ());
   if profile then Format.eprintf "@[<v>%a@]@?" Trace.pp_profile ()
 
@@ -245,9 +252,47 @@ let engine_arg =
           "Fixpoint engine: $(b,summary) (bottom-up SCC-scheduled with persistent \
            per-function summaries; the default) or $(b,whole-program) (single worklist)")
 
+(* The bound-drift ledger: `analyze --ledger` and `check --ledger` append
+   one snapshot per run; `ledger report`/`ledger diff` read the series
+   back. A ledger write failure is a W0802 warning, never a run failure. *)
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"Append a bound-drift snapshot for this run to FILE (NDJSON, append-only)")
+
+let verdict_name = function
+  | Analyzer.Complete -> "complete"
+  | Analyzer.Partial -> "partial"
+
+let ledger_append_report ~ledger ~source (report : Analyzer.report) =
+  match ledger with
+  | None -> ()
+  | Some path -> (
+    let entry =
+      {
+        Ledger.program = source;
+        digest = (try Digest.to_hex (Digest.file source) with _ -> "");
+        commit = Ledger.git_commit ();
+        date = Ledger.iso_date ();
+        verdict = verdict_name report.Analyzer.verdict;
+        bound = Some report.Analyzer.wcet;
+        observed = None;
+        metrics = Attribution.precision_counts report;
+      }
+    in
+    match Ledger.append ~path [ entry ] with
+    | Ok () -> ()
+    | Error msg ->
+      print_diag
+        (Diag.makef Diag.Warning Diag.Obs ~code:"W0802" "bound ledger %s not written: %s" path
+           msg))
+
 let analyze_cmd =
   let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
-  let run source annot_file hw soft_div verbose format profile trace cache_dir no_cache engine =
+  let run source annot_file hw soft_div verbose format profile trace cache_dir no_cache engine
+      ledger =
     handle_errors (fun () ->
         obs_setup ~profile ~trace;
         cache_setup ~cache_dir ~no_cache;
@@ -255,6 +300,7 @@ let analyze_cmd =
         let annot = load_annot annot_file in
         match Analyzer.analyze ~hw ~annot ~engine program with
         | report -> (
+          ledger_append_report ~ledger ~source report;
           (match format with
           | Json_format -> print_endline (Json.to_string (Analyzer.report_to_json report))
           | Text ->
@@ -285,7 +331,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Compute a WCET bound for a MiniC program")
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ verbose_arg $ format_arg
-      $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg $ engine_arg)
+      $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg $ engine_arg $ ledger_arg)
 
 let poke_conv =
   let parse s =
@@ -538,12 +584,36 @@ let explain_cmd =
           ~doc:"Write the supergraph with the worst-case path highlighted as Graphviz dot \
                 ($(b,-) for stdout)")
   in
-  let run source annot_file hw soft_div top dot format cache_dir no_cache =
+  let attribute_flag =
+    Arg.(
+      value & flag
+      & info [ "attribute" ]
+          ~doc:
+            "Attribute the slack: simulate the program and decompose $(b,bound − observed \
+             cycles) into typed pessimism sources (cache, value, pipeline, flow, residual); \
+             the per-source totals sum exactly to the slack")
+  in
+  let pokes_arg =
+    Arg.(
+      value & opt_all poke_conv []
+      & info [ "poke" ]
+          ~doc:"With $(b,--attribute): set a global before the observed simulation run")
+  in
+  let run source annot_file hw soft_div top dot format attribute pokes cache_dir no_cache =
     handle_errors (fun () ->
         cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
         match Analyzer.analyze ~hw ~annot program with
+        | report when attribute -> (
+          match
+            Attribution.of_report ~pokes:(List.map (fun (sym, v) -> (sym, 0, v)) pokes) report
+          with
+          | Ok a -> (
+            match format with
+            | Json_format -> print_endline (Json.to_string (Attribution.to_json a))
+            | Text -> Format.printf "%a@." (Attribution.pp ~top) a)
+          | Error d -> fail_with d)
         | report ->
           let ex = Explain.of_report report in
           (match format with
@@ -570,10 +640,11 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:
          "Decode the worst-case path: rank basic blocks and loops by their cycle contribution \
-          to the WCET bound")
+          to the WCET bound; with $(b,--attribute), decompose the slack over the observed run \
+          into typed pessimism sources")
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ top_arg $ dot_arg $ format_arg
-      $ cache_dir_arg $ no_cache_arg)
+      $ attribute_flag $ pokes_arg $ cache_dir_arg $ no_cache_arg)
 
 let check_cmd =
   let seed_arg =
@@ -601,11 +672,11 @@ let check_cmd =
       & info [ "daemon-faults" ]
           ~doc:"Daemon wire-level fault-injection trial count (0 disables the daemon campaign)")
   in
-  let run seed random faults store_faults daemon_faults format trace cache_dir no_cache =
+  let run seed random faults store_faults daemon_faults format trace cache_dir no_cache ledger =
     handle_errors (fun () ->
         obs_setup ~profile:false ~trace;
         cache_setup ~cache_dir ~no_cache;
-        let stats = Check.run ~seed ~random_per_scenario:random () in
+        let stats = Check.run ~seed ~random_per_scenario:random ?ledger () in
         let campaign =
           let minic = faults / 2 in
           let annots = faults / 4 in
@@ -662,7 +733,7 @@ let check_cmd =
           run the fault-injection robustness campaigns (toolchain inputs, on-disk cache store, \
           and the analysis daemon's wire protocol)")
     Term.(const run $ seed_arg $ random_arg $ faults_arg $ store_faults_arg $ daemon_faults_arg
-          $ format_arg $ trace_arg $ cache_dir_arg $ no_cache_arg)
+          $ format_arg $ trace_arg $ cache_dir_arg $ no_cache_arg $ ledger_arg)
 
 (* --- the analysis daemon ------------------------------------------------ *)
 
@@ -717,11 +788,30 @@ let serve_cmd =
       & info [ "debounce" ] ~docv:"SECONDS"
           ~doc:"Watch-mode debounce: a change is analyzed once its content is stable this long")
   in
+  let log_arg =
+    Arg.(
+      value & flag
+      & info [ "log" ]
+          ~doc:
+            "Write one structured NDJSON log line per request to stderr (correlation id, \
+             method, outcome, queue and total latency)")
+  in
   let run socket watch workers queue timeout_ms max_frame watch_period debounce profile trace
-      cache_dir no_cache =
+      cache_dir no_cache log ledger =
     handle_errors (fun () ->
         obs_setup ~profile ~trace;
         cache_setup ~cache_dir ~no_cache;
+        (* NDJSON to stderr; the sink is shared by worker and connection
+           threads, so serialize the writes. *)
+        let log_mutex = Mutex.create () in
+        let log_sink j =
+          Mutex.lock log_mutex;
+          (try
+             prerr_endline (Json.to_string j);
+             flush stderr
+           with _ -> ());
+          Mutex.unlock log_mutex
+        in
         let cfg =
           {
             (Server.default_config ~socket_path:socket) with
@@ -731,6 +821,8 @@ let serve_cmd =
             Server.default_timeout_ms = timeout_ms;
             Server.classify = Faultinject.classify_exn;
             Server.watch = Option.map (fun d -> (d, watch_period, debounce)) watch;
+            Server.log = (if log then log_sink else fun _ -> ());
+            Server.ledger;
           }
         in
         match Server.create cfg with
@@ -755,7 +847,8 @@ let serve_cmd =
           isolation (D07xx replies) and graceful drain on SIGTERM")
     Term.(
       const run $ socket_arg $ watch_arg $ workers_arg $ queue_arg $ timeout_arg $ max_frame_arg
-      $ watch_period_arg $ debounce_arg $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg)
+      $ watch_period_arg $ debounce_arg $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg
+      $ log_arg $ ledger_arg)
 
 let call_cmd =
   let meth_arg =
@@ -973,16 +1066,213 @@ let codes_cmd =
     (Cmd.info "codes" ~doc:"List every stable diagnostic code the tool can emit")
     Term.(const run $ const ())
 
+(* docs/METRICS.md is generated from this table; CI diffs the committed
+   file against a fresh render so it can never drift from the registry. *)
+let metrics_markdown () =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "# Metrics\n\n";
+  Buffer.add_string b
+    "<!-- Generated by `wcet_tool metrics --markdown`. Do not edit by hand. -->\n\n";
+  Buffer.add_string b
+    "Every metric the observability layer registers, one row per labeled\n\
+     series. Values populate while observability is on (`--profile`,\n\
+     `--trace`, or the daemon); `wcet_tool metrics --prometheus` renders\n\
+     the same registry in Prometheus text exposition format, and the\n\
+     daemon serves it via the `metrics` method with\n\
+     `params.format = \"prometheus\"`.\n\n";
+  Buffer.add_string b "| Name | Type | Labels | Meaning |\n";
+  Buffer.add_string b "|------|------|--------|---------|\n";
+  List.iter
+    (fun (full, help, v) ->
+      let base, labels = Metrics.split_name full in
+      let labels_s =
+        match labels with
+        | [] -> "—"
+        | l -> String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "`%s=%s`" k v) l)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "| `%s` | %s | %s | %s |\n" base (Metrics.kind_name v) labels_s help))
+    (Metrics.snapshot ());
+  Buffer.contents b
+
 let metrics_cmd =
-  let run () =
-    List.iter (fun (name, help) -> Format.printf "%s  %s@." name help) (Metrics.all ())
+  let prometheus_flag =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Render the registry in Prometheus text exposition format (version 0.0.4)")
+  in
+  let markdown_flag =
+    Arg.(
+      value & flag
+      & info [ "markdown" ]
+          ~doc:"Render the registry as the generated $(b,docs/METRICS.md) reference table")
+  in
+  let run prometheus markdown =
+    if prometheus then print_string (Metrics.to_prometheus ())
+    else if markdown then print_string (metrics_markdown ())
+    else List.iter (fun (name, help) -> Format.printf "%s  %s@." name help) (Metrics.all ())
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "List every metric the observability layer registers, with a one-line description \
-          (populate them with analyze --profile/--trace and --format json)")
-    Term.(const run $ const ())
+          (populate them with analyze --profile/--trace and --format json); $(b,--prometheus) \
+          and $(b,--markdown) render the registry for scraping and documentation")
+    Term.(const run $ prometheus_flag $ markdown_flag)
+
+(* --- the bound-drift ledger --------------------------------------------- *)
+
+let ledger_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"LEDGER.ndjson" ~doc:"Bound-drift ledger file (NDJSON)")
+
+let load_ledger path =
+  match Ledger.load ~path with
+  | Error msg ->
+    fail_with (Diag.makef Diag.Error Diag.Obs ~code:"E0803" "bound ledger %s: %s" path msg)
+  | Ok (entries, skipped) ->
+    if skipped > 0 then
+      print_diag
+        (Diag.makef Diag.Warning Diag.Obs ~code:"W0802"
+           "bound ledger %s: %d unreadable entr%s skipped" path skipped
+           (if skipped = 1 then "y" else "ies"));
+    if entries = [] then
+      fail_with
+        (Diag.makef Diag.Error Diag.Obs ~code:"E0803" "bound ledger %s holds no snapshots" path);
+    entries
+
+let ledger_cmd =
+  let report_cmd =
+    let run path format =
+      handle_errors (fun () ->
+          let entries = load_ledger path in
+          let groups = Ledger.group entries in
+          match format with
+          | Json_format ->
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ( "programs",
+                        Json.List
+                          (List.map
+                             (fun (program, es) ->
+                               let first = List.hd es in
+                               let last = List.nth es (List.length es - 1) in
+                               Json.Obj
+                                 [
+                                   ("program", Json.String program);
+                                   ("snapshots", Json.Int (List.length es));
+                                   ("first", Ledger.entry_to_json first);
+                                   ("last", Ledger.entry_to_json last);
+                                   ( "bound_delta",
+                                     match (first.Ledger.bound, last.Ledger.bound) with
+                                     | Some a, Some b -> Json.Int (b - a)
+                                     | _ -> Json.Null );
+                                 ])
+                             groups) );
+                    ]))
+          | Text ->
+            List.iter
+              (fun (program, es) ->
+                let first = List.hd es in
+                let last = List.nth es (List.length es - 1) in
+                let pp_bound ppf = function
+                  | Some b -> Format.fprintf ppf "%d" b
+                  | None -> Format.pp_print_string ppf "-"
+                in
+                Format.printf "%-40s %3d snapshot%s  bound %a -> %a  (%s, %s)@." program
+                  (List.length es)
+                  (if List.length es = 1 then " " else "s")
+                  pp_bound first.Ledger.bound pp_bound last.Ledger.bound last.Ledger.verdict
+                  last.Ledger.date)
+              groups)
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:"Summarize a bound-drift ledger: per-program snapshot counts and bound trajectory")
+      Term.(const run $ ledger_file_arg $ format_arg)
+  in
+  let diff_cmd =
+    let from_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "from" ] ~docv:"SEL"
+            ~doc:
+              "Baseline snapshot selector: a prefix of a commit, digest or date (default: the \
+               second-to-last snapshot per program)")
+    in
+    let to_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "to" ] ~docv:"SEL"
+            ~doc:"Comparison snapshot selector (default: the last snapshot per program)")
+    in
+    let run path sel_from sel_to format =
+      handle_errors (fun () ->
+          let entries = load_ledger path in
+          let drifts = Ledger.diff ?sel_from ?sel_to entries in
+          if drifts = [] then
+            fail_with
+              (Diag.makef Diag.Error Diag.Obs ~code:"E0803"
+                 "bound ledger %s: no program has two snapshots matching the selectors" path);
+          let regressions = List.filter Ledger.regressed drifts in
+          (match format with
+          | Json_format ->
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("drifts", Json.List (List.map Ledger.drift_to_json drifts));
+                      ("regressions", Json.Int (List.length regressions));
+                      ("ok", Json.Bool (regressions = []));
+                    ]))
+          | Text ->
+            List.iter
+              (fun (d : Ledger.drift) ->
+                Format.printf "%-40s bound %a -> %a  delta %a  %s@." d.Ledger.d_program
+                  (fun ppf -> function
+                    | Some b -> Format.fprintf ppf "%d" b
+                    | None -> Format.pp_print_string ppf "-")
+                  d.Ledger.d_from.Ledger.bound
+                  (fun ppf -> function
+                    | Some b -> Format.fprintf ppf "%d" b
+                    | None -> Format.pp_print_string ppf "-")
+                  d.Ledger.d_to.Ledger.bound
+                  (fun ppf -> function
+                    | Some delta -> Format.fprintf ppf "%+d" delta
+                    | None -> Format.pp_print_string ppf "-")
+                  d.Ledger.d_bound_delta
+                  (if Ledger.regressed d then
+                     "REGRESSED: " ^ String.concat "; " d.Ledger.d_regressions
+                   else "ok");
+                ())
+              drifts);
+          if regressions <> [] then
+            fail_with
+              (Diag.makef Diag.Error Diag.Check ~code:"E0806"
+                 "bound or precision regression in %d program(s) between snapshots"
+                 (List.length regressions)))
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two ledger snapshots per program and flag regressions (bound increase, \
+            verdict degrade, precision-counter increase); exit 5 on regression — the CI \
+            bound-drift gate")
+      Term.(const run $ ledger_file_arg $ from_arg $ to_arg $ format_arg)
+  in
+  Cmd.group
+    (Cmd.info "ledger"
+       ~doc:
+         "Inspect a bound-drift ledger (append-only NDJSON written by analyze/check/serve \
+          $(b,--ledger)): per-program history and machine-readable drift verdicts")
+    [ report_cmd; diff_cmd ]
 
 let () =
   let info =
@@ -1005,6 +1295,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; explain_cmd; simulate_cmd; misra_cmd; audit_cmd; disasm_cmd;
-            suggest_cmd; cfg_cmd; check_cmd; serve_cmd; call_cmd; cache_cmd; metrics_cmd;
-            codes_cmd;
+            suggest_cmd; cfg_cmd; check_cmd; serve_cmd; call_cmd; cache_cmd; ledger_cmd;
+            metrics_cmd; codes_cmd;
           ]))

@@ -13,6 +13,7 @@ type phase =
   | Audit
   | Store
   | Serve
+  | Obs
   | Internal
 
 type loc = { addr : int option; func : string option; line : int option }
@@ -52,6 +53,7 @@ let phase_name = function
   | Audit -> "audit"
   | Store -> "cache-store"
   | Serve -> "serve"
+  | Obs -> "observability"
   | Internal -> "internal"
 
 (* The stable code registry. Codes are part of the tool's external contract
@@ -123,6 +125,12 @@ let all_codes =
     ("M1602", "MISRA 16.2: recursion (direct or indirect)");
     ("M2004", "MISRA 20.4: dynamic heap allocation");
     ("M2007", "MISRA 20.7: setjmp/longjmp used");
+    ("W0801", "trace buffer overflowed: trace file written incomplete");
+    ("W0802", "bound ledger: unreadable entry skipped");
+    ("E0803", "bound ledger: file unusable or not enough snapshots");
+    ("E0804", "slack attribution does not sum to bound minus observed (internal)");
+    ("E0805", "slack attribution unavailable (partial bound or simulation did not halt)");
+    ("E0806", "bound ledger: bound or precision regression between snapshots");
   ]
 
 let describe code = List.assoc_opt code all_codes
@@ -144,6 +152,7 @@ let exit_for d =
   | Simulation -> Exit.usage
   | Store -> Exit.usage
   | Serve -> Exit.usage
+  | Obs -> Exit.usage
   | Check -> Exit.check_failed
   | Audit -> Exit.misra
   | Internal -> Exit.internal

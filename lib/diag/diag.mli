@@ -29,6 +29,7 @@ type phase =
   | Audit  (** the binary-level analyzability auditor *)
   | Store  (** the persistent analysis-result cache *)
   | Serve  (** the analysis daemon ([wcet_tool serve]) *)
+  | Obs  (** observability: tracing, metrics, the bound ledger *)
   | Internal
 
 type loc = {

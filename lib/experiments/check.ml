@@ -2,8 +2,10 @@ module Corpus = Wcet_corpus.Corpus
 module Compile = Minic.Compile
 module Sim = Pred32_sim.Simulator
 module Analyzer = Wcet_core.Analyzer
+module Attribution = Wcet_core.Attribution
 module Annot = Wcet_annot.Annot
 module Diag = Wcet_diag.Diag
+module Ledger = Wcet_obs.Ledger
 module Pcg = Wcet_util.Pcg
 
 type stats = {
@@ -12,6 +14,7 @@ type stats = {
   partial : int;
   failed : int;
   simulations : int;
+  attributed : int;
   violations : Diag.t list;
   diagnostics : Diag.t list;
 }
@@ -49,7 +52,42 @@ let random_input_sets rng ~count (annot : Annot.t) inputs =
 
 let sim_fuel = 2_000_000
 
-let check_scenario rng ~random_per_scenario ~id ~variant (s : Corpus.scenario) acc =
+(* One ledger snapshot per analyzed scenario; [observed] is the worst
+   halting cycle count seen across this run's input sets (None when nothing
+   halted). The digest covers the scenario source text, so drift between
+   tool versions is attributed to the tool, not the program. *)
+let ledger_entry ~id ~variant (s : Corpus.scenario) ~verdict ~bound ~observed =
+  {
+    Ledger.program = id ^ "/" ^ variant;
+    digest = Digest.to_hex (Digest.string s.Corpus.source);
+    commit = Ledger.git_commit ();
+    date = Ledger.iso_date ();
+    verdict;
+    bound;
+    observed;
+    metrics = [];
+  }
+
+(* The exact-sum acceptance property, re-asserted on every complete
+   scenario: [Attribution.of_report] internally verifies that the
+   per-source decomposition sums to bound − observed and fails with E0804
+   otherwise; non-halting or partial cases (E0805) prove nothing and are
+   skipped. *)
+let check_attribution ~id ~variant (s : Corpus.scenario) report acc =
+  let pokes = match s.Corpus.inputs with [] -> [] | p :: _ -> p in
+  match Attribution.of_report ~pokes ~fuel:sim_fuel report with
+  | Ok a ->
+    ignore (a : Attribution.t);
+    { acc with attributed = acc.attributed + 1 }
+  | Error d when d.Diag.code = "E0804" ->
+    let v =
+      Diag.make Diag.Error Diag.Check ~code:"E0804"
+        (Printf.sprintf "%s/%s: %s" id variant d.Diag.message)
+    in
+    { acc with violations = v :: acc.violations }
+  | Error _ -> acc
+
+let check_scenario rng ~random_per_scenario ~record ~id ~variant (s : Corpus.scenario) acc =
   let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
   let annot = s.Corpus.annotations program in
   match Analyzer.analyze ~hw:s.Corpus.hw ~annot program with
@@ -59,14 +97,21 @@ let check_scenario rng ~random_per_scenario ~id ~variant (s : Corpus.scenario) a
         (Printf.sprintf "%s/%s: analysis failed during check (%s)" id variant
            (match ds with d :: _ -> d.Diag.code | [] -> "?"))
     in
+    record (ledger_entry ~id ~variant s ~verdict:"failed" ~bound:None ~observed:None);
     { acc with scenarios = acc.scenarios + 1; failed = acc.failed + 1;
       diagnostics = d :: acc.diagnostics }
   | report -> (
+    let precision = Attribution.precision_counts report in
     match report.Analyzer.verdict with
     | Analyzer.Partial ->
+      record
+        { (ledger_entry ~id ~variant s ~verdict:"partial"
+             ~bound:(Some report.Analyzer.wcet) ~observed:None)
+          with Ledger.metrics = precision };
       { acc with scenarios = acc.scenarios + 1; partial = acc.partial + 1 }
     | Analyzer.Complete ->
       let bound = report.Analyzer.wcet in
+      let worst_observed = ref None in
       let input_sets =
         s.Corpus.inputs
         @ random_input_sets rng ~count:random_per_scenario annot s.Corpus.inputs
@@ -79,6 +124,9 @@ let check_scenario rng ~random_per_scenario ~id ~variant (s : Corpus.scenario) a
           match Sim.run ~fuel:sim_fuel sim with
           | Sim.Halted { cycles; _ } ->
             acc := { !acc with simulations = !acc.simulations + 1 };
+            (match !worst_observed with
+            | Some c when c >= cycles -> ()
+            | Some _ | None -> worst_observed := Some cycles);
             if cycles > bound then begin
               let d =
                 Diag.make Diag.Error Diag.Check ~code:"E0601"
@@ -114,10 +162,16 @@ let check_scenario rng ~random_per_scenario ~id ~variant (s : Corpus.scenario) a
             in
             acc := { !acc with diagnostics = d :: !acc.diagnostics })
         input_sets;
-      !acc)
+      record
+        { (ledger_entry ~id ~variant s ~verdict:"complete" ~bound:(Some bound)
+             ~observed:!worst_observed)
+          with Ledger.metrics = precision };
+      check_attribution ~id ~variant s report !acc)
 
-let run ?(seed = 20110318L) ?(random_per_scenario = 8) () =
+let run ?(seed = 20110318L) ?(random_per_scenario = 8) ?ledger () =
   let rng = Pcg.create ~seed () in
+  let entries = ref [] in
+  let record e = if ledger <> None then entries := e :: !entries in
   let empty =
     {
       scenarios = 0;
@@ -125,6 +179,7 @@ let run ?(seed = 20110318L) ?(random_per_scenario = 8) () =
       partial = 0;
       failed = 0;
       simulations = 0;
+      attributed = 0;
       violations = [];
       diagnostics = [];
     }
@@ -133,12 +188,25 @@ let run ?(seed = 20110318L) ?(random_per_scenario = 8) () =
     List.fold_left
       (fun acc (e : Corpus.entry) ->
         let acc =
-          check_scenario rng ~random_per_scenario ~id:e.Corpus.id ~variant:"conforming"
-            e.Corpus.conforming acc
+          check_scenario rng ~random_per_scenario ~record ~id:e.Corpus.id
+            ~variant:"conforming" e.Corpus.conforming acc
         in
-        check_scenario rng ~random_per_scenario ~id:e.Corpus.id ~variant:"violating"
+        check_scenario rng ~random_per_scenario ~record ~id:e.Corpus.id ~variant:"violating"
           e.Corpus.violating acc)
       empty Corpus.all
+  in
+  let stats =
+    match ledger with
+    | None -> stats
+    | Some path -> (
+      match Ledger.append ~path (List.rev !entries) with
+      | Ok () -> stats
+      | Error msg ->
+        let d =
+          Diag.makef Diag.Warning Diag.Obs ~code:"W0802" "bound ledger %s not written: %s"
+            path msg
+        in
+        { stats with diagnostics = d :: stats.diagnostics })
   in
   {
     stats with
@@ -151,8 +219,9 @@ let ok s = s.violations = [] && s.failed = 0
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>soundness check: %d scenarios (%d complete, %d partial, %d failed), %d simulated \
-     runs, %d violation(s)@,"
-    s.scenarios s.complete s.partial s.failed s.simulations (List.length s.violations);
+     runs, %d attributed, %d violation(s)@,"
+    s.scenarios s.complete s.partial s.failed s.simulations s.attributed
+    (List.length s.violations);
   if s.violations <> [] then Format.fprintf ppf "%a@," Diag.pp_list s.violations;
   if s.diagnostics <> [] then Format.fprintf ppf "%a@," Diag.pp_list s.diagnostics;
   Format.fprintf ppf "verdict: %s@]" (if ok s then "OK" else "FAILED")
@@ -166,6 +235,7 @@ let to_json s =
       ("partial", Int s.partial);
       ("failed", Int s.failed);
       ("simulations", Int s.simulations);
+      ("attributed", Int s.attributed);
       ("violations", List (List.map Diag.to_json s.violations));
       ("diagnostics", List (List.map Diag.to_json s.diagnostics));
       ("ok", Bool (ok s));

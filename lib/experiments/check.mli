@@ -13,7 +13,12 @@
     Any simulated run exceeding its complete bound is an E0601 diagnostic —
     an analyzer soundness bug, never a corpus problem. Runs that fault or
     exhaust fuel under random inputs are recorded as W0602 (the comparison
-    is inconclusive, not violated). *)
+    is inconclusive, not violated).
+
+    Each complete scenario also exercises slack attribution
+    ({!Wcet_core.Attribution}): the per-source decomposition must sum
+    exactly to bound − observed, and a violation surfaces as an E0804
+    check violation. *)
 
 type stats = {
   scenarios : int;  (** scenarios visited *)
@@ -21,15 +26,18 @@ type stats = {
   partial : int;  (** partial verdicts (counted, not cycle-checked) *)
   failed : int;  (** analyses raising [Analysis_failed] *)
   simulations : int;  (** simulated runs compared against a bound *)
-  violations : Wcet_diag.Diag.t list;  (** E0601 soundness violations *)
+  attributed : int;  (** scenarios whose slack attribution summed exactly *)
+  violations : Wcet_diag.Diag.t list;  (** E0601/E0804 violations *)
   diagnostics : Wcet_diag.Diag.t list;  (** W0602 inconclusive runs *)
 }
 
-(** [run ?seed ?random_per_scenario ()] cross-validates the whole corpus.
-    [seed] (default the paper date) drives the PCG32 input generator;
-    [random_per_scenario] (default 8) is the number of random input sets
-    per scenario on top of the declared ones. *)
-val run : ?seed:int64 -> ?random_per_scenario:int -> unit -> stats
+(** [run ?seed ?random_per_scenario ?ledger ()] cross-validates the whole
+    corpus. [seed] (default the paper date) drives the PCG32 input
+    generator; [random_per_scenario] (default 8) is the number of random
+    input sets per scenario on top of the declared ones. When [ledger] is
+    set, one bound-drift snapshot per scenario is appended to that NDJSON
+    file ({!Wcet_obs.Ledger}). *)
+val run : ?seed:int64 -> ?random_per_scenario:int -> ?ledger:string -> unit -> stats
 
 (** Zero violations and zero failed analyses. *)
 val ok : stats -> bool

@@ -1,0 +1,211 @@
+(* Bound-drift ledger: an append-only NDJSON time-series of per-program
+   analysis snapshots.
+
+   Every writer (bench, `check --ledger`, `analyze --ledger`, the daemon's
+   watch loop) appends one JSON object per line: program name, content
+   digest, git commit, UTC date, verdict, bound, observed cycles and a
+   curated metric map. The metric map is restricted by convention to
+   counters where *higher is worse* (interval/unknown value accesses,
+   not-classified cache accesses, analysis holes), so [diff] can flag any
+   increase as a precision regression without per-key knowledge.
+
+   The file format is deliberately dumb: one self-contained object per
+   line, unknown fields ignored, unreadable lines skipped (and counted, so
+   callers can surface W0802) — a ledger survives schema growth and
+   truncated writes without a migration step. *)
+
+module Json = Wcet_diag.Json
+
+type entry = {
+  program : string;
+  digest : string;
+  commit : string;
+  date : string;
+  verdict : string;
+  bound : int option;
+  observed : int option;
+  metrics : (string * int) list;
+}
+
+let entry_to_json e =
+  let opt_int = function Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("program", Json.String e.program);
+      ("digest", Json.String e.digest);
+      ("commit", Json.String e.commit);
+      ("date", Json.String e.date);
+      ("verdict", Json.String e.verdict);
+      ("bound", opt_int e.bound);
+      ("observed", opt_int e.observed);
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.metrics));
+    ]
+
+let entry_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  match (str "program", str "digest", str "commit", str "date", str "verdict") with
+  | Some program, Some digest, Some commit, Some date, Some verdict ->
+    let metrics =
+      match Json.member "metrics" j with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int_opt v))
+          fields
+      | _ -> []
+    in
+    Some
+      {
+        program;
+        digest;
+        commit;
+        date;
+        verdict;
+        bound = int "bound";
+        observed = int "observed";
+        metrics;
+      }
+  | _ -> None
+
+(* --- stamping --- *)
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* --- IO --- *)
+
+let append ~path entries =
+  try
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (Json.to_string (entry_to_json e));
+            output_char oc '\n')
+          entries);
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load ~path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let entries = ref [] and skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Result.to_option (Json.parse line) with
+               | Some j -> (
+                 match entry_of_json j with
+                 | Some e -> entries := e :: !entries
+                 | None -> incr skipped)
+               | None -> incr skipped
+           done
+         with End_of_file -> ());
+        Ok (List.rev !entries, !skipped))
+  with Sys_error msg -> Error msg
+
+(* --- drift --- *)
+
+(* Entries per program, in file order within each program; program order by
+   first appearance. *)
+let group entries =
+  let order = ref [] in
+  let tbl : (string, entry list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt tbl e.program with
+      | Some cell -> cell := e :: !cell
+      | None ->
+        Hashtbl.add tbl e.program (ref [ e ]);
+        order := e.program :: !order)
+    entries;
+  List.rev_map (fun p -> (p, List.rev !(Hashtbl.find tbl p))) !order
+
+let verdict_rank = function "complete" -> 0 | "partial" -> 1 | _ -> 2
+
+type drift = {
+  d_program : string;
+  d_from : entry;
+  d_to : entry;
+  d_bound_delta : int option;
+  d_regressions : string list;
+}
+
+let regressed d = d.d_regressions <> []
+
+(* A selector matches an entry if it is a prefix of its commit, digest or
+   date — so `--from 2026-08` or `--from abc123` both do what they read. *)
+let matches sel e =
+  let prefix p s = String.length p <= String.length s && String.sub s 0 (String.length p) = p in
+  prefix sel e.commit || prefix sel e.digest || prefix sel e.date
+
+let compare_entries ~from_e ~to_e =
+  let reasons = ref [] in
+  let bound_delta =
+    match (from_e.bound, to_e.bound) with
+    | Some a, Some b ->
+      if b > a then
+        reasons := Printf.sprintf "bound regressed: %d -> %d (+%d)" a b (b - a) :: !reasons;
+      Some (b - a)
+    | _ -> None
+  in
+  if verdict_rank to_e.verdict > verdict_rank from_e.verdict then
+    reasons :=
+      Printf.sprintf "verdict degraded: %s -> %s" from_e.verdict to_e.verdict :: !reasons;
+  List.iter
+    (fun (k, v_to) ->
+      match List.assoc_opt k from_e.metrics with
+      | Some v_from when v_to > v_from ->
+        reasons := Printf.sprintf "%s: %d -> %d (+%d)" k v_from v_to (v_to - v_from) :: !reasons
+      | Some _ | None -> ())
+    to_e.metrics;
+  (bound_delta, List.rev !reasons)
+
+let diff ?sel_from ?sel_to entries =
+  List.filter_map
+    (fun (program, es) ->
+      let pick sel ~default =
+        match sel with
+        | None -> default
+        | Some s -> List.fold_left (fun acc e -> if matches s e then Some e else acc) None es
+      in
+      let n = List.length es in
+      let to_e = pick sel_to ~default:(if n >= 1 then Some (List.nth es (n - 1)) else None) in
+      let from_e =
+        pick sel_from ~default:(if n >= 2 then Some (List.nth es (n - 2)) else None)
+      in
+      match (from_e, to_e) with
+      | Some from_e, Some to_e when from_e != to_e ->
+        let d_bound_delta, d_regressions = compare_entries ~from_e ~to_e in
+        Some { d_program = program; d_from = from_e; d_to = to_e; d_bound_delta; d_regressions }
+      | _ -> None)
+    (group entries)
+
+let drift_to_json d =
+  Json.Obj
+    [
+      ("program", Json.String d.d_program);
+      ("from", entry_to_json d.d_from);
+      ("to", entry_to_json d.d_to);
+      ( "bound_delta",
+        match d.d_bound_delta with Some v -> Json.Int v | None -> Json.Null );
+      ("regressions", Json.List (List.map (fun r -> Json.String r) d.d_regressions));
+      ("regressed", Json.Bool (regressed d));
+    ]

@@ -1,0 +1,61 @@
+(** Bound-drift ledger: append-only NDJSON time-series of per-program
+    analysis snapshots, and the drift/regression computation over it.
+
+    One JSON object per line; unknown fields are ignored and unreadable
+    lines are skipped (and counted) on load, so the format can grow without
+    breaking old ledgers. The [metrics] map is restricted by convention to
+    counters where higher is worse (imprecise value accesses, unclassified
+    cache accesses, analysis holes): {!diff} flags any increase as a
+    precision regression. *)
+
+type entry = {
+  program : string;  (** corpus id or source path *)
+  digest : string;  (** content digest of the analyzed source *)
+  commit : string;  (** git HEAD at snapshot time, or ["unknown"] *)
+  date : string;  (** UTC, ISO-8601 *)
+  verdict : string;  (** ["complete"], ["partial"] or ["failed"] *)
+  bound : int option;
+  observed : int option;  (** worst simulator-observed cycles, if simulated *)
+  metrics : (string * int) list;  (** higher-is-worse precision counters *)
+}
+
+val entry_to_json : entry -> Wcet_diag.Json.t
+val entry_of_json : Wcet_diag.Json.t -> entry option
+
+(** Current git HEAD (["unknown"] outside a repository) and the current
+    UTC time — the stamp fields of a fresh entry. *)
+val git_commit : unit -> string
+
+val iso_date : unit -> string
+
+(** [append ~path entries] appends one line per entry, creating the file
+    if needed. *)
+val append : path:string -> entry list -> (unit, string) result
+
+(** [load ~path] returns the readable entries in file order and the count
+    of skipped (unparsable) lines; [Error] only if the file itself cannot
+    be read. *)
+val load : path:string -> (entry list * int, string) result
+
+(** Entries grouped per program: file order within a program, programs by
+    first appearance. *)
+val group : entry list -> (string * entry list) list
+
+type drift = {
+  d_program : string;
+  d_from : entry;
+  d_to : entry;
+  d_bound_delta : int option;  (** to − from, when both bounds exist *)
+  d_regressions : string list;  (** human-readable reasons; empty = clean *)
+}
+
+val regressed : drift -> bool
+
+(** [diff ?sel_from ?sel_to entries] compares two snapshots per program:
+    by default the last two (programs with fewer than two snapshots are
+    skipped); a selector picks the last entry whose commit, digest or date
+    starts with it. Regressions: the bound increased, the verdict degraded
+    (complete → partial → failed), or any shared metric counter increased. *)
+val diff : ?sel_from:string -> ?sel_to:string -> entry list -> drift list
+
+val drift_to_json : drift -> Wcet_diag.Json.t

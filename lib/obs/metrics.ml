@@ -171,3 +171,89 @@ let value_to_json = function
 
 let to_json () =
   Json.Obj (List.map (fun m -> (m.name, value_to_json (value_of m.cell))) (sorted ()))
+
+let kind_name = function
+  | Counter_value _ -> "counter"
+  | Gauge_value _ -> "gauge"
+  | Histogram_value _ -> "histogram"
+
+(* Inverse of [render_name]: "name{k=v,k2=v2}" -> ("name", [k,v; k2,v2]).
+   Label keys and values are bare identifiers by construction (static
+   labels baked at registration), so splitting on ',' and '=' is exact. *)
+let split_name full =
+  match String.index_opt full '{' with
+  | None -> (full, [])
+  | Some i ->
+    let base = String.sub full 0 i in
+    let inner = String.sub full (i + 1) (String.length full - i - 2) in
+    let labels =
+      String.split_on_char ',' inner
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | Some j ->
+               (String.sub kv 0 j, String.sub kv (j + 1) (String.length kv - j - 1))
+             | None -> (kv, ""))
+    in
+    (base, labels)
+
+(* --- Prometheus text exposition (version 0.0.4) --- *)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=\"" ^ prom_escape v ^ "\"") ls)
+    ^ "}"
+
+(* Our buckets hold per-bucket counts with inclusive integer upper bounds;
+   Prometheus wants cumulative counts keyed by [le] plus a closing +Inf
+   bucket, so the conversion happens here, at the wire format boundary. *)
+let prom_histogram buf base labels (h : value) =
+  match h with
+  | Histogram_value { buckets; overflow; sum; count } ->
+    let cum = ref 0 in
+    Array.iter
+      (fun (le, c) ->
+        cum := !cum + c;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" base
+             (prom_labels (labels @ [ ("le", string_of_int le) ]))
+             !cum))
+      buckets;
+    ignore overflow;
+    Buffer.add_string buf
+      (Printf.sprintf "%s_bucket%s %d\n" base (prom_labels (labels @ [ ("le", "+Inf") ])) count);
+    Buffer.add_string buf (Printf.sprintf "%s_sum%s %d\n" base (prom_labels labels) sum);
+    Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" base (prom_labels labels) count)
+  | _ -> ()
+
+let to_prometheus () =
+  let buf = Buffer.create 4096 in
+  let last_base = ref "" in
+  List.iter
+    (fun m ->
+      let base, labels = split_name m.name in
+      let v = value_of m.cell in
+      if base <> !last_base then begin
+        last_base := base;
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base (prom_escape m.help));
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base (kind_name v))
+      end;
+      match v with
+      | Counter_value n | Gauge_value n ->
+        Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base (prom_labels labels) n)
+      | Histogram_value _ -> prom_histogram buf base labels v)
+    (sorted ());
+  Buffer.contents buf

@@ -73,3 +73,17 @@ val find : string -> value option
 val reset : unit -> unit
 
 val to_json : unit -> Wcet_diag.Json.t
+
+(** ["counter"], ["gauge"] or ["histogram"] — the metric type of a value,
+    for generated documentation and the Prometheus TYPE line. *)
+val kind_name : value -> string
+
+(** [split_name full] parses a registered full name back into its base name
+    and static labels: ["name{k=v,k2=w}"] becomes [("name", [k,v; k2,w])]. *)
+val split_name : string -> string * (string * string) list
+
+(** The whole registry in Prometheus text exposition format (version 0.0.4):
+    one HELP/TYPE header per metric family, label values quoted, histogram
+    buckets converted to cumulative counts with a closing [le="+Inf"]
+    bucket plus [_sum] and [_count] series. *)
+val to_prometheus : unit -> string

@@ -45,8 +45,16 @@ let n_events = ref 0
 let n_dropped = ref 0
 
 (* Backstop against unbounded growth on very long campaign runs; ~10 spans
-   per analysis means even the full corpus check stays far below this. *)
-let max_events = 262_144
+   per analysis means even the full corpus check stays far below this. A
+   ref so tests (and extreme campaigns) can tighten or widen the cap. *)
+let max_events = ref 262_144
+
+let buffer_capacity () = !max_events
+let set_buffer_capacity n = max_events := max 1 n
+
+let m_dropped =
+  Metrics.counter ~name:"trace_events_dropped"
+    ~help:"Completed spans discarded because the trace buffer was full" ()
 
 let reset () =
   Mutex.lock events_mutex;
@@ -97,7 +105,10 @@ let exit_span () =
       }
     in
     Mutex.lock events_mutex;
-    if !n_events >= max_events then incr n_dropped
+    if !n_events >= !max_events then begin
+      incr n_dropped;
+      Metrics.incr m_dropped 1
+    end
     else begin
       events_rev := ev :: !events_rev;
       incr n_events
@@ -129,34 +140,76 @@ let pp_attr ppf (k, v) =
   | Float f -> Format.fprintf ppf "%s=%g" k f
   | Str s -> Format.fprintf ppf "%s=%s" k s
 
-let pp_profile ppf () =
-  let evs = by_start (events ()) in
-  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
-  let multi = List.length tids > 1 in
+(* The profile aggregates spans by name path (parent chain of names),
+   merged across domains, and sorts every sibling list by (total time
+   descending, name ascending). Aggregation makes the structure — and with
+   the name tiebreak, the ordering of near-equal rows — independent of
+   domain scheduling, so two profiles of the same workload diff cleanly. *)
+type agg = {
+  mutable a_total_ns : int64;
+  mutable a_count : int;
+  mutable a_attrs : (string * attr) list;  (* shown only while a_count = 1 *)
+  a_children : (string, agg) Hashtbl.t;
+}
+
+let new_agg () =
+  { a_total_ns = 0L; a_count = 0; a_attrs = []; a_children = Hashtbl.create 4 }
+
+let aggregate evs =
+  let root = new_agg () in
+  (* Most recent aggregation node per (tid, depth): scanning in start order
+     means an event's parent is the latest shallower event of its domain. *)
+  let cur : (int * int, agg) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun tid ->
-      if multi then Format.fprintf ppf "[domain %d]@," tid;
-      List.iter
-        (fun e ->
-          if e.tid = tid then begin
-            let indent = String.make (2 * e.depth) ' ' in
-            Format.fprintf ppf "%s%-*s %8.3f ms" indent
-              (max 1 (28 - (2 * e.depth)))
-              e.name
-              (Int64.to_float e.dur_ns /. 1e6);
-            if e.attrs <> [] then begin
-              Format.fprintf ppf "  {";
-              List.iteri
-                (fun i a ->
-                  if i > 0 then Format.fprintf ppf ", ";
-                  pp_attr ppf a)
-                e.attrs;
-              Format.fprintf ppf "}"
-            end;
-            Format.fprintf ppf "@,"
-          end)
-        evs)
-    tids;
+    (fun e ->
+      let parent =
+        if e.depth = 0 then root
+        else Option.value ~default:root (Hashtbl.find_opt cur (e.tid, e.depth - 1))
+      in
+      let node =
+        match Hashtbl.find_opt parent.a_children e.name with
+        | Some n -> n
+        | None ->
+          let n = new_agg () in
+          Hashtbl.add parent.a_children e.name n;
+          n
+      in
+      node.a_total_ns <- Int64.add node.a_total_ns e.dur_ns;
+      node.a_count <- node.a_count + 1;
+      node.a_attrs <- (if node.a_count = 1 then e.attrs else []);
+      Hashtbl.replace cur (e.tid, e.depth) node)
+    evs;
+  root
+
+let pp_profile ppf () =
+  let root = aggregate (by_start (events ())) in
+  let children_sorted a =
+    Hashtbl.fold (fun name node acc -> (name, node) :: acc) a.a_children []
+    |> List.sort (fun (na, a) (nb, b) ->
+           match Int64.compare b.a_total_ns a.a_total_ns with
+           | 0 -> compare na nb
+           | c -> c)
+  in
+  let rec pp_node depth (name, a) =
+    let indent = String.make (2 * depth) ' ' in
+    Format.fprintf ppf "%s%-*s %8.3f ms" indent
+      (max 1 (28 - (2 * depth)))
+      name
+      (Int64.to_float a.a_total_ns /. 1e6);
+    if a.a_count > 1 then Format.fprintf ppf "  x%d" a.a_count;
+    if a.a_attrs <> [] then begin
+      Format.fprintf ppf "  {";
+      List.iteri
+        (fun i at ->
+          if i > 0 then Format.fprintf ppf ", ";
+          pp_attr ppf at)
+        a.a_attrs;
+      Format.fprintf ppf "}"
+    end;
+    Format.fprintf ppf "@,";
+    List.iter (pp_node (depth + 1)) (children_sorted a)
+  in
+  List.iter (pp_node 0) (children_sorted root);
   if !n_dropped > 0 then Format.fprintf ppf "(%d spans dropped past the buffer cap)@," !n_dropped
 
 (* --- Chrome trace events --- *)

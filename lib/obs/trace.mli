@@ -33,8 +33,17 @@ val events : unit -> event list
 (** Nesting depth of the calling domain's open-span stack (for tests). *)
 val depth : unit -> int
 
-(** Spans discarded past the buffer cap. *)
+(** Spans discarded past the buffer cap (also counted by the
+    [trace_events_dropped] metric; a trace file written while this is
+    nonzero is incomplete, reported as W0801 by the CLI). *)
 val dropped : unit -> int
+
+(** The buffer cap, in completed spans. [set_buffer_capacity] retunes it
+    (clamped to at least 1) — for tests and extreme campaign runs; the
+    default of 262144 comfortably covers the full corpus check. *)
+val buffer_capacity : unit -> int
+
+val set_buffer_capacity : int -> unit
 
 (** Drop all completed spans and the calling domain's open stack. *)
 val reset : unit -> unit

@@ -83,11 +83,25 @@ let insn_best_cycles cfg ~fetch_class ~data ~addr insn =
   in
   fetch + base + data_cost + control_penalty cfg insn ~worst:false
 
-let compute (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
-    ~(persistence : Wcet_cache.Persistence.t) =
+(* Per-node worst-case cycles under progressively optimistic assumptions.
+   With all flags false this is exactly the bound side ([compute]'s wcet);
+   each flag can only lower per-instruction cost, so the four ladder levels
+   are pointwise monotone decreasing — the property that keeps the
+   telescoped slack-attribution buckets non-negative.
+
+   - [nc_as_hit]: cost not-classified fetches and not-classified data loads
+     as cache hits (what a perfect cache classification could recover);
+   - [best_region]: cost data accesses whose address interval spans several
+     memory regions at their single cheapest candidate (what an exact value
+     analysis could recover);
+   - [no_branch_stall]: drop the taken-penalty of conditional branches
+     (unconditional transfers always pay it in the simulator too, so only
+     the conditional pessimism is conservatism). *)
+let worst_level (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
+    ~(persistence : Wcet_cache.Persistence.t) ~nc_as_hit ~best_region ~no_branch_stall =
   let nodes = value.Analysis.graph.Supergraph.nodes in
   let n = Array.length nodes in
-  let wcet = Array.make n 0 and bcet = Array.make n 0 in
+  let out = Array.make n 0 in
   Array.iteri
     (fun i node ->
       let insns = node.Supergraph.block.Func_cfg.insns in
@@ -95,7 +109,7 @@ let compute (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
         List.find_opt (fun (d : CA.data_access) -> d.CA.insn_index = idx) cache.CA.data.(i)
         |> Option.map (fun (d : CA.data_access) -> (d.CA.kind, d.CA.regions))
       in
-      let w = ref persistence.Wcet_cache.Persistence.entry_extra.(i) and b = ref 0 in
+      let w = ref persistence.Wcet_cache.Persistence.entry_extra.(i) in
       Array.iteri
         (fun idx (addr, insn) ->
           (* Persistence downgrades a not-classified access to a hit; its
@@ -105,6 +119,10 @@ let compute (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
               CA.Always_hit
             else cache.CA.fetch.(i).(idx)
           in
+          let fetch_class =
+            if nc_as_hit && fetch_class = CA.Not_classified then CA.Always_hit
+            else fetch_class
+          in
           let data =
             match data_of idx with
             | Some (kind, regions)
@@ -113,10 +131,87 @@ let compute (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
               Some (CA.Always_hit, regions)
             | d -> d
           in
-          w := !w + insn_worst_cycles cfg ~fetch_class ~data ~addr insn;
-          b := !b + insn_best_cycles cfg ~fetch_class:cache.CA.fetch.(i).(idx) ~data:(data_of idx) ~addr insn)
+          let is_store = Insn.writes_memory insn in
+          let data =
+            match data with
+            | Some (CA.Not_classified, regions) when nc_as_hit && not is_store ->
+              Some (CA.Always_hit, regions)
+            | d -> d
+          in
+          let data_cost =
+            match data with
+            | None -> 0
+            | Some (kind, regions) ->
+              let regions =
+                match regions with
+                | _ :: _ :: _ when best_region ->
+                  let cost r = data_worst cfg ~is_store kind [ r ] in
+                  [
+                    List.fold_left
+                      (fun best r -> if cost r < cost best then r else best)
+                      (List.hd regions) (List.tl regions);
+                  ]
+                | rs -> rs
+              in
+              data_worst cfg ~is_store kind regions
+          in
+          w :=
+            !w
+            + fetch_worst cfg ~addr fetch_class
+            + Timing.base_cycles cfg insn + data_cost
+            + control_penalty cfg insn ~worst:(not no_branch_stall))
         insns;
-      wcet.(i) <- !w;
+      out.(i) <- !w)
+    nodes;
+  out
+
+type ladder = {
+  full : int array;  (* identical to [compute]'s wcet *)
+  nc_hit : int array;
+  cheap_region : int array;
+  no_stall : int array;
+}
+
+let ladder cfg value cache ~persistence =
+  {
+    full =
+      worst_level cfg value cache ~persistence ~nc_as_hit:false ~best_region:false
+        ~no_branch_stall:false;
+    nc_hit =
+      worst_level cfg value cache ~persistence ~nc_as_hit:true ~best_region:false
+        ~no_branch_stall:false;
+    cheap_region =
+      worst_level cfg value cache ~persistence ~nc_as_hit:true ~best_region:true
+        ~no_branch_stall:false;
+    no_stall =
+      worst_level cfg value cache ~persistence ~nc_as_hit:true ~best_region:true
+        ~no_branch_stall:true;
+  }
+
+let compute (cfg : Hw_config.t) (value : Analysis.result) (cache : CA.result)
+    ~(persistence : Wcet_cache.Persistence.t) =
+  let nodes = value.Analysis.graph.Supergraph.nodes in
+  let n = Array.length nodes in
+  let wcet =
+    worst_level cfg value cache ~persistence ~nc_as_hit:false ~best_region:false
+      ~no_branch_stall:false
+  in
+  let bcet = Array.make n 0 in
+  Array.iteri
+    (fun i node ->
+      let insns = node.Supergraph.block.Func_cfg.insns in
+      let data_of idx =
+        List.find_opt (fun (d : CA.data_access) -> d.CA.insn_index = idx) cache.CA.data.(i)
+        |> Option.map (fun (d : CA.data_access) -> (d.CA.kind, d.CA.regions))
+      in
+      let b = ref 0 in
+      Array.iteri
+        (fun idx (addr, insn) ->
+          b :=
+            !b
+            + insn_best_cycles cfg ~fetch_class:cache.CA.fetch.(i).(idx) ~data:(data_of idx)
+                ~addr insn)
+        insns;
       bcet.(i) <- !b)
     nodes;
   Metrics.incr m_blocks n;

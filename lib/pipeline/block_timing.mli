@@ -22,6 +22,33 @@ val compute :
   persistence:Wcet_cache.Persistence.t ->
   t
 
+(** Per-node worst-case cycle bounds under progressively optimistic
+    assumptions, used by slack attribution to price each pessimism source:
+
+    - [full] — the bound side, identical to {!compute}'s [wcet];
+    - [nc_hit] — not-classified fetches and data loads costed as hits;
+    - [cheap_region] — additionally, multi-region data accesses costed at
+      their single cheapest candidate region;
+    - [no_stall] — additionally, the conditional-branch taken-penalty
+      removed.
+
+    The four arrays are pointwise monotone decreasing in that order, so
+    consecutive differences (the per-source slack contributions) are
+    non-negative. *)
+type ladder = {
+  full : int array;
+  nc_hit : int array;
+  cheap_region : int array;
+  no_stall : int array;
+}
+
+val ladder :
+  Pred32_hw.Hw_config.t ->
+  Wcet_value.Analysis.result ->
+  Wcet_cache.Cache_analysis.result ->
+  persistence:Wcet_cache.Persistence.t ->
+  ladder
+
 (** [insn_worst_cycles cfg ~fetch_class ~data ~addr insn] — exposed for unit
     tests: worst-case cycles of one instruction. *)
 val insn_worst_cycles :

@@ -127,7 +127,20 @@ let standard ~cancel ~meth ~params =
       | exception Analyzer.Analysis_failed ds -> Misra.Audit.of_failure ds
     in
     Some (Misra.Audit.to_json audit)
-  | "metrics" -> Some (Wcet_obs.Metrics.to_json ())
+  | "metrics" -> (
+    match str_param params "format" with
+    | Some "prometheus" ->
+      (* Prometheus text exposition, wrapped for the JSON wire: the caller
+         (or `wcet_tool metrics --prometheus` against a daemon) writes
+         [body] verbatim to the scrape response. *)
+      Some
+        (Json.Obj
+           [
+             ("content_type", Json.String "text/plain; version=0.0.4");
+             ("body", Json.String (Wcet_obs.Metrics.to_prometheus ()));
+           ])
+    | Some "json" | None -> Some (Wcet_obs.Metrics.to_json ())
+    | Some other -> raise (Bad_params ("unknown metrics format " ^ other)))
   | "cache" -> Some (cache_stats ())
   | "codes" ->
     Some

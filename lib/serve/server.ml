@@ -2,6 +2,7 @@ module Json = Wcet_diag.Json
 module Diag = Wcet_diag.Diag
 module Metrics = Wcet_obs.Metrics
 module Trace = Wcet_obs.Trace
+module Ledger = Wcet_obs.Ledger
 module Clock = Wcet_util.Mono_clock
 
 (* ---- metrics ---------------------------------------------------------- *)
@@ -39,6 +40,23 @@ let m_undelivered =
 
 let m_queue_peak =
   Metrics.gauge ~name:"serve_queue_peak" ~help:"Peak admission-queue occupancy of the daemon" ()
+
+let m_queue_depth =
+  Metrics.gauge ~name:"serve_queue_depth"
+    ~help:"Current admission-queue occupancy of the daemon" ()
+
+let m_inflight =
+  Metrics.gauge ~name:"serve_inflight"
+    ~help:"Requests currently being processed by worker threads" ()
+
+let m_subscribers =
+  Metrics.gauge ~name:"serve_subscribers" ~help:"Connections subscribed to watch events" ()
+
+let m_latency =
+  Metrics.histogram ~name:"serve_request_ms"
+    ~help:"Admission-to-reply latency of daemon requests in milliseconds"
+    ~buckets:[| 1; 5; 10; 50; 100; 500; 1_000; 5_000 |]
+    ()
 
 let m_watch_scans =
   Metrics.counter ~name:"serve_watch_scans" ~help:"Directory scans performed by watch mode" ()
@@ -84,6 +102,8 @@ type config = {
   classify : exn -> Diag.t option;
   handler : cancel:(unit -> bool) -> meth:string -> params:Json.t -> Json.t option;
   watch : (string * float * float) option;
+  log : Json.t -> unit;
+  ledger : string option;
 }
 
 let default_config ~socket_path =
@@ -97,6 +117,8 @@ let default_config ~socket_path =
     classify = (fun _ -> None);
     handler = (fun ~cancel ~meth ~params -> Handlers.standard ~cancel ~meth ~params);
     watch = None;
+    log = (fun _ -> ());
+    ledger = None;
   }
 
 (* ---- server ----------------------------------------------------------- *)
@@ -106,9 +128,14 @@ type conn = { fd : Unix.file_descr; wmutex : Mutex.t; mutable alive : bool }
 type job = {
   job_conn : conn;
   job_req : Proto.request;
+  cid : int;  (** correlation id, echoed in this request's log lines *)
   admitted_ns : int64;
   deadline_ns : int64 option;
 }
+
+(* Correlation ids are process-global so interleaved log lines from several
+   servers (tests run them side by side) stay distinguishable. *)
+let cid_counter = Atomic.make 1
 
 type t = {
   cfg : config;
@@ -189,14 +216,31 @@ let send conn json =
 
 let send_or_count conn json = if not (send conn json) then Metrics.incr m_undelivered 1
 
+(* One structured log line per request outcome. [queue_ms]/[elapsed_ms] are
+   absent on admission-time rejections, which never reach a worker. *)
+let log_request t ~cid ~meth ~outcome ?queue_ms ?elapsed_ms () =
+  let opt key = function Some v -> [ (key, Json.Int v) ] | None -> [] in
+  t.cfg.log
+    (Json.Obj
+       ([
+          ("event", Json.String "request");
+          ("cid", Json.Int cid);
+          ("method", Json.String meth);
+          ("outcome", Json.String outcome);
+        ]
+       @ opt "queue_ms" queue_ms
+       @ opt "elapsed_ms" elapsed_ms))
+
 let subscribe t conn =
   Mutex.lock t.conns_m;
   if not (List.memq conn t.subscribers) then t.subscribers <- conn :: t.subscribers;
+  Metrics.set m_subscribers (List.length t.subscribers);
   Mutex.unlock t.conns_m
 
 let unsubscribe t conn =
   Mutex.lock t.conns_m;
   t.subscribers <- List.filter (fun c -> c != conn) t.subscribers;
+  Metrics.set m_subscribers (List.length t.subscribers);
   Mutex.unlock t.conns_m
 
 let publish t json =
@@ -219,20 +263,21 @@ let process t job =
   in
   let deadline () =
     Metrics.incr m_cancelled 1;
-    Proto.deadline_reply ~id ~elapsed_ms:(elapsed_ms ())
+    (Proto.deadline_reply ~id ~elapsed_ms:(elapsed_ms ()), "cancelled")
   in
-  let reply =
+  let queue_ms = elapsed_ms () in
+  let reply, outcome =
     match job.job_req.Proto.meth with
     (* Subscription management needs the connection identity, so it is
        served here rather than by the pluggable handler. *)
     | "subscribe" ->
       subscribe t job.job_conn;
       Metrics.incr m_completed 1;
-      Proto.ok_reply ~id (Json.Obj [ ("subscribed", Json.Bool true) ])
+      (Proto.ok_reply ~id (Json.Obj [ ("subscribed", Json.Bool true) ]), "completed")
     | "unsubscribe" ->
       unsubscribe t job.job_conn;
       Metrics.incr m_completed 1;
-      Proto.ok_reply ~id (Json.Obj [ ("subscribed", Json.Bool false) ])
+      (Proto.ok_reply ~id (Json.Obj [ ("subscribed", Json.Bool false) ]), "completed")
     | meth -> (
       (* The deadline covers queue wait: a request admitted under load can
          be expired before it ever runs. *)
@@ -246,21 +291,27 @@ let process t job =
         with
         | Some result ->
           Metrics.incr m_completed 1;
-          Proto.ok_reply ~id result
+          (Proto.ok_reply ~id result, "completed")
         | None ->
           Metrics.incr m_rejected 1;
-          Proto.error_reply ~id (d_unknown meth)
+          (Proto.error_reply ~id (d_unknown meth), "unknown-method")
         | exception Wcet_util.Fixpoint.Cancelled -> deadline ()
         | exception Handlers.Bad_params msg ->
           Metrics.incr m_rejected 1;
-          Proto.error_reply ~id (d_malformed msg)
+          (Proto.error_reply ~id (d_malformed msg), "malformed")
         | exception e -> (
           Metrics.incr m_failed 1;
           match t.cfg.classify e with
-          | Some d -> Proto.error_reply ~id d
-          | None -> Proto.error_reply ~id (d_internal e)))
+          | Some d -> (Proto.error_reply ~id d, "failed")
+          | None -> (Proto.error_reply ~id (d_internal e), "failed")))
   in
-  send_or_count job.job_conn reply
+  let delivered = send job.job_conn reply in
+  if not delivered then Metrics.incr m_undelivered 1;
+  let total_ms = elapsed_ms () in
+  Metrics.observe m_latency total_ms;
+  log_request t ~cid:job.cid ~meth:job.job_req.Proto.meth
+    ~outcome:(if delivered then outcome else "undelivered")
+    ~queue_ms ~elapsed_ms:total_ms ()
 
 let rec worker t =
   Mutex.lock t.qm;
@@ -271,6 +322,8 @@ let rec worker t =
   else begin
     let job = Queue.pop t.queue in
     t.busy <- t.busy + 1;
+    Metrics.set m_queue_depth (Queue.length t.queue);
+    Metrics.set m_inflight t.busy;
     Mutex.unlock t.qm;
     (* The process step is already exception-proof (classify + D0706
        backstop), but a bug in the reply path itself must not kill the
@@ -278,6 +331,7 @@ let rec worker t =
     (try process t job with _ -> ());
     Mutex.lock t.qm;
     t.busy <- t.busy - 1;
+    Metrics.set m_inflight t.busy;
     Condition.broadcast t.q_idle;
     Mutex.unlock t.qm;
     worker t
@@ -286,8 +340,10 @@ let rec worker t =
 (* ---- admission (connection threads) ----------------------------------- *)
 
 let admit t conn (req : Proto.request) =
+  let cid = Atomic.fetch_and_add cid_counter 1 in
   if draining t then begin
     Metrics.incr m_rejected 1;
+    log_request t ~cid ~meth:req.Proto.meth ~outcome:"rejected-draining" ();
     send_or_count conn (Proto.error_reply ~id:req.Proto.id d_draining)
   end
   else begin
@@ -301,13 +357,15 @@ let admit t conn (req : Proto.request) =
     Mutex.lock t.qm;
     let admitted = Queue.length t.queue < t.cfg.queue_capacity in
     if admitted then begin
-      Queue.add { job_conn = conn; job_req = req; admitted_ns = now; deadline_ns } t.queue;
+      Queue.add { job_conn = conn; job_req = req; cid; admitted_ns = now; deadline_ns } t.queue;
       Metrics.set_max m_queue_peak (Queue.length t.queue);
+      Metrics.set m_queue_depth (Queue.length t.queue);
       Condition.signal t.q_nonempty
     end;
     Mutex.unlock t.qm;
     if not admitted then begin
       Metrics.incr m_rejected 1;
+      log_request t ~cid ~meth:req.Proto.meth ~outcome:"rejected-overloaded" ();
       send_or_count conn
         (Proto.error_reply ~retry_after_ms:t.cfg.retry_after_ms ~id:req.Proto.id
            (d_overloaded t.cfg.retry_after_ms))
@@ -345,17 +403,48 @@ let conn_loop t conn =
   Mutex.lock t.conns_m;
   t.conns <- List.filter (fun c -> c != conn) t.conns;
   t.subscribers <- List.filter (fun c -> c != conn) t.subscribers;
+  Metrics.set m_subscribers (List.length t.subscribers);
   Mutex.unlock t.conns_m;
   try Unix.close conn.fd with _ -> ()
 
 (* ---- watch thread ----------------------------------------------------- *)
 
+(* Every successful watch re-analysis becomes a bound-ledger snapshot, so a
+   long-running daemon accumulates the same drift history `wcet_tool ledger`
+   reads. Append failures are swallowed: telemetry must never take down the
+   scanner. *)
+let ledger_record t path (report : Wcet_core.Analyzer.report) =
+  match t.cfg.ledger with
+  | None -> ()
+  | Some ledger_path ->
+    let digest = try Digest.to_hex (Digest.file path) with _ -> "" in
+    let entry =
+      {
+        Ledger.program = path;
+        digest;
+        commit = Ledger.git_commit ();
+        date = Ledger.iso_date ();
+        verdict =
+          (match report.Wcet_core.Analyzer.verdict with
+          | Wcet_core.Analyzer.Complete -> "complete"
+          | Wcet_core.Analyzer.Partial -> "partial");
+        bound = Some report.Wcet_core.Analyzer.wcet;
+        observed = None;
+        metrics = Wcet_core.Attribution.precision_counts report;
+      }
+    in
+    ignore (Ledger.append ~path:ledger_path [ entry ])
+
 let watch_loop t dir period_s debounce_s () =
   let analyze path =
-    try Handlers.analyze_source path
-    with
-    | Wcet_util.Fixpoint.Cancelled -> Error [ d_internal Wcet_util.Fixpoint.Cancelled ]
-    | e -> (
+    match Handlers.analyze_source path with
+    | Ok report ->
+      ledger_record t path report;
+      Ok report
+    | Error _ as e -> e
+    | exception Wcet_util.Fixpoint.Cancelled ->
+      Error [ d_internal Wcet_util.Fixpoint.Cancelled ]
+    | exception e -> (
       match t.cfg.classify e with Some d -> Error [ d ] | None -> Error [ d_internal e ])
   in
   let w = Watch.create ~dir ~debounce_s ~analyze in

@@ -38,6 +38,15 @@ type config = {
       (** method dispatcher ({!Handlers.standard}); [None] → D0707 *)
   watch : (string * float * float) option;
       (** [(dir, period_s, debounce_s)] enables watch mode *)
+  log : Json.t -> unit;
+      (** structured-log sink: one JSON object per request outcome, carrying
+          a process-unique correlation id ([cid]), the method, the outcome,
+          and queue/total latency in milliseconds. Default: drop. The sink
+          is called from worker and connection threads — it must be
+          thread-safe and must not raise. *)
+  ledger : string option;
+      (** when set, every successful watch-mode re-analysis appends a
+          snapshot to this bound-drift ledger (NDJSON, {!Wcet_obs.Ledger}) *)
 }
 
 val default_config : socket_path:string -> config

@@ -45,6 +45,7 @@ type t = {
   icache : Lru_cache.t option;
   dcache : Lru_cache.t option;
   counts : (int, int) Hashtbl.t;
+  cycle_counts : (int, int) Hashtbl.t;
   mutable pc : int;
   mutable cycles : int;
   mutable steps : int;
@@ -66,6 +67,7 @@ let create cfg program =
     icache = Option.map Lru_cache.create cfg.Hw_config.icache;
     dcache = Option.map Lru_cache.create cfg.Hw_config.dcache;
     counts = Hashtbl.create 256;
+    cycle_counts = Hashtbl.create 256;
     pc = program.Program.entry;
     cycles = 0;
     steps = 0;
@@ -89,6 +91,8 @@ let peek_symbol t name index =
   peek_word t (base + (4 * index))
 
 let exec_count t addr = Option.value ~default:0 (Hashtbl.find_opt t.counts addr)
+
+let cycles_at t addr = Option.value ~default:0 (Hashtbl.find_opt t.cycle_counts addr)
 
 let get t r = if Reg.equal r Reg.zero then 0 else t.regs.(Reg.to_int r)
 
@@ -134,7 +138,7 @@ let region_of t addr =
   | Some r -> r
   | None -> raise (Fault (Bus_error addr))
 
-let step t =
+let step_insn t =
   let pc = t.pc in
   (* Fetch. *)
   let fetch_region = region_of t pc in
@@ -229,6 +233,27 @@ let step t =
   | Insn.Halt -> false
   | Insn.Illegal _ -> raise (Fault (Illegal_instruction pc))
 
+(* Every cycle charged inside [step_insn] belongs to the instruction at the
+   pre-step pc (fetch, base, data, taken penalty), so tallying the cycle
+   delta per address partitions the run's total exactly — the invariant the
+   slack-attribution decomposition rests on. The tally is kept even when the
+   step faults, so the partition also holds for faulted runs. *)
+let step t =
+  let pc0 = t.pc and c0 = t.cycles in
+  let account () =
+    let d = t.cycles - c0 in
+    if d <> 0 then
+      Hashtbl.replace t.cycle_counts pc0
+        (d + Option.value ~default:0 (Hashtbl.find_opt t.cycle_counts pc0))
+  in
+  match step_insn t with
+  | continue ->
+    account ();
+    continue
+  | exception e ->
+    account ();
+    raise e
+
 let run ?(fuel = 20_000_000) t =
   t.pc <- t.program.Program.entry;
   t.cycles <- 0;
@@ -239,6 +264,7 @@ let run ?(fuel = 20_000_000) t =
   t.dc_hits <- 0;
   t.dc_misses <- 0;
   Hashtbl.reset t.counts;
+  Hashtbl.reset t.cycle_counts;
   let rec loop remaining =
     if remaining = 0 then Out_of_fuel { cycles = t.cycles; steps = t.steps }
     else

@@ -40,6 +40,13 @@ val run : ?fuel:int -> t -> outcome
     against IPET solutions). *)
 val exec_count : t -> int -> int
 
+(** [cycles_at t addr] is how many of the last run's cycles were spent by
+    the instruction at [addr] (fetch, base, data access and taken-branch
+    penalty all charge the executing instruction). Summed over all executed
+    addresses this partitions the run's total cycle count exactly — the
+    ground truth for per-block slack attribution. *)
+val cycles_at : t -> int -> int
+
 val cycles_of : outcome -> int
 
 (** [halted_cycles outcome] returns the cycle count of a [Halted] run and

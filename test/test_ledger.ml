@@ -1,0 +1,129 @@
+(* Bound-drift ledger: NDJSON roundtrip, resilience to bad lines, and the
+   drift/regression verdict. *)
+
+module Ledger = Wcet_obs.Ledger
+module Json = Wcet_diag.Json
+
+let entry ?(program = "p") ?(digest = "d0") ?(commit = "c0") ?(date = "2026-08-08T00:00:00Z")
+    ?(verdict = "complete") ?bound ?observed ?(metrics = []) () =
+  { Ledger.program; digest; commit; date; verdict; bound; observed; metrics }
+
+let with_tmp f =
+  let path = Filename.temp_file "ledger" ".ndjson" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let load_exn path =
+  match Ledger.load ~path with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "ledger load failed: %s" msg
+
+let test_roundtrip () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      let e1 = entry ~bound:100 ~observed:80 ~metrics:[ ("holes", 1) ] () in
+      let e2 = entry ~commit:"c1" ~bound:90 () in
+      (match Ledger.append ~path [ e1 ] with Ok () -> () | Error m -> Alcotest.fail m);
+      (match Ledger.append ~path [ e2 ] with Ok () -> () | Error m -> Alcotest.fail m);
+      let entries, skipped = load_exn path in
+      Alcotest.(check int) "two entries" 2 (List.length entries);
+      Alcotest.(check int) "nothing skipped" 0 skipped;
+      let e1' = List.hd entries in
+      Alcotest.(check (option int)) "bound" (Some 100) e1'.Ledger.bound;
+      Alcotest.(check (option int)) "observed" (Some 80) e1'.Ledger.observed;
+      Alcotest.(check string) "commit survives" "c1" (List.nth entries 1).Ledger.commit;
+      Alcotest.(check int) "metrics survive" 1
+        (List.assoc "holes" e1'.Ledger.metrics))
+
+let test_bad_lines_skipped () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (Ledger.entry_to_json (entry ~bound:5 ())));
+      output_string oc "\nthis is not json\n{\"program\": 42}\n\n";
+      close_out oc;
+      let entries, skipped = load_exn path in
+      Alcotest.(check int) "good entry kept" 1 (List.length entries);
+      Alcotest.(check int) "two bad lines counted" 2 skipped)
+
+let test_diff_regression () =
+  let before =
+    entry ~commit:"aaa111" ~bound:100
+      ~metrics:[ ("value_unknown", 2); ("holes", 0) ]
+      ()
+  in
+  let after =
+    entry ~commit:"bbb222" ~date:"2026-08-09T00:00:00Z" ~bound:120
+      ~metrics:[ ("value_unknown", 3); ("holes", 0) ]
+      ()
+  in
+  match Ledger.diff [ before; after ] with
+  | [ d ] ->
+    Alcotest.(check bool) "regressed" true (Ledger.regressed d);
+    Alcotest.(check (option int)) "bound delta" (Some 20) d.Ledger.d_bound_delta;
+    Alcotest.(check int) "both reasons reported" 2 (List.length d.Ledger.d_regressions)
+  | ds -> Alcotest.failf "expected one drift row, got %d" (List.length ds)
+
+let test_diff_clean_and_improvement () =
+  let before = entry ~commit:"aaa" ~bound:100 ~metrics:[ ("value_unknown", 3) ] () in
+  let after = entry ~commit:"bbb" ~bound:90 ~metrics:[ ("value_unknown", 1) ] () in
+  (match Ledger.diff [ before; after ] with
+  | [ d ] ->
+    Alcotest.(check bool) "improvement is not a regression" false (Ledger.regressed d);
+    Alcotest.(check (option int)) "negative delta" (Some (-10)) d.Ledger.d_bound_delta
+  | ds -> Alcotest.failf "expected one drift row, got %d" (List.length ds));
+  (* a single snapshot has nothing to diff *)
+  Alcotest.(check int) "single snapshot skipped" 0 (List.length (Ledger.diff [ before ]))
+
+let test_diff_verdict_degrade () =
+  let before = entry ~commit:"aaa" ~verdict:"complete" ~bound:50 () in
+  let after = entry ~commit:"bbb" ~verdict:"partial" ~bound:50 () in
+  match Ledger.diff [ before; after ] with
+  | [ d ] -> Alcotest.(check bool) "verdict degrade flagged" true (Ledger.regressed d)
+  | ds -> Alcotest.failf "expected one drift row, got %d" (List.length ds)
+
+let test_diff_selectors () =
+  let e c b = entry ~commit:c ~bound:b () in
+  let entries = [ e "aaa111" 100; e "bbb222" 95; e "ccc333" 110 ] in
+  (* default: last two *)
+  (match Ledger.diff entries with
+  | [ d ] ->
+    Alcotest.(check string) "default from" "bbb222" d.Ledger.d_from.Ledger.commit;
+    Alcotest.(check bool) "95 -> 110 regresses" true (Ledger.regressed d)
+  | ds -> Alcotest.failf "expected one drift row, got %d" (List.length ds));
+  (* explicit endpoints by commit prefix *)
+  match Ledger.diff ~sel_from:"aaa" ~sel_to:"bbb" entries with
+  | [ d ] ->
+    Alcotest.(check string) "selected from" "aaa111" d.Ledger.d_from.Ledger.commit;
+    Alcotest.(check bool) "100 -> 95 is clean" false (Ledger.regressed d)
+  | ds -> Alcotest.failf "expected one drift row, got %d" (List.length ds)
+
+let test_multi_program_grouping () =
+  let ea c = entry ~program:"a" ~commit:c ~bound:10 () in
+  let eb c b = entry ~program:"b" ~commit:c ~bound:b () in
+  let entries = [ ea "c0"; eb "c0" 20; ea "c1"; eb "c1" 25 ] in
+  let groups = Ledger.group entries in
+  Alcotest.(check int) "two programs" 2 (List.length groups);
+  let drifts = Ledger.diff entries in
+  Alcotest.(check int) "one drift per program" 2 (List.length drifts);
+  Alcotest.(check int) "exactly one regression" 1
+    (List.length (List.filter Ledger.regressed drifts))
+
+let test_stamp_helpers () =
+  let date = Ledger.iso_date () in
+  Alcotest.(check int) "iso date length" 20 (String.length date);
+  Alcotest.(check bool) "commit is nonempty" true (String.length (Ledger.git_commit ()) > 0)
+
+let () =
+  Alcotest.run "ledger"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "bad lines skipped" `Quick test_bad_lines_skipped;
+          Alcotest.test_case "diff regression" `Quick test_diff_regression;
+          Alcotest.test_case "diff clean" `Quick test_diff_clean_and_improvement;
+          Alcotest.test_case "diff verdict degrade" `Quick test_diff_verdict_degrade;
+          Alcotest.test_case "diff selectors" `Quick test_diff_selectors;
+          Alcotest.test_case "multi-program grouping" `Quick test_multi_program_grouping;
+          Alcotest.test_case "stamp helpers" `Quick test_stamp_helpers;
+        ] );
+    ]

@@ -12,6 +12,7 @@
 module Obs = Wcet_obs.Obs
 module Metrics = Wcet_obs.Metrics
 module Trace = Wcet_obs.Trace
+module Json = Wcet_diag.Json
 module Analyzer = Wcet_core.Analyzer
 module Explain = Wcet_core.Explain
 module Harness = Wcet_experiments.Harness
@@ -23,6 +24,7 @@ let () = ignore Softarith.Ldivmod.udivmod
 let () = ignore Pred32_sim.Simulator.create
 let () = ignore Misra.Audit.grade_name
 let () = ignore Wcet_serve.Server.default_config
+let () = ignore Wcet_core.Attribution.source_name
 
 let with_obs f =
   Obs.enable ();
@@ -221,12 +223,16 @@ let pinned_names =
     "pipeline_blocks";
     "scc_count";
     "serve_connections";
+    "serve_inflight";
+    "serve_queue_depth";
     "serve_queue_peak";
+    "serve_request_ms";
     "serve_requests{outcome=cancelled}";
     "serve_requests{outcome=completed}";
     "serve_requests{outcome=failed}";
     "serve_requests{outcome=rejected}";
     "serve_requests{outcome=undelivered}";
+    "serve_subscribers";
     "serve_watch_events";
     "serve_watch_scans";
     "sim_cache_hits{cache=d}";
@@ -243,9 +249,15 @@ let pinned_names =
     "summary_hits{analysis=value}";
     "summary_scc_transfers{analysis=cache}";
     "summary_scc_transfers{analysis=value}";
+    "trace_events_dropped";
     "value_accesses{precision=exact}";
     "value_accesses{precision=interval}";
     "value_accesses{precision=unknown}";
+    "wcet_slack_cycles{source=cache_unclassified}";
+    "wcet_slack_cycles{source=dynamic_residual}";
+    "wcet_slack_cycles{source=flow_count}";
+    "wcet_slack_cycles{source=pipeline_stall}";
+    "wcet_slack_cycles{source=value_multi_region}";
   ]
 
 let test_registry_pinned () =
@@ -290,6 +302,157 @@ let test_analysis_populates_metrics () =
         (fun phase ->
           Alcotest.(check bool) (phase ^ " span present") true (List.mem phase spans))
         [ "analyze"; "decode"; "value"; "cache"; "persistence"; "pipeline"; "ipet" ])
+
+(* --- Prometheus exposition --- *)
+
+let contains hay needle = Astring.String.is_infix ~affix:needle hay
+
+let check_contains rendered needle =
+  Alcotest.(check bool) ("exposition contains " ^ needle) true (contains rendered needle)
+
+let test_prometheus_exposition () =
+  with_obs (fun () ->
+      let c =
+        Metrics.counter ~labels:[ ("kind", "x") ] ~name:"test_prom_requests" ~help:"test" ()
+      in
+      let h = Metrics.histogram ~name:"test_prom_ms" ~help:"test" ~buckets:[| 1; 5 |] () in
+      Metrics.incr c 3;
+      List.iter (Metrics.observe h) [ 0; 2; 7 ];
+      let s = Metrics.to_prometheus () in
+      (* family headers appear once per base name, then labeled series *)
+      check_contains s "# HELP test_prom_requests test\n# TYPE test_prom_requests counter\n";
+      check_contains s "test_prom_requests{kind=\"x\"} 3\n";
+      (* histogram: inclusive per-bucket counts become cumulative, closed by
+         +Inf (= total observations incl. overflow), plus _sum and _count *)
+      check_contains s "# TYPE test_prom_ms histogram\n";
+      check_contains s "test_prom_ms_bucket{le=\"1\"} 1\n";
+      check_contains s "test_prom_ms_bucket{le=\"5\"} 2\n";
+      check_contains s "test_prom_ms_bucket{le=\"+Inf\"} 3\n";
+      check_contains s "test_prom_ms_sum 9\n";
+      check_contains s "test_prom_ms_count 3\n";
+      (* registry-wide gauges render as gauge families *)
+      check_contains s "# TYPE serve_queue_depth gauge\n")
+
+let test_prometheus_escaping () =
+  (* split_name must invert render_name, and label values must be escaped
+     per the exposition format *)
+  let base, labels = Metrics.split_name "name{k=v,k2=w}" in
+  Alcotest.(check string) "base" "name" base;
+  Alcotest.(check (list (pair string string))) "labels" [ ("k", "v"); ("k2", "w") ] labels;
+  let base2, labels2 = Metrics.split_name "plain" in
+  Alcotest.(check string) "plain base" "plain" base2;
+  Alcotest.(check int) "no labels" 0 (List.length labels2)
+
+(* --- trace file validity --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_trace_tmp f =
+  let path = Filename.temp_file "wcet-trace" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let parse_trace path =
+  match Json.parse (read_file path) with
+  | Error msg -> Alcotest.failf "trace file is not valid JSON: %s" msg
+  | Ok (Json.List evs) -> evs
+  | Ok _ -> Alcotest.fail "trace file is not a JSON array"
+
+let event_field ev key = Json.member key ev
+
+let test_trace_chrome_valid () =
+  with_obs (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span ~attrs:[ ("n", Trace.Int 7) ] "inner" (fun () -> ()));
+      Trace.with_span "second" (fun () -> ());
+      with_trace_tmp (fun path ->
+          Trace.write_chrome path;
+          let evs = parse_trace path in
+          Alcotest.(check int) "every completed span is an event" 3 (List.length evs);
+          List.iter
+            (fun ev ->
+              Alcotest.(check (option string)) "complete event" (Some "X")
+                (Option.bind (event_field ev "ph") Json.to_string_opt);
+              Alcotest.(check bool) "has a name" true
+                (Option.bind (event_field ev "name") Json.to_string_opt <> None))
+            evs;
+          (* span balance: inner's [ts, ts+dur] nests inside outer's *)
+          let span name =
+            let ev =
+              List.find
+                (fun ev -> Option.bind (event_field ev "name") Json.to_string_opt = Some name)
+                evs
+            in
+            let num k =
+              match event_field ev k with
+              | Some (Json.Float f) -> f
+              | Some (Json.Int i) -> float_of_int i
+              | _ -> Alcotest.failf "event %s has no numeric %s" name k
+            in
+            (num "ts", num "ts" +. num "dur")
+          in
+          let o0, o1 = span "outer" and i0, i1 = span "inner" in
+          Alcotest.(check bool) "inner nests inside outer" true (i0 >= o0 && i1 <= o1)))
+
+let test_trace_flush_with_open_span () =
+  (* the SIGTERM-flush path: write_chrome while a span is still open must
+     produce a well-formed file holding only the completed spans *)
+  with_obs (fun () ->
+      Trace.with_span "done" (fun () -> ());
+      with_trace_tmp (fun path ->
+          Trace.with_span "open" (fun () -> Trace.write_chrome path);
+          let evs = parse_trace path in
+          let names =
+            List.filter_map (fun ev -> Option.bind (event_field ev "name") Json.to_string_opt) evs
+          in
+          Alcotest.(check (list string)) "only completed spans flushed" [ "done" ] names);
+      Alcotest.(check int) "stack balanced after flush" 0 (Trace.depth ()))
+
+let test_trace_drop_counted () =
+  with_obs (fun () ->
+      let cap = Trace.buffer_capacity () in
+      Fun.protect
+        ~finally:(fun () -> Trace.set_buffer_capacity cap)
+        (fun () ->
+          Trace.set_buffer_capacity 8;
+          for _ = 1 to 20 do
+            Trace.with_span "burst" (fun () -> ())
+          done;
+          Alcotest.(check int) "12 spans dropped" 12 (Trace.dropped ());
+          (match Metrics.find "trace_events_dropped" with
+          | Some (Metrics.Counter_value v) ->
+            Alcotest.(check int) "trace_events_dropped counts them" 12 v
+          | _ -> Alcotest.fail "trace_events_dropped not registered");
+          (* a trace written while dropping is still valid, just incomplete *)
+          with_trace_tmp (fun path ->
+              Trace.write_chrome path;
+              Alcotest.(check int) "capacity events survive" 8
+                (List.length (parse_trace path)))))
+
+let test_profile_aggregation () =
+  with_obs (fun () ->
+      for _ = 1 to 3 do
+        Trace.with_span "work" (fun () -> Trace.with_span "sub" (fun () -> ()))
+      done;
+      let rendered = Format.asprintf "@[<v>%a@]" Trace.pp_profile () in
+      Alcotest.(check bool) "repeats aggregate to one row with x3" true
+        (contains rendered "x3");
+      (* merged: "work" appears once, not three times *)
+      let count_occurrences needle hay =
+        let n = String.length needle in
+        let rec go i acc =
+          if i + n > String.length hay then acc
+          else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+          else go (i + 1) acc
+        in
+        go 0 0
+      in
+      Alcotest.(check int) "one aggregated work row" 1 (count_occurrences "work" rendered);
+      let r2 = Format.asprintf "@[<v>%a@]" Trace.pp_profile () in
+      Alcotest.(check string) "re-rendering is deterministic" rendered r2)
 
 (* --- explain --- *)
 
@@ -341,6 +504,15 @@ let () =
             test_ldivmod_metric_deterministic;
           Alcotest.test_case "registry pinned" `Quick test_registry_pinned;
           Alcotest.test_case "analysis populates metrics" `Quick test_analysis_populates_metrics;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "name round-trip" `Quick test_prometheus_escaping;
+        ] );
+      ( "chrome trace",
+        [
+          Alcotest.test_case "written file re-parses" `Quick test_trace_chrome_valid;
+          Alcotest.test_case "flush with open span" `Quick test_trace_flush_with_open_span;
+          Alcotest.test_case "drops counted" `Quick test_trace_drop_counted;
+          Alcotest.test_case "profile aggregation deterministic" `Quick test_profile_aggregation;
         ] );
       ( "explain",
         [ Alcotest.test_case "covers the bound exactly" `Quick test_explain_covers_bound ] );

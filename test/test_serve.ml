@@ -25,6 +25,9 @@ module Analyzer = Wcet_core.Analyzer
 module Report_cache = Wcet_core.Report_cache
 module Faultinject = Wcet_experiments.Faultinject
 module Pcg = Wcet_util.Pcg
+module Obs = Wcet_obs.Obs
+module Metrics = Wcet_obs.Metrics
+module Ledger = Wcet_obs.Ledger
 
 (* --- JSON parser -------------------------------------------------------- *)
 
@@ -327,7 +330,7 @@ let scratch_socket () =
   p
 
 let start_server ?(workers = 2) ?(queue = 8) ?(max_frame = 4096) ?default_timeout_ms ?handler
-    ?watch () =
+    ?watch ?log ?ledger () =
   let socket_path = scratch_socket () in
   let base = Server.default_config ~socket_path in
   let cfg =
@@ -341,6 +344,8 @@ let start_server ?(workers = 2) ?(queue = 8) ?(max_frame = 4096) ?default_timeou
       Server.classify = Faultinject.classify_exn;
       Server.handler = Option.value ~default:base.Server.handler handler;
       Server.watch;
+      Server.log = Option.value ~default:base.Server.log log;
+      Server.ledger;
     }
   in
   match Server.create cfg with
@@ -352,9 +357,9 @@ let stop_server (srv, th, path) =
   Thread.join th;
   try Sys.remove path with Sys_error _ -> ()
 
-let with_server ?workers ?queue ?max_frame ?default_timeout_ms ?handler ?watch f =
+let with_server ?workers ?queue ?max_frame ?default_timeout_ms ?handler ?watch ?log ?ledger f =
   let ((_, _, path) as s) =
-    start_server ?workers ?queue ?max_frame ?default_timeout_ms ?handler ?watch ()
+    start_server ?workers ?queue ?max_frame ?default_timeout_ms ?handler ?watch ?log ?ledger ()
   in
   Fun.protect ~finally:(fun () -> stop_server s) (fun () -> f path)
 
@@ -613,6 +618,139 @@ let test_server_warm_restart_bit_identity () =
       Alcotest.(check string) "warm restart reproduces the cold reply bit for bit"
         (Json.to_string cold) (Json.to_string warm))
 
+(* --- telemetry ---------------------------------------------------------- *)
+
+let with_obs f =
+  Obs.enable ();
+  Metrics.reset ();
+  Fun.protect ~finally:Obs.disable f
+
+let contains hay needle = Astring.String.is_infix ~affix:needle hay
+
+(* The acceptance pin: the daemon's [metrics] method serves the registry
+   in Prometheus text exposition format, with the serve-layer families
+   present and the request-latency histogram fed by this very session. *)
+let test_server_metrics_prometheus () =
+  with_obs (fun () ->
+      with_server (fun path ->
+          with_client path (fun c ->
+              ignore (ok_result (Client.request c ~id:(Json.Int 1) ~meth:"ping" (Json.Obj [])));
+              (* latency is observed after the reply is sent; give the worker
+                 a beat so the ping shows up in the scrape *)
+              Thread.delay 0.2;
+              let res =
+                ok_result
+                  (Client.request c ~id:(Json.Int 2) ~meth:"metrics"
+                     (Json.Obj [ ("format", Json.String "prometheus") ]))
+              in
+              Alcotest.(check (option string)) "exposition content type"
+                (Some "text/plain; version=0.0.4")
+                (Option.bind (Json.member "content_type" res) Json.to_string_opt);
+              let body =
+                match Option.bind (Json.member "body" res) Json.to_string_opt with
+                | Some b -> b
+                | None -> Alcotest.fail "no body in prometheus metrics reply"
+              in
+              List.iter
+                (fun needle ->
+                  Alcotest.(check bool) ("scrape contains " ^ needle) true
+                    (contains body needle))
+                [
+                  "# TYPE serve_requests counter";
+                  "# TYPE serve_request_ms histogram";
+                  "# TYPE serve_queue_depth gauge";
+                  "serve_requests{outcome=\"completed\"}";
+                  "serve_request_ms_bucket{le=\"+Inf\"}";
+                ];
+              (* the ping we sent was measured end to end *)
+              (match Metrics.find "serve_request_ms" with
+              | Some (Metrics.Histogram_value { count; _ }) ->
+                Alcotest.(check bool) "latency histogram fed" true (count >= 1)
+              | _ -> Alcotest.fail "serve_request_ms not registered");
+              (* default format stays the JSON registry dump *)
+              match
+                ok_result (Client.request c ~id:(Json.Int 3) ~meth:"metrics" (Json.Obj []))
+              with
+              | Json.Obj _ -> ()
+              | _ -> Alcotest.fail "json metrics reply is not an object")))
+
+let test_server_request_log () =
+  let logged = ref [] in
+  let log_m = Mutex.create () in
+  let log j =
+    Mutex.lock log_m;
+    logged := j :: !logged;
+    Mutex.unlock log_m
+  in
+  with_server ~log (fun path ->
+      with_client path (fun c ->
+          ignore (ok_result (Client.request c ~id:(Json.Int 1) ~meth:"ping" (Json.Obj [])));
+          expect_code "D0707" (Client.request c ~id:(Json.Int 2) ~meth:"nope" (Json.Obj []));
+          (* the completion record is written after the reply; wait for it *)
+          let deadline = Unix.gettimeofday () +. 5. in
+          let outcomes () =
+            Mutex.lock log_m;
+            let o =
+              List.filter_map
+                (fun j -> Option.bind (Json.member "outcome" j) Json.to_string_opt)
+                !logged
+            in
+            Mutex.unlock log_m;
+            o
+          in
+          while List.length (outcomes ()) < 2 && Unix.gettimeofday () < deadline do
+            Thread.delay 0.05
+          done;
+          Alcotest.(check bool) "unknown method logged" true
+            (List.mem "unknown-method" (outcomes ()));
+          Mutex.lock log_m;
+          let lines = List.rev !logged in
+          Mutex.unlock log_m;
+          let ping =
+            List.find_opt
+              (fun j -> Option.bind (Json.member "method" j) Json.to_string_opt = Some "ping")
+              lines
+          in
+          match ping with
+          | None -> Alcotest.fail "no log line for the ping"
+          | Some j ->
+            Alcotest.(check (option string)) "event" (Some "request")
+              (Option.bind (Json.member "event" j) Json.to_string_opt);
+            Alcotest.(check (option string)) "outcome" (Some "completed")
+              (Option.bind (Json.member "outcome" j) Json.to_string_opt);
+            Alcotest.(check bool) "correlation id present" true
+              (Option.bind (Json.member "cid" j) Json.to_int_opt <> None);
+            Alcotest.(check bool) "queue latency present" true
+              (Option.bind (Json.member "queue_ms" j) Json.to_int_opt <> None);
+            Alcotest.(check bool) "total latency present" true
+              (Option.bind (Json.member "elapsed_ms" j) Json.to_int_opt <> None)))
+
+let test_server_watch_ledger () =
+  let dir = temp_dir "wcet-serve-ledger" in
+  let file = Filename.concat dir "l.mc" in
+  write_file file (loop_src 4);
+  let ledger = Filename.concat dir "bounds.ndjson" in
+  with_server ~watch:(dir, 0.05, 0.05) ~ledger (fun path ->
+      with_client path (fun c ->
+          (* the baseline scan analyzes the file and appends a snapshot *)
+          let deadline = Unix.gettimeofday () +. 10. in
+          while not (Sys.file_exists ledger) && Unix.gettimeofday () < deadline do
+            Thread.delay 0.05
+          done;
+          ignore (ok_result (Client.request c ~id:(Json.Int 1) ~meth:"ping" (Json.Obj [])))));
+  (match Ledger.load ~path:ledger with
+  | Error msg -> Alcotest.fail ("ledger did not load: " ^ msg)
+  | Ok (entries, skipped) ->
+    Alcotest.(check int) "no malformed lines" 0 skipped;
+    Alcotest.(check bool) "baseline snapshot recorded" true (List.length entries >= 1);
+    let e = List.hd entries in
+    Alcotest.(check string) "program is the watched path" file e.Ledger.program;
+    Alcotest.(check string) "complete verdict" "complete" e.Ledger.verdict;
+    Alcotest.(check bool) "bound recorded" true (e.Ledger.bound <> None));
+  Sys.remove file;
+  Sys.remove ledger;
+  Sys.rmdir dir
+
 (* --- campaigns ---------------------------------------------------------- *)
 
 let test_store_campaign_smoke () =
@@ -668,6 +806,12 @@ let () =
           Alcotest.test_case "watch events over the wire" `Quick test_server_watch_events;
           Alcotest.test_case "warm restart bit identity" `Quick
             test_server_warm_restart_bit_identity;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "prometheus metrics method" `Quick test_server_metrics_prometheus;
+          Alcotest.test_case "per-request log lines" `Quick test_server_request_log;
+          Alcotest.test_case "watch loop feeds the ledger" `Quick test_server_watch_ledger;
         ] );
       ( "campaigns",
         [
