@@ -252,6 +252,24 @@ let engine_arg =
           "Fixpoint engine: $(b,summary) (bottom-up SCC-scheduled with persistent \
            per-function summaries; the default) or $(b,whole-program) (single worklist)")
 
+let domain_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("interval", Wcet_value.Analysis.Interval);
+             ("octagon", Wcet_value.Analysis.Octagon);
+             ("auto", Wcet_value.Analysis.Auto);
+           ])
+        Wcet_value.Analysis.Auto
+    & info [ "domain" ]
+        ~doc:
+          "Value-analysis abstract domain: $(b,interval) (non-relational baseline), \
+           $(b,octagon) (relational re-solve of every function), or $(b,auto) (the default: \
+           interval first, then an octagon escalation of exactly the functions whose interval \
+           results left imprecise accesses or input-dependent loop bounds)")
+
 (* The bound-drift ledger: `analyze --ledger` and `check --ledger` append
    one snapshot per run; `ledger report`/`ledger diff` read the series
    back. A ledger write failure is a W0802 warning, never a run failure. *)
@@ -292,13 +310,13 @@ let ledger_append_report ~ledger ~source (report : Analyzer.report) =
 let analyze_cmd =
   let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
   let run source annot_file hw soft_div verbose format profile trace cache_dir no_cache engine
-      ledger =
+      domain ledger =
     handle_errors (fun () ->
         obs_setup ~profile ~trace;
         cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
-        match Analyzer.analyze ~hw ~annot ~engine program with
+        match Analyzer.analyze ~hw ~annot ~engine ~domain program with
         | report -> (
           ledger_append_report ~ledger ~source report;
           (match format with
@@ -331,7 +349,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Compute a WCET bound for a MiniC program")
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ verbose_arg $ format_arg
-      $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg $ engine_arg $ ledger_arg)
+      $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg $ engine_arg $ domain_arg
+      $ ledger_arg)
 
 let poke_conv =
   let parse s =
@@ -450,11 +469,11 @@ let audit_cmd =
           Misra.Audit.emit_dot ppf report audit;
           Format.pp_print_flush ppf ())
   in
-  let run source annot_file hw soft_div format dot corpus grades seed cache_dir no_cache =
+  let run source annot_file hw soft_div format dot corpus grades seed cache_dir no_cache domain =
     handle_errors (fun () ->
         cache_setup ~cache_dir ~no_cache;
         if corpus then begin
-          let rows = Wcet_experiments.Audit_corpus.run ~seed () in
+          let rows = Wcet_experiments.Audit_corpus.run ~domain ~seed () in
           (if grades then
              List.iter print_endline (Wcet_experiments.Audit_corpus.grades_lines rows)
            else
@@ -485,7 +504,7 @@ let audit_cmd =
               | Pred32_sim.Simulator.Faulted _ | Pred32_sim.Simulator.Out_of_fuel _ -> None
             in
             let audit =
-              match Analyzer.analyze ~hw ~annot program with
+              match Analyzer.analyze ~hw ~annot ~domain program with
               | report ->
                 let audit = Misra.Audit.of_report ~misra ~annot ?coverage report in
                 emit_dot dot report audit;
@@ -504,7 +523,7 @@ let audit_cmd =
           its predictability")
     Term.(
       const run $ source_opt_arg $ annot_arg $ hw_arg $ soft_div_arg $ format_arg $ dot_arg
-      $ corpus_arg $ grades_arg $ seed_arg $ cache_dir_arg $ no_cache_arg)
+      $ corpus_arg $ grades_arg $ seed_arg $ cache_dir_arg $ no_cache_arg $ domain_arg)
 
 let disasm_cmd =
   let run source soft_div =
@@ -599,12 +618,12 @@ let explain_cmd =
       & info [ "poke" ]
           ~doc:"With $(b,--attribute): set a global before the observed simulation run")
   in
-  let run source annot_file hw soft_div top dot format attribute pokes cache_dir no_cache =
+  let run source annot_file hw soft_div top dot format attribute pokes cache_dir no_cache domain =
     handle_errors (fun () ->
         cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
-        match Analyzer.analyze ~hw ~annot program with
+        match Analyzer.analyze ~hw ~annot ~domain program with
         | report when attribute -> (
           match
             Attribution.of_report ~pokes:(List.map (fun (sym, v) -> (sym, 0, v)) pokes) report
@@ -644,7 +663,7 @@ let explain_cmd =
           into typed pessimism sources")
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ top_arg $ dot_arg $ format_arg
-      $ attribute_flag $ pokes_arg $ cache_dir_arg $ no_cache_arg)
+      $ attribute_flag $ pokes_arg $ cache_dir_arg $ no_cache_arg $ domain_arg)
 
 let check_cmd =
   let seed_arg =
@@ -672,11 +691,12 @@ let check_cmd =
       & info [ "daemon-faults" ]
           ~doc:"Daemon wire-level fault-injection trial count (0 disables the daemon campaign)")
   in
-  let run seed random faults store_faults daemon_faults format trace cache_dir no_cache ledger =
+  let run seed random faults store_faults daemon_faults format trace cache_dir no_cache domain
+      ledger =
     handle_errors (fun () ->
         obs_setup ~profile:false ~trace;
         cache_setup ~cache_dir ~no_cache;
-        let stats = Check.run ~seed ~random_per_scenario:random ?ledger () in
+        let stats = Check.run ~seed ~domain ~random_per_scenario:random ?ledger () in
         let campaign =
           let minic = faults / 2 in
           let annots = faults / 4 in
@@ -733,7 +753,7 @@ let check_cmd =
           run the fault-injection robustness campaigns (toolchain inputs, on-disk cache store, \
           and the analysis daemon's wire protocol)")
     Term.(const run $ seed_arg $ random_arg $ faults_arg $ store_faults_arg $ daemon_faults_arg
-          $ format_arg $ trace_arg $ cache_dir_arg $ no_cache_arg $ ledger_arg)
+          $ format_arg $ trace_arg $ cache_dir_arg $ no_cache_arg $ domain_arg $ ledger_arg)
 
 (* --- the analysis daemon ------------------------------------------------ *)
 

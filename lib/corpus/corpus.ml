@@ -407,8 +407,44 @@ let handlers_entry =
          int main() { int i; if (sel) { handler = on_can; } else { handler = on_flexray; } out = 0; for (i = 0; i < 4; i = i + 1) { out = out + handler(ev[i]); } return out; }";
   }
 
+(* Tier-one challenge 2 revisited under the relational (octagon) value
+   domain: a [while (i != n)] loop whose limit is an assume-bounded input,
+   and buffer indices computed as [n - i]. The interval domain cannot bound
+   the [!=] exit against a non-singleton limit (A0505) and loses [n - i]
+   to wraparound (the access spans regions, A0509); the octagon's
+   difference constraints discharge both, and prove the post-loop access
+   [buf[n - i]] is exactly [buf[0]]. *)
+let relational_source =
+  "int n; int buf[80]; int out; \
+   int main() { int i; int j; int s; s = 0; i = 0; \
+   while (i != n) { j = n - i; s = s + buf[j]; i = i + 1; } \
+   out = buf[n - i]; return s + out; }"
+
+let relational_inputs = [ [ ("n", 0, 0) ]; [ ("n", 0, 13) ]; [ ("n", 0, 64) ] ]
+
+let relational_entry =
+  {
+    id = "relational";
+    title = "relational loop exits and derived indices (octagon domain)";
+    expectation =
+      "documenting the input range (assume) lets the relational domain bound the != exit and \
+       pin the derived indices; without it the loop needs a manual bound and the accesses \
+       stay imprecise in every domain";
+    conforming =
+      scenario ~inputs:relational_inputs
+        ~annotations:(annot_text "assume n in [ 0 64 ]")
+        relational_source;
+    violating =
+      scenario ~inputs:relational_inputs
+        ~annotations:(annot_text "loop in main bound 64")
+        relational_source;
+  }
+
 let tier_two_entries =
-  [ modes_entry; message_entry; memory_entry; error_entry; arith_entry; handlers_entry ]
+  [
+    modes_entry; message_entry; memory_entry; error_entry; arith_entry; handlers_entry;
+    relational_entry;
+  ]
 
 let all = rule_entries @ tier_two_entries
 

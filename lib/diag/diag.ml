@@ -131,6 +131,9 @@ let all_codes =
     ("E0804", "slack attribution does not sum to bound minus observed (internal)");
     ("E0805", "slack attribution unavailable (partial bound or simulation did not halt)");
     ("E0806", "bound ledger: bound or precision regression between snapshots");
+    ("W0501", "value analysis escalated to the octagon domain (relational pass)");
+    ("E0503", "octagon escalation diverged from the interval result (paranoid cross-check)");
+    ("W0613", "analysis cache entry from another value domain (evicted, recomputed)");
   ]
 
 let describe code = List.assoc_opt code all_codes

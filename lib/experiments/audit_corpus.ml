@@ -33,12 +33,12 @@ let coverage_of ~seed (s : Corpus.scenario) program =
     | Sim.Halted _ -> Some (fun addr -> Sim.exec_count sim addr)
     | Sim.Faulted _ | Sim.Out_of_fuel _ -> None)
 
-let audit_once ~(s : Corpus.scenario) ~misra ~annot ?coverage program =
-  match Analyzer.analyze ~hw:s.Corpus.hw ~annot program with
+let audit_once ~domain ~(s : Corpus.scenario) ~misra ~annot ?coverage program =
+  match Analyzer.analyze ~hw:s.Corpus.hw ~annot ~domain program with
   | report -> Audit.of_report ~misra ~annot ?coverage report
   | exception Analyzer.Analysis_failed ds -> Audit.of_failure ds
 
-let audit_scenario ~seed ~id ~variant (s : Corpus.scenario) =
+let audit_scenario ~domain ~seed ~id ~variant (s : Corpus.scenario) =
   let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
   let misra =
     Misra.Checker.check (Compile.frontend_with_runtime ~options:s.Corpus.options s.Corpus.source)
@@ -48,10 +48,11 @@ let audit_scenario ~seed ~id ~variant (s : Corpus.scenario) =
              && String.sub v.Misra.Checker.func 0 2 = "__"))
   in
   let coverage = coverage_of ~seed s program in
-  let automatic = audit_once ~s ~misra ~annot:Annot.empty ?coverage program in
+  let automatic = audit_once ~domain ~s ~misra ~annot:Annot.empty ?coverage program in
   let annot = s.Corpus.annotations program in
   let assisted =
-    if annot = Annot.empty then automatic else audit_once ~s ~misra ~annot ?coverage program
+    if annot = Annot.empty then automatic
+    else audit_once ~domain ~s ~misra ~annot ?coverage program
   in
   let count tier =
     List.length
@@ -69,12 +70,12 @@ let audit_scenario ~seed ~id ~variant (s : Corpus.scenario) =
         (List.map (fun (f : Audit.finding) -> f.Audit.code) automatic.Audit.findings);
   }
 
-let audit_entry ~seed (e : Corpus.entry) =
-  ( audit_scenario ~seed ~id:e.Corpus.id ~variant:"conforming" e.Corpus.conforming,
-    audit_scenario ~seed ~id:e.Corpus.id ~variant:"violating" e.Corpus.violating )
+let audit_entry ~domain ~seed (e : Corpus.entry) =
+  ( audit_scenario ~domain ~seed ~id:e.Corpus.id ~variant:"conforming" e.Corpus.conforming,
+    audit_scenario ~domain ~seed ~id:e.Corpus.id ~variant:"violating" e.Corpus.violating )
 
-let run ?domains ?(seed = 20110318L) () =
-  Wcet_util.Parallel.map_list ?domains (audit_entry ~seed) Corpus.all
+let run ?domains ?(domain = Wcet_value.Analysis.Interval) ?(seed = 20110318L) () =
+  Wcet_util.Parallel.map_list ?domains (audit_entry ~domain ~seed) Corpus.all
   |> List.concat_map (fun (a, b) -> [ a; b ])
 
 let grades_lines rows =

@@ -20,12 +20,16 @@ type row = {
   codes : string list;  (** distinct finding codes of the automatic audit, sorted *)
 }
 
-(** [run ?domains ?seed ()] audits the whole corpus across the
+(** [run ?domains ?domain ?seed ()] audits the whole corpus across the
     {!Wcet_util.Parallel} domain pool; rows come back in corpus order, so
-    the output is identical for every domain count. [seed] (default the
-    paper date, [20110318]) deterministically selects which declared input
-    set drives each scenario's nominal coverage run. *)
-val run : ?domains:int -> ?seed:int64 -> unit -> row list
+    the output is identical for every domain count. [domain] (default
+    [Interval]) is the value-analysis abstract domain both audits run
+    under — [Auto] lets the octagon escalation discharge findings, which
+    shows up as [discharged-by: octagon] codes and better grades. [seed]
+    (default the paper date, [20110318]) deterministically selects which
+    declared input set drives each scenario's nominal coverage run. *)
+val run :
+  ?domains:int -> ?domain:Wcet_value.Analysis.domain -> ?seed:int64 -> unit -> row list
 
 (** One stable line per row, [id variant automatic=g assisted=g] — the
     golden-file format CI diffs ([test/audit_grades.golden]). *)

@@ -87,10 +87,11 @@ let check_attribution ~id ~variant (s : Corpus.scenario) report acc =
     { acc with violations = v :: acc.violations }
   | Error _ -> acc
 
-let check_scenario rng ~random_per_scenario ~record ~id ~variant (s : Corpus.scenario) acc =
+let check_scenario rng ~domain ~random_per_scenario ~record ~id ~variant (s : Corpus.scenario)
+    acc =
   let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
   let annot = s.Corpus.annotations program in
-  match Analyzer.analyze ~hw:s.Corpus.hw ~annot program with
+  match Analyzer.analyze ~hw:s.Corpus.hw ~annot ~domain program with
   | exception Analyzer.Analysis_failed ds ->
     let d =
       Diag.make Diag.Error Diag.Check ~code:"E0701"
@@ -168,7 +169,8 @@ let check_scenario rng ~random_per_scenario ~record ~id ~variant (s : Corpus.sce
           with Ledger.metrics = precision };
       check_attribution ~id ~variant s report !acc)
 
-let run ?(seed = 20110318L) ?(random_per_scenario = 8) ?ledger () =
+let run ?(seed = 20110318L) ?(domain = Wcet_value.Analysis.Interval) ?(random_per_scenario = 8)
+    ?ledger () =
   let rng = Pcg.create ~seed () in
   let entries = ref [] in
   let record e = if ledger <> None then entries := e :: !entries in
@@ -188,11 +190,11 @@ let run ?(seed = 20110318L) ?(random_per_scenario = 8) ?ledger () =
     List.fold_left
       (fun acc (e : Corpus.entry) ->
         let acc =
-          check_scenario rng ~random_per_scenario ~record ~id:e.Corpus.id
+          check_scenario rng ~domain ~random_per_scenario ~record ~id:e.Corpus.id
             ~variant:"conforming" e.Corpus.conforming acc
         in
-        check_scenario rng ~random_per_scenario ~record ~id:e.Corpus.id ~variant:"violating"
-          e.Corpus.violating acc)
+        check_scenario rng ~domain ~random_per_scenario ~record ~id:e.Corpus.id
+          ~variant:"violating" e.Corpus.violating acc)
       empty Corpus.all
   in
   let stats =

@@ -31,13 +31,21 @@ type stats = {
   diagnostics : Wcet_diag.Diag.t list;  (** W0602 inconclusive runs *)
 }
 
-(** [run ?seed ?random_per_scenario ?ledger ()] cross-validates the whole
-    corpus. [seed] (default the paper date) drives the PCG32 input
-    generator; [random_per_scenario] (default 8) is the number of random
+(** [run ?seed ?domain ?random_per_scenario ?ledger ()] cross-validates the
+    whole corpus. [seed] (default the paper date) drives the PCG32 input
+    generator; [domain] (default [Interval]) selects the value domain the
+    analyzer runs under — pass [Auto] to cycle-check the octagon-escalated
+    bounds too; [random_per_scenario] (default 8) is the number of random
     input sets per scenario on top of the declared ones. When [ledger] is
     set, one bound-drift snapshot per scenario is appended to that NDJSON
     file ({!Wcet_obs.Ledger}). *)
-val run : ?seed:int64 -> ?random_per_scenario:int -> ?ledger:string -> unit -> stats
+val run :
+  ?seed:int64 ->
+  ?domain:Wcet_value.Analysis.domain ->
+  ?random_per_scenario:int ->
+  ?ledger:string ->
+  unit ->
+  stats
 
 (** Zero violations and zero failed analyses. *)
 val ok : stats -> bool

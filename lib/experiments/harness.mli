@@ -46,6 +46,38 @@ val table_tier_two : ?domains:int -> Format.formatter -> unit -> unit
 val table_of :
   ?domains:int -> Wcet_corpus.Corpus.entry list -> Format.formatter -> string -> unit
 
+(** E4: one row of the interval-vs-auto value-domain comparison. Each
+    corpus entry's conforming scenario is analyzed twice with its
+    annotations — once under [Interval], once under [Auto] (interval with
+    on-demand octagon escalation) — and the precision deltas recorded.
+    Computing a row re-asserts the acceptance invariant that a
+    complete-vs-complete bound never increases under escalation (the
+    reduced product only adds constraints); a violation is a [Failure]. *)
+type e4_row = {
+  e4_entry : string;
+  e4_interval : verdict;  (** assisted verdict under [Interval] *)
+  e4_auto : verdict;  (** assisted verdict under [Auto] *)
+  e4_interval_secs : float;  (** wall-clock of the interval analysis *)
+  e4_auto_secs : float;  (** wall-clock of the auto analysis *)
+  e4_escalated : int;  (** functions the escalation driver re-solved *)
+  e4_transfers : int;  (** product-domain transfer count *)
+  e4_loops : int;  (** loops the relational pass discharged *)
+  e4_accesses : int;  (** accesses the relational pass tightened *)
+  e4_value_nonexact : int * int;
+      (** non-singleton access addresses: (interval run, auto run) *)
+  e4_cache_nc : int * int;
+      (** not-classified cache accesses: (interval run, auto run) *)
+}
+
+(** All E4 rows, in corpus order (entries fan out across the domain pool
+    like {!table_rules}). *)
+val e4_rows : ?domains:int -> unit -> e4_row list
+
+val pp_e4 : Format.formatter -> e4_row list -> unit
+
+(** E4: the value-domain precision table ({!pp_e4} over {!e4_rows}). *)
+val table_e4 : ?domains:int -> Format.formatter -> unit -> unit
+
 (** Raised by {!table_t1} (and classified to its registered code by
     [Faultinject.classify_exn]) when an environment override is invalid. *)
 exception Invalid_env of Wcet_diag.Diag.t

@@ -665,15 +665,110 @@ let audit_unreachable (r : Analyzer.report) =
       let prev = try Hashtbl.find status key with Not_found -> false in
       Hashtbl.replace status key (prev || reached))
     g.Supergraph.nodes;
-  Hashtbl.fold
-    (fun (func, addr) reached acc ->
-      if reached || is_runtime_func func || List.mem func degraded_funcs then acc
-      else
-        findingf ~func ~addr ~rules:[ "14.1" ] Diag.Info "A0512"
-          "block is semantically unreachable: the value analysis proves no execution enters \
-           it (infeasible path or excluded mode)"
-        :: acc)
-    status []
+  let block_findings =
+    Hashtbl.fold
+      (fun (func, addr) reached acc ->
+        if reached || is_runtime_func func || List.mem func degraded_funcs then acc
+        else
+          findingf ~func ~addr ~rules:[ "14.1" ] Diag.Info "A0512"
+            "block is semantically unreachable: the value analysis proves no execution enters \
+             it (infeasible path or excluded mode)"
+          :: acc)
+      status []
+  in
+  (* Edge-level variant: a conditional arm pruned by branch refinement in
+     every context, between blocks that are otherwise live — the branch
+     outcome is statically decided even though both blocks execute. *)
+  let edge_status = Hashtbl.create 16 in
+  Array.iter
+    (fun (n : Supergraph.node) ->
+      if v.Analysis.node_in.(n.Supergraph.id) <> None then begin
+        let feasible = Analysis.feasible_successors v n.Supergraph.id in
+        List.iter
+          (fun (kind, tgt) ->
+            match kind with
+            | Supergraph.Etaken | Supergraph.Enottaken ->
+              let tgt_live =
+                try Hashtbl.find status (node_func g tgt, block_entry g tgt)
+                with Not_found -> false
+              in
+              if tgt_live then begin
+                let key = (n.Supergraph.func, terminator_addr n, kind = Supergraph.Etaken) in
+                let live_edge = List.exists (fun (k, t) -> k = kind && t = tgt) feasible in
+                let prev = try Hashtbl.find edge_status key with Not_found -> false in
+                Hashtbl.replace edge_status key (prev || live_edge)
+              end
+            | _ -> ())
+          n.Supergraph.succs
+      end)
+    g.Supergraph.nodes;
+  let edge_findings =
+    Hashtbl.fold
+      (fun (func, addr, taken) live acc ->
+        if live || is_runtime_func func || List.mem func degraded_funcs then acc
+        else
+          findingf ~func ~addr ~rules:[ "14.1" ] Diag.Info "A0512"
+            "the %s arm of this branch is semantically infeasible: the value analysis proves \
+             it is never followed"
+            (if taken then "taken" else "fall-through")
+          :: acc)
+      edge_status []
+  in
+  edge_findings @ block_findings
+
+(* --- octagon discharges: interval-pass findings the relational pass
+   resolved. The refined report no longer produces the original A0505/A0509
+   warnings at all; these Info findings record that they existed and what
+   discharged them, so a precision gate can assert the discharge. --- *)
+
+let audit_octagon_discharges (r : Analyzer.report) =
+  match r.Analyzer.escalation with
+  | None -> []
+  | Some e ->
+    let map = r.Analyzer.program.Program.map in
+    let regions_spanned = function
+      | Aval.Top ->
+        List.length
+          (List.filter
+             (fun (rg : Region.t) -> rg.Region.kind <> Region.Rom)
+             (Memory_map.regions map))
+      | Aval.Bot -> 0
+      | Aval.I (lo, hi) ->
+        List.length
+          (List.filter
+             (fun (rg : Region.t) -> rg.Region.base <= hi && lo < Region.limit rg)
+             (Memory_map.regions map))
+    in
+    let loop_findings =
+      List.filter_map
+        (fun (addr, func, cause) ->
+          if is_runtime_func func then None
+          else
+            let code = if cause = "input-dependent" then "A0505" else "A0506" in
+            Some
+              (findingf ~func ~addr Diag.Info code
+                 "loop bound was %s under the interval domain; discharged-by: octagon" cause))
+        e.Analyzer.ei_discharged_loops
+    in
+    let access_findings =
+      List.filter_map
+        (fun (addr, func, before, after) ->
+          if is_runtime_func func then None
+          else if regions_spanned before >= 2 && regions_spanned after <= 1 then
+            let pp_aval = function
+              | Aval.Top -> "unknown (Top)"
+              | Aval.I (lo, hi) -> Printf.sprintf "[0x%x, 0x%x]" lo hi
+              | Aval.Bot -> "bottom"
+            in
+            Some
+              (findingf ~func ~addr Diag.Info "A0509"
+                 "access address narrowed from %s to %s by the relational pass; discharged-by: \
+                  octagon"
+                 (pp_aval before) (pp_aval after))
+          else None)
+        e.Analyzer.ei_tightened_accesses
+    in
+    loop_findings @ access_findings
 
 (* --- MISRA bridging --- *)
 
@@ -759,7 +854,7 @@ let of_report ?(misra = []) ?(annot = Annot.empty) ?coverage (r : Analyzer.repor
     @ audit_irreducible r annot @ audit_recursion r annot @ audit_modes r annot
     @ audit_memory r annot
     @ (match coverage with Some c -> audit_error_handling r annot c | None -> [])
-    @ audit_softarith r @ audit_unreachable r
+    @ audit_softarith r @ audit_unreachable r @ audit_octagon_discharges r
   in
   let findings = List.map (crossref misra) findings in
   aggregate r.Analyzer.graph findings []

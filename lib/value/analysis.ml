@@ -227,8 +227,27 @@ let propagate_of ctx (graph : Supergraph.t) i st_out =
       | Some st_edge -> Some (target, st_edge))
     node.Supergraph.succs
 
-(* Shared tail of both solvers: access recording + fixpoint metrics. *)
-let finish ctx (graph : Supergraph.t) node_in node_out (solution : FP.result) =
+let publish_access_metrics accesses =
+  if Wcet_obs.Obs.on () then
+    Array.iter
+      (List.iter (fun a ->
+           let m =
+             match Aval.singleton a.addr with
+             | Some _ -> m_access_exact
+             | None -> (
+               match Aval.range a.addr with
+               | Some _ -> m_access_interval
+               | None -> m_access_unknown)
+           in
+           Metrics.incr m 1))
+      accesses
+
+(* Shared tail of both solvers: access recording + fixpoint metrics.
+   [publish] gates the per-access precision counters only (the engine
+   statistics always reflect the work done): when a run may later be
+   escalated to the octagon domain, the caller publishes the counters once,
+   from whichever result is final. *)
+let finish ?(publish = true) ctx (graph : Supergraph.t) node_in node_out (solution : FP.result) =
   let n = Array.length graph.Supergraph.nodes in
   let accesses = Array.make n [] in
   Array.iteri
@@ -249,22 +268,10 @@ let finish ctx (graph : Supergraph.t) node_in node_out (solution : FP.result) =
   Metrics.incr m_widenings solution.FP.widenings;
   Metrics.incr m_joins solution.FP.joins;
   Metrics.set_max m_worklist_peak solution.FP.max_pending;
-  if Wcet_obs.Obs.on () then
-    Array.iter
-      (List.iter (fun a ->
-           let m =
-             match Aval.singleton a.addr with
-             | Some _ -> m_access_exact
-             | None -> (
-               match Aval.range a.addr with
-               | Some _ -> m_access_interval
-               | None -> m_access_unknown)
-           in
-           Metrics.incr m 1))
-      accesses;
+  if publish then publish_access_metrics accesses;
   { graph; node_in; node_out; accesses; transfers = solution.FP.transfers }
 
-let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds ?cancel
+let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds ?cancel ?publish
     (graph : Supergraph.t) (loops : Loops.info) =
   let n = Array.length graph.Supergraph.nodes in
   let ctx = chronological_ctx graph.Supergraph.program in
@@ -287,7 +294,7 @@ let run ?(strategy = Wcet_util.Fixpoint.Rpo) ?(assumes = []) ?seeds ?cancel
   in
   let node_in = Array.init n solution.FP.in_state in
   let node_out = Array.init n solution.FP.out_state in
-  finish ctx graph node_in node_out solution
+  finish ?publish ctx graph node_in node_out solution
 
 (* ---- Component-scheduled solve -------------------------------------- *)
 
@@ -330,7 +337,7 @@ let comp_spans analysis (graph : Supergraph.t) (plan : Wcet_util.Fixpoint.plan)
         end)
       plan.Wcet_util.Fixpoint.plan_comps
 
-let run_scheduled ?(assumes = []) ?slice ?cancel ?domains (graph : Supergraph.t)
+let run_scheduled ?(assumes = []) ?slice ?cancel ?domains ?publish (graph : Supergraph.t)
     (loops : Loops.info) =
   let n = Array.length graph.Supergraph.nodes in
   let nodes = graph.Supergraph.nodes in
@@ -427,7 +434,7 @@ let run_scheduled ?(assumes = []) ?slice ?cancel ?domains (graph : Supergraph.t)
      already attributed (solved components during their transfers, applied
      ones from their rows), so replay registers nothing. *)
   let result =
-    finish
+    finish ?publish
       { ctx with is_linkage = Hashtbl.mem snapshot; register_linkage = ignore; record = None }
       graph node_in node_out solution
   in
@@ -451,6 +458,377 @@ let run_scheduled ?(assumes = []) ?slice ?cancel ?domains (graph : Supergraph.t)
       computed = !computed;
       applied = !applied;
     } )
+
+(* ---- Octagon escalation --------------------------------------------- *)
+
+type domain = Interval | Octagon | Auto
+
+let domain_name = function Interval -> "interval" | Octagon -> "octagon" | Auto -> "auto"
+
+let domain_of_string = function
+  | "interval" -> Some Interval
+  | "octagon" -> Some Octagon
+  | "auto" -> Some Auto
+  | _ -> None
+
+let m_oct_transfers =
+  Metrics.counter ~labels:[ ("analysis", "octagon") ] ~name:"fixpoint_transfers"
+    ~help:"Transfer-function applications until the octagon fixpoint" ()
+
+let m_escalated_funcs =
+  Metrics.counter ~name:"value_escalated_functions"
+    ~help:"Functions re-solved under the octagon domain" ()
+
+(* Above 2^31 the unsigned machine order and the mathematical order diverge
+   (and signed comparisons see negative values), so octagon constraints are
+   only built over values the companion interval proves below this line. *)
+let half = 0x80000000
+
+let safe_range v =
+  match Aval.range v with Some (_, hi) as r when hi < half -> r | _ -> None
+
+let nregs = 16
+let ovar r = Reg.to_int r
+
+type oct_env = { slot_var : (int, int) Hashtbl.t; slot_addrs : int array }
+
+let max_slots = 16
+
+let oct_meet_unary oct v iv =
+  match safe_range iv with
+  | Some (lo, hi) -> Octagon.add_lb (Octagon.add_ub oct v hi) v lo
+  | None -> oct
+
+(* x_v := a fresh value known only by its interval. *)
+let oct_set_var oct v iv = oct_meet_unary (Octagon.forget oct v) v iv
+
+(* The product's reduction: an interval refined with the octagon's own
+   unary bounds on the same variable. The wraparound guards below consult
+   this, not the raw interval — the relational invariant (say i <= n <= 64)
+   routinely outlives the interval bound at a widened loop head, and
+   without the reduction the guard would discard exactly the constraints
+   the escalation exists to keep. *)
+let oct_range oct v iv =
+  match Octagon.var_bounds oct v with
+  | None, None -> iv
+  | lo, hi ->
+    let olo = Option.value lo ~default:min_int in
+    let ohi = Option.value hi ~default:max_int in
+    let m = Aval.meet iv (Aval.interval olo ohi) in
+    if Aval.is_bot m then iv else m
+
+let oct_read oct st r = oct_range oct (ovar r) (State.get_reg st r)
+
+let oct_def_reg st' oct rd =
+  if Reg.equal rd Reg.zero then oct
+  else oct_set_var oct (ovar rd) (State.get_reg st' rd)
+
+(* Octagon companion of [transfer_insn]. [st] is the interval state before
+   the instruction, [st'] after; returns the (possibly projected) interval
+   state and the new octagon. Every relational update is guarded by the
+   wraparound contract: the interval must prove the operands and the
+   mathematical result stay in [0, 2^31). *)
+let oct_transfer_insn env st st' oct (_addr, insn) =
+  if Octagon.is_bot oct then (st', oct)
+  else
+    match insn with
+    | Insn.Alui ((Insn.Add | Insn.Sub), rd, rs1, imm) when not (Reg.equal rd Reg.zero) -> (
+      let c = match insn with Insn.Alui (Insn.Sub, _, _, _) -> -imm | _ -> imm in
+      match safe_range (oct_read oct st rs1) with
+      | Some (lo, hi) when lo + c >= 0 && hi + c < half ->
+        let oct = Octagon.assign_var_plus oct ~dst:(ovar rd) ~src:(ovar rs1) c in
+        (st', oct_meet_unary oct (ovar rd) (State.get_reg st' rd))
+      | _ -> (st', oct_def_reg st' oct rd))
+    | Insn.Alui (_, rd, _, _) -> (st', oct_def_reg st' oct rd)
+    | Insn.Alu (Insn.Add, rd, rs1, rs2) when not (Reg.equal rd Reg.zero) -> (
+      let v1 = oct_read oct st rs1 and v2 = oct_read oct st rs2 in
+      match (safe_range v1, safe_range v2) with
+      | Some (lo1, hi1), Some (lo2, hi2) when hi1 + hi2 < half ->
+        let d = ovar rd in
+        let oct =
+          match (Aval.singleton v2, Aval.singleton v1) with
+          | Some c, _ -> Octagon.assign_var_plus oct ~dst:d ~src:(ovar rs1) c
+          | None, Some c -> Octagon.assign_var_plus oct ~dst:d ~src:(ovar rs2) c
+          | None, None ->
+            (* x_rd - x_rs1 in [lo2, hi2] and symmetrically for rs2. *)
+            let oct = Octagon.forget oct d in
+            let bound oct s (lo, hi) =
+              if s = d then oct
+              else Octagon.add_diff (Octagon.add_diff oct ~u:d ~v:s hi) ~u:s ~v:d (-lo)
+            in
+            bound (bound oct (ovar rs1) (lo2, hi2)) (ovar rs2) (lo1, hi1)
+        in
+        (st', oct_meet_unary oct d (State.get_reg st' rd))
+      | _ -> (st', oct_def_reg st' oct rd))
+    | Insn.Alu (Insn.Sub, rd, rs1, rs2) when not (Reg.equal rd Reg.zero) -> (
+      let v1 = oct_read oct st rs1 and v2 = oct_read oct st rs2 in
+      match (safe_range v1, Aval.singleton v2) with
+      | Some (lo1, hi1), Some c when lo1 - c >= 0 && hi1 - c < half ->
+        let oct = Octagon.assign_var_plus oct ~dst:(ovar rd) ~src:(ovar rs1) (-c) in
+        (st', oct_meet_unary oct (ovar rd) (State.get_reg st' rd))
+      | _ -> (
+        (* Project the relational difference: when the octagon proves
+           rs1 - rs2 in [dlo, dhi] within [0, 2^31), the 32-bit subtraction
+           cannot borrow and equals the mathematical difference. This is the
+           step that turns a relation into a tight interval for downstream
+           address computations. *)
+        match Octagon.diff_bounds oct ~u:(ovar rs1) ~v:(ovar rs2) with
+        | Some dlo, Some dhi when dlo >= 0 && dhi < half ->
+          let refined = Aval.meet (State.get_reg st' rd) (Aval.interval dlo dhi) in
+          let refined = if Aval.is_bot refined then State.get_reg st' rd else refined in
+          let st' = State.set_reg st' rd refined in
+          (st', oct_set_var oct (ovar rd) refined)
+        | _ -> (st', oct_def_reg st' oct rd)))
+    | Insn.Alu (_, rd, _, _) | Insn.Lui (rd, _) | Insn.Cmovnz (rd, _, _) ->
+      if Reg.equal rd Reg.zero then (st', oct) else (st', oct_def_reg st' oct rd)
+    | Insn.Load (rd, rs1, imm) when not (Reg.equal rd Reg.zero) -> (
+      let av = Aval.add (State.get_reg st rs1) (Aval.of_signed_const imm) in
+      match Aval.singleton av with
+      | Some a when a land 3 = 0 -> (
+        match Hashtbl.find_opt env.slot_var a with
+        | Some s ->
+          let oct = Octagon.assign_var_plus oct ~dst:(ovar rd) ~src:s 0 in
+          (* Project the slot's relational bounds back into the interval
+             component: the loaded value inherits everything the octagon
+             proved about the slot across widening. *)
+          let refined = oct_range oct (ovar rd) (State.get_reg st' rd) in
+          let st' = State.set_reg st' rd refined in
+          (st', oct_meet_unary oct (ovar rd) refined)
+        | None -> (st', oct_def_reg st' oct rd))
+      | _ -> (st', oct_def_reg st' oct rd))
+    | Insn.Load _ -> (st', oct)
+    | Insn.Store (rs2, rs1, imm) -> (
+      let av = Aval.add (State.get_reg st rs1) (Aval.of_signed_const imm) in
+      match Aval.singleton av with
+      | Some a when a land 3 = 0 -> (
+        match Hashtbl.find_opt env.slot_var a with
+        | Some s ->
+          let oct = Octagon.assign_var_plus oct ~dst:s ~src:(ovar rs2) 0 in
+          (st', oct_meet_unary oct s (State.get_reg st rs2))
+        | None -> (st', oct))
+      | Some _ -> (st', oct)
+      | None -> (
+        let forget_slots pred =
+          let o = ref oct in
+          Array.iteri (fun i a -> if pred a then o := Octagon.forget !o (nregs + i)) env.slot_addrs;
+          !o
+        in
+        match Aval.range av with
+        | Some (lo, hi) when hi - lo <= weak_update_limit_bytes ->
+          (st', forget_slots (fun a -> a >= lo && a <= hi))
+        | Some _ | None -> (st', forget_slots (fun _ -> true))))
+    | Insn.Call _ | Insn.Call_reg _ -> (st', oct_def_reg st' oct Reg.lr)
+    | Insn.Branch _ | Insn.Jump _ | Insn.Jump_reg _ | Insn.Halt | Insn.Nop | Insn.Illegal _ ->
+      (st', oct)
+
+type pstate = { pst : State.t; poct : Octagon.t }
+
+module FP2 = Wcet_util.Fixpoint.Make (struct
+  type t = pstate
+
+  let leq a b = State.leq a.pst b.pst && Octagon.leq a.poct b.poct
+  let join a b = { pst = State.join a.pst b.pst; poct = Octagon.join a.poct b.poct }
+  let widen a b = { pst = State.widen a.pst b.pst; poct = Octagon.widen a.poct b.poct }
+end)
+
+let product_transfer env ctx p (node : Supergraph.node) =
+  let st = ref p.pst and oct = ref p.poct in
+  Array.iteri
+    (fun i insn ->
+      let st' = transfer_insn ctx !st i insn in
+      let st'', oct' = oct_transfer_insn env !st st' !oct insn in
+      st := st'';
+      oct := oct')
+    node.Supergraph.block.Func_cfg.insns;
+  { pst = !st; poct = !oct }
+
+let product_refine_edge env ctx (node : Supergraph.node) kind p =
+  ignore env;
+  match refine_edge ctx node kind p.pst with
+  | None -> None
+  | Some pst ->
+    let oct =
+      match (node.Supergraph.block.Func_cfg.term, kind) with
+      | Func_cfg.Term_branch { cond; rs1; rs2; _ }, (Supergraph.Etaken | Supergraph.Enottaken)
+        when not (Octagon.is_bot p.poct) ->
+        let holds = kind = Supergraph.Etaken in
+        if
+          Option.is_some (safe_range (oct_read p.poct pst rs1))
+          && Option.is_some (safe_range (oct_read p.poct pst rs2))
+        then begin
+          let u = ovar rs1 and v = ovar rs2 in
+          let oct = p.poct in
+          let eff =
+            if holds then cond
+            else
+              match cond with
+              | Insn.Beq -> Insn.Bne
+              | Insn.Bne -> Insn.Beq
+              | Insn.Blt -> Insn.Bge
+              | Insn.Bge -> Insn.Blt
+              | Insn.Bltu -> Insn.Bgeu
+              | Insn.Bgeu -> Insn.Bltu
+          in
+          (* Both operands proven in [0, 2^31): signed, unsigned and
+             mathematical comparison orders all coincide. *)
+          match eff with
+          | Insn.Beq -> Octagon.add_diff (Octagon.add_diff oct ~u ~v 0) ~u:v ~v:u 0
+          | Insn.Blt | Insn.Bltu -> Octagon.add_diff oct ~u ~v (-1)
+          | Insn.Bge | Insn.Bgeu -> Octagon.add_diff oct ~u:v ~v:u 0
+          | Insn.Bne -> (
+            (* Disequality strengthening: a one-sided bound touching zero
+               becomes strict (x != y and x - y <= 0 imply x - y <= -1). *)
+            match Octagon.diff_bounds oct ~u ~v with
+            | _, Some 0 -> Octagon.add_diff oct ~u ~v (-1)
+            | Some 0, _ -> Octagon.add_diff oct ~u:v ~v:u (-1)
+            | _ -> oct)
+        end
+        else p.poct
+      | _ -> p.poct
+    in
+    if Octagon.is_bot oct && not (Octagon.is_bot p.poct) then None else Some { pst; poct = oct }
+
+type escalation = {
+  esc_funcs : string list;
+  esc_transfers : int;
+  esc_slots : int list;
+  esc_result : result;
+  esc_rel : int -> counter:Reg.t -> other:Reg.t -> int option * int option;
+}
+
+(* Re-solve the whole supergraph under the interval x octagon product and
+   fold the result back under [base] (a meet, so the refinement is leq the
+   interval result by construction). Octagon slot variables are the
+   singleton access targets inside the escalated functions, loop-body ones
+   first: that is where counters and limits live. *)
+let escalate ?(assumes = []) ?cancel ~funcs (base : result) (loops : Loops.info) =
+  let graph = base.graph in
+  let n = Array.length graph.Supergraph.nodes in
+  let ctx = chronological_ctx graph.Supergraph.program in
+  let in_funcs =
+    Array.map (fun (nd : Supergraph.node) -> List.mem nd.Supergraph.func funcs) graph.Supergraph.nodes
+  in
+  let in_loop = Array.make n false in
+  Array.iter
+    (fun (l : Loops.loop) -> List.iter (fun i -> in_loop.(i) <- true) l.Loops.body)
+    loops.Loops.loops;
+  let slot_var = Hashtbl.create 32 in
+  let rev_slots = ref [] in
+  let consider i (a : access) =
+    match Aval.singleton a.addr with
+    | Some ad
+      when ad land 3 = 0 && in_funcs.(i) && trackable ctx ad
+           && (not (Hashtbl.mem slot_var ad))
+           && Hashtbl.length slot_var < max_slots ->
+      Hashtbl.add slot_var ad (nregs + Hashtbl.length slot_var);
+      rev_slots := ad :: !rev_slots
+    | _ -> ()
+  in
+  Array.iteri (fun i acc -> if in_loop.(i) then List.iter (consider i) acc) base.accesses;
+  Array.iteri (fun i acc -> if not in_loop.(i) then List.iter (consider i) acc) base.accesses;
+  let slot_addrs = Array.of_list (List.rev !rev_slots) in
+  let env = { slot_var; slot_addrs } in
+  (* Widening thresholds: the program's own immediates (and the assume
+     bounds) are where loop limits live; the doubled values cover the 2c
+     encoding of unary cells. *)
+  let thr = ref [] in
+  Array.iteri
+    (fun i (nd : Supergraph.node) ->
+      if in_funcs.(i) then
+        Array.iter
+          (fun (_, insn) ->
+            match insn with
+            | Insn.Alui (_, _, _, imm) when imm <> 0 -> thr := abs imm :: !thr
+            | Insn.Lui (_, imm) -> thr := imm lsl 16 :: !thr
+            | _ -> ())
+          nd.Supergraph.block.Func_cfg.insns)
+    graph.Supergraph.nodes;
+  List.iter
+    (fun (_, v) ->
+      match Aval.range v with Some (lo, hi) -> thr := lo :: hi :: !thr | None -> ())
+    assumes;
+  let thresholds =
+    Array.of_list
+      (List.sort_uniq compare
+         (List.concat_map (fun c -> [ c; 2 * c ]) (List.filter (fun c -> c > 0 && c < half) !thr)))
+  in
+  let dim = nregs + Array.length slot_addrs in
+  let entry_oct =
+    let o = Octagon.top ~thresholds dim in
+    let o = Octagon.assign_interval o (ovar Reg.zero) (0, 0) in
+    List.fold_left
+      (fun o (a, v) ->
+        match (Hashtbl.find_opt slot_var a, safe_range v) with
+        | Some s, Some (lo, hi) -> Octagon.assign_interval o s (lo, hi)
+        | _ -> o)
+      o assumes
+  in
+  let widening_point = widening_points graph loops in
+  let solution =
+    try
+      FP2.solve ~strategy:Wcet_util.Fixpoint.Rpo
+        ~propagate:(fun i p ->
+          let node = graph.Supergraph.nodes.(i) in
+          List.filter_map
+            (fun (kind, target) ->
+              Option.map (fun p' -> (target, p')) (product_refine_edge env ctx node kind p))
+            node.Supergraph.succs)
+        ?cancel ~force_widen_after:40
+        ~budget:(200 * n * (1 + Array.length loops.Loops.loops))
+        {
+          FP2.num_nodes = n;
+          entries = [ (graph.Supergraph.entry, { pst = State.entry_state ~assumes; poct = entry_oct }) ];
+          succs = (fun i -> List.map snd graph.Supergraph.nodes.(i).Supergraph.succs);
+          transfer = (fun i p -> product_transfer env ctx p graph.Supergraph.nodes.(i));
+          widening_points = (fun i -> widening_point.(i));
+          widening_delay = 2;
+        }
+    with Failure _ -> failwith "octagon escalation did not converge"
+  in
+  let prod_in = Array.init n solution.FP2.in_state in
+  let meet_opt p b =
+    match (p, b) with Some p, Some b -> Some (State.meet p.pst b) | _ -> None
+  in
+  let node_in = Array.init n (fun i -> meet_opt prod_in.(i) base.node_in.(i)) in
+  let node_out = Array.init n (fun i -> meet_opt (solution.FP2.out_state i) base.node_out.(i)) in
+  (* Access replay under the product transfer: the relational projections at
+     defining instructions are what tighten the recorded address values. *)
+  let accesses = Array.make n [] in
+  Array.iteri
+    (fun i (node : Supergraph.node) ->
+      match (prod_in.(i), node_in.(i)) with
+      | Some p, Some stmeet ->
+        let acc = ref [] in
+        ctx.record <-
+          Some
+            (fun insn_index insn_addr is_store addr ->
+              acc := { insn_index; insn_addr; is_store; addr } :: !acc);
+        ignore (product_transfer env ctx { pst = stmeet; poct = p.poct } node);
+        ctx.record <- None;
+        accesses.(i) <- List.rev !acc
+      | _ -> ())
+    graph.Supergraph.nodes;
+  Metrics.incr m_oct_transfers solution.FP2.transfers;
+  Metrics.incr m_escalated_funcs (List.length funcs);
+  let esc_result =
+    { graph; node_in; node_out; accesses; transfers = base.transfers + solution.FP2.transfers }
+  in
+  (* The loop-bound hook evaluates at the exit node's OUT state: the branch
+     compares the registers as they stand after the block's loads, which is
+     exactly what the out-state constrains (the in-state regs may be stale
+     copies from the previous iteration). *)
+  let esc_rel nid ~counter ~other =
+    match solution.FP2.out_state nid with
+    | None -> (None, None)
+    | Some p -> Octagon.diff_bounds p.poct ~u:(ovar other) ~v:(ovar counter)
+  in
+  {
+    esc_funcs = funcs;
+    esc_transfers = solution.FP2.transfers;
+    esc_slots = Array.to_list slot_addrs;
+    esc_result;
+    esc_rel;
+  }
 
 let reachable r i = Option.is_some r.node_in.(i)
 

@@ -36,6 +36,7 @@ val run :
   ?assumes:(int * Aval.t) list ->
   ?seeds:(int -> (State.t * State.t) option) ->
   ?cancel:(unit -> bool) ->
+  ?publish:bool ->
   Wcet_cfg.Supergraph.t ->
   Wcet_cfg.Loops.info ->
   result
@@ -58,9 +59,53 @@ val run_scheduled :
   ?slice:Summary.slice ->
   ?cancel:(unit -> bool) ->
   ?domains:int ->
+  ?publish:bool ->
   Wcet_cfg.Supergraph.t ->
   Wcet_cfg.Loops.info ->
   result * Summary.info
+
+(** When a run may later be escalated, pass [~publish:false] above and
+    publish the [value_accesses] precision counters once, from whichever
+    result ends up final. *)
+val publish_access_metrics : access list array -> unit
+
+(** {2 Octagon escalation} *)
+
+(** Which abstract domain the value analysis may use: [Interval] is the
+    always-on baseline; [Octagon] forces a relational re-solve of every
+    function; [Auto] escalates only functions whose interval results left
+    imprecise accesses or input-dependent/aliased loop-bound causes. *)
+type domain = Interval | Octagon | Auto
+
+val domain_name : domain -> string
+val domain_of_string : string -> domain option
+
+type escalation = {
+  esc_funcs : string list;  (** functions that triggered the escalation *)
+  esc_transfers : int;  (** product-domain transfer count *)
+  esc_slots : int list;  (** tracked stack/global word addresses *)
+  esc_result : result;
+      (** the interval result refined under the octagon re-solve; leq the
+          base result by construction (a per-node meet) *)
+  esc_rel : int -> counter:Pred32_isa.Reg.t -> other:Pred32_isa.Reg.t -> int option * int option;
+      (** [esc_rel node ~counter ~other] bounds [other - counter] at the
+          node's branch point (out-state) — the relational loop-bound hook
+          consumed by {!Loop_bounds.analyze} *)
+}
+
+(** [escalate ~funcs base loops] re-solves the supergraph under the
+    interval x octagon reduced product (relational constraints over the 16
+    registers plus the singleton access targets of [funcs]) and folds the
+    result back under [base]. The product's interval component repeats the
+    base transfer, so the refinement can only tighten; the octagon side
+    obeys the wraparound contract of {!Octagon}. *)
+val escalate :
+  ?assumes:(int * Aval.t) list ->
+  ?cancel:(unit -> bool) ->
+  funcs:string list ->
+  result ->
+  Wcet_cfg.Loops.info ->
+  escalation
 
 (** [reachable result node] is false for nodes the analysis proved
     unreachable (infeasible paths, excluded modes). *)

@@ -225,7 +225,7 @@ let as_range v =
   | Aval.I (lo, hi) -> Some (lo, hi)
   | Aval.Top -> Some (0, 0xFFFFFFFF)
 
-let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
+let analyze_exit ~rel_hook (result : Analysis.result) (loop : Loops.loop) nid :
     (int, cause * string) Either.t =
   let graph = result.Analysis.graph in
   let node = graph.Supergraph.nodes.(nid) in
@@ -260,9 +260,63 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
       let finish ~counter_is_rs1 ~deltas ~init_iv ~other_reg =
         let limit_iv = interval_at_exit result nid other_reg in
         let rel = rel_of_cond ~counter_is_rs1 continue_cond in
+        (* Octagon fallback: bound the loop from the relational invariant on
+           (other - counter) at the exit branch. The branch-point bound U
+           holds at every iteration's branch evaluation, so with the other
+           operand loop-invariant and the counter making >= d progress per
+           iteration, at most ceil(U/d) continues are possible. *)
+        let relational_bound () =
+          match rel_hook with
+          | None -> None
+          | Some f ->
+            let other_invariant =
+              match origin_of result nid other_reg with
+              | Some a -> (
+                match stores_touching result loop.Loops.body a with
+                | Some [] -> true
+                | _ -> false)
+              | None -> classify_register result loop other_reg = `Invariant
+            in
+            if not other_invariant then None
+            else begin
+              let counter_reg = if counter_is_rs1 then rs1 else rs2 in
+              let dlo, dhi = f nid ~counter:counter_reg ~other:other_reg in
+              let all_pos = deltas <> [] && List.for_all (fun d -> d > 0) deltas in
+              let all_neg = deltas <> [] && List.for_all (fun d -> d < 0) deltas in
+              let cap n = if n < 0 then Some 0 else if n > bound_cap then None else Some n in
+              if all_pos then begin
+                let d = List.fold_left min max_int deltas in
+                match (rel, dhi) with
+                | CLt, Some u -> cap (ceil_div u d)
+                | CLe, Some u -> if u < 0 then Some 0 else cap ((u / d) + 1)
+                | CNe, Some u
+                  when List.for_all (fun d -> d = 1) deltas
+                       && (match dlo with Some l -> l >= 0 | None -> false) ->
+                  (* exact unit steps cannot jump over the equality *)
+                  cap u
+                | _ -> None
+              end
+              else if all_neg then begin
+                let d = List.fold_left max min_int deltas in
+                match (rel, dlo) with
+                | CGt, Some l -> cap (ceil_div (-l) (-d))
+                | CGe, Some l -> if -l < 0 then Some 0 else cap (((-l) / -d) + 1)
+                | CNe, Some l
+                  when List.for_all (fun d -> d = -1) deltas
+                       && (match dhi with Some h -> h <= 0 | None -> false) ->
+                  cap (-l)
+                | _ -> None
+              end
+              else None
+            end
+        in
+        let fail cause reason =
+          match relational_bound () with
+          | Some n -> Either.Left n
+          | None -> Either.Right (cause, reason)
+        in
         if limit_iv = Aval.Top then
-          Either.Right
-            (Input_dependent, "iteration count depends on input data (no bound on the limit operand)")
+          fail Input_dependent "iteration count depends on input data (no bound on the limit operand)"
         else
         let sign_ok =
           (not (is_signed_cond cond))
@@ -270,7 +324,7 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
              | Some (_, ih), Some (_, lh) -> ih < 0x80000000 && lh < 0x80000000
              | _ -> false)
         in
-        if not sign_ok then Either.Right (Input_dependent, "signed comparison on possibly-negative values")
+        if not sign_ok then fail Input_dependent "signed comparison on possibly-negative values"
         else
           let all_pos = List.for_all (fun d -> d > 0) deltas in
           let all_neg = List.for_all (fun d -> d < 0) deltas in
@@ -286,10 +340,13 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
             | None, _ | _, None -> Either.Right (Unreachable_entry, "loop entry unreachable")
             | Some init, Some ((llo, _) as limit) -> (
               match compute_bound ~rel ~d ~init ~limit ~limit_lo:llo with
-              | Some n -> Either.Left n
+              | Some n ->
+                (* The relational invariant may be tighter than the interval
+                   product; both are sound, take the smaller. *)
+                Either.Left
+                  (match relational_bound () with Some m when m < n -> m | _ -> n)
               | None ->
-                Either.Right
-                (Input_dependent, "iteration count depends on input data (limit interval too wide)"))
+                fail Input_dependent "iteration count depends on input data (limit interval too wide)")
       in
       let pick counter_is_rs1 (addr, stores) other_reg =
         (* Extract the constant step from every store to the counter slot. *)
@@ -339,7 +396,8 @@ let analyze_exit (result : Analysis.result) (loop : Loops.loop) nid :
           Either.Right (Structural, "exit condition is not derived from a loop counter")))
   | _ -> Either.Right (Structural, "exit is not a conditional branch")
 
-let analyze (result : Analysis.result) (loops : Loops.info) =
+let analyze ?rel (result : Analysis.result) (loops : Loops.info) =
+  let rel_hook = rel in
   let graph = result.Analysis.graph in
   let per_loop =
     Array.map
@@ -366,7 +424,7 @@ let analyze (result : Analysis.result) (loops : Loops.info) =
         if candidates = [] then
           Unbounded (Structural, "no dominating exit branch (irreducible or multi-exit loop)")
         else
-          let results = List.map (analyze_exit result loop) candidates in
+          let results = List.map (analyze_exit ~rel_hook result loop) candidates in
           let bounds = List.filter_map (function Either.Left n -> Some n | _ -> None) results in
           match bounds with
           | [] ->

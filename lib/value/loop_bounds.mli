@@ -41,7 +41,19 @@ type t = {
   per_loop : verdict array;  (** indexed like [Loops.info.loops] *)
 }
 
-val analyze : Analysis.result -> Wcet_cfg.Loops.info -> t
+(** [analyze ?rel result loops] — [rel] is the relational fallback hook of
+    an octagon escalation ({!Analysis.escalation.esc_rel}): when the
+    interval derivation fails, [rel node ~counter ~other] bounds
+    [other - counter] at the exit node's branch point, and a finite upper bound
+    U with a loop-invariant limit operand and counter progress >= d yields
+    the bound ceil(U/d) (for [!=] exits, exact unit steps and a
+    non-negative lower bound are additionally required). Without [rel] the
+    result is bit-identical to the interval-only analysis. *)
+val analyze :
+  ?rel:(int -> counter:Pred32_isa.Reg.t -> other:Pred32_isa.Reg.t -> int option * int option) ->
+  Analysis.result ->
+  Wcet_cfg.Loops.info ->
+  t
 
 val cause_name : cause -> string
 

@@ -1,0 +1,399 @@
+(* Octagon abstract domain: conjunctions of constraints of the form
+   [±x ±y <= c] over a fixed set of integer variables (registers plus
+   tracked stack/global slots), represented as a difference-bound matrix
+   in Mine's encoding.
+
+   Each octagon variable [v] contributes two DBM vertices: [2v] standing
+   for [+x_v] and [2v+1] for [-x_v]. Cell [m.(i).(j)] is an upper bound on
+   [V_j - V_i] (max_int = unconstrained), so
+
+     x_u - x_v <= c   lives at  m.(2v).(2u)
+     x_u + x_v <= c   lives at  m.(2v+1).(2u)
+    -x_u - x_v <= c   lives at  m.(2v).(2u+1)
+         x_v <= c     lives at  m.(2v+1).(2v)  as  2c
+        -x_v <= c     lives at  m.(2v).(2v+1)  as  2c
+
+   with the coherence invariant [m.(i).(j) = m.(bar j).(bar i)] where
+   [bar] flips the low bit; every write goes to both cells.
+
+   Soundness under 32-bit wraparound: a variable participates in
+   constraints only while its companion interval proves its concrete value
+   lies in [0, 2^31) (the "safe" range, where unsigned machine order,
+   signed order and mathematical order on the representatives coincide and
+   the tracked arithmetic cannot wrap). The transfer functions in
+   {!Analysis} forget a variable the moment that proof lapses, so every
+   recorded constraint is a true statement about mathematical integers.
+
+   Closure discipline: strong closure is a precision device, never a
+   soundness requirement — every stored constraint is individually true,
+   so reading an unclosed matrix only loses precision. We therefore keep
+   matrices closed incrementally where cheap (constraint addition,
+   assignment) and accept temporary unclosedness after widening (closing a
+   widened iterate would break termination). *)
+
+let inf = max_int
+
+type t = {
+  dim : int;  (* octagon variables; matrix is 2*dim square *)
+  m : int array array option;  (* None = bottom *)
+  thr : int array;  (* widening thresholds, sorted ascending *)
+}
+
+let bar i = i lxor 1
+
+(* Saturating addition of path weights. *)
+let ( +! ) a b = if a = inf || b = inf then inf else a + b
+
+(* Round down to an even value (unary cells encode 2c). *)
+let floor_even c = if c = inf then inf else c - (c land 1)
+
+let no_thresholds = [||]
+
+let top ?(thresholds = no_thresholds) dim =
+  let n = 2 * dim in
+  let m = Array.init n (fun i -> Array.init n (fun j -> if i = j then 0 else inf)) in
+  { dim; m = Some m; thr = thresholds }
+
+let bottom ?(thresholds = no_thresholds) dim = { dim; m = None; thr = thresholds }
+let is_bot t = t.m = None
+let dim t = t.dim
+
+let copy_matrix m = Array.map Array.copy m
+
+(* ---- consistency ---------------------------------------------------- *)
+
+(* A DBM is inconsistent when some cycle has negative weight; after the
+   incremental updates below it suffices to look at the diagonal and the
+   unary pairs. *)
+let consistent m =
+  let n = Array.length m in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if m.(i).(i) < 0 then ok := false;
+    if m.(i).(bar i) +! m.(bar i).(i) < 0 then ok := false
+  done;
+  !ok
+
+let normalize t =
+  match t.m with
+  | None -> t
+  | Some m -> if consistent m then t else { t with m = None }
+
+(* ---- incremental closure -------------------------------------------- *)
+
+(* Tighten all paths through the new constraint [V_b - V_a <= c] (written
+   at m.(a).(b)) and its coherent mirror [m.(bar b).(bar a)], then
+   strengthen via the unary cells. Mine's incremental closure: a shortest
+   path in the updated graph uses the new edge at most twice (once in each
+   orientation; a third use would close a negative cycle), so five
+   candidates per cell, all evaluated against the pre-insertion matrix,
+   restore strong closure in O(n^2). Mutates [m]. *)
+let close_after_add m a b c =
+  let n = Array.length m in
+  if c < m.(a).(b) then begin
+    let a' = bar a and b' = bar b in
+    (* Snapshot the rows/columns the candidates read so every candidate
+       sees the old (closed) matrix regardless of update order. *)
+    let col_a = Array.init n (fun i -> m.(i).(a)) in
+    let col_b' = Array.init n (fun i -> m.(i).(b')) in
+    let row_b = Array.copy m.(b) in
+    let row_a' = Array.copy m.(a') in
+    let w_bb' = row_b.(b') and w_a'a = row_a'.(a) in
+    for i = 0 to n - 1 do
+      let ia = col_a.(i) and ib' = col_b'.(i) in
+      if ia < inf || ib' < inf then
+        for j = 0 to n - 1 do
+          let best = ref m.(i).(j) in
+          let cand v = if v < !best then best := v in
+          (* i -> a -> b -> j *)
+          cand (ia +! c +! row_b.(j));
+          (* i -> bar b -> bar a -> j (the mirror orientation) *)
+          cand (ib' +! c +! row_a'.(j));
+          (* i -> a -> b ->* bar b -> bar a -> j (edge used twice) *)
+          cand (ia +! c +! w_bb' +! c +! row_a'.(j));
+          (* i -> bar b -> bar a ->* a -> b -> j *)
+          cand (ib' +! c +! w_a'a +! c +! row_b.(j));
+          if !best < m.(i).(j) then m.(i).(j) <- !best
+        done
+    done;
+    (* Unary cells encode 2c: floor to even, then strengthen by combining
+       the two unary half-bounds. *)
+    for i = 0 to n - 1 do
+      m.(i).(bar i) <- floor_even m.(i).(bar i)
+    done;
+    for i = 0 to n - 1 do
+      let ui = floor_even m.(i).(bar i) / 2 in
+      if ui < inf / 4 then
+        for j = 0 to n - 1 do
+          let uj = floor_even m.(bar j).(j) / 2 in
+          if uj < inf / 4 && ui + uj < m.(i).(j) then m.(i).(j) <- ui + uj
+        done
+    done
+  end
+
+(* ---- constraint entry points ---------------------------------------- *)
+
+(* All take and return pure values; [None]-matrix (bottom) passes through. *)
+
+let with_matrix t f =
+  match t.m with
+  | None -> t
+  | Some m ->
+    let m = copy_matrix m in
+    f m;
+    normalize { t with m = Some m }
+
+(* x_u - x_v <= c *)
+let add_diff t ~u ~v c =
+  if u = v then if c < 0 then { t with m = None } else t
+  else with_matrix t (fun m -> close_after_add m (2 * v) (2 * u) c)
+
+(* x_u + x_v <= c *)
+let add_sum_ub t ~u ~v c =
+  if u = v then
+    with_matrix t (fun m -> close_after_add m ((2 * u) + 1) (2 * u) (floor_even c))
+  else with_matrix t (fun m -> close_after_add m ((2 * v) + 1) (2 * u) c)
+
+(* -x_u - x_v <= c, i.e. x_u + x_v >= -c *)
+let add_sum_lb t ~u ~v c =
+  if u = v then
+    with_matrix t (fun m -> close_after_add m (2 * u) ((2 * u) + 1) (floor_even c))
+  else with_matrix t (fun m -> close_after_add m (2 * v) ((2 * u) + 1) c)
+
+let add_ub t v c = add_sum_ub t ~u:v ~v (2 * c)
+let add_lb t v c = add_sum_lb t ~u:v ~v (-2 * c)
+
+let set_interval_constraints t v (lo, hi) = add_lb (add_ub t v hi) v lo
+
+(* ---- forget / assignment -------------------------------------------- *)
+
+(* Drop every constraint mentioning [v]. On a closed matrix the result is
+   closed (removing a variable cannot invalidate closure elsewhere). *)
+let forget t v =
+  match t.m with
+  | None -> t
+  | Some m ->
+    let n = Array.length m in
+    let m = copy_matrix m in
+    let p = 2 * v and q = (2 * v) + 1 in
+    for i = 0 to n - 1 do
+      m.(i).(p) <- (if i = p then 0 else inf);
+      m.(i).(q) <- (if i = q then 0 else inf);
+      m.(p).(i) <- (if i = p then 0 else inf);
+      m.(q).(i) <- (if i = q then 0 else inf)
+    done;
+    { t with m = Some m }
+
+(* x_v := x_v + c: an exact shift of the two DBM vertices of [v]. The
+   caller guarantees no machine wraparound. Preserves closure. *)
+let shift t v c =
+  with_matrix t (fun m ->
+      let n = Array.length m in
+      let p = 2 * v and q = (2 * v) + 1 in
+      for i = 0 to n - 1 do
+        if i <> p && i <> q then begin
+          (* V_p grows by c: bounds on V_p - V_i grow, on V_i - V_p shrink. *)
+          m.(i).(p) <- m.(i).(p) +! c;
+          m.(p).(i) <- m.(p).(i) +! -c;
+          (* V_q = -x_v shrinks by c. *)
+          m.(i).(q) <- m.(i).(q) +! -c;
+          m.(q).(i) <- m.(q).(i) +! c
+        end
+      done;
+      m.(q).(p) <- m.(q).(p) +! (2 * c);
+      m.(p).(q) <- m.(p).(q) +! (-2 * c))
+
+(* x_v := -x_v + c (used for  x := c - x ): swap the vertices, then shift. *)
+let negate_shift t v c =
+  let t =
+    with_matrix t (fun m ->
+        let n = Array.length m in
+        let p = 2 * v and q = (2 * v) + 1 in
+        for i = 0 to n - 1 do
+          let tmp = m.(i).(p) in
+          m.(i).(p) <- m.(i).(q);
+          m.(i).(q) <- tmp
+        done;
+        for i = 0 to n - 1 do
+          let tmp = m.(p).(i) in
+          m.(p).(i) <- m.(q).(i);
+          m.(q).(i) <- tmp
+        done)
+  in
+  shift t v c
+
+(* x_d := x_s + c  (d <> s handled by forget+add; d = s by shift). *)
+let assign_var_plus t ~dst ~src c =
+  if dst = src then shift t dst c
+  else
+    let t = forget t dst in
+    let t = add_diff t ~u:dst ~v:src c in
+    add_diff t ~u:src ~v:dst (-c)
+
+(* x_d := c - x_s. *)
+let assign_const_minus t ~dst ~src c =
+  if dst = src then negate_shift t dst c
+  else
+    let t = forget t dst in
+    let t = add_sum_ub t ~u:dst ~v:src c in
+    add_sum_lb t ~u:dst ~v:src (-c)
+
+let assign_interval t dst (lo, hi) = set_interval_constraints (forget t dst) dst (lo, hi)
+
+(* ---- queries --------------------------------------------------------- *)
+
+(* Bounds of x_v as (lo option, hi option); None = unconstrained on that
+   side. On bottom both bounds collapse to the empty (Some 0, Some (-1)). *)
+let var_bounds t v =
+  match t.m with
+  | None -> (Some 0, Some (-1))
+  | Some m ->
+    let p = 2 * v and q = (2 * v) + 1 in
+    let hi = m.(q).(p) and lo = m.(p).(q) in
+    ( (if lo = inf then None else Some (-(floor_even lo / 2))),
+      if hi = inf then None else Some (floor_even hi / 2) )
+
+(* Bounds of x_u - x_v: (lo option, hi option). *)
+let diff_bounds t ~u ~v =
+  match t.m with
+  | None -> (Some 0, Some (-1))
+  | Some m ->
+    let ub = m.(2 * v).(2 * u) and nlb = m.(2 * u).(2 * v) in
+    ( (if nlb = inf then None else Some (-nlb)),
+      if ub = inf then None else Some ub )
+
+(* ---- lattice --------------------------------------------------------- *)
+
+let leq a b =
+  match (a.m, b.m) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some ma, Some mb ->
+    let n = Array.length ma in
+    let ok = ref true in
+    (try
+       for i = 0 to n - 1 do
+         for j = 0 to n - 1 do
+           if ma.(i).(j) > mb.(i).(j) then begin
+             ok := false;
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    !ok
+
+let equal a b =
+  match (a.m, b.m) with
+  | None, None -> true
+  | Some ma, Some mb -> ma = mb
+  | _ -> false
+
+(* Cell-wise max. The join of two strongly closed octagons is strongly
+   closed; on partially closed inputs it is merely a sound upper bound. *)
+let join a b =
+  match (a.m, b.m) with
+  | None, _ -> b
+  | _, None -> a
+  | Some ma, Some mb ->
+    let n = Array.length ma in
+    let m = Array.init n (fun i -> Array.init n (fun j -> max ma.(i).(j) mb.(i).(j))) in
+    { a with m = Some m }
+
+(* Cell-wise meet (no re-closure: precision-only). *)
+let meet a b =
+  match (a.m, b.m) with
+  | None, _ -> a
+  | _, None -> b
+  | Some ma, Some mb ->
+    let n = Array.length ma in
+    let m = Array.init n (fun i -> Array.init n (fun j -> min ma.(i).(j) mb.(i).(j))) in
+    normalize { a with m = Some m }
+
+(* Threshold widening: a cell that grew jumps to the smallest threshold
+   that still covers it (infinity when none does); stable cells keep their
+   old bound. Each cell ascends a finite chain, so widening sequences
+   terminate. The result is deliberately not re-closed. *)
+let widen a b =
+  match (a.m, b.m) with
+  | None, _ -> b
+  | _, None -> a
+  | Some ma, Some mb ->
+    let thr = a.thr in
+    let jump c =
+      if c = inf then inf
+      else begin
+        let k = ref 0 and n = Array.length thr in
+        while !k < n && thr.(!k) < c do incr k done;
+        if !k < n then thr.(!k) else inf
+      end
+    in
+    let n = Array.length ma in
+    let m =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              let x = ma.(i).(j) and y = mb.(i).(j) in
+              if y <= x then x else jump y))
+    in
+    { a with m = Some m }
+
+let pp ppf t =
+  match t.m with
+  | None -> Format.fprintf ppf "bottom"
+  | Some m ->
+    let n = Array.length m in
+    let printed = ref 0 in
+    Format.fprintf ppf "@[<v>";
+    for v = 0 to (n / 2) - 1 do
+      match var_bounds t v with
+      | None, None -> ()
+      | lo, hi ->
+        let side = function Some c -> string_of_int c | None -> "?" in
+        Format.fprintf ppf "x%d in [%s,%s]@," v (side lo) (side hi);
+        incr printed
+    done;
+    for u = 0 to (n / 2) - 1 do
+      for v = 0 to (n / 2) - 1 do
+        if u <> v then begin
+          let c = m.(2 * v).(2 * u) in
+          if c < inf then begin
+            Format.fprintf ppf "x%d - x%d <= %d@," u v c;
+            incr printed
+          end
+        end
+      done
+    done;
+    if !printed = 0 then Format.fprintf ppf "top";
+    Format.fprintf ppf "@]"
+
+(* Full strong closure (Floyd-Warshall + strengthening), exposed for the
+   property tests; the incremental operations above keep matrices closed
+   in normal operation. *)
+let close t =
+  match t.m with
+  | None -> t
+  | Some m ->
+    let m = copy_matrix m in
+    let n = Array.length m in
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        let ik = m.(i).(k) in
+        if ik < inf then
+          for j = 0 to n - 1 do
+            let via = ik +! m.(k).(j) in
+            if via < m.(i).(j) then m.(i).(j) <- via
+          done
+      done
+    done;
+    for i = 0 to n - 1 do
+      m.(i).(bar i) <- floor_even m.(i).(bar i)
+    done;
+    for i = 0 to n - 1 do
+      let ui = floor_even m.(i).(bar i) / 2 in
+      if ui < inf / 4 then
+        for j = 0 to n - 1 do
+          let uj = floor_even m.(bar j).(j) / 2 in
+          if uj < inf / 4 && ui + uj < m.(i).(j) then m.(i).(j) <- ui + uj
+        done
+    done;
+    normalize { t with m = Some m }

@@ -104,6 +104,20 @@ let merge_with f a b =
 let join a b = merge_with Aval.join a b
 let widen a b = merge_with Aval.widen a b
 
+(* Greatest lower bound, used by the octagon escalation to fold relational
+   refinements back under the interval result. Unlike [merge_with], an
+   absent memory entry (= Top) must keep the other side's entry. *)
+let meet a b =
+  let regs = Array.init 16 (fun i -> Aval.meet a.regs.(i) b.regs.(i)) in
+  let mem = Addr_map.union (fun _ va vb -> Some (Aval.meet va vb)) a.mem b.mem in
+  let origins =
+    Array.init 16 (fun i ->
+        match (a.origins.(i), b.origins.(i)) with
+        | (Some _ as o), _ -> o
+        | None, o -> o)
+  in
+  { regs; mem; origins }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>regs:";
   Array.iteri

@@ -40,4 +40,8 @@ val havoc : linkage:(int -> bool) -> t -> t
 val leq : t -> t -> bool
 val join : t -> t -> t
 val widen : t -> t -> t
+
+(** Greatest lower bound (used by the octagon escalation to fold relational
+    refinements back under the interval result). *)
+val meet : t -> t -> t
 val pp : Format.formatter -> t -> unit

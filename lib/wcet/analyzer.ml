@@ -51,6 +51,15 @@ let paranoid () =
   | Some v when v <> "" && v <> "0" -> true
   | _ -> false
 
+(* The WCET_VALUE_PARANOID env flag cross-checks every octagon escalation
+   against the interval baseline: refined states must be leq the interval
+   states at every node, and the final WCET bound must not increase. Any
+   violation is an E0503 fatal — an escalation may only ever tighten. *)
+let value_paranoid () =
+  match Sys.getenv_opt "WCET_VALUE_PARANOID" with
+  | Some v when v <> "" && v <> "0" -> true
+  | _ -> false
+
 exception Analysis_failed of Diag.t list
 
 let () =
@@ -76,12 +85,30 @@ type hole =
   | Hole_loop of { header : int; func : string; reason : string }
   | Hole_irreducible of { blocks : int list; func : string }
 
+(* What an octagon escalation changed, kept in the report so the auditor
+   can mark the interval-pass findings the relational pass resolved
+   ([discharged-by: octagon]) and the observability layer can attribute the
+   precision gain. *)
+type esc_info = {
+  ei_domain : string;  (* requested domain: "octagon" or "auto" *)
+  ei_funcs : string list;  (* functions that triggered the escalation *)
+  ei_transfers : int;  (* product-domain transfer count *)
+  ei_slots : int list;  (* tracked stack/global word addresses *)
+  ei_discharged_loops : (int * string * string) list;
+      (* (header addr, func, interval cause) of loops the interval pass
+         left unbounded and the relational pass bounded *)
+  ei_tightened_accesses : (int * string * Aval.t * Aval.t) list;
+      (* (insn addr, func, interval addr, refined addr) of accesses whose
+         address interval strictly tightened under the octagon *)
+}
+
 type report = {
   program : Program.t;
   hw : Hw_config.t;
   graph : Supergraph.t;
   loops : Loops.info;
   value : Analysis.result;
+  escalation : esc_info option;
   derived_bounds : Loop_bounds.t;
   effective_bounds : (int * int) list;
   unbounded_loops : (int * string) list;
@@ -345,8 +372,9 @@ let validate_loop_places c program (annot : Annot.t) =
       | Annot.At_addr _ -> ())
     annot.Annot.loop_bounds
 
-let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
-    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) ?cancel program =
+let rec analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
+    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary)
+    ?(domain = Analysis.Interval) ?cancel program =
   let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
   (* The token reaches the value/cache fixpoints (polled per transfer); the
      remaining phases poll it at their boundary so a deadline that expires
@@ -409,6 +437,10 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
     | Summary -> Report_cache.load_slices ~hw ~annot ~assumes graph
     | Whole_program -> None
   in
+  (* Under a relational domain the value_accesses precision counters are
+     published once, from whichever result ends up final (escalated or
+     not); under the interval domain the run publishes as before. *)
+  let publish = domain = Analysis.Interval in
   let value, vinfo, derived_bounds =
     timed phases Loop_value (fun () ->
         match
@@ -418,16 +450,174 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
               let value, vinfo =
                 Analysis.run_scheduled ~assumes
                   ?slice:(Option.map Report_cache.value_slice slices)
-                  ?cancel graph loops
+                  ?cancel ~publish graph loops
               in
               (value, Some vinfo)
-            | Whole_program -> (Analysis.run ~strategy ~assumes ?cancel graph loops, None)
+            | Whole_program ->
+              (Analysis.run ~strategy ~assumes ?cancel ~publish graph loops, None)
           in
           (value, vinfo, Loop_bounds.analyze value loops)
         with
         | result -> result
         | exception Failure msg -> fatal c Diag.Loop_value ~code:"E0203" "%s" msg)
   in
+  (* ---- Octagon escalation --------------------------------------------
+     The interval pass above ran everywhere. Under [Octagon]/[Auto], the
+     functions whose interval results left imprecise accesses or
+     input-dependent/aliased loop-bound causes are re-solved under the
+     interval x octagon reduced product, and the refined result replaces
+     the base one for every downstream phase (cache, pipeline, IPET). The
+     refinement is a per-node meet with the base states, so it can only
+     tighten — asserted under WCET_VALUE_PARANOID below. *)
+  let base_value = value and base_bounds = derived_bounds in
+  let funcs_to_escalate () =
+    let tbl : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    (match domain with
+    | Analysis.Interval -> ()
+    | Analysis.Octagon ->
+      Array.iter
+        (fun (n : Supergraph.node) -> Hashtbl.replace tbl n.Supergraph.func ())
+        graph.Supergraph.nodes
+    | Analysis.Auto ->
+      Array.iteri
+        (fun nid accs ->
+          if
+            List.exists
+              (fun (a : Analysis.access) -> Aval.singleton a.Analysis.addr = None)
+              accs
+          then Hashtbl.replace tbl graph.Supergraph.nodes.(nid).Supergraph.func ())
+        value.Analysis.accesses;
+      Array.iteri
+        (fun li verdict ->
+          match verdict with
+          | Loop_bounds.Unbounded
+              ((Loop_bounds.Input_dependent | Loop_bounds.Aliased_counter), _) ->
+            let hn = graph.Supergraph.nodes.(loops.Loops.loops.(li).Loops.header) in
+            Hashtbl.replace tbl hn.Supergraph.func ()
+          | _ -> ())
+        derived_bounds.Loop_bounds.per_loop);
+    List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) tbl [])
+  in
+  let escalation, value, derived_bounds, vinfo =
+    match funcs_to_escalate () with
+    | [] ->
+      if not publish then Analysis.publish_access_metrics value.Analysis.accesses;
+      (None, value, derived_bounds, vinfo)
+    | funcs -> (
+      match
+        timed ~span:"octagon" phases Loop_value (fun () ->
+            let esc = Analysis.escalate ~assumes ?cancel ~funcs value loops in
+            let refined =
+              Loop_bounds.analyze ~rel:esc.Analysis.esc_rel esc.Analysis.esc_result loops
+            in
+            (esc, refined))
+      with
+      | exception Failure msg ->
+        (* Non-convergence within the budget: keep the sound interval
+           result; the escalation is an optimisation, never a requirement. *)
+        warn c Diag.Loop_value ~code:"W0501"
+          "octagon escalation abandoned (%s); keeping the interval result" msg;
+        Analysis.publish_access_metrics value.Analysis.accesses;
+        (None, value, derived_bounds, vinfo)
+      | esc, refined_bounds ->
+        let refined_value = esc.Analysis.esc_result in
+        (* Merge verdicts: a loop the interval pass bounded keeps the
+           tighter of the two bounds; one it could not bound is discharged
+           by a relational bound. *)
+        let discharged = ref [] in
+        let per_loop =
+          Array.mapi
+            (fun li refined ->
+              match (derived_bounds.Loop_bounds.per_loop.(li), refined) with
+              | Loop_bounds.Bounded a, Loop_bounds.Bounded b -> Loop_bounds.Bounded (min a b)
+              | Loop_bounds.Unbounded (cause, _), (Loop_bounds.Bounded _ as b) ->
+                let hn = graph.Supergraph.nodes.(loops.Loops.loops.(li).Loops.header) in
+                discharged :=
+                  ( hn.Supergraph.block.Func_cfg.entry,
+                    hn.Supergraph.func,
+                    Loop_bounds.cause_name cause )
+                  :: !discharged;
+                b
+              | base, _ -> base)
+            refined_bounds.Loop_bounds.per_loop
+        in
+        (* Accesses whose address interval strictly tightened: the material
+           for the auditor's [discharged-by: octagon] marks. *)
+        let tightened = ref [] in
+        Array.iteri
+          (fun nid base_accs ->
+            let refined_accs = refined_value.Analysis.accesses.(nid) in
+            List.iter
+              (fun (b : Analysis.access) ->
+                match
+                  List.find_opt
+                    (fun (r : Analysis.access) -> r.Analysis.insn_index = b.Analysis.insn_index)
+                    refined_accs
+                with
+                | Some r when r.Analysis.addr <> b.Analysis.addr ->
+                  tightened :=
+                    ( b.Analysis.insn_addr,
+                      graph.Supergraph.nodes.(nid).Supergraph.func,
+                      b.Analysis.addr,
+                      r.Analysis.addr )
+                    :: !tightened
+                | _ -> ())
+              base_accs)
+          value.Analysis.accesses;
+        let info =
+          {
+            ei_domain = Analysis.domain_name domain;
+            ei_funcs = esc.Analysis.esc_funcs;
+            ei_transfers = esc.Analysis.esc_transfers;
+            ei_slots = esc.Analysis.esc_slots;
+            ei_discharged_loops = List.rev !discharged;
+            ei_tightened_accesses = List.rev !tightened;
+          }
+        in
+        Diag.add c
+          (Diag.make Diag.Info Diag.Loop_value ~code:"W0501"
+             (Printf.sprintf
+                "value analysis escalated to the octagon domain for %d function(s): %s"
+                (List.length info.ei_funcs)
+                (String.concat ", " info.ei_funcs)));
+        Analysis.publish_access_metrics refined_value.Analysis.accesses;
+        (* [vinfo] is dropped: summary slices persist interval-domain facts
+           only, and the refined states must never reach a warm interval
+           run (see Report_cache). *)
+        (Some info, refined_value, { Loop_bounds.per_loop }, None))
+  in
+  (* Paranoid escalation cross-check, part 1: the refined states must be
+     leq the interval states at every node (the meet guarantees it by
+     construction — this asserts the guarantee held). *)
+  if escalation <> None && value_paranoid () then begin
+    let leq_opt a b =
+      match (a, b) with
+      | None, _ -> true
+      | Some _, None -> false
+      | Some a, Some b -> Wcet_value.State.leq a b
+    in
+    Array.iteri
+      (fun i _ ->
+        if
+          (not (leq_opt value.Analysis.node_in.(i) base_value.Analysis.node_in.(i)))
+          || not (leq_opt value.Analysis.node_out.(i) base_value.Analysis.node_out.(i))
+        then
+          fatal c Diag.Loop_value ~code:"E0503"
+            ~loc:(Diag.in_func graph.Supergraph.nodes.(i).Supergraph.func)
+            "octagon-refined value state is not below the interval state at node %d" i)
+      graph.Supergraph.nodes;
+    Array.iteri
+      (fun li verdict ->
+        match (base_bounds.Loop_bounds.per_loop.(li), verdict) with
+        | Loop_bounds.Bounded a, Loop_bounds.Bounded b when b > a ->
+          fatal c Diag.Loop_value ~code:"E0503"
+            "octagon loop bound %d exceeds the interval bound %d for loop %d" b a li
+        | Loop_bounds.Bounded _, Loop_bounds.Unbounded _ ->
+          fatal c Diag.Loop_value ~code:"E0503"
+            "octagon escalation lost the interval bound of loop %d" li
+        | _ -> ())
+      derived_bounds.Loop_bounds.per_loop
+  end;
   (* Overlay annotation loop bounds on the derived verdicts. *)
   let effective_bounds = ref [] in
   let unbounded_loops = ref [] in
@@ -523,7 +713,9 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
      state equality at every node. Divergence means a summary was applied
      where it should not have been — fail loudly rather than risk an
      unsound bound. *)
-  if engine = Summary && paranoid () then begin
+  (* (Skipped under an escalation: the states downstream are refined, so a
+     whole-program interval solve is no longer the comparison baseline.) *)
+  if engine = Summary && paranoid () && escalation = None then begin
     let eq_opt eq a b =
       match (a, b) with
       | None, None -> true
@@ -591,6 +783,24 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
           in
           fatal c Diag.Path ~code "%s: %s" (phase_name Path) msg)
   in
+  (* Paranoid escalation cross-check, part 2: a full interval re-analysis
+     must not produce a smaller bound than the escalated run — relational
+     precision may only ever tighten the WCET. Only a [Complete] interval
+     bound is comparable: a [Partial] one excludes the very holes (e.g.
+     loop iterations beyond the first) the escalation discharged, so it is
+     legitimately smaller. *)
+  (match escalation with
+  | Some _ when value_paranoid () ->
+    let base_r =
+      analyze_inner ~hw ~annot ~strategy ~engine ~domain:Analysis.Interval ?cancel program
+    in
+    if base_r.verdict = Complete && solution.Ipet.wcet > base_r.wcet then
+      fatal c Diag.Path ~code:"E0503"
+        "octagon-escalated WCET bound %d exceeds the interval bound %d" solution.Ipet.wcet
+        base_r.wcet
+  | _ -> ());
+  (* [vinfo] is [None] when escalated, so refined states never reach the
+     per-function slice store. *)
   (match (vinfo, cinfo) with
   | Some vinfo, Some cinfo ->
     Report_cache.save_slices ~hw ~annot ~assumes value vinfo cache cinfo
@@ -601,6 +811,7 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
     graph;
     loops;
     value;
+    escalation;
     derived_bounds;
     effective_bounds = !effective_bounds;
     unbounded_loops = !unbounded_loops;
@@ -616,14 +827,18 @@ let analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
   }
 
 let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
-    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary) ?cancel program =
+    ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary)
+    ?(domain = Analysis.Interval) ?cancel program =
   let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
   let ename = engine_name engine in
+  let dname = Analysis.domain_name domain in
   Trace.with_span ~cat:"analyzer" "analyze" (fun () ->
       let cached =
         if not (Report_cache.enabled ()) then None
         else
-          match Report_cache.find_report ~hw ~annot ~strategy ~engine:ename program with
+          match
+            Report_cache.find_report ~hw ~annot ~strategy ~engine:ename ~domain:dname program
+          with
           | None -> None
           | Some payload -> (
             (* The envelope checksum and version already passed; a decode
@@ -632,16 +847,17 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
             match (Marshal.from_string payload 0 : report) with
             | r -> Some r
             | exception _ ->
-              Report_cache.invalidate_report ~hw ~annot ~strategy ~engine:ename program;
+              Report_cache.invalidate_report ~hw ~annot ~strategy ~engine:ename ~domain:dname
+                program;
               None)
       in
       let r =
         match cached with
         | Some r -> r
         | None ->
-          let r = analyze_inner ~hw ~annot ~strategy ~engine ?cancel program in
+          let r = analyze_inner ~hw ~annot ~strategy ~engine ~domain ?cancel program in
           if Report_cache.enabled () then
-            Report_cache.save_report ~hw ~annot ~strategy ~engine:ename program
+            Report_cache.save_report ~hw ~annot ~strategy ~engine:ename ~domain:dname program
               (Marshal.to_string r []);
           r
       in
@@ -657,12 +873,13 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
         Metrics.incr m_runs_partial 1);
       r)
 
-let analyze_modes ?(hw = Hw_config.default) ?(engine = Summary) ~base ~modes program =
-  let oblivious = ("(all modes)", analyze ~hw ~engine ~annot:base program) in
+let analyze_modes ?(hw = Hw_config.default) ?(engine = Summary)
+    ?(domain = Analysis.Interval) ~base ~modes program =
+  let oblivious = ("(all modes)", analyze ~hw ~engine ~domain ~annot:base program) in
   let per_mode =
     List.map
       (fun (name, annot) ->
-        (name, analyze ~hw ~engine ~annot:(Annot.merge base annot) program))
+        (name, analyze ~hw ~engine ~domain ~annot:(Annot.merge base annot) program))
       modes
   in
   oblivious :: per_mode
@@ -689,6 +906,15 @@ let pp_report ppf r =
     (Array.length r.graph.Supergraph.nodes)
     (Array.length r.graph.Supergraph.contexts)
     (Array.length r.loops.Loops.loops);
+  (match r.escalation with
+  | None -> ()
+  | Some e ->
+    Format.fprintf ppf
+      "octagon escalation: %d function(s), %d transfers, %d slot(s), %d loop(s) discharged, \
+       %d access(es) tightened@,"
+      (List.length e.ei_funcs) e.ei_transfers (List.length e.ei_slots)
+      (List.length e.ei_discharged_loops)
+      (List.length e.ei_tightened_accesses));
   List.iter (fun h -> Format.fprintf ppf "hole: %a@," pp_hole h) r.holes;
   List.iter
     (fun (li, b) ->
@@ -743,6 +969,43 @@ let report_to_json r =
       ("nodes", Int (Array.length r.graph.Supergraph.nodes));
       ("contexts", Int (Array.length r.graph.Supergraph.contexts));
       ("holes", List (List.map hole_to_json r.holes));
+      ( "escalation",
+        match r.escalation with
+        | None -> Null
+        | Some e ->
+          let aval_json v =
+            match Aval.range v with
+            | Some (lo, hi) -> Obj [ ("lo", Int lo); ("hi", Int hi) ]
+            | None -> Null
+          in
+          Obj
+            [
+              ("domain", String e.ei_domain);
+              ("functions", List (List.map (fun f -> String f) e.ei_funcs));
+              ("transfers", Int e.ei_transfers);
+              ("slots", List (List.map (fun s -> Int s) e.ei_slots));
+              ( "discharged_loops",
+                List
+                  (List.map
+                     (fun (addr, func, cause) ->
+                       Obj
+                         [
+                           ("header", Int addr); ("func", String func); ("cause", String cause);
+                         ])
+                     e.ei_discharged_loops) );
+              ( "tightened_accesses",
+                List
+                  (List.map
+                     (fun (addr, func, before, after) ->
+                       Obj
+                         [
+                           ("addr", Int addr);
+                           ("func", String func);
+                           ("interval", aval_json before);
+                           ("octagon", aval_json after);
+                         ])
+                     e.ei_tightened_accesses) );
+            ] );
       ("diagnostics", List (List.map Diag.to_json r.diagnostics));
       ( "loops",
         List

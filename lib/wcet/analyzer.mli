@@ -53,12 +53,32 @@ type hole =
   | Hole_loop of { header : int; func : string; reason : string }
   | Hole_irreducible of { blocks : int list; func : string }
 
+(** What an octagon escalation changed, kept in the report so the
+    guidelines auditor can mark the interval-pass findings the relational
+    pass resolved ([discharged-by: octagon]). *)
+type esc_info = {
+  ei_domain : string;  (** requested domain: ["octagon"] or ["auto"] *)
+  ei_funcs : string list;  (** functions that triggered the escalation *)
+  ei_transfers : int;  (** product-domain transfer count *)
+  ei_slots : int list;  (** tracked stack/global word addresses *)
+  ei_discharged_loops : (int * string * string) list;
+      (** (header addr, func, interval cause) of loops the interval pass
+          left unbounded and the relational pass bounded *)
+  ei_tightened_accesses : (int * string * Wcet_value.Aval.t * Wcet_value.Aval.t) list;
+      (** (insn addr, func, interval addr, refined addr) of accesses whose
+          address interval strictly tightened under the octagon *)
+}
+
 type report = {
   program : Pred32_asm.Program.t;
   hw : Pred32_hw.Hw_config.t;
   graph : Wcet_cfg.Supergraph.t;
   loops : Wcet_cfg.Loops.info;
   value : Wcet_value.Analysis.result;
+  escalation : esc_info option;
+      (** [Some] iff a relational (octagon) escalation ran and refined
+          [value]/[derived_bounds]; [None] under [--domain interval] and
+          when [auto] found nothing to escalate *)
   derived_bounds : Wcet_value.Loop_bounds.t;
   effective_bounds : (int * int) list;  (** (loop index, bound) after annotations *)
   unbounded_loops : (int * string) list;  (** loops degraded to holes, with reasons *)
@@ -98,6 +118,17 @@ val engine_name : engine -> string
     [Whole_program] engine (the component schedule is inherently
     priority-ordered).
 
+    [domain] selects the value domain ({!Wcet_value.Analysis.domain},
+    default [Interval] — bit-identical to the pre-octagon analyzer).
+    [Octagon] re-solves every function under the interval x octagon
+    reduced product after the interval pass; [Auto] escalates only the
+    functions whose interval results left imprecise data accesses or
+    input-dependent/aliased loop-bound causes. The refined result feeds
+    every downstream phase, so escalation can tighten memory-region
+    classification, cache access sets and loop bounds — never loosen them
+    (the [WCET_VALUE_PARANOID] environment flag asserts this per node and
+    end-to-end, aborting with E0503 on violation).
+
     [cancel] is a cooperative cancellation token (the daemon's per-request
     deadline): it is polled by the value/cache fixpoints before every
     transfer and by the analyzer between phases; when it returns [true],
@@ -107,6 +138,7 @@ val analyze :
   ?annot:Wcet_annot.Annot.t ->
   ?strategy:Wcet_util.Fixpoint.strategy ->
   ?engine:engine ->
+  ?domain:Wcet_value.Analysis.domain ->
   ?cancel:(unit -> bool) ->
   Pred32_asm.Program.t ->
   report
@@ -118,6 +150,7 @@ val analyze :
 val analyze_modes :
   ?hw:Pred32_hw.Hw_config.t ->
   ?engine:engine ->
+  ?domain:Wcet_value.Analysis.domain ->
   base:Wcet_annot.Annot.t ->
   modes:(string * Wcet_annot.Annot.t) list ->
   Pred32_asm.Program.t ->

@@ -49,7 +49,7 @@ module Diag = Wcet_diag.Diag
 module Metrics = Wcet_obs.Metrics
 
 (* Bump when the marshaled payload layout changes (report or slice types). *)
-let format_version = "2"
+let format_version = "3"
 
 let m_hits gran =
   Metrics.counter ~labels:[ ("granularity", gran) ] ~name:"cache_store_hits"
@@ -160,10 +160,13 @@ let program_parts (p : Program.t) =
 (* [engine] is the analyzer engine name ("summary" / "whole-program"):
    the engines agree on bounds for every corpus program we test, but the
    report payload embeds engine-specific accounting (transfer counts,
-   component statistics), so reports are keyed per engine. *)
-let report_key ~hw ~annot ~strategy ~engine program =
+   component statistics), so reports are keyed per engine. [domain] is the
+   value-domain name ("interval" / "octagon" / "auto"): an escalated run
+   carries refined states and extra escalation accounting, so its report
+   must never be served to (or overwrite) an interval-only run. *)
+let report_key ~hw ~annot ~strategy ~engine ~domain program =
   digest_parts
-    ("report" :: engine
+    ("report" :: engine :: domain
     :: marshal (hw : Hw_config.t)
     :: marshal (annot : Annot.t)
     :: Wcet_util.Fixpoint.strategy_name strategy
@@ -361,11 +364,11 @@ let write_entry store ~key ~kind payload =
 
 (* ---- Whole-program reports ------------------------------------------ *)
 
-let find_report ~hw ~annot ~strategy ~engine program =
+let find_report ~hw ~annot ~strategy ~engine ~domain program =
   match Atomic.get store_ref with
   | None -> None
   | Some store -> (
-    let key = report_key ~hw ~annot ~strategy ~engine program in
+    let key = report_key ~hw ~annot ~strategy ~engine ~domain program in
     match read_entry store ~key ~kind:"report" with
     | Some payload ->
       Atomic.incr s_program_hits;
@@ -376,23 +379,23 @@ let find_report ~hw ~annot ~strategy ~engine program =
       Metrics.incr m_misses_program 1;
       None)
 
-let save_report ~hw ~annot ~strategy ~engine program payload =
+let save_report ~hw ~annot ~strategy ~engine ~domain program payload =
   match Atomic.get store_ref with
   | None -> ()
   | Some store ->
     write_entry store
-      ~key:(report_key ~hw ~annot ~strategy ~engine program)
+      ~key:(report_key ~hw ~annot ~strategy ~engine ~domain program)
       ~kind:"report" payload
 
 (* The caller could not decode a payload [find_report] returned (marshal
    layout drift not covered by the version string): reclassify the hit as
    a miss and evict the entry. *)
-let invalidate_report ~hw ~annot ~strategy ~engine program =
+let invalidate_report ~hw ~annot ~strategy ~engine ~domain program =
   (match Atomic.get store_ref with
   | None -> ()
   | Some store ->
     evict store
-      (report_key ~hw ~annot ~strategy ~engine program)
+      (report_key ~hw ~annot ~strategy ~engine ~domain program)
       ~code:"W0610" ~why:"cached report failed to deserialize");
   Atomic.decr s_program_hits;
   Atomic.incr s_program_misses;
@@ -454,12 +457,20 @@ let load_slices ~hw ~annot ~assumes (graph : Supergraph.t) =
           Atomic.incr s_function_misses;
           Metrics.incr m_misses_function 1
         | Some payload -> (
-          match (Marshal.from_string payload 0 : slice_row list) with
+          match (Marshal.from_string payload 0 : string * slice_row list) with
           | exception _ ->
             evict store key ~code:"W0610" ~why:"cached function slice failed to deserialize";
             Atomic.incr s_function_misses;
             Metrics.incr m_misses_function 1
-          | rows ->
+          | (dom, _) when dom <> "interval" ->
+            (* Slices are interval-domain facts: an entry tagged with any
+               other domain would feed refined (escalated) states into a
+               baseline run, so it is evicted and recomputed. *)
+            evict store key ~code:"W0613"
+              ~why:(Printf.sprintf "cached slice was recorded under the %s value domain" dom);
+            Atomic.incr s_function_misses;
+            Metrics.incr m_misses_function 1
+          | (_, rows) ->
             List.iter
               (fun row ->
                 match Hashtbl.find_opt by_sig row.rsig with
@@ -550,6 +561,7 @@ let save_slices ~hw ~annot ~assumes (value : Analysis.result)
                 })
               (nodes_of fname)
           in
-          write_entry store ~key ~kind:"func" (marshal (rows : slice_row list))
+          write_entry store ~key ~kind:"func"
+            (marshal (("interval", rows) : string * slice_row list))
         end)
       (cached_function_names graph)

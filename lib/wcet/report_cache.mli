@@ -65,6 +65,7 @@ val find_report :
   annot:Wcet_annot.Annot.t ->
   strategy:Wcet_util.Fixpoint.strategy ->
   engine:string ->
+  domain:string ->
   Pred32_asm.Program.t ->
   string option
 
@@ -73,6 +74,7 @@ val save_report :
   annot:Wcet_annot.Annot.t ->
   strategy:Wcet_util.Fixpoint.strategy ->
   engine:string ->
+  domain:string ->
   Pred32_asm.Program.t ->
   string ->
   unit
@@ -84,6 +86,7 @@ val invalidate_report :
   annot:Wcet_annot.Annot.t ->
   strategy:Wcet_util.Fixpoint.strategy ->
   engine:string ->
+  domain:string ->
   Pred32_asm.Program.t ->
   unit
 

@@ -59,6 +59,22 @@ let test_store_and_env_codes_registered () =
     (Diag.exit_for (Diag.make Diag.Warning Diag.Store ~code:"W0612" "x"));
   Alcotest.(check string) "store phase name" "cache-store" (Diag.phase_name Diag.Store)
 
+(* The octagon-escalation codes: the escalation notice, the paranoid
+   cross-check failure, and the cache eviction for reports written under a
+   different value domain. *)
+let test_octagon_codes_registered () =
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " documented") true (Diag.describe code <> None))
+    [ "W0501"; "E0503"; "W0613"; "A0512" ];
+  (* E0503 is an analysis failure (the escalated solution diverged), not a
+     usage problem: it must exit with the analysis code. *)
+  Alcotest.(check int) "E0503 exits as analysis" 2
+    (Diag.exit_for (Diag.make Diag.Error Diag.Path ~code:"E0503" "x"));
+  (* W0613 is a cache-store degradation like W0611/W0612. *)
+  Alcotest.(check int) "W0613 exits as usage" 1
+    (Diag.exit_for (Diag.make Diag.Warning Diag.Store ~code:"W0613" "x"))
+
 let test_pp_format () =
   let d =
     Diag.make Diag.Warning Diag.Decode ~code:"W0301"
@@ -208,6 +224,8 @@ let () =
           Alcotest.test_case "describe" `Quick test_describe;
           Alcotest.test_case "store and env codes registered" `Quick
             test_store_and_env_codes_registered;
+          Alcotest.test_case "octagon escalation codes registered" `Quick
+            test_octagon_codes_registered;
           Alcotest.test_case "pp format" `Quick test_pp_format;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
           Alcotest.test_case "collector" `Quick test_collector;

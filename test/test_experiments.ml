@@ -165,7 +165,8 @@ let test_single_path_tradeoff () =
 
 let test_all_sound () =
   (* run_scenario raises on unsoundness; force every run *)
-  Alcotest.(check bool) "all runs computed" true (List.length (Lazy.force runs) = 30)
+  Alcotest.(check bool) "all runs computed" true
+    (List.length (Lazy.force runs) = 2 * List.length Corpus.all)
 
 let test_conforming_always_automatic () =
   List.iter

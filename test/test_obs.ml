@@ -210,6 +210,7 @@ let pinned_names =
     "fixpoint_joins{analysis=cache}";
     "fixpoint_joins{analysis=value}";
     "fixpoint_transfers{analysis=cache}";
+    "fixpoint_transfers{analysis=octagon}";
     "fixpoint_transfers{analysis=value}";
     "fixpoint_widenings{analysis=cache}";
     "fixpoint_widenings{analysis=value}";
@@ -253,6 +254,7 @@ let pinned_names =
     "value_accesses{precision=exact}";
     "value_accesses{precision=interval}";
     "value_accesses{precision=unknown}";
+    "value_escalated_functions";
     "wcet_slack_cycles{source=cache_unclassified}";
     "wcet_slack_cycles{source=dynamic_residual}";
     "wcet_slack_cycles{source=flow_count}";

@@ -1,0 +1,353 @@
+(* Octagon domain: DBM lattice laws, soundness of the escalation against
+   the interval baseline (refined states below the interval states on
+   random programs), widening termination, and the end-to-end discharge
+   fixtures (A0505 input-dependent != exits, A0509 imprecise accesses). *)
+
+module Octagon = Wcet_value.Octagon
+module Analysis = Wcet_value.Analysis
+module Loop_bounds = Wcet_value.Loop_bounds
+module State = Wcet_value.State
+module Aval = Wcet_value.Aval
+module Supergraph = Wcet_cfg.Supergraph
+module Loops = Wcet_cfg.Loops
+module Analyzer = Wcet_core.Analyzer
+module Audit = Misra.Audit
+module Compile = Minic.Compile
+module Sim = Pred32_sim.Simulator
+module Corpus = Wcet_corpus.Corpus
+module Annot = Wcet_annot.Annot
+module Pcg = Wcet_util.Pcg
+
+(* ---- DBM unit and property tests ------------------------------------ *)
+
+let test_closure_laws () =
+  let o = Octagon.top 4 in
+  let o = Octagon.assign_interval o 0 (0, 10) in
+  let o = Octagon.assign_interval o 1 (5, 5) in
+  (* x0 - x1 <= 2  and  x1 <= 5  must close to  x0 <= 7 *)
+  let o = Octagon.add_diff o ~u:0 ~v:1 2 in
+  (match Octagon.var_bounds o 0 with
+  | _, Some hi -> Alcotest.(check bool) "closure derives x0 <= 7" true (hi <= 7)
+  | _, None -> Alcotest.fail "x0 unbounded after closure");
+  (* full Floyd-Warshall closure is idempotent and a no-op on the
+     incrementally-closed DBM *)
+  let c1 = Octagon.close o in
+  let c2 = Octagon.close c1 in
+  Alcotest.(check bool) "close idempotent" true (Octagon.equal c1 c2);
+  Alcotest.(check bool) "incremental closure is already closed" true (Octagon.equal o c1)
+
+let test_join_meet_lattice () =
+  let mk lo hi =
+    Octagon.assign_interval (Octagon.top 2) 0 (lo, hi)
+  in
+  let a = mk 0 10 and b = mk 5 20 in
+  let j = Octagon.join a b and m = Octagon.meet a b in
+  Alcotest.(check bool) "a leq join" true (Octagon.leq a j);
+  Alcotest.(check bool) "b leq join" true (Octagon.leq b j);
+  Alcotest.(check bool) "meet leq a" true (Octagon.leq m a);
+  Alcotest.(check bool) "meet leq b" true (Octagon.leq m b);
+  Alcotest.(check (pair (option int) (option int))) "join bounds" (Some 0, Some 20)
+    (Octagon.var_bounds j 0);
+  Alcotest.(check (pair (option int) (option int))) "meet bounds" (Some 5, Some 10)
+    (Octagon.var_bounds m 0);
+  let empty = Octagon.meet (mk 0 1) (mk 5 6) in
+  Alcotest.(check bool) "disjoint meet is bottom" true (Octagon.is_bot empty)
+
+let test_bottom_propagation () =
+  let b = Octagon.bottom 3 in
+  Alcotest.(check bool) "bottom is bottom" true (Octagon.is_bot b);
+  Alcotest.(check bool) "bottom leq top" true (Octagon.leq b (Octagon.top 3));
+  let o = Octagon.assign_interval (Octagon.top 3) 1 (4, 4) in
+  Alcotest.(check bool) "join with bottom is identity" true
+    (Octagon.equal (Octagon.join b o) o);
+  (* contradictory constraints must collapse to bottom *)
+  let o = Octagon.add_ub o 1 3 in
+  Alcotest.(check bool) "x=4 meets x<=3 is bottom" true (Octagon.is_bot o)
+
+let test_random_closure_soundness () =
+  (* Random constraint sets: the closed DBM must imply every constraint it
+     was given (closure only tightens, never drops), and full closure must
+     be idempotent. *)
+  let rng = Pcg.create ~seed:42L () in
+  for _ = 1 to 50 do
+    let dim = 2 + Pcg.next_int rng 3 in
+    let o = ref (Octagon.top dim) in
+    let cons = ref [] in
+    for _ = 1 to 8 do
+      let u = Pcg.next_int rng dim and v = Pcg.next_int rng dim in
+      let c = Pcg.next_int rng 100 in
+      let lo = Pcg.next_int rng 50 in
+      match Pcg.next_int rng 3 with
+      | 0 ->
+        if u <> v then begin
+          o := Octagon.add_diff !o ~u ~v c;
+          cons := `Diff (u, v, c) :: !cons
+        end
+      | 1 ->
+        o := Octagon.add_ub !o u (lo + c);
+        cons := `Ub (u, lo + c) :: !cons
+      | _ ->
+        o := Octagon.add_lb !o u lo;
+        cons := `Lb (u, lo) :: !cons
+    done;
+    if not (Octagon.is_bot !o) then begin
+      let closed = Octagon.close !o in
+      Alcotest.(check bool) "close idempotent (random)" true
+        (Octagon.equal closed (Octagon.close closed));
+      List.iter
+        (function
+          | `Diff (u, v, c) -> (
+            match Octagon.diff_bounds closed ~u ~v with
+            | _, Some hi -> Alcotest.(check bool) "diff constraint kept" true (hi <= c)
+            | _, None -> Alcotest.fail "closure dropped a difference constraint")
+          | `Ub (u, c) -> (
+            match Octagon.var_bounds closed u with
+            | _, Some hi -> Alcotest.(check bool) "ub kept" true (hi <= c)
+            | _, None -> Alcotest.fail "closure dropped an upper bound")
+          | `Lb (u, c) -> (
+            match Octagon.var_bounds closed u with
+            | Some lo, _ -> Alcotest.(check bool) "lb kept" true (lo >= c)
+            | None, _ -> Alcotest.fail "closure dropped a lower bound"))
+        !cons
+    end
+  done
+
+let test_widening_termination () =
+  (* Widening an ascending chain must reach a fixpoint in finitely many
+     steps even with thresholds. *)
+  let thresholds = [| 8; 16; 64; 128 |] in
+  let state = ref (Octagon.assign_interval (Octagon.top ~thresholds 2) 0 (0, 0)) in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < 1000 do
+    incr steps;
+    let next = Octagon.assign_interval (Octagon.top ~thresholds 2) 0 (0, !steps * 3) in
+    let w = Octagon.widen !state next in
+    if Octagon.leq next !state && Octagon.equal w !state then continue := false
+    else state := w
+  done;
+  Alcotest.(check bool) "widening chain stabilizes quickly" true (!steps < 64)
+
+(* ---- escalation soundness on programs ------------------------------- *)
+
+let leq_opt a b =
+  match (a, b) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some a, Some b -> State.leq a b
+
+(* Whole-corpus containment: for every scenario, escalating every function
+   must produce per-node states below the interval result, and loop bound
+   verdicts that are never worse. *)
+let test_escalation_below_interval () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      List.iter
+        (fun (s : Corpus.scenario) ->
+          let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
+          let annot = s.Corpus.annotations program in
+          let resolver =
+            Wcet_cfg.Resolver.with_overrides
+              ~recursion_depths:annot.Annot.recursion_depths
+              (Wcet_cfg.Resolver.auto program)
+          in
+          match Supergraph.build ~resolver program with
+          | exception Supergraph.Build_error _ -> ()  (* needs annotations beyond this test *)
+          | graph ->
+          let loops = Loops.analyze graph in
+          let assumes =
+            List.filter_map
+              (fun (sym, lo, hi) ->
+                Option.map
+                  (fun a -> (a, Aval.interval lo hi))
+                  (Pred32_asm.Program.symbol_opt program sym))
+              annot.Annot.assumes
+          in
+          let base = Analysis.run ~assumes graph loops in
+          let funcs =
+            List.sort_uniq compare
+              (Array.to_list graph.Supergraph.nodes
+              |> List.map (fun (n : Supergraph.node) -> n.Supergraph.func))
+          in
+          match Analysis.escalate ~assumes ~funcs base loops with
+          | exception Failure _ -> ()  (* non-convergence: allowed, base kept *)
+          | esc ->
+            let r = esc.Analysis.esc_result in
+            Array.iteri
+              (fun i _ ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: refined in-state below interval at node %d" e.Corpus.id i)
+                  true
+                  (leq_opt r.Analysis.node_in.(i) base.Analysis.node_in.(i));
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: refined out-state below interval at node %d" e.Corpus.id i)
+                  true
+                  (leq_opt r.Analysis.node_out.(i) base.Analysis.node_out.(i)))
+              graph.Supergraph.nodes;
+            let bb = Loop_bounds.analyze base loops in
+            let rb = Loop_bounds.analyze ~rel:esc.Analysis.esc_rel r loops in
+            Array.iteri
+              (fun li bv ->
+                match (bv, rb.Loop_bounds.per_loop.(li)) with
+                | Loop_bounds.Bounded b, Loop_bounds.Bounded r ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: loop %d relational bound not worse" e.Corpus.id li)
+                    true (r <= b)
+                | Loop_bounds.Bounded _, Loop_bounds.Unbounded _ ->
+                  Alcotest.failf "%s: loop %d lost its bound under the octagon" e.Corpus.id li
+                | Loop_bounds.Unbounded _, _ -> ())
+              bb.Loop_bounds.per_loop)
+        [ e.Corpus.conforming; e.Corpus.violating ])
+    Corpus.all
+
+(* ---- end-to-end discharge fixtures ---------------------------------- *)
+
+let relational_entry =
+  match Corpus.find "relational" with
+  | Some e -> e
+  | None -> Alcotest.fail "corpus entry 'relational' missing"
+
+let analyze_conforming domain =
+  let s = relational_entry.Corpus.conforming in
+  let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
+  let annot = s.Corpus.annotations program in
+  (program, s, Analyzer.analyze ~hw:s.Corpus.hw ~annot ~domain program)
+
+(* A0505: the interval pass cannot bound [while (i != n)] against the
+   assume-bounded limit; the octagon discharges it and the report says so. *)
+let test_a0505_discharged () =
+  let _, _, interval = analyze_conforming Analysis.Interval in
+  Alcotest.(check bool) "interval verdict is partial" true
+    (interval.Analyzer.verdict = Analyzer.Partial);
+  Alcotest.(check bool) "interval leaves an unbounded loop" true
+    (interval.Analyzer.unbounded_loops <> []);
+  let _, _, auto = analyze_conforming Analysis.Auto in
+  Alcotest.(check bool) "auto verdict is complete" true
+    (auto.Analyzer.verdict = Analyzer.Complete);
+  Alcotest.(check bool) "auto leaves no unbounded loop" true
+    (auto.Analyzer.unbounded_loops = []);
+  match auto.Analyzer.escalation with
+  | None -> Alcotest.fail "auto run did not escalate"
+  | Some e ->
+    Alcotest.(check bool) "a loop was discharged" true (e.Analyzer.ei_discharged_loops <> []);
+    let audit = Audit.of_report auto in
+    let discharged =
+      List.exists
+        (fun (f : Audit.finding) ->
+          f.Audit.code = "A0505"
+          && Astring.String.is_infix ~affix:"discharged-by: octagon" f.Audit.message)
+        audit.Audit.findings
+    in
+    Alcotest.(check bool) "audit marks A0505 discharged-by: octagon" true discharged
+
+(* A0509: the interval pass loses [n - i] to wraparound, so [buf[j]] spans
+   multiple regions; the octagon's difference projection collapses it. *)
+let test_a0509_discharged () =
+  let _, _, interval = analyze_conforming Analysis.Interval in
+  let interval_audit = Audit.of_report interval in
+  Alcotest.(check bool) "interval audit raises A0509" true
+    (List.exists (fun (f : Audit.finding) -> f.Audit.code = "A0509")
+       interval_audit.Audit.findings);
+  let _, _, auto = analyze_conforming Analysis.Auto in
+  let auto_audit = Audit.of_report auto in
+  let warning_a0509 =
+    List.exists
+      (fun (f : Audit.finding) ->
+        f.Audit.code = "A0509" && f.Audit.severity = Wcet_diag.Diag.Warning)
+      auto_audit.Audit.findings
+  in
+  Alcotest.(check bool) "auto audit has no A0509 warning left" false warning_a0509;
+  let discharged =
+    List.exists
+      (fun (f : Audit.finding) ->
+        f.Audit.code = "A0509"
+        && Astring.String.is_infix ~affix:"discharged-by: octagon" f.Audit.message)
+      auto_audit.Audit.findings
+  in
+  Alcotest.(check bool) "audit marks A0509 discharged-by: octagon" true discharged
+
+(* The escalated bound must cover every simulated execution (soundness)
+   and must not exceed the interval bound where one exists. *)
+let test_escalated_bound_sound () =
+  let program, s, auto = analyze_conforming Analysis.Auto in
+  Alcotest.(check bool) "bound exists" true (auto.Analyzer.wcet > 0);
+  List.iter
+    (fun pokes ->
+      let sim = Sim.create s.Corpus.hw program in
+      List.iter (fun (sym, idx, v) -> Sim.poke_symbol sim sym idx v) pokes;
+      match Sim.run ~fuel:2_000_000 sim with
+      | Sim.Halted { cycles; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "simulated %d cycles within escalated bound %d" cycles
+             auto.Analyzer.wcet)
+          true
+          (cycles <= auto.Analyzer.wcet)
+      | _ -> Alcotest.fail "simulation did not halt")
+    s.Corpus.inputs
+
+(* The paranoid cross-check must pass on the whole corpus under auto. *)
+let test_value_paranoid_corpus () =
+  Unix.putenv "WCET_VALUE_PARANOID" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "WCET_VALUE_PARANOID" "")
+    (fun () ->
+      List.iter
+        (fun (e : Corpus.entry) ->
+          let s = e.Corpus.conforming in
+          let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
+          let annot = s.Corpus.annotations program in
+          match Analyzer.analyze ~hw:s.Corpus.hw ~annot ~domain:Analysis.Auto program with
+          | (_ : Analyzer.report) -> ()
+          | exception Analyzer.Analysis_failed ds ->
+            let e0503 = List.exists (fun (d : Wcet_diag.Diag.t) -> d.code = "E0503") ds in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: no E0503 divergence" e.Corpus.id)
+              false e0503)
+        Corpus.all)
+
+(* --domain interval must not change any bound: compare against a default
+   analyze call on every corpus conforming scenario. *)
+let test_interval_domain_identity () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let s = e.Corpus.conforming in
+      let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
+      let annot = s.Corpus.annotations program in
+      match Analyzer.analyze ~hw:s.Corpus.hw ~annot program with
+      | exception Analyzer.Analysis_failed _ -> ()
+      | default -> (
+        match
+          Analyzer.analyze ~hw:s.Corpus.hw ~annot ~domain:Analysis.Interval program
+        with
+        | explicit ->
+          Alcotest.(check int)
+            (e.Corpus.id ^ ": interval domain bit-identical bound")
+            default.Analyzer.wcet explicit.Analyzer.wcet;
+          Alcotest.(check bool)
+            (e.Corpus.id ^ ": interval domain never escalates")
+            true (explicit.Analyzer.escalation = None)
+        | exception Analyzer.Analysis_failed _ ->
+          Alcotest.fail (e.Corpus.id ^ ": explicit interval domain failed")))
+    Corpus.all
+
+let () =
+  Alcotest.run "octagon"
+    [
+      ( "dbm",
+        [
+          Alcotest.test_case "closure laws" `Quick test_closure_laws;
+          Alcotest.test_case "join meet lattice" `Quick test_join_meet_lattice;
+          Alcotest.test_case "bottom propagation" `Quick test_bottom_propagation;
+          Alcotest.test_case "random closure soundness" `Quick test_random_closure_soundness;
+          Alcotest.test_case "widening termination" `Quick test_widening_termination;
+        ] );
+      ( "escalation",
+        [
+          Alcotest.test_case "below interval on corpus" `Quick test_escalation_below_interval;
+          Alcotest.test_case "A0505 discharged" `Quick test_a0505_discharged;
+          Alcotest.test_case "A0509 discharged" `Quick test_a0509_discharged;
+          Alcotest.test_case "escalated bound sound" `Quick test_escalated_bound_sound;
+          Alcotest.test_case "paranoid corpus" `Quick test_value_paranoid_corpus;
+          Alcotest.test_case "interval identity" `Quick test_interval_domain_identity;
+        ] );
+    ]
