@@ -250,11 +250,56 @@ let value_domain_json e4 =
         (sum (fun r -> fst r.Harness.e4_cache_nc), sum (fun r -> snd r.Harness.e4_cache_nc));
     ]
 
+(* The E5 rows rendered as the machine-readable [path_portfolio] block:
+   per-entry per-backend bounds and wall times plus the winner tallies the
+   CI gate watches (the portfolio bound must never exceed IPET's). *)
+let path_portfolio_json e5 =
+  let backend_json (b : Wcet_core.Analyzer.backend_run) =
+    Json.Obj
+      [
+        ("name", Json.String b.Wcet_core.Analyzer.br_name);
+        ( "bound",
+          match b.Wcet_core.Analyzer.br_bound with Some x -> Json.Int x | None -> Json.Null );
+        ( "error",
+          match b.Wcet_core.Analyzer.br_error with
+          | Some (code, _) -> Json.String code
+          | None -> Json.Null );
+        ("wall_ms", Json.Int b.Wcet_core.Analyzer.br_wall_ms);
+        ("winner", Json.Bool b.Wcet_core.Analyzer.br_winner);
+      ]
+  in
+  let wins name =
+    List.length (List.filter (fun (r : Harness.e5_row) -> r.Harness.e5_winner = name) e5)
+  in
+  Json.Obj
+    [
+      ("corpus", Json.String "conforming scenarios, assisted annotations");
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (r : Harness.e5_row) ->
+               Json.Obj
+                 [
+                   ("entry", Json.String r.Harness.e5_entry);
+                   ("portfolio", verdict_json r.Harness.e5_verdict);
+                   ("winner", Json.String r.Harness.e5_winner);
+                   ("backends", Json.List (List.map backend_json r.Harness.e5_backends));
+                 ])
+             e5) );
+      ( "winners",
+        Json.Obj
+          [
+            ("ipet", Json.Int (wins "ipet"));
+            ("csolve", Json.Int (wins "csolve"));
+            ("mc", Json.Int (wins "mc"));
+          ] );
+    ]
+
 let write_json ~path ~domains ~samples ~tables ~samples_per_sec
     ~rpo:(rpo_value, rpo_cache) ~fifo:(fifo_value, fifo_cache)
     ~store:(store_cold, store_warm)
     ~scc:((wp_value, wp_cache, wp_secs), (sm_value, sm_cache, sm_secs))
-    ~incr:(incr_cold, incr_warm) ~e4 =
+    ~incr:(incr_cold, incr_warm) ~e4 ~e5 =
   let strategy v c =
     Json.Obj [ ("value", Json.Int v); ("cache", Json.Int c); ("total", Json.Int (v + c)) ]
   in
@@ -317,6 +362,7 @@ let write_json ~path ~domains ~samples ~tables ~samples_per_sec
                 if store_warm > 0. then Json.Float (store_cold /. store_warm) else Json.Null );
             ] );
         ("value_domain", value_domain_json e4);
+        ("path_portfolio", path_portfolio_json e5);
         (* Snapshot of every observability metric populated by the tables
            above (analyzer counters, cache classifications, …). *)
         ("metrics", Wcet_obs.Metrics.to_json ());
@@ -375,6 +421,11 @@ let () =
   let e4, e4_seconds = timed (fun () -> Harness.e4_rows ()) in
   print_string (render (fun ppf () -> Harness.pp_e4 ppf e4));
   print_newline ();
+  (* E5 runs the corpus once under the portfolio so its rows feed both the
+     printed table and the path_portfolio JSON block without a re-run. *)
+  let e5, e5_seconds = timed (fun () -> Harness.e5_rows ()) in
+  print_string (render (fun ppf () -> Harness.pp_e5 ppf e5));
+  print_newline ();
   let (rpo, fifo) = fixpoint_comparison () in
   let (rpo_value, rpo_cache) = rpo and (fifo_value, fifo_cache) = fifo in
   Format.printf
@@ -406,10 +457,10 @@ let () =
   let table_times =
     ("T1", t1_seconds)
     :: (Array.to_list rendered |> List.map (fun (name, _, seconds) -> (name, seconds)))
-    @ [ ("E4", e4_seconds) ]
+    @ [ ("E4", e4_seconds); ("E5", e5_seconds) ]
   in
   write_json ~path:"BENCH_results.json" ~domains ~samples ~tables:table_times ~samples_per_sec
-    ~rpo ~fifo ~store:(store_cold, store_warm) ~scc ~incr ~e4;
+    ~rpo ~fifo ~store:(store_cold, store_warm) ~scc ~incr ~e4 ~e5;
   Format.printf "== timings (%d domains) ==@." domains;
   List.iter
     (fun (name, seconds) -> Format.printf "  %-6s %8.3f s@." name seconds)

@@ -270,6 +270,19 @@ let domain_arg =
            interval first, then an octagon escalation of exactly the functions whose interval \
            results left imprecise accesses or input-dependent loop bounds)")
 
+let path_backend_arg =
+  Arg.(
+    value
+    & opt (enum Wcet_path.Path_analysis.all_choices) Wcet_path.Path_analysis.Portfolio
+    & info [ "path-backend" ]
+        ~doc:
+          "Path-analysis backend: $(b,ipet) (implicit path enumeration as an ILP), $(b,mc) \
+           (slicing plus bounded model checking — path-sensitive, prunes mode-infeasible \
+           paths), $(b,csolve) (structural constraint solving over the loop forest), or \
+           $(b,portfolio) (the default: race all three, take the tightest sound bound, and \
+           cross-check the results as a soundness oracle — disagreement beyond attributable \
+           slack is the E0303 fatal)")
+
 (* The bound-drift ledger: `analyze --ledger` and `check --ledger` append
    one snapshot per run; `ledger report`/`ledger diff` read the series
    back. A ledger write failure is a W0802 warning, never a run failure. *)
@@ -310,13 +323,13 @@ let ledger_append_report ~ledger ~source (report : Analyzer.report) =
 let analyze_cmd =
   let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report") in
   let run source annot_file hw soft_div verbose format profile trace cache_dir no_cache engine
-      domain ledger =
+      domain path_backend ledger =
     handle_errors (fun () ->
         obs_setup ~profile ~trace;
         cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
-        match Analyzer.analyze ~hw ~annot ~engine ~domain program with
+        match Analyzer.analyze ~hw ~annot ~engine ~domain ~path_backend program with
         | report -> (
           ledger_append_report ~ledger ~source report;
           (match format with
@@ -350,7 +363,7 @@ let analyze_cmd =
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ verbose_arg $ format_arg
       $ profile_flag $ trace_arg $ cache_dir_arg $ no_cache_arg $ engine_arg $ domain_arg
-      $ ledger_arg)
+      $ path_backend_arg $ ledger_arg)
 
 let poke_conv =
   let parse s =
@@ -469,7 +482,8 @@ let audit_cmd =
           Misra.Audit.emit_dot ppf report audit;
           Format.pp_print_flush ppf ())
   in
-  let run source annot_file hw soft_div format dot corpus grades seed cache_dir no_cache domain =
+  let run source annot_file hw soft_div format dot corpus grades seed cache_dir no_cache domain
+      path_backend =
     handle_errors (fun () ->
         cache_setup ~cache_dir ~no_cache;
         if corpus then begin
@@ -504,7 +518,7 @@ let audit_cmd =
               | Pred32_sim.Simulator.Faulted _ | Pred32_sim.Simulator.Out_of_fuel _ -> None
             in
             let audit =
-              match Analyzer.analyze ~hw ~annot ~domain program with
+              match Analyzer.analyze ~hw ~annot ~domain ~path_backend program with
               | report ->
                 let audit = Misra.Audit.of_report ~misra ~annot ?coverage report in
                 emit_dot dot report audit;
@@ -523,7 +537,8 @@ let audit_cmd =
           its predictability")
     Term.(
       const run $ source_opt_arg $ annot_arg $ hw_arg $ soft_div_arg $ format_arg $ dot_arg
-      $ corpus_arg $ grades_arg $ seed_arg $ cache_dir_arg $ no_cache_arg $ domain_arg)
+      $ corpus_arg $ grades_arg $ seed_arg $ cache_dir_arg $ no_cache_arg $ domain_arg
+      $ path_backend_arg)
 
 let disasm_cmd =
   let run source soft_div =
@@ -618,12 +633,13 @@ let explain_cmd =
       & info [ "poke" ]
           ~doc:"With $(b,--attribute): set a global before the observed simulation run")
   in
-  let run source annot_file hw soft_div top dot format attribute pokes cache_dir no_cache domain =
+  let run source annot_file hw soft_div top dot format attribute pokes cache_dir no_cache domain
+      path_backend =
     handle_errors (fun () ->
         cache_setup ~cache_dir ~no_cache;
         let program = compile source ~soft_div in
         let annot = load_annot annot_file in
-        match Analyzer.analyze ~hw ~annot ~domain program with
+        match Analyzer.analyze ~hw ~annot ~domain ~path_backend program with
         | report when attribute -> (
           match
             Attribution.of_report ~pokes:(List.map (fun (sym, v) -> (sym, 0, v)) pokes) report
@@ -663,7 +679,8 @@ let explain_cmd =
           into typed pessimism sources")
     Term.(
       const run $ source_arg $ annot_arg $ hw_arg $ soft_div_arg $ top_arg $ dot_arg $ format_arg
-      $ attribute_flag $ pokes_arg $ cache_dir_arg $ no_cache_arg $ domain_arg)
+      $ attribute_flag $ pokes_arg $ cache_dir_arg $ no_cache_arg $ domain_arg
+      $ path_backend_arg)
 
 let check_cmd =
   let seed_arg =
@@ -691,12 +708,23 @@ let check_cmd =
       & info [ "daemon-faults" ]
           ~doc:"Daemon wire-level fault-injection trial count (0 disables the daemon campaign)")
   in
+  let path_portfolio_arg =
+    Arg.(
+      value & flag
+      & info [ "path-portfolio" ]
+          ~doc:
+            "Also re-analyze every complete scenario IPET-only and assert the portfolio bound \
+             never exceeds it (E0303 violation otherwise); per-backend bounds ride along in \
+             the $(b,--ledger) metrics")
+  in
   let run seed random faults store_faults daemon_faults format trace cache_dir no_cache domain
-      ledger =
+      path_portfolio ledger =
     handle_errors (fun () ->
         obs_setup ~profile:false ~trace;
         cache_setup ~cache_dir ~no_cache;
-        let stats = Check.run ~seed ~domain ~random_per_scenario:random ?ledger () in
+        let stats =
+          Check.run ~seed ~domain ~path_portfolio ~random_per_scenario:random ?ledger ()
+        in
         let campaign =
           let minic = faults / 2 in
           let annots = faults / 4 in
@@ -753,7 +781,8 @@ let check_cmd =
           run the fault-injection robustness campaigns (toolchain inputs, on-disk cache store, \
           and the analysis daemon's wire protocol)")
     Term.(const run $ seed_arg $ random_arg $ faults_arg $ store_faults_arg $ daemon_faults_arg
-          $ format_arg $ trace_arg $ cache_dir_arg $ no_cache_arg $ domain_arg $ ledger_arg)
+          $ format_arg $ trace_arg $ cache_dir_arg $ no_cache_arg $ domain_arg
+          $ path_portfolio_arg $ ledger_arg)
 
 (* --- the analysis daemon ------------------------------------------------ *)
 

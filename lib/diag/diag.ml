@@ -134,6 +134,12 @@ let all_codes =
     ("W0501", "value analysis escalated to the octagon domain (relational pass)");
     ("E0503", "octagon escalation diverged from the interval result (paranoid cross-check)");
     ("W0613", "analysis cache entry from another value domain (evicted, recomputed)");
+    ("E0301", "path analysis unbounded: a reachable cycle has no loop bound");
+    ("E0302", "path analysis infeasible: contradictory flow facts");
+    ("E0303", "path backends disagree beyond attributable slack (soundness bug)");
+    ("E0304", "path solution violates the count/time identity (internal)");
+    ("E0305", "requested path backend cannot analyse this program");
+    ("W0305", "model-checking path backend intractable here (excluded from portfolio)");
   ]
 
 let describe code = List.assoc_opt code all_codes

@@ -15,6 +15,7 @@ type stats = {
   failed : int;
   simulations : int;
   attributed : int;
+  portfolio_wins : int;
   violations : Diag.t list;
   diagnostics : Diag.t list;
 }
@@ -87,8 +88,42 @@ let check_attribution ~id ~variant (s : Corpus.scenario) report acc =
     { acc with violations = v :: acc.violations }
   | Error _ -> acc
 
-let check_scenario rng ~domain ~random_per_scenario ~record ~id ~variant (s : Corpus.scenario)
-    acc =
+(* Per-backend bounds for the ledger, so bound drift is attributable to a
+   specific path backend across tool versions. *)
+let backend_metrics (report : Analyzer.report) =
+  List.filter_map
+    (fun (b : Analyzer.backend_run) ->
+      Option.map (fun bound -> ("path_bound_" ^ b.Analyzer.br_name, bound)) b.Analyzer.br_bound)
+    report.Analyzer.backend_runs
+
+(* The standing portfolio acceptance property: the portfolio includes IPET,
+   so its tightest-of-backends bound can never exceed the IPET-only bound.
+   A violation is the E0303 soundness bug surfaced as a check violation. *)
+let check_portfolio ~domain ~id ~variant (s : Corpus.scenario) ~annot program
+    (report : Analyzer.report) acc =
+  match
+    Analyzer.analyze ~hw:s.Corpus.hw ~annot ~domain ~path_backend:Wcet_path.Path_analysis.Ipet
+      program
+  with
+  | exception Analyzer.Analysis_failed _ -> acc
+  | ipet_only ->
+    if ipet_only.Analyzer.verdict = Analyzer.Complete then
+      if report.Analyzer.wcet > ipet_only.Analyzer.wcet then
+        let d =
+          Diag.make Diag.Error Diag.Check ~code:"E0303"
+            (Printf.sprintf
+               "%s/%s: portfolio bound %d exceeds the IPET-only bound %d — the tightest-bound \
+                selection is broken"
+               id variant report.Analyzer.wcet ipet_only.Analyzer.wcet)
+        in
+        { acc with violations = d :: acc.violations }
+      else if report.Analyzer.wcet < ipet_only.Analyzer.wcet then
+        { acc with portfolio_wins = acc.portfolio_wins + 1 }
+      else acc
+    else acc
+
+let check_scenario rng ~domain ~path_portfolio ~random_per_scenario ~record ~id ~variant
+    (s : Corpus.scenario) acc =
   let program = Compile.compile ~options:s.Corpus.options s.Corpus.source in
   let annot = s.Corpus.annotations program in
   match Analyzer.analyze ~hw:s.Corpus.hw ~annot ~domain program with
@@ -166,11 +201,16 @@ let check_scenario rng ~domain ~random_per_scenario ~record ~id ~variant (s : Co
       record
         { (ledger_entry ~id ~variant s ~verdict:"complete" ~bound:(Some bound)
              ~observed:!worst_observed)
-          with Ledger.metrics = precision };
-      check_attribution ~id ~variant s report !acc)
+          with
+          Ledger.metrics =
+            (precision @ if path_portfolio then backend_metrics report else [])
+        };
+      let acc = check_attribution ~id ~variant s report !acc in
+      if path_portfolio then check_portfolio ~domain ~id ~variant s ~annot program report acc
+      else acc)
 
-let run ?(seed = 20110318L) ?(domain = Wcet_value.Analysis.Interval) ?(random_per_scenario = 8)
-    ?ledger () =
+let run ?(seed = 20110318L) ?(domain = Wcet_value.Analysis.Interval) ?(path_portfolio = false)
+    ?(random_per_scenario = 8) ?ledger () =
   let rng = Pcg.create ~seed () in
   let entries = ref [] in
   let record e = if ledger <> None then entries := e :: !entries in
@@ -182,6 +222,7 @@ let run ?(seed = 20110318L) ?(domain = Wcet_value.Analysis.Interval) ?(random_pe
       failed = 0;
       simulations = 0;
       attributed = 0;
+      portfolio_wins = 0;
       violations = [];
       diagnostics = [];
     }
@@ -190,10 +231,10 @@ let run ?(seed = 20110318L) ?(domain = Wcet_value.Analysis.Interval) ?(random_pe
     List.fold_left
       (fun acc (e : Corpus.entry) ->
         let acc =
-          check_scenario rng ~domain ~random_per_scenario ~record ~id:e.Corpus.id
-            ~variant:"conforming" e.Corpus.conforming acc
+          check_scenario rng ~domain ~path_portfolio ~random_per_scenario ~record
+            ~id:e.Corpus.id ~variant:"conforming" e.Corpus.conforming acc
         in
-        check_scenario rng ~domain ~random_per_scenario ~record ~id:e.Corpus.id
+        check_scenario rng ~domain ~path_portfolio ~random_per_scenario ~record ~id:e.Corpus.id
           ~variant:"violating" e.Corpus.violating acc)
       empty Corpus.all
   in
@@ -224,6 +265,9 @@ let pp_stats ppf s =
      runs, %d attributed, %d violation(s)@,"
     s.scenarios s.complete s.partial s.failed s.simulations s.attributed
     (List.length s.violations);
+  if s.portfolio_wins > 0 then
+    Format.fprintf ppf "portfolio strictly tighter than IPET on %d scenario(s)@,"
+      s.portfolio_wins;
   if s.violations <> [] then Format.fprintf ppf "%a@," Diag.pp_list s.violations;
   if s.diagnostics <> [] then Format.fprintf ppf "%a@," Diag.pp_list s.diagnostics;
   Format.fprintf ppf "verdict: %s@]" (if ok s then "OK" else "FAILED")
@@ -238,6 +282,7 @@ let to_json s =
       ("failed", Int s.failed);
       ("simulations", Int s.simulations);
       ("attributed", Int s.attributed);
+      ("portfolio_wins", Int s.portfolio_wins);
       ("violations", List (List.map Diag.to_json s.violations));
       ("diagnostics", List (List.map Diag.to_json s.diagnostics));
       ("ok", Bool (ok s));

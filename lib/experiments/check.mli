@@ -27,7 +27,10 @@ type stats = {
   failed : int;  (** analyses raising [Analysis_failed] *)
   simulations : int;  (** simulated runs compared against a bound *)
   attributed : int;  (** scenarios whose slack attribution summed exactly *)
-  violations : Wcet_diag.Diag.t list;  (** E0601/E0804 violations *)
+  portfolio_wins : int;
+      (** scenarios where the portfolio bound was strictly below IPET-only
+          (zero unless [path_portfolio] was requested) *)
+  violations : Wcet_diag.Diag.t list;  (** E0601/E0804/E0303 violations *)
   diagnostics : Wcet_diag.Diag.t list;  (** W0602 inconclusive runs *)
 }
 
@@ -38,10 +41,16 @@ type stats = {
     bounds too; [random_per_scenario] (default 8) is the number of random
     input sets per scenario on top of the declared ones. When [ledger] is
     set, one bound-drift snapshot per scenario is appended to that NDJSON
-    file ({!Wcet_obs.Ledger}). *)
+    file ({!Wcet_obs.Ledger}).
+
+    [path_portfolio] (default off) additionally re-analyzes every complete
+    scenario IPET-only and asserts the portfolio bound never exceeds it (a
+    violation surfaces under the E0303 code); per-backend bounds then ride
+    along in the ledger metrics as [path_bound_<backend>]. *)
 val run :
   ?seed:int64 ->
   ?domain:Wcet_value.Analysis.domain ->
+  ?path_portfolio:bool ->
   ?random_per_scenario:int ->
   ?ledger:string ->
   unit ->

@@ -78,6 +78,28 @@ val pp_e4 : Format.formatter -> e4_row list -> unit
 (** E4: the value-domain precision table ({!pp_e4} over {!e4_rows}). *)
 val table_e4 : ?domains:int -> Format.formatter -> unit -> unit
 
+(** E5: one row of the path-analysis portfolio comparison. Each corpus
+    entry's conforming scenario is analyzed once under the default
+    portfolio and the per-backend bounds/wall times read from the report's
+    [backend_runs]. Computing a row re-asserts the acceptance invariant
+    that the portfolio bound never exceeds the IPET bound (the portfolio
+    includes IPET); a violation is a [Failure]. *)
+type e5_row = {
+  e5_entry : string;
+  e5_verdict : verdict;  (** portfolio verdict/bound *)
+  e5_backends : Wcet_core.Analyzer.backend_run list;
+  e5_winner : string;  (** backend that supplied the bound, ["-"] on failure *)
+}
+
+(** All E5 rows, in corpus order (entries fan out across the domain pool
+    like {!table_rules}). *)
+val e5_rows : ?domains:int -> unit -> e5_row list
+
+val pp_e5 : Format.formatter -> e5_row list -> unit
+
+(** E5: the path-backend portfolio table ({!pp_e5} over {!e5_rows}). *)
+val table_e5 : ?domains:int -> Format.formatter -> unit -> unit
+
 (** Raised by {!table_t1} (and classified to its registered code by
     [Faultinject.classify_exn]) when an environment override is invalid. *)
 exception Invalid_env of Wcet_diag.Diag.t

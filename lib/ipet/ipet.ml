@@ -13,16 +13,27 @@ let m_constraints =
 let m_variables =
   Metrics.gauge ~name:"ipet_variables" ~help:"Flow variables of the last IPET problem" ()
 
-type fact = { fact_coeffs : (int * int) list; fact_bound : int; fact_label : string }
+module Path_analysis = Wcet_path.Path_analysis
 
-type spec = {
+type fact = Path_analysis.fact = {
+  fact_coeffs : (int * int) list;
+  fact_bound : int;
+  fact_label : string;
+}
+
+type spec = Path_analysis.spec = {
   value : Analysis.result;
   times : int array;
   loop_bounds : (int * int) list;
   facts : fact list;
 }
 
-type solution = { wcet : int; node_counts : int array }
+type solution = Path_analysis.solution = { wcet : int; node_counts : int array }
+
+let name = "ipet"
+let path_sensitive = false
+let fact_blind = false
+let exact_witness = false
 
 let solve (spec : spec) (loops : Loops.info) =
   let graph = spec.value.Analysis.graph in
@@ -182,20 +193,40 @@ let solve (spec : spec) (loops : Loops.info) =
   match Wcet_lp.Ilp.solve problem with
   | Wcet_lp.Ilp.Unbounded ->
     Error
-      "path analysis unbounded: some cycle has neither a derived loop bound nor an annotation \
-       (irreducible control flow or an unbounded loop)"
-  | Wcet_lp.Ilp.Infeasible -> Error "path analysis infeasible: contradictory flow facts"
+      (Path_analysis.unbounded
+         "some cycle has neither a derived loop bound nor an annotation (irreducible \
+          control flow or an unbounded loop)")
+  | Wcet_lp.Ilp.Infeasible -> Error (Path_analysis.infeasible "contradictory flow facts")
   | Wcet_lp.Ilp.Optimal (value, assignment) ->
     let base = super_time.(entry_super) in
-    let wcet = base + Rat.floor value in
+    (* A fractional vertex can survive the branch-and-bound budget once
+       weighted flow facts break total unimodularity. Flooring such an
+       assignment edge-by-edge would desynchronize the counts from the
+       bound; instead round every edge count up — the rounded objective
+       dominates the LP relaxation, which dominates the ILP optimum, so
+       the repaired bound stays sound and the count/time identity holds
+       by construction. *)
+    let fractional = Array.exists (fun x -> not (Rat.is_integer x)) assignment in
+    let count_of e =
+      if fractional then Rat.ceil assignment.(e) else Rat.floor assignment.(e)
+    in
+    let wcet =
+      if fractional then
+        base + Hashtbl.fold (fun e t acc -> acc + (t * count_of e)) objective 0
+      else base + Rat.floor value
+    in
     let node_counts = Array.make n 0 in
     for v = 0 to n - 1 do
       if reachable v && super_of.(v) >= 0 then begin
         let form, c = count_form v in
-        let count =
-          List.fold_left (fun acc (e, w) -> acc + (w * Rat.floor assignment.(e))) c form
-        in
+        let count = List.fold_left (fun acc (e, w) -> acc + (w * count_of e)) c form in
         node_counts.(v) <- count
       end
     done;
-    Ok { wcet; node_counts }
+    let sol = { wcet; node_counts } in
+    (match Path_analysis.check_identity sol spec.times with
+    | Ok () -> Ok sol
+    | Error d ->
+      Error
+        (Path_analysis.internal
+           (Printf.sprintf "IPET count/time identity off by %d cycles" d)))

@@ -11,25 +11,43 @@
     Linear chains are collapsed before the ILP is built, which keeps the
     exact solver fast. *)
 
-type fact = {
+(** The spec/solution types are the shared {!Wcet_path.Path_analysis} ones
+    (re-exported with equations so existing field accesses keep working):
+    IPET is one backend behind the common interface. *)
+
+type fact = Wcet_path.Path_analysis.fact = {
   fact_coeffs : (int * int) list;  (** (node id, coefficient) *)
   fact_bound : int;  (** sum of coef * count(node) <= bound per run *)
   fact_label : string;  (** for error messages *)
 }
 
-type spec = {
+type spec = Wcet_path.Path_analysis.spec = {
   value : Wcet_value.Analysis.result;
   times : int array;  (** per node id, upper bound cycles *)
   loop_bounds : (int * int) list;  (** (loop index, back-edge bound) *)
   facts : fact list;
 }
 
-type solution = {
+type solution = Wcet_path.Path_analysis.solution = {
   wcet : int;
   node_counts : int array;  (** worst-case path execution counts per node *)
 }
 
-(** [solve spec loops] returns [Error reason] when the flow is unbounded
-    (some cycle has no bound — the analysis-failure outcome the paper
-    associates with rules 14.4/16.2/20.7) or infeasible. *)
-val solve : spec -> Wcet_cfg.Loops.info -> (solution, string) result
+(** Backend metadata for the portfolio driver ({!Wcet_path.Portfolio}). *)
+
+val name : string
+
+val path_sensitive : bool
+val fact_blind : bool
+val exact_witness : bool
+
+(** [solve spec loops] returns a typed [Error] when the flow is unbounded
+    (E0301 — some cycle has no bound, the analysis-failure outcome the
+    paper associates with rules 14.4/16.2/20.7) or infeasible (E0302 —
+    contradictory flow facts). The solution always satisfies
+    sum(count*time) = wcet, with fractional LP vertices (possible once
+    weighted flow facts break total unimodularity) repaired by rounding
+    every edge count up; a violation is reported as E0304 rather than
+    silently corrupting downstream attribution. *)
+val solve :
+  spec -> Wcet_cfg.Loops.info -> (solution, Wcet_path.Path_analysis.error) result

@@ -78,7 +78,54 @@ let rec iterate tab ~allowed =
       iterate tab ~allowed
   end
 
-let solve (p : problem) =
+(* Canonicalize a coefficient list: merge duplicate variables (generated
+   constraints may mention an edge twice), drop zero coefficients, and
+   reject out-of-range variables up front — feeding them further would
+   silently write into slack columns. *)
+let canon ~num_vars ~what coeffs =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (v, q) ->
+      if v < 0 || v >= num_vars then
+        invalid_arg
+          (Printf.sprintf "Simplex.solve: %s references variable %d (problem has %d)" what v
+             num_vars);
+      match Hashtbl.find_opt tbl v with
+      | None ->
+        order := v :: !order;
+        Hashtbl.replace tbl v q
+      | Some q0 -> Hashtbl.replace tbl v (Rat.add q0 q))
+    coeffs;
+  List.filter (fun (_, q) -> Rat.sign q <> 0) (List.rev_map (fun v -> (v, Hashtbl.find tbl v)) !order)
+
+exception Trivially_infeasible
+
+let rec solve (p : problem) =
+  match
+    (* Resolve rows whose coefficients cancel away entirely — they are
+       constant assertions, not tableau rows (an all-zero Ge/Eq row would
+       otherwise burn an artificial that can never leave the basis). *)
+    List.filter_map
+      (fun c ->
+        let coeffs = canon ~num_vars:p.num_vars ~what:"constraint" c.coeffs in
+        if coeffs = [] then begin
+          let sat =
+            match c.op with
+            | Le -> Rat.sign c.rhs >= 0
+            | Ge -> Rat.sign c.rhs <= 0
+            | Eq -> Rat.sign c.rhs = 0
+          in
+          if sat then None else raise Trivially_infeasible
+        end
+        else Some { c with coeffs })
+      p.constraints
+  with
+  | exception Trivially_infeasible -> Infeasible
+  | canonical -> solve_canonical { p with constraints = canonical }
+
+and solve_canonical (p : problem) =
+  let maximize = canon ~num_vars:p.num_vars ~what:"objective" p.maximize in
   let m = List.length p.constraints in
   (* Normalize all right-hand sides to be non-negative. *)
   let constraints =
@@ -173,7 +220,7 @@ let solve (p : problem) =
     for j = 0 to cols do
       t.(0).(j) <- Rat.zero
     done;
-    List.iter (fun (v, q) -> t.(0).(v) <- Rat.sub t.(0).(v) q) p.maximize;
+    List.iter (fun (v, q) -> t.(0).(v) <- Rat.sub t.(0).(v) q) maximize;
     for i = 1 to m do
       let b = basis.(i - 1) in
       let factor = t.(0).(b) in

@@ -1,0 +1,6 @@
+(** Constraint-solving path backend (Prantl et al.'s high-level constraint
+    analysis, specialised to the collapsed loop forest): propagates
+    execution-count constraints innermost-out with interval arithmetic.
+    Fact-blind but exact on the structural problem, and cheap enough to
+    always run as a cross-check. *)
+include Path_analysis.BACKEND

@@ -1,0 +1,10 @@
+(** Slicing + bounded model-checking path backend (after Béchennec &
+    Cassez): explores timed paths of the collapsed supergraph carrying the
+    value-analysis abstract state, pruning branch edges the carried state
+    proves infeasible — which natively expresses mode-dependent exclusions
+    (A0508 findings) that IPET cannot encode without flow facts. States
+    merge at loop heads (a collapsed loop is crossed via its invariant,
+    keeping only memory facts the body provably does not write) and
+    per-suffix results are memoized on (node, state). Bails out with a
+    typed E0305 when the exploration budget is exhausted. *)
+include Path_analysis.BACKEND

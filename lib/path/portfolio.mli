@@ -1,0 +1,49 @@
+(** Portfolio driver: race independent path-analysis backends over the same
+    spec, take the tightest sound bound, and cross-check the results as a
+    soundness oracle.
+
+    Disagreement rules (each one a theorem about sound backends, so a
+    violation is a bug in one of them — E0303):
+
+    - a fact-blind, non-path-sensitive complete backend can never report a
+      bound below the fact-using IPET bound (facts and path pruning only
+      tighten);
+    - the model checker explores a subset of the constraint solver's
+      structural paths under identical weights, so mc <= csolve;
+    - under paranoid mode, a complete backend can never undercut a
+      certified witness path it is required to account for (structural
+      witnesses bind non-path-sensitive backends; semantically feasible
+      witnesses bind everyone).
+
+    Slack a backend can attribute — fact-blindness, path-sensitivity — is
+    exempted by construction of the rules above, so every surviving
+    disagreement is real. *)
+
+type run = {
+  r_name : string;
+  r_path_sensitive : bool;
+  r_fact_blind : bool;
+  r_exact_witness : bool;
+  r_outcome : (Path_analysis.solution, Path_analysis.error) result;
+  r_wall_ms : int;
+}
+
+type result = {
+  p_runs : run list;  (** in backend order *)
+  p_best : (string * Path_analysis.solution) option;
+      (** tightest complete bound; ties prefer IPET (stable counts) *)
+  p_disagreements : string list;  (** E0303 findings, empty when sound *)
+  p_intractable : string list;  (** backends excluded by budget (W0305) *)
+}
+
+(** [run ?paranoid ?domains ~backends spec loops] solves with every backend
+    concurrently on the domain pool. [paranoid] arms the witness
+    cross-check (default off; WCET_PATH_PARANOID=1 turns it on in the
+    analyzer). *)
+val run :
+  ?paranoid:bool ->
+  ?domains:int ->
+  backends:(module Path_analysis.BACKEND) list ->
+  Path_analysis.spec ->
+  Wcet_cfg.Loops.info ->
+  result

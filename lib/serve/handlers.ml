@@ -49,12 +49,21 @@ let annot_of params =
          maps it to E0404 like the CLI does. *)
       raise (Analyzer.Analysis_failed [ Diag.make Diag.Error Diag.Annot ~code:"E0404" msg ]))
 
+let path_backend_of params =
+  match str_param params "path_backend" with
+  | None -> Wcet_path.Path_analysis.Portfolio
+  | Some name -> (
+    match Wcet_path.Path_analysis.choice_of_string name with
+    | Some c -> c
+    | None -> raise (Bad_params ("unknown path backend " ^ name)))
+
 let analyzed ~cancel params =
   let source = source_of params in
   let soft_div = bool_param params "soft_div" = Some true in
   let program = compile source ~soft_div in
   let annot = annot_of params in
-  Analyzer.analyze ~hw:(hw_of params) ~annot ~cancel program
+  Analyzer.analyze ~hw:(hw_of params) ~annot ~path_backend:(path_backend_of params) ~cancel
+    program
 
 (* User-code MISRA violations only, as in [wcet_tool audit] (the linked
    runtime deliberately violates some rules). *)

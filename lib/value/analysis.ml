@@ -864,3 +864,14 @@ let mem_at_entry r i addr =
   match r.node_in.(i) with
   | None -> Aval.bot
   | Some st -> State.load ~program:r.graph.Supergraph.program st addr
+
+(* Path-exploration hooks for the model-checking path backend: a fresh
+   linkage context (it only forgets less than the fixpoint did) plus the
+   very transfer and refinement functions the fixpoint itself runs, so a
+   path's carried state can never be less sound than the invariant. *)
+
+type path_ctx = ctx
+
+let path_ctx r = chronological_ctx r.graph.Supergraph.program
+let path_step = transfer_block
+let path_follow = refine_edge

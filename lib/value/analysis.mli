@@ -123,3 +123,25 @@ val reg_at_exit : result -> int -> Pred32_isa.Reg.t -> Aval.t
 (** [mem_at_entry result node addr] is the tracked interval of a memory word
     in the node's in-state. *)
 val mem_at_entry : result -> int -> int -> Aval.t
+
+(** {2 Path-exploration hooks}
+
+    The model-checking path backend walks individual supergraph paths
+    carrying a {!State.t}, using the same transfer and branch-refinement
+    functions the fixpoint runs — a pruned edge is pruned by exactly the
+    machinery whose invariants the rest of the tool already trusts. *)
+
+type path_ctx
+
+val path_ctx : result -> path_ctx
+
+(** Transfer a node's whole block. *)
+val path_step : path_ctx -> State.t -> Wcet_cfg.Supergraph.node -> State.t
+
+(** Apply branch refinement on an outgoing edge; [None] = infeasible. *)
+val path_follow :
+  path_ctx ->
+  Wcet_cfg.Supergraph.node ->
+  Wcet_cfg.Supergraph.edge_kind ->
+  State.t ->
+  State.t option

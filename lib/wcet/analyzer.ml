@@ -12,6 +12,8 @@ module Resolve_iter = Wcet_value.Resolve_iter
 module Cache_analysis = Wcet_cache.Cache_analysis
 module Block_timing = Wcet_pipeline.Block_timing
 module Ipet = Wcet_ipet.Ipet
+module Path_analysis = Wcet_path.Path_analysis
+module Portfolio = Wcet_path.Portfolio
 module Annot = Wcet_annot.Annot
 module Diag = Wcet_diag.Diag
 module Metrics = Wcet_obs.Metrics
@@ -60,6 +62,15 @@ let value_paranoid () =
   | Some v when v <> "" && v <> "0" -> true
   | _ -> false
 
+(* The WCET_PATH_PARANOID env flag arms the portfolio driver's witness
+   cross-check: on fact-free programs every complete backend must account
+   for the certified witness paths the others found, which forces the
+   complete bounds to agree exactly. Any violation is an E0303 fatal. *)
+let path_paranoid () =
+  match Sys.getenv_opt "WCET_PATH_PARANOID" with
+  | Some v when v <> "" && v <> "0" -> true
+  | _ -> false
+
 exception Analysis_failed of Diag.t list
 
 let () =
@@ -75,7 +86,7 @@ let phase_name = function
   | Loop_value -> "loop & value analysis"
   | Cache -> "cache analysis"
   | Pipeline -> "pipeline analysis"
-  | Path -> "path analysis (IPET)"
+  | Path -> "path analysis"
 
 type confidence = Complete | Partial
 
@@ -102,6 +113,16 @@ type esc_info = {
          address interval strictly tightened under the octagon *)
 }
 
+(* One path backend's contribution to this run, kept in the report for
+   explain, the daemon and the E5 bench table. *)
+type backend_run = {
+  br_name : string;
+  br_bound : int option;  (* None = the backend failed *)
+  br_error : (string * string) option;  (* (diag code, detail) *)
+  br_wall_ms : int;
+  br_winner : bool;  (* supplied the bound the report carries *)
+}
+
 type report = {
   program : Program.t;
   hw : Hw_config.t;
@@ -115,6 +136,8 @@ type report = {
   cache : Cache_analysis.result;
   timing : Block_timing.t;
   solution : Ipet.solution;
+  path_backend : string;  (* requested backend configuration *)
+  backend_runs : backend_run list;
   wcet : int;
   bcet : int;
   verdict : confidence;
@@ -128,7 +151,7 @@ let span_name = function
   | Loop_value -> "value"
   | Cache -> "cache"
   | Pipeline -> "pipeline"
-  | Path -> "ipet"
+  | Path -> "path"
 
 (* [span] overrides the trace-span name when one phase covers several
    sub-steps (the Cache phase times both classification and persistence). *)
@@ -374,7 +397,7 @@ let validate_loop_places c program (annot : Annot.t) =
 
 let rec analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
     ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary)
-    ?(domain = Analysis.Interval) ?cancel program =
+    ?(domain = Analysis.Interval) ?(path_backend = Path_analysis.Portfolio) ?cancel program =
   let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
   (* The token reaches the value/cache fixpoints (polled per transfer); the
      remaining phases poll it at their boundary so a deadline that expires
@@ -761,27 +784,83 @@ let rec analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
     timed phases Pipeline (fun () -> Block_timing.compute hw value cache ~persistence)
   in
   check_cancel ();
-  let solution =
+  let solution, backend_runs =
     timed phases Path (fun () ->
-        match
-          Ipet.solve
-            {
-              Ipet.value;
-              times = timing.Block_timing.wcet;
-              loop_bounds = !effective_bounds;
-              facts = facts @ synthetic_facts;
-            }
-            loops
-        with
-        | Ok s -> s
-        | Error msg ->
-          let code =
-            let is_infeasible =
-              String.length msg >= 24 && String.sub msg 0 24 = "path analysis infeasible"
-            in
-            if is_infeasible then "E0501" else "E0502"
+        let spec =
+          {
+            Ipet.value;
+            times = timing.Block_timing.wcet;
+            loop_bounds = !effective_bounds;
+            facts = facts @ synthetic_facts;
+          }
+        in
+        let backends : (module Path_analysis.BACKEND) list =
+          match path_backend with
+          | Path_analysis.Ipet -> [ (module Ipet) ]
+          | Path_analysis.Csolve -> [ (module Wcet_path.Csolve) ]
+          | Path_analysis.Mc -> [ (module Wcet_path.Mc) ]
+          | Path_analysis.Portfolio ->
+            [ (module Ipet); (module Wcet_path.Csolve); (module Wcet_path.Mc) ]
+        in
+        let res = Portfolio.run ~paranoid:(path_paranoid ()) ~backends spec loops in
+        (* In portfolio mode a budget-exhausted model checker is excluded
+           with a warning; a single requested backend failing is fatal. *)
+        if path_backend = Path_analysis.Portfolio then
+          List.iter
+            (fun b ->
+              warn c Diag.Path ~code:"W0305"
+                "path backend %s is intractable here; the portfolio continues without it" b)
+            res.Portfolio.p_intractable;
+        (match res.Portfolio.p_disagreements with
+        | [] -> ()
+        | ds ->
+          fatal c Diag.Path ~code:"E0303" "%s: %s" (phase_name Path)
+            (String.concat "; " ds));
+        match res.Portfolio.p_best with
+        | Some (wname, sol) ->
+          let runs =
+            List.map
+              (fun (r : Portfolio.run) ->
+                {
+                  br_name = r.Portfolio.r_name;
+                  br_bound =
+                    (match r.Portfolio.r_outcome with
+                    | Ok s -> Some s.Ipet.wcet
+                    | Error _ -> None);
+                  br_error =
+                    (match r.Portfolio.r_outcome with
+                    | Ok _ -> None
+                    | Error e ->
+                      Some (e.Path_analysis.err_code, e.Path_analysis.err_detail));
+                  br_wall_ms = r.Portfolio.r_wall_ms;
+                  br_winner = r.Portfolio.r_name = wname;
+                })
+              res.Portfolio.p_runs
           in
-          fatal c Diag.Path ~code "%s: %s" (phase_name Path) msg)
+          (sol, runs)
+        | None ->
+          let e =
+            match
+              List.find_opt (fun r -> r.Portfolio.r_name = "ipet") res.Portfolio.p_runs
+            with
+            | Some { Portfolio.r_outcome = Error e; _ } -> e
+            | _ -> (
+              match
+                List.find_map
+                  (fun r ->
+                    match r.Portfolio.r_outcome with Error e -> Some e | Ok _ -> None)
+                  res.Portfolio.p_runs
+              with
+              | Some e -> e
+              | None -> Path_analysis.internal "no path backend was configured")
+          in
+          let msg =
+            Option.value
+              ~default:"path analysis failed"
+              (Diag.describe e.Path_analysis.err_code)
+          in
+          fatal c Diag.Path ~code:e.Path_analysis.err_code
+            ~hint:e.Path_analysis.err_detail "%s: %s" (phase_name Path) msg)
   in
   (* Paranoid escalation cross-check, part 2: a full interval re-analysis
      must not produce a smaller bound than the escalated run — relational
@@ -792,7 +871,8 @@ let rec analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
   (match escalation with
   | Some _ when value_paranoid () ->
     let base_r =
-      analyze_inner ~hw ~annot ~strategy ~engine ~domain:Analysis.Interval ?cancel program
+      analyze_inner ~hw ~annot ~strategy ~engine ~domain:Analysis.Interval ~path_backend
+        ?cancel program
     in
     if base_r.verdict = Complete && solution.Ipet.wcet > base_r.wcet then
       fatal c Diag.Path ~code:"E0503"
@@ -818,6 +898,8 @@ let rec analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
     cache;
     timing;
     solution;
+    path_backend = Path_analysis.choice_name path_backend;
+    backend_runs;
     wcet = solution.Ipet.wcet;
     bcet = best_case_bound value timing;
     verdict = (if !holes = [] then Complete else Partial);
@@ -828,16 +910,18 @@ let rec analyze_inner ?(hw = Hw_config.default) ?(annot = Annot.empty)
 
 let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
     ?(strategy = Wcet_util.Fixpoint.Rpo) ?(engine = Summary)
-    ?(domain = Analysis.Interval) ?cancel program =
+    ?(domain = Analysis.Interval) ?(path_backend = Path_analysis.Portfolio) ?cancel program =
   let engine = if strategy <> Wcet_util.Fixpoint.Rpo then Whole_program else engine in
   let ename = engine_name engine in
   let dname = Analysis.domain_name domain in
+  let pname = Path_analysis.choice_name path_backend in
   Trace.with_span ~cat:"analyzer" "analyze" (fun () ->
       let cached =
         if not (Report_cache.enabled ()) then None
         else
           match
-            Report_cache.find_report ~hw ~annot ~strategy ~engine:ename ~domain:dname program
+            Report_cache.find_report ~hw ~annot ~strategy ~engine:ename ~domain:dname
+              ~path:pname program
           with
           | None -> None
           | Some payload -> (
@@ -848,16 +932,17 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
             | r -> Some r
             | exception _ ->
               Report_cache.invalidate_report ~hw ~annot ~strategy ~engine:ename ~domain:dname
-                program;
+                ~path:pname program;
               None)
       in
       let r =
         match cached with
         | Some r -> r
         | None ->
-          let r = analyze_inner ~hw ~annot ~strategy ~engine ~domain ?cancel program in
+          let r = analyze_inner ~hw ~annot ~strategy ~engine ~domain ~path_backend ?cancel program in
           if Report_cache.enabled () then
-            Report_cache.save_report ~hw ~annot ~strategy ~engine:ename ~domain:dname program
+            Report_cache.save_report ~hw ~annot ~strategy ~engine:ename ~domain:dname
+              ~path:pname program
               (Marshal.to_string r []);
           r
       in
@@ -874,12 +959,17 @@ let analyze ?(hw = Hw_config.default) ?(annot = Annot.empty)
       r)
 
 let analyze_modes ?(hw = Hw_config.default) ?(engine = Summary)
-    ?(domain = Analysis.Interval) ~base ~modes program =
-  let oblivious = ("(all modes)", analyze ~hw ~engine ~domain ~annot:base program) in
+    ?(domain = Analysis.Interval) ?(path_backend = Path_analysis.Portfolio) ~base ~modes
+    program =
+  let oblivious =
+    ("(all modes)", analyze ~hw ~engine ~domain ~path_backend ~annot:base program)
+  in
   let per_mode =
     List.map
       (fun (name, annot) ->
-        (name, analyze ~hw ~engine ~domain ~annot:(Annot.merge base annot) program))
+        ( name,
+          analyze ~hw ~engine ~domain ~path_backend ~annot:(Annot.merge base annot) program
+        ))
       modes
   in
   oblivious :: per_mode
@@ -915,6 +1005,21 @@ let pp_report ppf r =
       (List.length e.ei_funcs) e.ei_transfers (List.length e.ei_slots)
       (List.length e.ei_discharged_loops)
       (List.length e.ei_tightened_accesses));
+  (match r.backend_runs with
+  | [] | [ _ ] -> ()
+  | runs ->
+    List.iter
+      (fun b ->
+        match b.br_bound with
+        | Some bound ->
+          Format.fprintf ppf "path backend %s: %d cycles, %d ms%s@," b.br_name bound
+            b.br_wall_ms
+            (if b.br_winner then " (tightest)" else "")
+        | None ->
+          let code = match b.br_error with Some (code, _) -> code | None -> "?" in
+          Format.fprintf ppf "path backend %s: failed (%s), %d ms@," b.br_name code
+            b.br_wall_ms)
+      runs);
   List.iter (fun h -> Format.fprintf ppf "hole: %a@," pp_hole h) r.holes;
   List.iter
     (fun (li, b) ->
@@ -1007,6 +1112,24 @@ let report_to_json r =
                      e.ei_tightened_accesses) );
             ] );
       ("diagnostics", List (List.map Diag.to_json r.diagnostics));
+      ("path_backend", String r.path_backend);
+      ( "path_backends",
+        List
+          (List.map
+             (fun b ->
+               Obj
+                 [
+                   ("name", String b.br_name);
+                   ("bound", match b.br_bound with Some x -> Int x | None -> Null);
+                   ( "error",
+                     match b.br_error with
+                     | Some (code, detail) ->
+                       Obj [ ("code", String code); ("detail", String detail) ]
+                     | None -> Null );
+                   ("wall_ms", Int b.br_wall_ms);
+                   ("winner", Bool b.br_winner);
+                 ])
+             r.backend_runs) );
       ( "loops",
         List
           (List.map

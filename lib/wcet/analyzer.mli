@@ -69,6 +69,16 @@ type esc_info = {
           address interval strictly tightened under the octagon *)
 }
 
+(** One path-analysis backend's outcome inside a portfolio run (also
+    recorded, as a singleton list, when a single backend is forced). *)
+type backend_run = {
+  br_name : string;  (** ["ipet"], ["mc"] or ["csolve"] *)
+  br_bound : int option;  (** [None] = the backend failed *)
+  br_error : (string * string) option;  (** (diag code, detail) on failure *)
+  br_wall_ms : int;
+  br_winner : bool;  (** supplied the bound the report carries *)
+}
+
 type report = {
   program : Pred32_asm.Program.t;
   hw : Pred32_hw.Hw_config.t;
@@ -85,6 +95,10 @@ type report = {
   cache : Wcet_cache.Cache_analysis.result;
   timing : Wcet_pipeline.Block_timing.t;
   solution : Wcet_ipet.Ipet.solution;
+  path_backend : string;  (** requested backend configuration (a {!Wcet_path.Path_analysis.choice} name) *)
+  backend_runs : backend_run list;
+      (** per-backend bounds/verdicts/wall times; a singleton unless the
+          portfolio ran *)
   wcet : int;  (** cycles, from program entry to halt; partial if [verdict = Partial] *)
   bcet : int;  (** best-case lower bound (shortest feasible walk) *)
   verdict : confidence;
@@ -129,6 +143,15 @@ val engine_name : engine -> string
     (the [WCET_VALUE_PARANOID] environment flag asserts this per node and
     end-to-end, aborting with E0503 on violation).
 
+    [path_backend] selects the path-analysis backend
+    ({!Wcet_path.Path_analysis.choice}, default [Portfolio]): [Ipet] is the
+    ILP encoding, [Mc] the slicing + bounded-model-checking backend,
+    [Csolve] the structural constraint solver. [Portfolio] races all
+    three, takes the tightest sound bound and cross-checks the results as
+    a soundness oracle — a disagreement beyond attributable slack aborts
+    with E0303 (the [WCET_PATH_PARANOID] environment flag additionally
+    requires bit-agreement on fact-free complete programs).
+
     [cancel] is a cooperative cancellation token (the daemon's per-request
     deadline): it is polled by the value/cache fixpoints before every
     transfer and by the analyzer between phases; when it returns [true],
@@ -139,6 +162,7 @@ val analyze :
   ?strategy:Wcet_util.Fixpoint.strategy ->
   ?engine:engine ->
   ?domain:Wcet_value.Analysis.domain ->
+  ?path_backend:Wcet_path.Path_analysis.choice ->
   ?cancel:(unit -> bool) ->
   Pred32_asm.Program.t ->
   report
@@ -151,6 +175,7 @@ val analyze_modes :
   ?hw:Pred32_hw.Hw_config.t ->
   ?engine:engine ->
   ?domain:Wcet_value.Analysis.domain ->
+  ?path_backend:Wcet_path.Path_analysis.choice ->
   base:Wcet_annot.Annot.t ->
   modes:(string * Wcet_annot.Annot.t) list ->
   Pred32_asm.Program.t ->

@@ -41,6 +41,7 @@ type t = {
   loops : loop_row list;  (* descending by total; includes nested bodies *)
   dominating : loop_row option;
   covered : int;  (* sum of block totals; equals [wcet] *)
+  backends : Analyzer.backend_run list;  (* per-backend portfolio outcomes *)
 }
 
 let share_of wcet total = if wcet = 0 then 0. else float_of_int total /. float_of_int wcet
@@ -95,7 +96,14 @@ let of_report (r : Analyzer.report) =
     |> List.sort (fun a b -> compare (b.loop_total, a.loop) (a.loop_total, b.loop))
   in
   let dominating = match loop_rows with [] -> None | row :: _ -> Some row in
-  { wcet; blocks; loops = loop_rows; dominating; covered = !covered }
+  {
+    wcet;
+    blocks;
+    loops = loop_rows;
+    dominating;
+    covered = !covered;
+    backends = r.Analyzer.backend_runs;
+  }
 
 let pp_loop_row ppf row =
   Format.fprintf ppf "loop at 0x%x in %s (depth %d%s): %d cycles, %.1f%% of bound"
@@ -137,6 +145,21 @@ let pp ?(top = 10) ppf t =
         Format.fprintf ppf "loop: %a@," pp_loop_row row)
     t.loops;
   Format.fprintf ppf "decomposition covers %d of %d cycles@," t.covered t.wcet;
+  (* Only interesting when a portfolio actually raced: a single-backend run
+     would just restate the bound. *)
+  if List.length t.backends > 1 then
+    List.iter
+      (fun (b : Analyzer.backend_run) ->
+        match b.Analyzer.br_bound with
+        | Some bound ->
+          Format.fprintf ppf "path backend %s: %d cycles, %d ms%s@," b.Analyzer.br_name bound
+            b.Analyzer.br_wall_ms
+            (if b.Analyzer.br_winner then " (tightest, shown above)" else "")
+        | None ->
+          Format.fprintf ppf "path backend %s: failed (%s), %d ms@," b.Analyzer.br_name
+            (match b.Analyzer.br_error with Some (code, _) -> code | None -> "?")
+            b.Analyzer.br_wall_ms)
+      t.backends;
   Format.fprintf ppf "@]"
 
 let block_row_json row =
@@ -172,6 +195,19 @@ let to_json t =
       ("loops", Json.List (List.map loop_row_json t.loops));
       ( "dominating_loop",
         match t.dominating with Some row -> loop_row_json row | None -> Json.Null );
+      ( "path_backends",
+        Json.List
+          (List.map
+             (fun (b : Analyzer.backend_run) ->
+               Json.Obj
+                 [
+                   ("name", Json.String b.Analyzer.br_name);
+                   ( "bound",
+                     match b.Analyzer.br_bound with Some x -> Json.Int x | None -> Json.Null );
+                   ("wall_ms", Json.Int b.Analyzer.br_wall_ms);
+                   ("winner", Json.Bool b.Analyzer.br_winner);
+                 ])
+             t.backends) );
     ]
 
 (* DOT view: the whole supergraph, with worst-case-path nodes filled —

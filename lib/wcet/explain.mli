@@ -31,6 +31,9 @@ type t = {
   loops : loop_row list;  (** descending by [loop_total]; nested bodies included *)
   dominating : loop_row option;  (** the loop contributing the most cycles *)
   covered : int;  (** sum of block totals; equals [wcet] *)
+  backends : Analyzer.backend_run list;
+      (** per-backend portfolio outcomes from the report; printed after the
+          decomposition when more than one backend raced *)
 }
 
 val of_report : Analyzer.report -> t

@@ -164,9 +164,9 @@ let program_parts (p : Program.t) =
    value-domain name ("interval" / "octagon" / "auto"): an escalated run
    carries refined states and extra escalation accounting, so its report
    must never be served to (or overwrite) an interval-only run. *)
-let report_key ~hw ~annot ~strategy ~engine ~domain program =
+let report_key ~hw ~annot ~strategy ~engine ~domain ~path program =
   digest_parts
-    ("report" :: engine :: domain
+    ("report" :: engine :: domain :: path
     :: marshal (hw : Hw_config.t)
     :: marshal (annot : Annot.t)
     :: Wcet_util.Fixpoint.strategy_name strategy
@@ -364,11 +364,11 @@ let write_entry store ~key ~kind payload =
 
 (* ---- Whole-program reports ------------------------------------------ *)
 
-let find_report ~hw ~annot ~strategy ~engine ~domain program =
+let find_report ~hw ~annot ~strategy ~engine ~domain ~path program =
   match Atomic.get store_ref with
   | None -> None
   | Some store -> (
-    let key = report_key ~hw ~annot ~strategy ~engine ~domain program in
+    let key = report_key ~hw ~annot ~strategy ~engine ~domain ~path program in
     match read_entry store ~key ~kind:"report" with
     | Some payload ->
       Atomic.incr s_program_hits;
@@ -379,23 +379,23 @@ let find_report ~hw ~annot ~strategy ~engine ~domain program =
       Metrics.incr m_misses_program 1;
       None)
 
-let save_report ~hw ~annot ~strategy ~engine ~domain program payload =
+let save_report ~hw ~annot ~strategy ~engine ~domain ~path program payload =
   match Atomic.get store_ref with
   | None -> ()
   | Some store ->
     write_entry store
-      ~key:(report_key ~hw ~annot ~strategy ~engine ~domain program)
+      ~key:(report_key ~hw ~annot ~strategy ~engine ~domain ~path program)
       ~kind:"report" payload
 
 (* The caller could not decode a payload [find_report] returned (marshal
    layout drift not covered by the version string): reclassify the hit as
    a miss and evict the entry. *)
-let invalidate_report ~hw ~annot ~strategy ~engine ~domain program =
+let invalidate_report ~hw ~annot ~strategy ~engine ~domain ~path program =
   (match Atomic.get store_ref with
   | None -> ()
   | Some store ->
     evict store
-      (report_key ~hw ~annot ~strategy ~engine ~domain program)
+      (report_key ~hw ~annot ~strategy ~engine ~domain ~path program)
       ~code:"W0610" ~why:"cached report failed to deserialize");
   Atomic.decr s_program_hits;
   Atomic.incr s_program_misses;

@@ -66,6 +66,7 @@ val find_report :
   strategy:Wcet_util.Fixpoint.strategy ->
   engine:string ->
   domain:string ->
+  path:string ->
   Pred32_asm.Program.t ->
   string option
 
@@ -75,6 +76,7 @@ val save_report :
   strategy:Wcet_util.Fixpoint.strategy ->
   engine:string ->
   domain:string ->
+  path:string ->
   Pred32_asm.Program.t ->
   string ->
   unit
@@ -87,6 +89,7 @@ val invalidate_report :
   strategy:Wcet_util.Fixpoint.strategy ->
   engine:string ->
   domain:string ->
+  path:string ->
   Pred32_asm.Program.t ->
   unit
 

@@ -176,6 +176,133 @@ let test_random_vs_bruteforce () =
     | Ilp.Infeasible -> Alcotest.fail "unexpected infeasible"
   done
 
+(* --- canonicalization hardening: generated IPET constraints can mention
+   an edge twice, with zero coefficients, or cancel away entirely --- *)
+
+let test_duplicate_pairs_merge () =
+  (* (x,1),(x,1) must behave exactly like (x,2): max x s.t. x + x <= 7. *)
+  check_opt "duplicates merged" "7/2"
+    {
+      Simplex.num_vars = 1;
+      maximize = [ (0, q 1) ];
+      constraints = [ c [ (0, 1); (0, 1) ] Simplex.Le 7 ];
+    };
+  (* Duplicates in the objective too: max (x + x) s.t. x <= 3 -> 6. *)
+  check_opt "objective duplicates merged" "6"
+    {
+      Simplex.num_vars = 1;
+      maximize = [ (0, q 1); (0, q 1) ];
+      constraints = [ c [ (0, 1) ] Simplex.Le 3 ];
+    }
+
+let test_cancelled_rows () =
+  (* x - x <= 3 is the constant assertion 0 <= 3: satisfied, dropped. *)
+  check_opt "cancelled Le row dropped" "5"
+    {
+      Simplex.num_vars = 1;
+      maximize = [ (0, q 1) ];
+      constraints = [ c [ (0, 1); (0, -1) ] Simplex.Le 3; c [ (0, 1) ] Simplex.Le 5 ];
+    };
+  (* x - x = 0 is 0 = 0: satisfied (an all-zero Eq row must not burn an
+     artificial that can never leave the basis). *)
+  check_opt "cancelled Eq row satisfied" "5"
+    {
+      Simplex.num_vars = 1;
+      maximize = [ (0, q 1) ];
+      constraints = [ c [ (0, 1); (0, -1) ] Simplex.Eq 0; c [ (0, 1) ] Simplex.Le 5 ];
+    };
+  (* x - x >= 2 is 0 >= 2: trivially infeasible. *)
+  match
+    solve_value
+      {
+        Simplex.num_vars = 1;
+        maximize = [ (0, q 1) ];
+        constraints = [ c [ (0, 1); (0, -1) ] Simplex.Ge 2; c [ (0, 1) ] Simplex.Le 5 ];
+      }
+  with
+  | `Infeasible -> ()
+  | _ -> Alcotest.fail "0 >= 2 must be infeasible"
+
+let test_empty_objective_phase1 () =
+  (* Empty objective over Ge/Eq rows: phase 1 does all the work and any
+     feasible vertex is optimal at 0. *)
+  check_opt "empty objective with artificials" "0"
+    {
+      Simplex.num_vars = 2;
+      maximize = [];
+      constraints = [ c [ (0, 1); (1, 1) ] Simplex.Eq 4; c [ (0, 1) ] Simplex.Ge 1 ];
+    }
+
+let test_out_of_range_variable_rejected () =
+  let p =
+    {
+      Simplex.num_vars = 1;
+      maximize = [ (0, q 1) ];
+      constraints = [ c [ (1, 1) ] Simplex.Le 3 ];
+    }
+  in
+  match Simplex.solve p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "variable 1 of a 1-variable problem must be rejected"
+
+(* Property test: random box-bounded ILPs whose coefficient lists are
+   mangled with duplicates and zero entries must agree with the naive
+   enumerator (which sums raw pairs, duplicates and all). *)
+let test_degenerate_random_vs_bruteforce () =
+  let rng = Pcg.create ~seed:20110318L () in
+  (* Split every pair (v, k) into (v, k - d) :: (v, d) and sprinkle zero
+     coefficients, preserving the merged value. *)
+  let mangle coeffs =
+    List.concat_map
+      (fun (v, k) ->
+        let d = Pcg.next_int rng 7 - 3 in
+        let zero = [ (Pcg.next_int rng 3, Rat.zero) ] in
+        ((v, Rat.sub k (q d)) :: (v, q d) :: (if Pcg.next_int rng 2 = 0 then zero else [])))
+      coeffs
+  in
+  for _case = 1 to 150 do
+    let nv = 3 in
+    let box = 6 in
+    let ncons = 2 + Pcg.next_int rng 3 in
+    let objective = List.init nv (fun v -> (v, q (1 + Pcg.next_int rng 9))) in
+    let cons =
+      List.init ncons (fun _ ->
+          let coeffs = List.init nv (fun v -> (v, Pcg.next_int rng 4)) in
+          let rhs = 1 + Pcg.next_int rng 20 in
+          c coeffs Simplex.Le rhs)
+      @ List.init nv (fun v -> c [ (v, 1) ] Simplex.Le box)
+    in
+    let mangled =
+      List.map (fun (cc : Simplex.constr) -> { cc with Simplex.coeffs = mangle cc.Simplex.coeffs }) cons
+    in
+    let problem = { Simplex.num_vars = nv; maximize = mangle objective; constraints = mangled } in
+    let eval coeffs vals =
+      List.fold_left (fun acc (v, k) -> acc + (Rat.floor k * vals.(v))) 0 coeffs
+    in
+    let best = ref 0 in
+    for x = 0 to box do
+      for y = 0 to box do
+        for z = 0 to box do
+          let vals = [| x; y; z |] in
+          if
+            List.for_all
+              (fun (cc : Simplex.constr) -> eval cc.Simplex.coeffs vals <= Rat.floor cc.Simplex.rhs)
+              cons
+          then begin
+            let obj = eval objective vals in
+            if obj > !best then best := obj
+          end
+        done
+      done
+    done;
+    match Ilp.solve ~max_nodes:2000 problem with
+    | Ilp.Optimal (v, _) ->
+      if Rat.floor v <> !best then
+        Alcotest.failf "mangled ILP %s but brute force %d" (Rat.to_string v) !best
+    | Ilp.Unbounded -> Alcotest.fail "unexpected unbounded"
+    | Ilp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  done
+
 (* IPET-shaped problem: a diamond with a loop. *)
 let test_flow_shape () =
   (* Variables: e0 entry->A, e1 A->B, e2 A->C, e3 B->D, e4 C->D, e5 D->A
@@ -217,6 +344,13 @@ let () =
           Alcotest.test_case "infeasible" `Quick test_infeasible;
           Alcotest.test_case "zero objective" `Quick test_zero_objective;
           Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+          Alcotest.test_case "duplicate pairs merge" `Quick test_duplicate_pairs_merge;
+          Alcotest.test_case "cancelled rows" `Quick test_cancelled_rows;
+          Alcotest.test_case "empty objective phase 1" `Quick test_empty_objective_phase1;
+          Alcotest.test_case "out-of-range variable" `Quick
+            test_out_of_range_variable_rejected;
+          Alcotest.test_case "degenerate random vs brute force" `Quick
+            test_degenerate_random_vs_bruteforce;
         ] );
       ( "ilp",
         [

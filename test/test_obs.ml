@@ -220,6 +220,17 @@ let pinned_names =
     "ipet_solves";
     "ipet_variables";
     "ldivmod_iterations";
+    "path_disagreements";
+    "path_mc_intractable";
+    "path_portfolio_wins{backend=csolve}";
+    "path_portfolio_wins{backend=ipet}";
+    "path_portfolio_wins{backend=mc}";
+    "path_solve_ms{backend=csolve}";
+    "path_solve_ms{backend=ipet}";
+    "path_solve_ms{backend=mc}";
+    "path_solves{backend=csolve}";
+    "path_solves{backend=ipet}";
+    "path_solves{backend=mc}";
     "pipeline_block_wcet_cycles";
     "pipeline_blocks";
     "scc_count";
@@ -298,12 +309,17 @@ let test_analysis_populates_metrics () =
         > 0);
       Alcotest.(check bool) "simplex pivoted" true (counter_value "simplex_pivots" > 0);
       Alcotest.(check int) "one ipet solve" 1 (counter_value "ipet_solves");
+      (* Default portfolio races all three path backends. *)
+      Alcotest.(check int) "one ipet path solve" 1 (counter_value "path_solves{backend=ipet}");
+      Alcotest.(check int) "one csolve path solve" 1
+        (counter_value "path_solves{backend=csolve}");
+      Alcotest.(check int) "one mc path solve" 1 (counter_value "path_solves{backend=mc}");
       Alcotest.(check int) "one complete run" 1 (counter_value "analyzer_runs{verdict=complete}");
       let spans = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.events ()) in
       List.iter
         (fun phase ->
           Alcotest.(check bool) (phase ^ " span present") true (List.mem phase spans))
-        [ "analyze"; "decode"; "value"; "cache"; "persistence"; "pipeline"; "ipet" ])
+        [ "analyze"; "decode"; "value"; "cache"; "persistence"; "pipeline"; "path" ])
 
 (* --- Prometheus exposition --- *)
 

@@ -419,7 +419,7 @@ let test_undecodable_report_reclassifies_hit () =
       let strategy = Wcet_util.Fixpoint.Rpo in
       Report_cache.save_report ~hw ~annot ~strategy
         ~engine:(Analyzer.engine_name Analyzer.Summary)
-        ~domain:"interval" program "not a marshaled report";
+        ~domain:"interval" ~path:"portfolio" program "not a marshaled report";
       let metric name =
         match Metrics.find name with Some (Metrics.Counter_value n) -> n | _ -> 0
       in
